@@ -1,0 +1,34 @@
+"""Performance: stuck-at fault simulation throughput."""
+
+import pytest
+
+from repro.fault import CombFaultSimulator, SeqFaultSimulator, collapse_faults
+from repro.sim import StimulusEncoder
+from repro.util import rng_stream
+from tests.conftest import netlist_of
+from repro.circuits import load_circuit
+
+
+@pytest.mark.parametrize("name", ["c432", "c499"])
+def test_comb_fault_sim_throughput(benchmark, name):
+    netlist = netlist_of(name)
+    faults = collapse_faults(netlist)
+    width = len(netlist.input_bits)
+    rng = rng_stream(1, name, "bench-fsim")
+    patterns = [rng.getrandbits(width) for _ in range(256)]
+    simulator = CombFaultSimulator(netlist, faults)
+    result = benchmark(simulator.simulate, patterns)
+    assert result.coverage() > 0.5
+
+
+@pytest.mark.parametrize("name", ["b01", "b03"])
+def test_seq_fault_sim_throughput(benchmark, name):
+    netlist = netlist_of(name)
+    design = load_circuit(name)
+    faults = collapse_faults(netlist)
+    width = StimulusEncoder(design).width
+    rng = rng_stream(1, name, "bench-fsim")
+    stimuli = [rng.getrandbits(width) for _ in range(128)]
+    simulator = SeqFaultSimulator(netlist, faults, lanes=256)
+    result = benchmark(simulator.simulate, stimuli)
+    assert result.coverage() > 0.3

@@ -1,0 +1,48 @@
+"""Performance: mutant generation and schema execution."""
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.mutation import MutationEngine, generate_mutants
+from repro.sim import StimulusEncoder
+from repro.util import rng_stream
+
+
+@pytest.mark.parametrize("name", ["b01", "c432"])
+def test_mutant_generation_speed(benchmark, name):
+    design = load_circuit(name)
+    mutants = benchmark(generate_mutants, design)
+    assert len(mutants) > 100
+
+
+@pytest.mark.parametrize("name", ["b01", "c432"])
+def test_mutant_execution_speed(benchmark, name):
+    design = load_circuit(name)
+    mutants = generate_mutants(design)[:150]
+    engine = MutationEngine(design)
+    width = StimulusEncoder(design).width
+    rng = rng_stream(2, name, "bench-mut")
+    stimuli = [rng.getrandbits(width) for _ in range(32)]
+    reference = engine.reference_outputs(stimuli)
+
+    def campaign():
+        return engine.run_all(mutants, stimuli, reference)
+
+    records = benchmark.pedantic(campaign, rounds=2, iterations=1)
+    assert sum(r.killed for r in records) > 0
+
+
+def test_compiled_vs_interpreted_speedup(benchmark):
+    """The compiled backend is the default for campaigns; measure it."""
+    design = load_circuit("b03")
+    width = StimulusEncoder(design).width
+    rng = rng_stream(3, "bench-backend")
+    stimuli = [rng.getrandbits(width) for _ in range(64)]
+    compiled = MutationEngine(design, backend="compiled")
+
+    def run():
+        return compiled.reference_outputs(stimuli)
+
+    outputs = benchmark(run)
+    interp = MutationEngine(design, backend="interp")
+    assert outputs == interp.reference_outputs(stimuli)

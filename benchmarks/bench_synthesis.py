@@ -1,0 +1,22 @@
+"""Performance: elaboration and synthesis of the benchmark suite."""
+
+import pytest
+
+from repro.circuits import get_circuit
+from repro.hdl import load_design
+from repro.synth import synthesize
+
+
+@pytest.mark.parametrize("name", ["b01", "b03", "c432", "c499"])
+def test_parse_and_elaborate_speed(benchmark, name):
+    source = get_circuit(name).source
+    design = benchmark(load_design, source, name)
+    assert design.processes
+
+
+@pytest.mark.parametrize("name", ["b03", "c499"])
+def test_synthesis_speed(benchmark, name):
+    source = get_circuit(name).source
+    design = load_design(source, name)
+    netlist = benchmark(synthesize, design)
+    assert netlist.gates

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bring your own design: the pipeline on a user-written VHDL subset.
+
+Shows the library as a downstream user would adopt it: write a small
+clocked design inline, elaborate it, inspect its mutants, generate
+validation data, synthesize to gates, and dump a `.bench` netlist that
+standard academic tooling can read.
+
+Run:  python examples/custom_circuit.py
+"""
+
+from repro import (
+    MutationTestGenerator,
+    collapse_faults,
+    generate_mutants,
+    load_design,
+    mutants_by_operator,
+    simulate_stuck_at,
+    synthesize,
+)
+from repro.netlist.bench import write_bench
+
+GRAY_COUNTER = """
+-- A 3-bit Gray-code counter with an enable and a match detector.
+entity gray3 is
+  port (
+    enable : in bit;
+    reset  : in bit;
+    clock  : in bit;
+    code   : out bit_vector(2 downto 0);
+    at_top : out bit
+  );
+end entity gray3;
+
+architecture rtl of gray3 is
+  constant top : integer := 4;   -- gray(4) = "110"
+  signal idx : integer range 0 to 7;
+begin
+  step : process (clock, reset)
+  begin
+    if reset = '1' then
+      idx    <= 0;
+      code   <= "000";
+      at_top <= '0';
+    elsif rising_edge(clock) then
+      if enable = '1' then
+        idx <= (idx + 1) mod 8;
+      end if;
+      case idx is
+        when 0 => code <= "000";
+        when 1 => code <= "001";
+        when 2 => code <= "011";
+        when 3 => code <= "010";
+        when 4 => code <= "110";
+        when 5 => code <= "111";
+        when 6 => code <= "101";
+        when 7 => code <= "100";
+      end case;
+      if idx = top then
+        at_top <= '1';
+      else
+        at_top <= '0';
+      end if;
+    end if;
+  end process step;
+end architecture rtl;
+"""
+
+
+def main() -> None:
+    design = load_design(GRAY_COUNTER, "gray3")
+    print(f"elaborated {design.name}: {len(design.processes)} process(es), "
+          f"ports {[p.name for p in design.ports]}")
+
+    mutants = generate_mutants(design)
+    groups = mutants_by_operator(mutants)
+    print(f"mutants: {len(mutants)} — " + ", ".join(
+        f"{op}:{len(ms)}" for op, ms in sorted(groups.items())
+    ))
+    print("three sample mutants:")
+    for mutant in mutants[:3]:
+        print(f"  {mutant}")
+
+    data = MutationTestGenerator(design, seed=3, max_vectors=96).generate(
+        mutants
+    )
+    print(f"validation data: {len(data.vectors)} vectors, "
+          f"{100 * data.kill_fraction:.1f}% of mutants killed")
+
+    netlist = synthesize(design)
+    faults = collapse_faults(netlist)
+    coverage = simulate_stuck_at(netlist, data.vectors, faults).coverage()
+    print(f"synthesized: {netlist.stats()['gates']} gates, "
+          f"{netlist.stats()['dffs']} DFFs; reuse covers "
+          f"{100 * coverage:.2f}% of {len(faults)} stuck-at faults")
+
+    bench = write_bench(netlist)
+    print("\nfirst lines of the .bench dump:")
+    for line in bench.splitlines()[:10]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

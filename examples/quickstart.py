@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: mutation-based validation data for one benchmark.
+
+Loads the b01 serial-flow FSM, generates its full mutant population,
+derives mutation-adequate validation data, and reports the mutation
+score plus the stuck-at fault coverage those "free" vectors reach on the
+synthesized gate-level netlist — the paper's core flow in ~30 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MutationTestGenerator,
+    collapse_faults,
+    generate_mutants,
+    load_circuit,
+    simulate_stuck_at,
+    synthesize,
+)
+
+
+def main() -> None:
+    design = load_circuit("b01")
+    print(f"circuit: {design.name} "
+          f"({'sequential' if design.is_sequential else 'combinational'})")
+
+    mutants = generate_mutants(design)
+    print(f"mutants: {len(mutants)} across the ten operators")
+
+    generator = MutationTestGenerator(design, seed=1, max_vectors=128)
+    data = generator.generate(mutants)
+    print(
+        f"validation data: {len(data.vectors)} vectors kill "
+        f"{len(data.killed_mids)}/{data.total_targets} mutants "
+        f"({100 * data.kill_fraction:.1f}% raw kill rate)"
+    )
+
+    netlist = synthesize(design)
+    faults = collapse_faults(netlist)
+    result = simulate_stuck_at(netlist, data.vectors, faults)
+    print(
+        f"gate level: {netlist.stats()['gates']} gates, "
+        f"{len(faults)} collapsed stuck-at faults"
+    )
+    print(
+        f"re-used as structural test: {100 * result.coverage():.2f}% "
+        "fault coverage for free"
+    )
+
+
+if __name__ == "__main__":
+    main()

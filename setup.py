@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-use-pep517 --no-build-isolation`` works in
+offline environments whose setuptools lacks the ``wheel`` package that
+PEP-517 editable installs require.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

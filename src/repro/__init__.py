@@ -1,0 +1,59 @@
+"""repro — mutation sampling for structural test data generation.
+
+A from-scratch reproduction of M. Scholivé et al., "Mutation Sampling
+Technique for the Generation of Structural Test Data", DATE 2005.
+
+The stack, bottom to top: a VHDL-subset front end and delta-cycle
+simulator (``repro.hdl`` / ``repro.sim``), logic synthesis to gate-level
+netlists (``repro.synth`` / ``repro.netlist``), single-stuck-at fault
+simulation (``repro.fault``), the ten-operator mutation engine
+(``repro.mutation``), mutation-adequate / random / deterministic test
+generation (``repro.testgen``), the NLFCE metric (``repro.metrics``),
+mutant sampling strategies (``repro.sampling``) and the experiment
+harness regenerating the paper's tables (``repro.experiments``).
+
+Quickstart::
+
+    from repro import load_circuit, generate_mutants, MutationTestGenerator
+
+    design = load_circuit("b01")
+    mutants = generate_mutants(design)
+    data = MutationTestGenerator(design, seed=1).generate(mutants)
+    print(len(data.vectors), "validation vectors")
+"""
+
+from repro.circuits import circuit_names, get_circuit, load_circuit
+from repro.errors import ReproError
+from repro.fault import collapse_faults, generate_faults, simulate_stuck_at
+from repro.hdl import load_design
+from repro.metrics import compute_nlfce
+from repro.mutation import MutationEngine, generate_mutants, mutants_by_operator
+from repro.sampling import RandomSampling, TestOrientedSampling
+from repro.sim import StimulusEncoder, Testbench
+from repro.synth import synthesize
+from repro.testgen import MutationTestGenerator, RandomVectorGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MutationEngine",
+    "MutationTestGenerator",
+    "RandomSampling",
+    "RandomVectorGenerator",
+    "ReproError",
+    "StimulusEncoder",
+    "Testbench",
+    "TestOrientedSampling",
+    "__version__",
+    "circuit_names",
+    "collapse_faults",
+    "compute_nlfce",
+    "generate_faults",
+    "generate_mutants",
+    "get_circuit",
+    "load_circuit",
+    "load_design",
+    "mutants_by_operator",
+    "simulate_stuck_at",
+    "synthesize",
+]

@@ -1,0 +1,18 @@
+"""Benchmark circuit library.
+
+Behavioural re-implementations (in the supported VHDL subset) of the
+benchmarks the paper evaluates: ITC'99-style sequential FSMs (b01, b02,
+b03, b06) and ISCAS'85-style combinational circuits (c17, c432, c499).
+The historical sources/netlists are not redistributable, so these are
+functional reconstructions with the documented I/O of each benchmark;
+see DESIGN.md section 2 for the substitution rationale.
+"""
+
+from repro.circuits.registry import (
+    CircuitInfo,
+    circuit_names,
+    get_circuit,
+    load_circuit,
+)
+
+__all__ = ["CircuitInfo", "circuit_names", "get_circuit", "load_circuit"]

@@ -1,0 +1,194 @@
+"""ISCAS'85-style combinational benchmark sources.
+
+* ``c17`` — the six-NAND toy circuit, written exactly as its netlist.
+* ``c432`` — 27-channel interrupt controller (behavioural reconstruction
+  after Hansen/Yalcin/Hayes' reverse-engineered description): three 9-bit
+  request buses with bus priority A > B > C, per-channel enables, a
+  grant flag per bus and the 4-bit number of the selected channel.
+* ``c499`` — 32-bit single-error-correction circuit: 8 syndrome bits
+  over a Hamming-style code (6 position bits + 2 half-parity bits),
+  conditional correction of the matching data bit.
+
+``c432``/``c499`` sources are generated programmatically so the XOR
+trees and the 32 correction matchers stay consistent with the code
+tables used by the tests.
+"""
+
+from __future__ import annotations
+
+C17_SOURCE = """
+-- c17: the classic six-NAND ISCAS'85 toy circuit.
+entity c17 is
+  port (
+    i1, i2, i3, i6, i7 : in bit;
+    o22, o23           : out bit
+  );
+end entity c17;
+
+architecture structural of c17 is
+  signal n10, n11, n16, n19 : bit;
+begin
+  n10 <= i1 nand i3;
+  n11 <= i3 nand i6;
+  n16 <= i2 nand n11;
+  n19 <= n11 nand i7;
+  o22 <= n10 nand n16;
+  o23 <= n16 nand n19;
+end architecture structural;
+"""
+
+
+def hamming_data_positions(count: int = 32) -> list[int]:
+    """First ``count`` Hamming code positions that carry data bits.
+
+    Positions are 1-based; powers of two are check-bit positions and are
+    skipped (classic (39,32) Hamming layout).
+    """
+    positions: list[int] = []
+    candidate = 1
+    while len(positions) < count:
+        if candidate & (candidate - 1) != 0:  # not a power of two
+            positions.append(candidate)
+        candidate += 1
+    return positions
+
+
+def build_c432_source() -> str:
+    """27-channel interrupt controller, one combinational process."""
+    lines = [
+        "-- c432: 27-channel interrupt controller (behavioural"
+        " reconstruction).",
+        "entity c432 is",
+        "  port (",
+        "    a    : in bit_vector(8 downto 0);",
+        "    b    : in bit_vector(8 downto 0);",
+        "    c    : in bit_vector(8 downto 0);",
+        "    e    : in bit_vector(8 downto 0);",
+        "    pa   : out bit;",
+        "    pb   : out bit;",
+        "    pc   : out bit;",
+        "    chan : out bit_vector(3 downto 0)",
+        "  );",
+        "end entity c432;",
+        "",
+        "architecture behav of c432 is",
+        "begin",
+        "  prio : process (a, b, c, e)",
+        "    variable any_a, any_b, any_c : boolean;",
+        "    variable ch : integer range 0 to 15;",
+        "  begin",
+        "    any_a := false;",
+        "    any_b := false;",
+        "    any_c := false;",
+        "    ch := 15;",
+        "    for i in 0 to 8 loop",
+        "      if a(i) = '1' and e(i) = '1' then",
+        "        any_a := true;",
+        "      end if;",
+        "      if b(i) = '1' and e(i) = '1' then",
+        "        any_b := true;",
+        "      end if;",
+        "      if c(i) = '1' and e(i) = '1' then",
+        "        any_c := true;",
+        "      end if;",
+        "    end loop;",
+        "    if any_a then",
+        "      pa <= '1';",
+        "      for i in 0 to 8 loop",
+        "        if a(i) = '1' and e(i) = '1' and ch = 15 then",
+        "          ch := i;",
+        "        end if;",
+        "      end loop;",
+        "    else",
+        "      pa <= '0';",
+        "    end if;",
+        "    if any_b and not any_a then",
+        "      pb <= '1';",
+        "      for i in 0 to 8 loop",
+        "        if b(i) = '1' and e(i) = '1' and ch = 15 then",
+        "          ch := i;",
+        "        end if;",
+        "      end loop;",
+        "    else",
+        "      pb <= '0';",
+        "    end if;",
+        "    if any_c and not any_a and not any_b then",
+        "      pc <= '1';",
+        "      for i in 0 to 8 loop",
+        "        if c(i) = '1' and e(i) = '1' and ch = 15 then",
+        "          ch := i;",
+        "        end if;",
+        "      end loop;",
+        "    else",
+        "      pc <= '0';",
+        "    end if;",
+        "    case ch is",
+    ]
+    for value in range(16):
+        lines.append(f"      when {value} =>")
+        lines.append(f'        chan <= "{value:04b}";')
+    lines += [
+        "    end case;",
+        "  end process prio;",
+        "end architecture behav;",
+    ]
+    return "\n".join(lines)
+
+
+def build_c499_source() -> str:
+    """32-bit single-error-correction circuit (XOR-tree dominated)."""
+    positions = hamming_data_positions(32)
+    lines = [
+        "-- c499: 32-bit single-error corrector (behavioural"
+        " reconstruction).",
+        "entity c499 is",
+        "  port (",
+        "    id  : in bit_vector(31 downto 0);",
+        "    ic  : in bit_vector(7 downto 0);",
+        "    cor : in bit;",
+        "    od  : out bit_vector(31 downto 0)",
+        "  );",
+        "end entity c499;",
+        "",
+        "architecture behav of c499 is",
+        "begin",
+        "  sec : process (id, ic, cor)",
+        "    variable syn : bit_vector(7 downto 0);",
+        "  begin",
+    ]
+    # Six positional syndrome bits: parity of data bits whose Hamming
+    # position has bit j set, xor the received check bit.
+    for j in range(6):
+        terms = [
+            f"id({i})"
+            for i, pos in enumerate(positions)
+            if pos & (1 << j)
+        ]
+        expr = " xor ".join(terms + [f"ic({j})"])
+        lines.append(f"    syn({j}) := {expr};")
+    # Two half-parity bits make the halves' check bits observable and
+    # guard the correction (a real single error flips its half parity).
+    low_half = " xor ".join(f"id({i})" for i in range(16))
+    high_half = " xor ".join(f"id({i})" for i in range(16, 32))
+    lines.append(f"    syn(6) := {low_half} xor ic(6);")
+    lines.append(f"    syn(7) := {high_half} xor ic(7);")
+    lines.append("    od <= id;")
+    lines.append("    if cor = '1' then")
+    for i, pos in enumerate(positions):
+        guard = "syn(6)" if i < 16 else "syn(7)"
+        code = format(pos, "06b")
+        lines.append(
+            f'      if syn(5 downto 0) = "{code}" and {guard} = \'1\' then'
+        )
+        lines.append(f"        od({i}) <= not id({i});")
+        lines.append("      end if;")
+    lines += [
+        "    end if;",
+        "  end process sec;",
+        "end architecture behav;",
+    ]
+    return "\n".join(lines)
+
+
+C432_SOURCE = build_c432_source()
+C499_SOURCE = build_c499_source()

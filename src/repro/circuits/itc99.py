@@ -1,0 +1,284 @@
+"""ITC'99-style sequential benchmark sources (behavioural re-creations).
+
+Each design follows the ITC'99 interface conventions: a ``clock`` input,
+an active-high asynchronous ``reset``, and registered outputs driven from
+a single clocked process.  The state machines are functional
+re-implementations (originals are not redistributable); they preserve
+the benchmarks' character — serial-flow FSMs with named integer-state
+constants (b01), enumeration-state recognisers (b02), a rotating
+arbiter with counters (b03) and an interrupt-style handler (b06) — which
+is what the mutation operators act on.
+"""
+
+B01_SOURCE = """
+-- b01: serial flow comparator / adder FSM (behavioural re-creation).
+entity b01 is
+  port (
+    line1   : in bit;
+    line2   : in bit;
+    reset   : in bit;
+    clock   : in bit;
+    outp    : out bit;
+    overflw : out bit
+  );
+end entity b01;
+
+architecture behav of b01 is
+  constant st_sum    : integer := 0;
+  constant st_carry  : integer := 1;
+  constant st_ovf    : integer := 2;
+  constant st_drain  : integer := 3;
+  constant limit     : integer := 6;
+  signal stato : integer range 0 to 7;
+  signal cnt   : integer range 0 to 7;
+begin
+  fsm : process (clock, reset)
+  begin
+    if reset = '1' then
+      stato   <= st_sum;
+      cnt     <= 0;
+      outp    <= '0';
+      overflw <= '0';
+    elsif rising_edge(clock) then
+      overflw <= '0';
+      case stato is
+        when 0 =>
+          outp <= line1 xor line2;
+          if line1 = '1' and line2 = '1' then
+            stato <= st_carry;
+          else
+            stato <= st_sum;
+          end if;
+          cnt <= 0;
+        when 1 =>
+          outp <= line1 xnor line2;
+          if line1 = '0' and line2 = '0' then
+            stato <= st_sum;
+          else
+            stato <= st_carry;
+          end if;
+          if cnt < limit then
+            cnt <= cnt + 1;
+          else
+            stato <= st_ovf;
+            cnt <= 0;
+          end if;
+        when 2 =>
+          overflw <= '1';
+          outp    <= '0';
+          stato   <= st_drain;
+        when 3 =>
+          outp <= '0';
+          if line1 = '0' and line2 = '0' then
+            stato <= st_sum;
+          else
+            stato <= st_drain;
+          end if;
+        when others =>
+          stato <= st_sum;
+          outp  <= '0';
+      end case;
+    end if;
+  end process fsm;
+end architecture behav;
+"""
+
+B02_SOURCE = """
+-- b02: serial BCD-digit recogniser FSM (behavioural re-creation).
+entity b02 is
+  port (
+    linea : in bit;
+    reset : in bit;
+    clock : in bit;
+    u     : out bit
+  );
+end entity b02;
+
+architecture behav of b02 is
+  type state_t is (s_a, s_b, s_c, s_d, s_e, s_f, s_g);
+  signal stato : state_t;
+begin
+  fsm : process (clock, reset)
+  begin
+    if reset = '1' then
+      stato <= s_a;
+      u     <= '0';
+    elsif rising_edge(clock) then
+      u <= '0';
+      case stato is
+        when s_a =>
+          if linea = '1' then
+            stato <= s_b;
+          else
+            stato <= s_a;
+          end if;
+        when s_b =>
+          if linea = '1' then
+            stato <= s_d;
+          else
+            stato <= s_c;
+          end if;
+        when s_c =>
+          if linea = '1' then
+            stato <= s_e;
+          else
+            stato <= s_f;
+          end if;
+        when s_d =>
+          stato <= s_f;
+        when s_e =>
+          if linea = '1' then
+            stato <= s_g;
+          else
+            stato <= s_f;
+          end if;
+        when s_f =>
+          u <= '1';
+          stato <= s_a;
+        when s_g =>
+          u <= '1';
+          if linea = '1' then
+            stato <= s_b;
+          else
+            stato <= s_a;
+          end if;
+      end case;
+    end if;
+  end process fsm;
+end architecture behav;
+"""
+
+B03_SOURCE = """
+-- b03: rotating-priority resource arbiter (behavioural re-creation).
+entity b03 is
+  port (
+    req   : in bit_vector(3 downto 0);
+    reset : in bit;
+    clock : in bit;
+    grant : out bit_vector(3 downto 0);
+    busy  : out bit
+  );
+end entity b03;
+
+architecture behav of b03 is
+  constant burst : integer := 2;
+  signal turn   : integer range 0 to 3;
+  signal owner  : integer range 0 to 3;
+  signal timer  : integer range 0 to 3;
+  signal active : bit;
+begin
+  arb : process (clock, reset)
+    variable slot   : integer range 0 to 7;
+    variable chosen : boolean;
+  begin
+    if reset = '1' then
+      turn   <= 0;
+      owner  <= 0;
+      timer  <= 0;
+      active <= '0';
+      grant  <= (others => '0');
+      busy   <= '0';
+    elsif rising_edge(clock) then
+      grant <= (others => '0');
+      if active = '1' then
+        busy <= '1';
+        if timer = 0 then
+          active <= '0';
+          busy   <= '0';
+          turn   <= (owner + 1) mod 4;
+        else
+          timer <= timer - 1;
+          grant(owner) <= '1';
+        end if;
+      end if;
+      if active = '0' then
+        chosen := false;
+        for i in 0 to 3 loop
+          slot := (turn + i) mod 4;
+          if not chosen then
+            if req(slot) = '1' then
+              owner  <= slot;
+              active <= '1';
+              timer  <= burst;
+              grant(slot) <= '1';
+              chosen := true;
+            end if;
+          end if;
+        end loop;
+        busy <= '0';
+      end if;
+    end if;
+  end process arb;
+end architecture behav;
+"""
+
+B06_SOURCE = """
+-- b06: interrupt-handler control FSM (behavioural re-creation).
+entity b06 is
+  port (
+    cont_eql : in bit;
+    cc_mux   : in bit;
+    reset    : in bit;
+    clock    : in bit;
+    uscite   : out bit_vector(1 downto 0);
+    enable   : out bit
+  );
+end entity b06;
+
+architecture behav of b06 is
+  type state_t is (s_init, s_wait, s_enin, s_enin_w, s_intr, s_intr_w);
+  signal stato : state_t;
+begin
+  fsm : process (clock, reset)
+  begin
+    if reset = '1' then
+      stato  <= s_init;
+      uscite <= "00";
+      enable <= '0';
+    elsif rising_edge(clock) then
+      case stato is
+        when s_init =>
+          uscite <= "00";
+          enable <= '0';
+          stato  <= s_wait;
+        when s_wait =>
+          if cont_eql = '1' then
+            stato  <= s_intr;
+            uscite <= "01";
+          elsif cc_mux = '1' then
+            stato  <= s_enin;
+            uscite <= "10";
+          else
+            stato  <= s_wait;
+            uscite <= "00";
+          end if;
+          enable <= '0';
+        when s_enin =>
+          enable <= '1';
+          uscite <= "10";
+          if cc_mux = '0' then
+            stato <= s_enin_w;
+          else
+            stato <= s_enin;
+          end if;
+        when s_enin_w =>
+          enable <= '0';
+          uscite <= "11";
+          stato  <= s_wait;
+        when s_intr =>
+          enable <= '1';
+          uscite <= "01";
+          if cont_eql = '0' then
+            stato <= s_intr_w;
+          else
+            stato <= s_intr;
+          end if;
+        when s_intr_w =>
+          enable <= '0';
+          uscite <= "11";
+          stato  <= s_wait;
+      end case;
+    end if;
+  end process fsm;
+end architecture behav;
+"""

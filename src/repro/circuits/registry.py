@@ -1,0 +1,132 @@
+"""Circuit registry: metadata + lazy parsing/elaboration with caching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits import iscas85, itc99
+from repro.errors import ConfigError
+from repro.hdl import load_design
+from repro.hdl.design import Design
+
+
+@dataclass(frozen=True)
+class CircuitInfo:
+    """Static description of one benchmark circuit."""
+
+    name: str
+    family: str            # "itc99" / "iscas85"
+    sequential: bool
+    has_constants: bool    # whether the CR operator applies (paper, sec. 3)
+    description: str
+    source: str
+
+
+_CIRCUITS: dict[str, CircuitInfo] = {}
+
+
+def _register(info: CircuitInfo) -> None:
+    _CIRCUITS[info.name] = info
+
+
+_register(
+    CircuitInfo(
+        name="b01",
+        family="itc99",
+        sequential=True,
+        has_constants=True,
+        description="serial flow comparator / adder FSM (8 states)",
+        source=itc99.B01_SOURCE,
+    )
+)
+_register(
+    CircuitInfo(
+        name="b02",
+        family="itc99",
+        sequential=True,
+        has_constants=False,
+        description="serial BCD-digit recogniser FSM (enum states)",
+        source=itc99.B02_SOURCE,
+    )
+)
+_register(
+    CircuitInfo(
+        name="b03",
+        family="itc99",
+        sequential=True,
+        has_constants=True,
+        description="rotating-priority resource arbiter",
+        source=itc99.B03_SOURCE,
+    )
+)
+_register(
+    CircuitInfo(
+        name="b06",
+        family="itc99",
+        sequential=True,
+        has_constants=False,
+        description="interrupt-handler control FSM",
+        source=itc99.B06_SOURCE,
+    )
+)
+_register(
+    CircuitInfo(
+        name="c17",
+        family="iscas85",
+        sequential=False,
+        has_constants=False,
+        description="six-NAND toy circuit",
+        source=iscas85.C17_SOURCE,
+    )
+)
+_register(
+    CircuitInfo(
+        name="c432",
+        family="iscas85",
+        sequential=False,
+        has_constants=True,
+        description="27-channel interrupt controller",
+        source=iscas85.C432_SOURCE,
+    )
+)
+_register(
+    CircuitInfo(
+        name="c499",
+        family="iscas85",
+        sequential=False,
+        has_constants=True,
+        description="32-bit single-error-correction circuit",
+        source=iscas85.C499_SOURCE,
+    )
+)
+
+_DESIGN_CACHE: dict[str, Design] = {}
+
+
+def circuit_names() -> list[str]:
+    """All registered benchmark names, ITC'99 first."""
+    return sorted(
+        _CIRCUITS, key=lambda n: (_CIRCUITS[n].family != "itc99", n)
+    )
+
+
+def get_circuit(name: str) -> CircuitInfo:
+    try:
+        return _CIRCUITS[name]
+    except KeyError:
+        known = ", ".join(circuit_names())
+        raise ConfigError(
+            f"unknown circuit {name!r}; known circuits: {known}"
+        ) from None
+
+
+def load_circuit(name: str) -> Design:
+    """Parse + analyze a benchmark (cached — the Design is shared).
+
+    Mutation uses patch tables and never modifies the tree, so sharing
+    one elaborated Design between callers is safe.
+    """
+    if name not in _DESIGN_CACHE:
+        info = get_circuit(name)
+        _DESIGN_CACHE[name] = load_design(info.source, name)
+    return _DESIGN_CACHE[name]

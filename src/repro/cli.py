@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+
+* ``list``       — registered benchmark circuits
+* ``show``       — stats of one circuit (mutants, gates, faults)
+* ``synth``      — synthesize a circuit and print its ``.bench`` netlist
+* ``mutants``    — list (a sample of) a circuit's mutants
+* ``testgen``    — generate mutation-adequate validation data
+* ``table1``     — regenerate the paper's Table 1
+* ``table2``     — regenerate the paper's Table 2
+* ``atpg-reuse`` — the §1 validation-reuse experiment
+* ``ablation``   — sampling-rate / weight-scheme ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.context import LabConfig, PAPER_CIRCUITS
+
+
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=20050301,
+                        help="master experiment seed")
+    parser.add_argument("--random-budget", type=int, default=None,
+                        help="random baseline length (both styles)")
+    parser.add_argument("--equivalence-budget", type=int, default=256,
+                        help="stimuli for equivalent-mutant classification")
+    parser.add_argument("--max-vectors", type=int, default=256,
+                        help="cap on generated validation vectors")
+
+
+def _config(args) -> LabConfig:
+    config = LabConfig(seed=args.seed,
+                       equivalence_budget=args.equivalence_budget)
+    if args.random_budget is not None:
+        config.random_budget_comb = args.random_budget
+        config.random_budget_seq = args.random_budget
+    return config
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Mutation sampling for structural test data generation "
+            "(Scholive et al., DATE 2005 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark circuits")
+
+    show = sub.add_parser("show", help="circuit statistics")
+    show.add_argument("circuit")
+
+    synth = sub.add_parser("synth", help="print the synthesized .bench")
+    synth.add_argument("circuit")
+
+    mutants = sub.add_parser("mutants", help="list mutants")
+    mutants.add_argument("circuit")
+    mutants.add_argument("--operator", default=None)
+    mutants.add_argument("--limit", type=int, default=20)
+
+    testgen = sub.add_parser(
+        "testgen", help="generate mutation-adequate validation data"
+    )
+    testgen.add_argument("circuit")
+    testgen.add_argument("--operator", default=None)
+    testgen.add_argument("--seed", type=int, default=7)
+    testgen.add_argument("--max-vectors", type=int, default=256)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("--circuits", nargs="*", default=list(PAPER_CIRCUITS))
+    _add_budget_args(table1)
+
+    table2 = sub.add_parser("table2", help="regenerate Table 2")
+    table2.add_argument("--circuits", nargs="*", default=list(PAPER_CIRCUITS))
+    table2.add_argument("--fraction", type=float, default=0.10)
+    table2.add_argument("--no-calibrate", action="store_true")
+    _add_budget_args(table2)
+
+    reuse = sub.add_parser("atpg-reuse", help="validation-reuse experiment")
+    reuse.add_argument("--circuits", nargs="*",
+                       default=["c17", "c432", "c499"])
+    _add_budget_args(reuse)
+
+    ablation = sub.add_parser("ablation", help="ablation studies")
+    ablation.add_argument("kind", choices=["rate", "weights"])
+    ablation.add_argument("--circuit", default="b01")
+    _add_budget_args(ablation)
+
+    args = parser.parse_args(argv)
+    command = args.command
+
+    if command == "list":
+        from repro.circuits import circuit_names, get_circuit
+
+        for name in circuit_names():
+            info = get_circuit(name)
+            style = "seq " if info.sequential else "comb"
+            print(f"{name:6s} [{info.family:7s} {style}] {info.description}")
+        return 0
+
+    if command == "show":
+        return _cmd_show(args)
+    if command == "synth":
+        from repro.circuits import load_circuit
+        from repro.netlist.bench import write_bench
+        from repro.synth import synthesize
+
+        print(write_bench(synthesize(load_circuit(args.circuit))), end="")
+        return 0
+    if command == "mutants":
+        return _cmd_mutants(args)
+    if command == "testgen":
+        return _cmd_testgen(args)
+    if command == "table1":
+        from repro.experiments.report import table1_text
+        from repro.experiments.table1 import run_table1
+
+        result = run_table1(
+            circuits=tuple(args.circuits),
+            config=_config(args),
+            max_vectors=args.max_vectors,
+        )
+        print(table1_text(result))
+        return 0
+    if command == "table2":
+        from repro.experiments.report import table2_text
+        from repro.experiments.table2 import run_table2
+
+        result = run_table2(
+            circuits=tuple(args.circuits),
+            fraction=args.fraction,
+            config=_config(args),
+            max_vectors=args.max_vectors,
+            calibrate=not args.no_calibrate,
+        )
+        print(table2_text(result))
+        return 0
+    if command == "atpg-reuse":
+        from repro.experiments.atpg_reuse import run_atpg_reuse
+        from repro.experiments.report import rows_text
+
+        rows = run_atpg_reuse(
+            circuits=tuple(args.circuits), config=_config(args),
+            max_vectors=args.max_vectors,
+        )
+        print(
+            rows_text(
+                rows,
+                ["Circuit", "Mode", "Preload", "Cov0%", "Faults",
+                 "Decisions", "Backtracks", "ATPG vecs", "Final%"],
+                ["circuit", "mode", "preload_vectors",
+                 "preload_coverage_pct", "targeted_faults", "decisions",
+                 "backtracks", "atpg_vectors", "final_coverage_pct"],
+                "Validation-data reuse vs deterministic-only ATPG",
+            )
+        )
+        return 0
+    if command == "ablation":
+        from repro.experiments.ablation import (
+            run_rate_ablation,
+            run_weight_ablation,
+        )
+        from repro.experiments.report import rows_text
+
+        if args.kind == "rate":
+            rows = run_rate_ablation(
+                circuit=args.circuit, config=_config(args),
+                max_vectors=args.max_vectors,
+            )
+        else:
+            rows = run_weight_ablation(
+                circuit=args.circuit, config=_config(args),
+                max_vectors=args.max_vectors,
+            )
+        print(
+            rows_text(
+                rows,
+                ["Circuit", "Variant", "Fraction", "Selected", "MS%",
+                 "NLFCE"],
+                ["circuit", "variant", "fraction", "selected", "ms_pct",
+                 "nlfce"],
+                f"Ablation: {args.kind}",
+            )
+        )
+        return 0
+    parser.error(f"unknown command {command!r}")
+    return 2
+
+
+def _cmd_show(args) -> int:
+    from repro.circuits import get_circuit, load_circuit
+    from repro.fault import collapse_faults, generate_faults
+    from repro.mutation import generate_mutants, mutants_by_operator
+    from repro.synth import synthesize
+
+    info = get_circuit(args.circuit)
+    design = load_circuit(args.circuit)
+    netlist = synthesize(design)
+    mutants = generate_mutants(design)
+    groups = mutants_by_operator(mutants)
+    print(f"{info.name}: {info.description}")
+    print(f"  family      : {info.family}")
+    print(f"  style       : {'sequential' if info.sequential else 'combinational'}")
+    stats = netlist.stats()
+    print(f"  gates/dffs  : {stats['gates']} / {stats['dffs']}")
+    print(f"  logic depth : {stats['depth']}")
+    print(f"  faults      : {len(generate_faults(netlist))} uncollapsed, "
+          f"{len(collapse_faults(netlist))} collapsed")
+    print(f"  mutants     : {len(mutants)} "
+          f"({', '.join(f'{op}:{len(ms)}' for op, ms in sorted(groups.items()))})")
+    return 0
+
+
+def _cmd_mutants(args) -> int:
+    from repro.circuits import load_circuit
+    from repro.mutation import generate_mutants
+
+    design = load_circuit(args.circuit)
+    names = [args.operator] if args.operator else None
+    mutants = generate_mutants(design, names)
+    for mutant in mutants[: args.limit]:
+        print(mutant)
+    if len(mutants) > args.limit:
+        print(f"... and {len(mutants) - args.limit} more")
+    return 0
+
+
+def _cmd_testgen(args) -> int:
+    from repro.circuits import load_circuit
+    from repro.mutation import generate_mutants
+    from repro.testgen import MutationTestGenerator
+
+    design = load_circuit(args.circuit)
+    names = [args.operator] if args.operator else None
+    mutants = generate_mutants(design, names)
+    generator = MutationTestGenerator(
+        design, seed=args.seed, max_vectors=args.max_vectors
+    )
+    result = generator.generate(mutants)
+    print(
+        f"{len(result.vectors)} vectors kill {len(result.killed_mids)}/"
+        f"{result.total_targets} mutants "
+        f"({100 * result.kill_fraction:.1f}%)"
+    )
+    width = max((design.stimulus_width() + 3) // 4, 1)
+    for vector in result.vectors:
+        print(f"  {vector:0{width}x}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Experiment harness regenerating the paper's evaluation.
+
+* :mod:`repro.experiments.table1` — Table 1, operator fault-coverage
+  efficiency (ΔFC%, ΔL%, NLFCE per circuit/operator)
+* :mod:`repro.experiments.table2` — Table 2, test-oriented vs random
+  10% mutant sampling (MS% and NLFCE per circuit)
+* :mod:`repro.experiments.atpg_reuse` — the §1 claim: validation-data
+  reuse reduces gate-level ATPG effort
+* :mod:`repro.experiments.ablation` — sampling-rate and weight-scheme
+  ablations
+"""
+
+from repro.experiments.context import CircuitLab, get_lab
+from repro.experiments.table1 import Table1Result, Table1Row, run_table1
+from repro.experiments.table2 import Table2Result, Table2Row, run_table2
+from repro.experiments.atpg_reuse import AtpgReuseRow, run_atpg_reuse
+from repro.experiments.ablation import run_rate_ablation, run_weight_ablation
+from repro.experiments.report import table1_text, table2_text
+
+__all__ = [
+    "AtpgReuseRow",
+    "CircuitLab",
+    "Table1Result",
+    "Table1Row",
+    "Table2Result",
+    "Table2Row",
+    "get_lab",
+    "run_atpg_reuse",
+    "run_rate_ablation",
+    "run_table1",
+    "run_table2",
+    "run_weight_ablation",
+    "table1_text",
+    "table2_text",
+]

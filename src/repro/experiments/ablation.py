@@ -1,0 +1,145 @@
+"""Ablations around the paper's design choices.
+
+* sampling-rate sweep — does the test-oriented advantage persist at
+  5/10/20/40% sampling?
+* weight-scheme sweep — calibrated NLFCE weights vs. the paper's rank
+  ordering vs. uniform weights (uniform reduces to stratified-random).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.context import LabConfig, get_lab
+from repro.experiments.table1 import run_table1
+from repro.metrics.nlfce import nlfce_from_results
+from repro.mutation.score import MutationScore
+from repro.sampling.random_sampling import RandomSampling
+from repro.sampling.weighted import (
+    PAPER_RANK_WEIGHTS,
+    TestOrientedSampling,
+    weights_from_nlfce,
+)
+from repro.testgen.mutation_gen import MutationTestGenerator
+
+
+@dataclass
+class AblationRow:
+    circuit: str
+    variant: str
+    fraction: float
+    selected: int
+    ms_pct: float
+    nlfce: float
+
+
+def _evaluate_sample(lab, sample, testgen_seed: int, max_vectors: int):
+    generator = MutationTestGenerator(
+        lab.design, seed=testgen_seed, engine=lab.engine,
+        max_vectors=max_vectors,
+    )
+    vectors = generator.generate(sample).vectors
+    equivalence = lab.equivalence
+    targets = [
+        m for m in lab.all_mutants
+        if m.mid not in equivalence.equivalent_mids
+    ]
+    killed = lab.engine.killed_mids(targets, vectors) if vectors else set()
+    score = MutationScore(
+        total=len(lab.all_mutants),
+        killed=len(killed),
+        equivalents=equivalence.count,
+    )
+    if vectors:
+        nlfce = nlfce_from_results(
+            lab.fault_sim(vectors), lab.random_baseline
+        ).nlfce
+    else:
+        nlfce = 0.0
+    return score.percent, nlfce
+
+
+def run_rate_ablation(
+    circuit: str = "b01",
+    rates: tuple[float, ...] = (0.05, 0.10, 0.20, 0.40),
+    config: LabConfig | None = None,
+    sampling_seed: int = 13,
+    testgen_seed: int = 7,
+    max_vectors: int = 256,
+) -> list[AblationRow]:
+    config = config or LabConfig()
+    lab = get_lab(circuit, config)
+    calibration = run_table1(
+        circuits=(circuit,), config=config, testgen_seed=testgen_seed,
+        max_vectors=max_vectors,
+    )
+    measured = calibration.nlfce_by_operator(circuit)
+    weights = (
+        weights_from_nlfce(measured) if measured else dict(PAPER_RANK_WEIGHTS)
+    )
+    rows: list[AblationRow] = []
+    for rate in rates:
+        for strategy in (
+            RandomSampling(rate),
+            TestOrientedSampling(weights, rate),
+        ):
+            sample = strategy.sample(
+                lab.all_mutants, sampling_seed, circuit, f"rate{rate}"
+            )
+            ms_pct, nlfce = _evaluate_sample(
+                lab, sample, testgen_seed, max_vectors
+            )
+            rows.append(
+                AblationRow(
+                    circuit=circuit,
+                    variant=strategy.name,
+                    fraction=rate,
+                    selected=len(sample),
+                    ms_pct=ms_pct,
+                    nlfce=nlfce,
+                )
+            )
+    return rows
+
+
+def run_weight_ablation(
+    circuit: str = "b01",
+    fraction: float = 0.10,
+    config: LabConfig | None = None,
+    sampling_seed: int = 13,
+    testgen_seed: int = 7,
+    max_vectors: int = 256,
+) -> list[AblationRow]:
+    config = config or LabConfig()
+    lab = get_lab(circuit, config)
+    calibration = run_table1(
+        circuits=(circuit,), config=config, testgen_seed=testgen_seed,
+        max_vectors=max_vectors,
+    )
+    measured = calibration.nlfce_by_operator(circuit)
+    schemes: dict[str, dict[str, float]] = {
+        "paper-ranks": dict(PAPER_RANK_WEIGHTS),
+        "uniform": {op: 1.0 for op in PAPER_RANK_WEIGHTS},
+    }
+    if measured:
+        schemes["calibrated"] = weights_from_nlfce(measured)
+    rows: list[AblationRow] = []
+    for variant, weights in sorted(schemes.items()):
+        strategy = TestOrientedSampling(weights, fraction)
+        sample = strategy.sample(
+            lab.all_mutants, sampling_seed, circuit, variant
+        )
+        ms_pct, nlfce = _evaluate_sample(
+            lab, sample, testgen_seed, max_vectors
+        )
+        rows.append(
+            AblationRow(
+                circuit=circuit,
+                variant=variant,
+                fraction=fraction,
+                selected=len(sample),
+                ms_pct=ms_pct,
+                nlfce=nlfce,
+            )
+        )
+    return rows

@@ -1,0 +1,131 @@
+"""Shared per-circuit experiment state with caching.
+
+Synthesis, fault collapsing, the random fault-coverage baseline, the
+mutant population and the equivalence analysis are all deterministic
+given (circuit, seed, budgets) — :func:`get_lab` memoizes them so Table
+1, Table 2 and the ablations never recompute each other's inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits import get_circuit, load_circuit
+from repro.fault.collapse import collapse_faults
+from repro.fault.coverage import FaultSimResult
+from repro.fault.model import StuckAtFault
+from repro.fault.runner import simulate_stuck_at
+from repro.hdl.design import Design
+from repro.mutation.execution import MutationEngine
+from repro.mutation.generator import generate_mutants
+from repro.mutation.mutant import Mutant
+from repro.mutation.score import EquivalenceAnalysis, estimate_equivalents
+from repro.netlist.netlist import Netlist
+from repro.sim.testbench import StimulusEncoder
+from repro.synth import synthesize
+from repro.testgen.random_gen import RandomVectorGenerator
+
+
+@dataclass
+class LabConfig:
+    """Budgets and seeds shared by the experiments."""
+
+    seed: int = 20050301
+    random_budget_comb: int = 2048
+    random_budget_seq: int = 1024
+    equivalence_budget: int = 256
+    fault_lanes: int = 256
+
+    def random_budget(self, sequential: bool) -> int:
+        return (
+            self.random_budget_seq if sequential else self.random_budget_comb
+        )
+
+
+class CircuitLab:
+    """Everything the experiments need about one benchmark circuit."""
+
+    def __init__(self, name: str, config: LabConfig | None = None):
+        self.name = name
+        self.info = get_circuit(name)
+        self.config = config or LabConfig()
+        self.design: Design = load_circuit(name)
+        self.netlist: Netlist = synthesize(self.design)
+        self.faults: list[StuckAtFault] = collapse_faults(self.netlist)
+        self.encoder = StimulusEncoder(self.design)
+        self.engine = MutationEngine(self.design)
+        self._random_vectors: list[int] | None = None
+        self._random_baseline: FaultSimResult | None = None
+        self._mutants: list[Mutant] | None = None
+        self._equivalence: EquivalenceAnalysis | None = None
+
+    # -- random baseline -----------------------------------------------------
+
+    @property
+    def random_vectors(self) -> list[int]:
+        """The pseudo-random baseline test set (fixed per lab)."""
+        if self._random_vectors is None:
+            budget = self.config.random_budget(self.design.is_sequential)
+            gen = RandomVectorGenerator(
+                self.encoder.width, self.config.seed, self.name,
+                "random-baseline",
+            )
+            self._random_vectors = gen.vectors(budget)
+        return self._random_vectors
+
+    @property
+    def random_baseline(self) -> FaultSimResult:
+        """Fault-simulation of the random baseline (RFC curve)."""
+        if self._random_baseline is None:
+            self._random_baseline = simulate_stuck_at(
+                self.netlist, self.random_vectors, self.faults,
+                self.config.fault_lanes,
+            )
+        return self._random_baseline
+
+    def fault_sim(self, vectors: list[int]) -> FaultSimResult:
+        return simulate_stuck_at(
+            self.netlist, vectors, self.faults, self.config.fault_lanes
+        )
+
+    # -- mutants ----------------------------------------------------------------
+
+    @property
+    def all_mutants(self) -> list[Mutant]:
+        if self._mutants is None:
+            self._mutants = generate_mutants(self.design)
+        return self._mutants
+
+    @property
+    def equivalence(self) -> EquivalenceAnalysis:
+        """Budgeted equivalent-mutant classification (cached)."""
+        if self._equivalence is None:
+            self._equivalence = estimate_equivalents(
+                self.design,
+                self.all_mutants,
+                budget=self.config.equivalence_budget,
+                seed=self.config.seed,
+            )
+        return self._equivalence
+
+
+_LABS: dict[tuple, CircuitLab] = {}
+
+
+def get_lab(name: str, config: LabConfig | None = None) -> CircuitLab:
+    """Memoized :class:`CircuitLab` lookup."""
+    config = config or LabConfig()
+    key = (
+        name, config.seed, config.random_budget_comb,
+        config.random_budget_seq, config.equivalence_budget,
+        config.fault_lanes,
+    )
+    if key not in _LABS:
+        _LABS[key] = CircuitLab(name, config)
+    return _LABS[key]
+
+
+#: The four circuits of the paper's evaluation.
+PAPER_CIRCUITS = ("b01", "b03", "c432", "c499")
+#: The operators of Table 1.
+PAPER_OPERATORS = ("LOR", "VR", "CVR", "CR")

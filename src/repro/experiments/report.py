@@ -1,0 +1,73 @@
+"""Text rendering of experiment results (paper-style tables)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table2 import Table2Result
+from repro.util.tables import render_table
+
+
+def table1_text(result: Table1Result) -> str:
+    rows = [
+        [
+            row.circuit,
+            row.operator,
+            row.mutants,
+            row.test_length,
+            round(row.dfc_pct, 2),
+            round(row.dl_pct, 2),
+            round(row.nlfce, 1),
+        ]
+        for row in result.rows
+    ]
+    return render_table(
+        ["Circuit", "Operator", "Mutants", "Lm", "dFC%", "dL%", "NLFCE"],
+        rows,
+        title="Tab. 1: Operator Fault Coverage Efficiency",
+    )
+
+
+def table2_text(result: Table2Result) -> str:
+    rows = [
+        [
+            row.circuit,
+            row.strategy,
+            row.selected,
+            round(row.ms_pct, 2),
+            round(row.nlfce, 1),
+        ]
+        for row in result.rows
+    ]
+    return render_table(
+        ["Circuit", "Strategy", "Selected", "MS%", "NLFCE"],
+        rows,
+        title="Tab. 2: Test-oriented sampling vs random sampling (10%)",
+    )
+
+
+def rows_text(rows, headers: list[str], fields: list[str], title: str) -> str:
+    table = [
+        [_fmt(getattr(row, name)) for name in fields] for row in rows
+    ]
+    return render_table(headers, table, title=title)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return round(value, 2)
+    return value
+
+
+def to_json(obj) -> str:
+    """Serialize (nested) dataclass results for archiving."""
+    def default(value):
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return dataclasses.asdict(value)
+        if isinstance(value, set):
+            return sorted(value)
+        raise TypeError(f"cannot serialize {type(value).__name__}")
+
+    return json.dumps(obj, default=default, indent=2, sort_keys=True)

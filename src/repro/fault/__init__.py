@@ -1,0 +1,27 @@
+"""Single stuck-at fault model and fault simulation.
+
+* :mod:`repro.fault.model` — fault sites (net stems + fanout branches)
+* :mod:`repro.fault.collapse` — structural equivalence collapsing
+* :mod:`repro.fault.comb_sim` — pattern-parallel single-fault simulation
+  (combinational circuits; all patterns ride one big-int word per net)
+* :mod:`repro.fault.seq_sim` — fault-parallel simulation (sequential
+  circuits; each bit lane is one faulty machine)
+* :mod:`repro.fault.coverage` — detection records and coverage curves
+"""
+
+from repro.fault.collapse import collapse_faults
+from repro.fault.comb_sim import CombFaultSimulator
+from repro.fault.coverage import FaultSimResult
+from repro.fault.model import StuckAtFault, generate_faults
+from repro.fault.seq_sim import SeqFaultSimulator
+from repro.fault.runner import simulate_stuck_at
+
+__all__ = [
+    "CombFaultSimulator",
+    "FaultSimResult",
+    "SeqFaultSimulator",
+    "StuckAtFault",
+    "collapse_faults",
+    "generate_faults",
+    "simulate_stuck_at",
+]

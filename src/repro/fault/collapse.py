@@ -1,0 +1,98 @@
+"""Structural fault-equivalence collapsing.
+
+Classic rules (Abramovici/Breuer/Friedman):
+
+* AND : any input s-a-0  ==  output s-a-0
+* NAND: any input s-a-0  ==  output s-a-1
+* OR  : any input s-a-1  ==  output s-a-1
+* NOR : any input s-a-1  ==  output s-a-0
+* NOT : input s-a-v      ==  output s-a-(1-v)
+* BUF : input s-a-v      ==  output s-a-v
+
+XOR/XNOR gates collapse nothing.  The "input fault" of a single-load
+net is its driver's stem fault, so equivalences chain through gate
+cascades.  Union-find merges classes; one representative per class is
+kept (stems preferred for readable reports).
+"""
+
+from __future__ import annotations
+
+from repro.fault.model import StuckAtFault, generate_faults
+from repro.netlist.cells import GateType
+from repro.netlist.netlist import Netlist
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict = {}
+
+    def find(self, item):
+        parent = self._parent.setdefault(item, item)
+        if parent is item or parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def collapse_faults(
+    netlist: Netlist, faults: list[StuckAtFault] | None = None
+) -> list[StuckAtFault]:
+    """Collapse ``faults`` (default: the full universe) to representatives."""
+    if faults is None:
+        faults = generate_faults(netlist)
+    universe = {(f.net, f.stuck, f.gate, f.pin, f.dff): f for f in faults}
+    loads: dict[int, int] = {}
+    for gate in netlist.gates:
+        for nid in gate.inputs:
+            loads[nid] = loads.get(nid, 0) + 1
+    for dff in netlist.dffs:
+        loads[dff.d] = loads.get(dff.d, 0) + 1
+
+    uf = _UnionFind()
+
+    def input_fault_key(gate, pin: int, stuck: int):
+        nid = gate.inputs[pin]
+        if loads.get(nid, 0) > 1:
+            return (nid, stuck, gate.gid, pin, None)
+        return (nid, stuck, None, None, None)
+
+    for gate in netlist.gates:
+        out = gate.output
+        if gate.gate_type in (GateType.AND, GateType.NAND):
+            control, out_inv = 0, gate.gate_type is GateType.NAND
+        elif gate.gate_type in (GateType.OR, GateType.NOR):
+            control, out_inv = 1, gate.gate_type is GateType.NOR
+        elif gate.gate_type in (GateType.NOT, GateType.BUF):
+            inv = gate.gate_type is GateType.NOT
+            for stuck in (0, 1):
+                in_key = input_fault_key(gate, 0, stuck)
+                out_key = (out, stuck ^ inv, None, None, None)
+                if in_key in universe and out_key in universe:
+                    uf.union(in_key, out_key)
+            continue
+        else:
+            continue
+        out_stuck = control ^ (1 if out_inv else 0)
+        out_key = (out, out_stuck, None, None, None)
+        for pin in range(len(gate.inputs)):
+            in_key = input_fault_key(gate, pin, control)
+            if in_key in universe and out_key in universe:
+                uf.union(in_key, out_key)
+
+    classes: dict = {}
+    for key in universe:
+        classes.setdefault(uf.find(key), []).append(key)
+    representatives: list[StuckAtFault] = []
+    for members in classes.values():
+        # Prefer stem faults; tie-break on net id for determinism.
+        members.sort(key=lambda k: (k[2] is not None or k[4] is not None, k))
+        representatives.append(universe[members[0]])
+    representatives.sort(key=lambda f: (f.net, f.stuck, f.gate or -1,
+                                        f.pin or -1, f.dff or -1))
+    return representatives

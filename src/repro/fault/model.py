@@ -1,0 +1,79 @@
+"""Stuck-at fault sites of a gate-level netlist.
+
+The classical single stuck-at model places faults on every line: each
+net *stem* (the driver's output) and, where a net fans out to several
+loads, each *branch* (one gate input pin or one DFF data pin).  Branches
+of single-load nets are identical to their stem and are not enumerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """One stuck-at fault.
+
+    ``gate``/``pin`` identify a branch site (a gate input); ``dff``
+    identifies a flip-flop data-input branch.  When both are ``None``
+    the fault sits on the net stem.
+    """
+
+    net: int
+    stuck: int                  # 0 or 1
+    gate: int | None = None    # gate gid for branch faults
+    pin: int | None = None
+    dff: int | None = None     # dff fid for state-input branch faults
+
+    @property
+    def is_stem(self) -> bool:
+        return self.gate is None and self.dff is None
+
+    def describe(self, netlist: Netlist) -> str:
+        base = f"{netlist.net_name(self.net)} s-a-{self.stuck}"
+        if self.gate is not None:
+            return f"{base} @ gate{self.gate}.in{self.pin}"
+        if self.dff is not None:
+            return f"{base} @ dff{self.dff}.d"
+        return base
+
+
+def generate_faults(netlist: Netlist) -> list[StuckAtFault]:
+    """The uncollapsed fault universe of ``netlist``.
+
+    Stem faults on every driven net plus branch faults on every load of
+    a multi-fanout net, both polarities.
+    """
+    faults: list[StuckAtFault] = []
+    loads: dict[int, int] = {}
+    for gate in netlist.gates:
+        for nid in gate.inputs:
+            loads[nid] = loads.get(nid, 0) + 1
+    for dff in netlist.dffs:
+        loads[dff.d] = loads.get(dff.d, 0) + 1
+
+    driven: list[int] = list(netlist.input_bits)
+    driven.extend(gate.output for gate in netlist.gates)
+    driven.extend(dff.q for dff in netlist.dffs)
+    for nid in driven:
+        for stuck in (0, 1):
+            faults.append(StuckAtFault(net=nid, stuck=stuck))
+    for gate in netlist.gates:
+        for pin, nid in enumerate(gate.inputs):
+            if loads.get(nid, 0) > 1:
+                for stuck in (0, 1):
+                    faults.append(
+                        StuckAtFault(
+                            net=nid, stuck=stuck, gate=gate.gid, pin=pin
+                        )
+                    )
+    for dff in netlist.dffs:
+        if loads.get(dff.d, 0) > 1:
+            for stuck in (0, 1):
+                faults.append(
+                    StuckAtFault(net=dff.d, stuck=stuck, dff=dff.fid)
+                )
+    return faults

@@ -1,0 +1,29 @@
+"""Dispatch fault simulation by circuit style."""
+
+from __future__ import annotations
+
+from repro.fault.collapse import collapse_faults
+from repro.fault.comb_sim import CombFaultSimulator
+from repro.fault.coverage import FaultSimResult
+from repro.fault.model import StuckAtFault
+from repro.fault.seq_sim import SeqFaultSimulator
+from repro.netlist.netlist import Netlist
+
+
+def simulate_stuck_at(
+    netlist: Netlist,
+    stimuli: list[int],
+    faults: list[StuckAtFault] | None = None,
+    lanes: int = 256,
+) -> FaultSimResult:
+    """Fault-simulate packed stimuli on ``netlist``.
+
+    Sequential netlists (any DFF) use the fault-parallel engine; pure
+    combinational ones the pattern-parallel engine.  ``faults`` defaults
+    to the collapsed fault list.
+    """
+    if faults is None:
+        faults = collapse_faults(netlist)
+    if netlist.dffs:
+        return SeqFaultSimulator(netlist, faults, lanes).simulate(stimuli)
+    return CombFaultSimulator(netlist, faults).simulate(stimuli)

@@ -1,0 +1,201 @@
+"""Fault-parallel stuck-at simulation for sequential circuits.
+
+Each bit lane of a net word is one faulty machine; the good machine is
+simulated separately with single-bit words and replicated for the
+output compare.  Faults are processed in chunks of ``lanes`` machines.
+Injection masks are pre-compiled per chunk:
+
+* stem faults override the net word after its driver evaluates;
+* branch faults override one gate's (or one DFF's) view of its input.
+
+Every cycle performs the evaluate / clock / re-evaluate sequence that
+matches :class:`repro.sim.testbench.Testbench`, so detection cycles are
+directly comparable with behavioural runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultSimError
+from repro.fault.collapse import collapse_faults
+from repro.fault.coverage import FaultSimResult
+from repro.fault.model import StuckAtFault
+from repro.netlist.cells import eval_gate
+from repro.netlist.levelize import topo_gates
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import unpack_patterns
+
+
+@dataclass
+class _ChunkPlan:
+    """Pre-compiled injection masks for one chunk of faults."""
+
+    faults: list[StuckAtFault]
+    #: net id -> (clear_mask, set_mask) applied after the net is computed
+    stem: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: (gate gid, pin) -> (clear_mask, set_mask)
+    branch: dict[tuple[int, int], tuple[int, int]] = field(
+        default_factory=dict
+    )
+    #: dff fid -> (clear_mask, set_mask) on its D input view
+    dff_branch: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+
+class SeqFaultSimulator:
+    """Stuck-at fault simulation of a sequential netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        faults: list[StuckAtFault] | None = None,
+        lanes: int = 256,
+    ):
+        if lanes < 1:
+            raise FaultSimError("lanes must be >= 1")
+        self._netlist = netlist
+        self._order = topo_gates(netlist)
+        self._faults = (
+            faults if faults is not None else collapse_faults(netlist)
+        )
+        self._lanes = lanes
+        self._outputs = netlist.output_bits
+
+    @property
+    def faults(self) -> list[StuckAtFault]:
+        return self._faults
+
+    @property
+    def netlist(self) -> Netlist:
+        return self._netlist
+
+    def simulate(self, stimuli: list[int]) -> FaultSimResult:
+        """Fault-simulate a packed input sequence (applied after reset)."""
+        detection: list[int | None] = [None] * len(self._faults)
+        for start in range(0, len(self._faults), self._lanes):
+            chunk = self._faults[start : start + self._lanes]
+            plan = self._compile(chunk)
+            chunk_detect = self._run_chunk(plan, stimuli)
+            for offset, cycle in enumerate(chunk_detect):
+                detection[start + offset] = cycle
+        return FaultSimResult(
+            list(self._faults), detection, len(stimuli)
+        )
+
+    def _compile(self, chunk: list[StuckAtFault]) -> _ChunkPlan:
+        plan = _ChunkPlan(faults=chunk)
+
+        def merge(table: dict, key, lane: int, stuck: int) -> None:
+            clear, setm = table.get(key, (0, 0))
+            clear |= 1 << lane
+            if stuck:
+                setm |= 1 << lane
+            table[key] = (clear, setm)
+
+        for lane, fault in enumerate(chunk):
+            if fault.gate is not None:
+                merge(plan.branch, (fault.gate, fault.pin), lane, fault.stuck)
+            elif fault.dff is not None:
+                merge(plan.dff_branch, fault.dff, lane, fault.stuck)
+            else:
+                merge(plan.stem, fault.net, lane, fault.stuck)
+        return plan
+
+    def _run_chunk(
+        self, plan: _ChunkPlan, stimuli: list[int]
+    ) -> list[int | None]:
+        mask = (1 << len(plan.faults)) - 1
+        netlist = self._netlist
+        # Faulty-lane state and good-machine state.
+        state = {
+            dff.q: mask if dff.reset_value else 0 for dff in netlist.dffs
+        }
+        good_state = {
+            dff.q: dff.reset_value for dff in netlist.dffs
+        }
+        # Stem faults on DFF outputs must corrupt the reset state too.
+        for q in state:
+            if q in plan.stem:
+                clear, setm = plan.stem[q]
+                state[q] = (state[q] & ~clear) | setm
+        detect_cycle: list[int | None] = [None] * len(plan.faults)
+        alive = mask
+
+        for cycle, packed in enumerate(stimuli):
+            single = unpack_patterns([packed], netlist.input_bits)
+            inputs = {nid: mask if word else 0 for nid, word in single.items()}
+            words = self._eval(plan, inputs, state, mask)
+            good = self._eval(None, single, good_state, 1)
+            next_state = self._next_state(plan, words, mask)
+            good_next = {dff.q: good[dff.d] for dff in netlist.dffs}
+            words = self._eval(plan, inputs, next_state, mask)
+            good = self._eval(None, single, good_next, 1)
+            state, good_state = next_state, good_next
+
+            diff = 0
+            for nid in self._outputs:
+                good_rep = mask if good[nid] else 0
+                diff |= words[nid] ^ good_rep
+            newly = diff & alive
+            if newly:
+                alive &= ~newly
+                while newly:
+                    low = newly & -newly
+                    lane = low.bit_length() - 1
+                    detect_cycle[lane] = cycle
+                    newly ^= low
+                if not alive:
+                    break
+        return detect_cycle
+
+    def _eval(
+        self,
+        plan: _ChunkPlan | None,
+        input_words: dict[int, int],
+        state: dict[int, int],
+        mask: int,
+    ) -> dict[int, int]:
+        words = dict(input_words)
+        words.update(state)
+        if plan is not None:
+            for nid, (clear, setm) in plan.stem.items():
+                if nid in words:
+                    words[nid] = (words[nid] & ~clear) | setm
+        for gate in self._order:
+            if plan is not None and plan.branch:
+                inputs = []
+                for pin, nid in enumerate(gate.inputs):
+                    word = words[nid]
+                    override = plan.branch.get((gate.gid, pin))
+                    if override is not None:
+                        clear, setm = override
+                        word = (word & ~clear) | setm
+                    inputs.append(word)
+            else:
+                inputs = [words[nid] for nid in gate.inputs]
+            out = eval_gate(gate.gate_type, inputs, mask)
+            if plan is not None:
+                override = plan.stem.get(gate.output)
+                if override is not None:
+                    clear, setm = override
+                    out = (out & ~clear) | setm
+            words[gate.output] = out
+        return words
+
+    def _next_state(
+        self, plan: _ChunkPlan, words: dict[int, int], mask: int
+    ) -> dict[int, int]:
+        next_state: dict[int, int] = {}
+        for dff in self._netlist.dffs:
+            word = words[dff.d]
+            override = plan.dff_branch.get(dff.fid)
+            if override is not None:
+                clear, setm = override
+                word = (word & ~clear) | setm
+            next_state[dff.q] = word
+            # Stem faults on the Q net keep forcing the state element.
+            stem = plan.stem.get(dff.q)
+            if stem is not None:
+                clear, setm = stem
+                next_state[dff.q] = (next_state[dff.q] & ~clear) | setm
+        return next_state

@@ -1,0 +1,62 @@
+"""VHDL-subset front end: lexer, parser, semantic analysis, elaboration.
+
+The subset covers what the ITC'99 / ISCAS'85-style benchmark descriptions
+need (and what the mutation operators of the paper act on):
+
+* one entity + one architecture per design, flat (no component hierarchy)
+* types ``bit``, ``bit_vector(h downto l)``, ``boolean``,
+  ``integer range a to b`` and user enumeration types
+* signals, constants, process variables
+* clocked processes (async-reset template), combinational processes and
+  concurrent (conditional) signal assignments
+* ``if``/``elsif``/``else``, ``case``/``when``, static ``for`` loops
+* logical, relational and arithmetic operators, indexing, slicing,
+  concatenation, ``(others => ...)`` aggregates, ``rising_edge`` /
+  ``falling_edge`` and the ``'event`` attribute
+
+Entry points:
+
+* :func:`repro.hdl.parser.parse_source` — text to AST design units
+* :func:`repro.hdl.semantics.analyze` — AST to a typed, elaborated
+  :class:`repro.hdl.design.Design`
+* :func:`load_design` — both steps at once
+"""
+
+from repro.hdl.design import Design, Process, Symbol, SymbolKind
+from repro.hdl.parser import parse_source
+from repro.hdl.semantics import analyze
+from repro.hdl.types import (
+    BIT,
+    BOOLEAN,
+    BitType,
+    BitVectorType,
+    BooleanType,
+    EnumType,
+    HdlType,
+    IntegerType,
+)
+
+
+def load_design(text: str, name: str = "<string>") -> Design:
+    """Parse and analyze a self-contained VHDL-subset source text."""
+    units = parse_source(text, name)
+    return analyze(units)
+
+
+__all__ = [
+    "BIT",
+    "BOOLEAN",
+    "BitType",
+    "BitVectorType",
+    "BooleanType",
+    "Design",
+    "EnumType",
+    "HdlType",
+    "IntegerType",
+    "Process",
+    "Symbol",
+    "SymbolKind",
+    "analyze",
+    "load_design",
+    "parse_source",
+]

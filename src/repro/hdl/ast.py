@@ -1,0 +1,293 @@
+"""Abstract syntax tree of the VHDL subset.
+
+Every node carries a unique integer ``nid``.  The mutation engine
+identifies mutation sites by ``nid`` and executes mutants through a patch
+table mapping ``nid`` to a replacement node, so the original tree is never
+copied or modified (the *mutant schema* technique).
+
+Semantic analysis annotates expression nodes in place: ``ty`` receives the
+checked :class:`repro.hdl.types.HdlType` and ``symbol`` (on names) the
+resolved :class:`repro.hdl.design.Symbol`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_NODE_IDS = itertools.count(1)
+
+
+def fresh_nid() -> int:
+    """Allocate a process-wide unique node id."""
+    return next(_NODE_IDS)
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+    nid: int = field(default_factory=fresh_nid, kw_only=True)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions; ``ty`` is set by semantic analysis."""
+
+    ty: object = field(default=None, kw_only=True)
+
+
+@dataclass
+class Name(Expr):
+    """A simple identifier reference (signal, variable, constant, ...)."""
+
+    ident: str = ""
+    symbol: object = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class BitLit(Expr):
+    """A ``'0'`` or ``'1'`` character literal."""
+
+    value: int = 0
+
+
+@dataclass
+class BitStringLit(Expr):
+    """A ``"0101"`` literal; ``bits[0]`` is the leftmost (MSB) character."""
+
+    bits: str = ""
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class EnumLit(Expr):
+    """A resolved enumeration literal (created during analysis)."""
+
+    type_name: str = ""
+    literal: str = ""
+    index: int = 0
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # "not", "-", "+"
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""          # and/or/nand/nor/xor/xnor = /= < <= > >= + - * mod rem &
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Index(Expr):
+    """``prefix(index)`` — bit-vector element access."""
+
+    prefix: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Slice(Expr):
+    """``prefix(hi downto lo)`` — bit-vector slice (descending only)."""
+
+    prefix: Expr = None
+    left: Expr = None
+    right: Expr = None
+    direction: str = "downto"
+
+
+@dataclass
+class Attribute(Expr):
+    """``prefix'attr`` — only ``'event`` is supported."""
+
+    prefix: Expr = None
+    attr: str = ""
+
+
+@dataclass
+class Call(Expr):
+    """``rising_edge(clk)`` / ``falling_edge(clk)``."""
+
+    func: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class OthersAggregate(Expr):
+    """``(others => expr)`` — replicates a bit over a vector target."""
+
+    value: Expr = None
+
+
+# --------------------------------------------------------------------------
+# Type indications (syntax; resolved to HdlType during analysis)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class TypeIndication(Node):
+    """``bit`` / ``bit_vector(7 downto 0)`` / ``integer range 0 to 7`` / enum name."""
+
+    type_name: str = ""
+    # for bit_vector: (left, right) with "downto"; for integer: (lo, hi) with "to"
+    constraint_left: Optional[Expr] = None
+    constraint_right: Optional[Expr] = None
+    direction: str = ""
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class PortDecl(Node):
+    names: list[str] = field(default_factory=list)
+    direction: str = "in"           # in / out
+    type_ind: TypeIndication = None
+
+
+@dataclass
+class SignalDecl(Node):
+    names: list[str] = field(default_factory=list)
+    type_ind: TypeIndication = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class VariableDecl(Node):
+    names: list[str] = field(default_factory=list)
+    type_ind: TypeIndication = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ConstantDecl(Node):
+    name: str = ""
+    type_ind: TypeIndication = None
+    value: Expr = None
+
+
+@dataclass
+class EnumTypeDecl(Node):
+    name: str = ""
+    literals: list[str] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class SignalAssign(Stmt):
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class VarAssign(Stmt):
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class If(Stmt):
+    """``if/elsif/else``; ``arms`` holds (condition, body) pairs in order."""
+
+    arms: list[tuple[Expr, list[Stmt]]] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class CaseWhen(Node):
+    """One ``when choices =>`` arm; ``choices`` empty means ``others``."""
+
+    choices: list[Expr] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+    is_others: bool = False
+
+
+@dataclass
+class Case(Stmt):
+    selector: Expr = None
+    whens: list[CaseWhen] = field(default_factory=list)
+
+
+@dataclass
+class ForLoop(Stmt):
+    var: str = ""
+    low: Expr = None
+    high: Expr = None
+    direction: str = "to"
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class NullStmt(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Concurrent statements and design units
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ProcessStmt(Node):
+    label: str = ""
+    sensitivity: list[str] = field(default_factory=list)
+    decls: list[Node] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ConcurrentAssign(Node):
+    """``y <= a when c else b;`` chains or a simple ``y <= expr;``."""
+
+    target: Expr = None
+    # list of (value, condition); the final element has condition None
+    arms: list[tuple[Expr, Optional[Expr]]] = field(default_factory=list)
+
+
+@dataclass
+class EntityDecl(Node):
+    name: str = ""
+    ports: list[PortDecl] = field(default_factory=list)
+
+
+@dataclass
+class ArchitectureBody(Node):
+    name: str = ""
+    entity_name: str = ""
+    decls: list[Node] = field(default_factory=list)
+    concurrent: list[Node] = field(default_factory=list)
+
+
+DesignUnit = EntityDecl | ArchitectureBody

@@ -1,0 +1,162 @@
+"""Elaborated design model produced by semantic analysis.
+
+A :class:`Design` is the unit every downstream subsystem consumes: the
+behavioural simulator interprets its processes, the mutation engine
+harvests mutation sites from its (typed) process bodies, and the
+synthesizer lowers it to a gate-level netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from repro.hdl import ast
+from repro.hdl.types import EnumType, HdlType
+
+
+class SymbolKind(Enum):
+    PORT_IN = auto()
+    PORT_OUT = auto()
+    SIGNAL = auto()
+    VARIABLE = auto()
+    CONSTANT = auto()
+    ENUM_LITERAL = auto()
+    LOOP_VAR = auto()
+
+
+@dataclass
+class Symbol:
+    """A named object: port, signal, variable, constant or literal."""
+
+    name: str
+    kind: SymbolKind
+    ty: HdlType
+    #: Initial value for signals/variables, folded value for constants and
+    #: enum literals (their position).
+    init: object = None
+
+    @property
+    def is_signal_like(self) -> bool:
+        """Objects that live in the simulator's signal store."""
+        return self.kind in (
+            SymbolKind.PORT_IN,
+            SymbolKind.PORT_OUT,
+            SymbolKind.SIGNAL,
+        )
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name}, {self.kind.name}, {self.ty})"
+
+
+class ProcessKind(Enum):
+    CLOCKED = auto()
+    COMBINATIONAL = auto()
+
+
+@dataclass
+class Process:
+    """One process after elaboration.
+
+    For clocked processes the async-reset template is recognised and its
+    pieces are exposed (``clock``, ``reset``, ``reset_level``,
+    ``reset_body``, ``sync_body``); the original ``body`` is still what
+    the interpreter executes, so mutants patched anywhere in the tree
+    behave correctly.  ``guard_nids`` collects the node ids of the
+    template's control plumbing (edge test, reset comparison) which the
+    mutation generator must not mutate.
+    """
+
+    label: str
+    kind: ProcessKind
+    sensitivity: list[str]
+    variables: list[Symbol]
+    body: list[ast.Stmt]
+    clock: str | None = None
+    reset: str | None = None
+    reset_level: int = 1
+    reset_body: list[ast.Stmt] = field(default_factory=list)
+    sync_body: list[ast.Stmt] = field(default_factory=list)
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+    guard_nids: set[int] = field(default_factory=set)
+
+    @property
+    def is_clocked(self) -> bool:
+        return self.kind is ProcessKind.CLOCKED
+
+
+@dataclass
+class Design:
+    """A fully analyzed, single-entity design."""
+
+    name: str
+    ports: list[Symbol]
+    signals: list[Symbol]
+    constants: dict[str, Symbol]
+    enums: dict[str, EnumType]
+    processes: list[Process]
+    symbols: dict[str, Symbol]
+
+    @property
+    def input_ports(self) -> list[Symbol]:
+        return [p for p in self.ports if p.kind is SymbolKind.PORT_IN]
+
+    @property
+    def output_ports(self) -> list[Symbol]:
+        return [p for p in self.ports if p.kind is SymbolKind.PORT_OUT]
+
+    @property
+    def clocks(self) -> list[str]:
+        seen: list[str] = []
+        for process in self.processes:
+            if process.clock and process.clock not in seen:
+                seen.append(process.clock)
+        return seen
+
+    @property
+    def resets(self) -> list[str]:
+        seen: list[str] = []
+        for process in self.processes:
+            if process.reset and process.reset not in seen:
+                seen.append(process.reset)
+        return seen
+
+    @property
+    def is_sequential(self) -> bool:
+        return any(p.is_clocked for p in self.processes)
+
+    @property
+    def data_input_ports(self) -> list[Symbol]:
+        """Input ports excluding clock and reset (the stimulus channels)."""
+        control = set(self.clocks) | set(self.resets)
+        return [p for p in self.input_ports if p.name not in control]
+
+    def port(self, name: str) -> Symbol:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"no port named {name!r} in design {self.name!r}")
+
+    @property
+    def signal_like_symbols(self) -> list[Symbol]:
+        """All symbols the simulator tracks: ports then internal signals."""
+        return list(self.ports) + list(self.signals)
+
+    def stimulus_width(self) -> int:
+        """Total bit width of the data input ports (vector stimuli)."""
+        from repro.hdl import types as ty
+
+        width = 0
+        for port in self.data_input_ports:
+            if isinstance(port.ty, ty.BitType):
+                width += 1
+            elif isinstance(port.ty, ty.BitVectorType):
+                width += port.ty.width
+            elif isinstance(port.ty, ty.IntegerType):
+                width += port.ty.bit_width
+            elif isinstance(port.ty, ty.EnumType):
+                width += port.ty.bit_width
+            else:
+                raise TypeError(f"unsupported input port type {port.ty}")
+        return width

@@ -1,0 +1,129 @@
+"""Hand-written lexer for the VHDL subset.
+
+VHDL comments (``-- ...``) are skipped, identifiers and keywords are
+lower-cased (VHDL is case-insensitive), character literals are restricted
+to ``'0'`` and ``'1'`` and string literals to bit strings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.hdl.tokens import KEYWORDS, Token, TokenKind
+
+_SIMPLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ";": TokenKind.SEMICOLON,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "|": TokenKind.BAR,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "&": TokenKind.AMP,
+}
+
+
+def tokenize(text: str, name: str = "<string>") -> list[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    col = 1
+    length = len(text)
+
+    def error(message: str) -> LexError:
+        return LexError(f"{name}: {message}", line, col)
+
+    while pos < length:
+        ch = text[pos]
+        if ch == "\n":
+            pos += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            col += 1
+            continue
+        if ch == "-" and pos + 1 < length and text[pos + 1] == "-":
+            while pos < length and text[pos] != "\n":
+                pos += 1
+            continue
+        start_line, start_col = line, col
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[pos:end].lower()
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, word, start_line, start_col))
+            col += end - pos
+            pos = end
+            continue
+        if ch.isdigit():
+            end = pos
+            while end < length and (text[end].isdigit() or text[end] == "_"):
+                end += 1
+            digits = text[pos:end].replace("_", "")
+            tokens.append(Token(TokenKind.INT, digits, start_line, start_col))
+            col += end - pos
+            pos = end
+            continue
+        if ch == "'":
+            # Either a character literal '0' / '1' or the attribute tick.
+            # A character literal has a closing quote two characters on;
+            # an attribute tick is followed by an identifier.
+            if pos + 2 < length and text[pos + 2] == "'" and text[pos + 1] in "01":
+                tokens.append(
+                    Token(TokenKind.CHAR, text[pos + 1], start_line, start_col)
+                )
+                pos += 3
+                col += 3
+                continue
+            tokens.append(Token(TokenKind.TICK, "'", start_line, start_col))
+            pos += 1
+            col += 1
+            continue
+        if ch == '"':
+            end = text.find('"', pos + 1)
+            if end < 0:
+                raise error("unterminated string literal")
+            bits = text[pos + 1 : end].replace("_", "")
+            if any(b not in "01" for b in bits):
+                raise error(f"only bit strings are supported, got {bits!r}")
+            tokens.append(Token(TokenKind.STRING, bits, start_line, start_col))
+            col += end + 1 - pos
+            pos = end + 1
+            continue
+        two = text[pos : pos + 2]
+        if two == "=>":
+            tokens.append(Token(TokenKind.ARROW, two, start_line, start_col))
+        elif two == ":=":
+            tokens.append(Token(TokenKind.VARASSIGN, two, start_line, start_col))
+        elif two == "<=":
+            tokens.append(Token(TokenKind.LE, two, start_line, start_col))
+        elif two == ">=":
+            tokens.append(Token(TokenKind.GE, two, start_line, start_col))
+        elif two == "/=":
+            tokens.append(Token(TokenKind.NEQ, two, start_line, start_col))
+        else:
+            if ch == ":":
+                tokens.append(Token(TokenKind.COLON, ch, start_line, start_col))
+            elif ch == "<":
+                tokens.append(Token(TokenKind.LT, ch, start_line, start_col))
+            elif ch == ">":
+                tokens.append(Token(TokenKind.GT, ch, start_line, start_col))
+            elif ch == "=":
+                tokens.append(Token(TokenKind.EQ, ch, start_line, start_col))
+            elif ch in _SIMPLE:
+                tokens.append(Token(_SIMPLE[ch], ch, start_line, start_col))
+            else:
+                raise error(f"unexpected character {ch!r}")
+            pos += 1
+            col += 1
+            continue
+        pos += 2
+        col += 2
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,602 @@
+"""Recursive-descent parser for the VHDL subset.
+
+The grammar is the synthesizable subset described in
+:mod:`repro.hdl`.  ``library`` and ``use`` clauses are accepted and
+ignored so that sources written for real tools parse unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.hdl import ast
+from repro.hdl.lexer import tokenize
+from repro.hdl.tokens import Token, TokenKind
+
+#: Builtin functions recognised at parse time.
+BUILTIN_FUNCTIONS = frozenset({"rising_edge", "falling_edge"})
+
+_LOGICAL_OPS = frozenset({"and", "or", "nand", "nor", "xor", "xnor"})
+_RELATIONAL = {
+    TokenKind.EQ: "=",
+    TokenKind.NEQ: "/=",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+}
+
+
+def parse_source(text: str, name: str = "<string>") -> list[ast.DesignUnit]:
+    """Parse ``text`` into entity declarations and architecture bodies."""
+    return _Parser(tokenize(text, name), name).parse_file()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], name: str):
+        self._tokens = tokens
+        self._pos = 0
+        self._name = name
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self._cur
+        return ParseError(
+            f"{self._name}: {message} (found {token.kind.name} {token.text!r})",
+            token.line,
+            token.column,
+        )
+
+    def _expect(self, kind: TokenKind, what: str = "") -> Token:
+        if self._cur.kind is not kind:
+            raise self._error(f"expected {what or kind.name}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._cur.is_keyword(word):
+            raise self._error(f"expected keyword '{word}'")
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._cur.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_ident(self, what: str = "identifier") -> Token:
+        if self._cur.kind is not TokenKind.IDENT:
+            raise self._error(f"expected {what}")
+        return self._advance()
+
+    def _loc(self, token: Token) -> dict:
+        return {"line": token.line, "col": token.column}
+
+    # -- design file -------------------------------------------------------
+
+    def parse_file(self) -> list[ast.DesignUnit]:
+        units: list[ast.DesignUnit] = []
+        while self._cur.kind is not TokenKind.EOF:
+            if self._cur.is_keyword("library") or self._cur.is_keyword("use"):
+                self._skip_clause()
+            elif self._cur.is_keyword("entity"):
+                units.append(self._parse_entity())
+            elif self._cur.is_keyword("architecture"):
+                units.append(self._parse_architecture())
+            else:
+                raise self._error("expected entity or architecture")
+        return units
+
+    def _skip_clause(self) -> None:
+        while self._cur.kind not in (TokenKind.SEMICOLON, TokenKind.EOF):
+            self._advance()
+        self._expect(TokenKind.SEMICOLON, "';'")
+
+    def _parse_entity(self) -> ast.EntityDecl:
+        start = self._expect_keyword("entity")
+        name = self._expect_ident("entity name").text
+        self._expect_keyword("is")
+        ports: list[ast.PortDecl] = []
+        if self._accept_keyword("port"):
+            self._expect(TokenKind.LPAREN, "'('")
+            ports.append(self._parse_port())
+            while self._cur.kind is TokenKind.SEMICOLON:
+                self._advance()
+                ports.append(self._parse_port())
+            self._expect(TokenKind.RPAREN, "')'")
+            self._expect(TokenKind.SEMICOLON, "';'")
+        self._expect_keyword("end")
+        self._accept_keyword("entity")
+        if self._cur.kind is TokenKind.IDENT:
+            self._advance()
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.EntityDecl(name=name, ports=ports, **self._loc(start))
+
+    def _parse_port(self) -> ast.PortDecl:
+        start = self._cur
+        names = [self._expect_ident("port name").text]
+        while self._cur.kind is TokenKind.COMMA:
+            self._advance()
+            names.append(self._expect_ident("port name").text)
+        self._expect(TokenKind.COLON, "':'")
+        if self._accept_keyword("in"):
+            direction = "in"
+        elif self._accept_keyword("out"):
+            direction = "out"
+        elif self._accept_keyword("inout"):
+            raise self._error("inout ports are not supported")
+        else:
+            raise self._error("expected port direction (in/out)")
+        type_ind = self._parse_type_indication()
+        return ast.PortDecl(
+            names=names, direction=direction, type_ind=type_ind,
+            **self._loc(start),
+        )
+
+    def _parse_type_indication(self) -> ast.TypeIndication:
+        start = self._expect_ident("type name")
+        type_name = start.text
+        node = ast.TypeIndication(type_name=type_name, **self._loc(start))
+        if self._accept_keyword("range"):
+            node.constraint_left = self._parse_simple_expression()
+            if self._accept_keyword("to"):
+                node.direction = "to"
+            elif self._accept_keyword("downto"):
+                raise self._error("descending integer ranges are not supported")
+            else:
+                raise self._error("expected 'to' in integer range")
+            node.constraint_right = self._parse_simple_expression()
+        elif self._cur.kind is TokenKind.LPAREN:
+            self._advance()
+            node.constraint_left = self._parse_simple_expression()
+            if self._accept_keyword("downto"):
+                node.direction = "downto"
+            elif self._accept_keyword("to"):
+                raise self._error(
+                    "ascending bit_vector ranges are not supported"
+                )
+            else:
+                raise self._error("expected 'downto' in vector constraint")
+            node.constraint_right = self._parse_simple_expression()
+            self._expect(TokenKind.RPAREN, "')'")
+        return node
+
+    def _parse_architecture(self) -> ast.ArchitectureBody:
+        start = self._expect_keyword("architecture")
+        name = self._expect_ident("architecture name").text
+        self._expect_keyword("of")
+        entity_name = self._expect_ident("entity name").text
+        self._expect_keyword("is")
+        decls: list[ast.Node] = []
+        while not self._cur.is_keyword("begin"):
+            decls.append(self._parse_block_declaration())
+        self._expect_keyword("begin")
+        concurrent: list[ast.Node] = []
+        while not self._cur.is_keyword("end"):
+            concurrent.append(self._parse_concurrent_statement())
+        self._expect_keyword("end")
+        self._accept_keyword("architecture")
+        if self._cur.kind is TokenKind.IDENT:
+            self._advance()
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.ArchitectureBody(
+            name=name, entity_name=entity_name, decls=decls,
+            concurrent=concurrent, **self._loc(start),
+        )
+
+    def _parse_block_declaration(self) -> ast.Node:
+        if self._cur.is_keyword("signal"):
+            return self._parse_signal_decl()
+        if self._cur.is_keyword("constant"):
+            return self._parse_constant_decl()
+        if self._cur.is_keyword("type"):
+            return self._parse_enum_type_decl()
+        raise self._error("expected signal, constant or type declaration")
+
+    def _parse_signal_decl(self) -> ast.SignalDecl:
+        start = self._expect_keyword("signal")
+        names = [self._expect_ident("signal name").text]
+        while self._cur.kind is TokenKind.COMMA:
+            self._advance()
+            names.append(self._expect_ident("signal name").text)
+        self._expect(TokenKind.COLON, "':'")
+        type_ind = self._parse_type_indication()
+        init = None
+        if self._cur.kind is TokenKind.VARASSIGN:
+            self._advance()
+            init = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.SignalDecl(
+            names=names, type_ind=type_ind, init=init, **self._loc(start)
+        )
+
+    def _parse_constant_decl(self) -> ast.ConstantDecl:
+        start = self._expect_keyword("constant")
+        name = self._expect_ident("constant name").text
+        self._expect(TokenKind.COLON, "':'")
+        type_ind = self._parse_type_indication()
+        self._expect(TokenKind.VARASSIGN, "':='")
+        value = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.ConstantDecl(
+            name=name, type_ind=type_ind, value=value, **self._loc(start)
+        )
+
+    def _parse_enum_type_decl(self) -> ast.EnumTypeDecl:
+        start = self._expect_keyword("type")
+        name = self._expect_ident("type name").text
+        self._expect_keyword("is")
+        self._expect(TokenKind.LPAREN, "'('")
+        literals = [self._expect_ident("enumeration literal").text]
+        while self._cur.kind is TokenKind.COMMA:
+            self._advance()
+            literals.append(self._expect_ident("enumeration literal").text)
+        self._expect(TokenKind.RPAREN, "')'")
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.EnumTypeDecl(name=name, literals=literals, **self._loc(start))
+
+    # -- concurrent statements ----------------------------------------------
+
+    def _parse_concurrent_statement(self) -> ast.Node:
+        label = ""
+        if (
+            self._cur.kind is TokenKind.IDENT
+            and self._peek().kind is TokenKind.COLON
+        ):
+            label = self._advance().text
+            self._advance()
+        if self._cur.is_keyword("process"):
+            return self._parse_process(label)
+        return self._parse_concurrent_assign()
+
+    def _parse_process(self, label: str) -> ast.ProcessStmt:
+        start = self._expect_keyword("process")
+        sensitivity: list[str] = []
+        if self._cur.kind is TokenKind.LPAREN:
+            self._advance()
+            sensitivity.append(self._expect_ident("signal name").text)
+            while self._cur.kind is TokenKind.COMMA:
+                self._advance()
+                sensitivity.append(self._expect_ident("signal name").text)
+            self._expect(TokenKind.RPAREN, "')'")
+        self._accept_keyword("is")
+        decls: list[ast.Node] = []
+        while not self._cur.is_keyword("begin"):
+            if self._cur.is_keyword("variable"):
+                decls.append(self._parse_variable_decl())
+            elif self._cur.is_keyword("constant"):
+                decls.append(self._parse_constant_decl())
+            else:
+                raise self._error("expected variable/constant declaration")
+        self._expect_keyword("begin")
+        body = self._parse_statements(("process",))
+        self._expect_keyword("end")
+        self._expect_keyword("process")
+        if self._cur.kind is TokenKind.IDENT:
+            self._advance()
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.ProcessStmt(
+            label=label, sensitivity=sensitivity, decls=decls, body=body,
+            **self._loc(start),
+        )
+
+    def _parse_variable_decl(self) -> ast.VariableDecl:
+        start = self._expect_keyword("variable")
+        names = [self._expect_ident("variable name").text]
+        while self._cur.kind is TokenKind.COMMA:
+            self._advance()
+            names.append(self._expect_ident("variable name").text)
+        self._expect(TokenKind.COLON, "':'")
+        type_ind = self._parse_type_indication()
+        init = None
+        if self._cur.kind is TokenKind.VARASSIGN:
+            self._advance()
+            init = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.VariableDecl(
+            names=names, type_ind=type_ind, init=init, **self._loc(start)
+        )
+
+    def _parse_concurrent_assign(self) -> ast.ConcurrentAssign:
+        start = self._cur
+        target = self._parse_name()
+        if self._cur.kind is not TokenKind.LE:
+            raise self._error("expected '<=' in concurrent assignment")
+        self._advance()
+        arms: list[tuple[ast.Expr, ast.Expr | None]] = []
+        while True:
+            value = self._parse_expression()
+            if self._accept_keyword("when"):
+                condition = self._parse_expression()
+                arms.append((value, condition))
+                self._expect_keyword("else")
+                continue
+            arms.append((value, None))
+            break
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.ConcurrentAssign(target=target, arms=arms, **self._loc(start))
+
+    # -- sequential statements ----------------------------------------------
+
+    def _parse_statements(self, stop_contexts: tuple[str, ...]) -> list[ast.Stmt]:
+        body: list[ast.Stmt] = []
+        while True:
+            cur = self._cur
+            if cur.is_keyword("end"):
+                return body
+            if cur.is_keyword("elsif") or cur.is_keyword("else"):
+                return body
+            if cur.is_keyword("when"):
+                return body
+            if cur.kind is TokenKind.EOF:
+                raise self._error(
+                    f"unterminated statement list in {stop_contexts[0]}"
+                )
+            body.append(self._parse_statement())
+
+    def _parse_statement(self) -> ast.Stmt:
+        cur = self._cur
+        if cur.is_keyword("if"):
+            return self._parse_if()
+        if cur.is_keyword("case"):
+            return self._parse_case()
+        if cur.is_keyword("for"):
+            return self._parse_for()
+        if cur.is_keyword("null"):
+            start = self._advance()
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return ast.NullStmt(**self._loc(start))
+        if cur.kind is TokenKind.IDENT:
+            return self._parse_assignment()
+        raise self._error("expected a statement")
+
+    def _parse_assignment(self) -> ast.Stmt:
+        start = self._cur
+        target = self._parse_name()
+        if self._cur.kind is TokenKind.LE:
+            self._advance()
+            value = self._parse_expression()
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return ast.SignalAssign(
+                target=target, value=value, **self._loc(start)
+            )
+        if self._cur.kind is TokenKind.VARASSIGN:
+            self._advance()
+            value = self._parse_expression()
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return ast.VarAssign(target=target, value=value, **self._loc(start))
+        raise self._error("expected '<=' or ':=' in assignment")
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect_keyword("if")
+        arms: list[tuple[ast.Expr, list[ast.Stmt]]] = []
+        condition = self._parse_expression()
+        self._expect_keyword("then")
+        arms.append((condition, self._parse_statements(("if",))))
+        else_body: list[ast.Stmt] = []
+        while True:
+            if self._accept_keyword("elsif"):
+                condition = self._parse_expression()
+                self._expect_keyword("then")
+                arms.append((condition, self._parse_statements(("if",))))
+                continue
+            if self._accept_keyword("else"):
+                else_body = self._parse_statements(("if",))
+            break
+        self._expect_keyword("end")
+        self._expect_keyword("if")
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.If(arms=arms, else_body=else_body, **self._loc(start))
+
+    def _parse_case(self) -> ast.Case:
+        start = self._expect_keyword("case")
+        selector = self._parse_expression()
+        self._expect_keyword("is")
+        whens: list[ast.CaseWhen] = []
+        while self._cur.is_keyword("when"):
+            when_tok = self._advance()
+            if self._accept_keyword("others"):
+                self._expect(TokenKind.ARROW, "'=>'")
+                body = self._parse_statements(("case",))
+                whens.append(
+                    ast.CaseWhen(
+                        choices=[], body=body, is_others=True,
+                        **self._loc(when_tok),
+                    )
+                )
+                continue
+            choices = [self._parse_simple_expression()]
+            while self._cur.kind is TokenKind.BAR:
+                self._advance()
+                choices.append(self._parse_simple_expression())
+            self._expect(TokenKind.ARROW, "'=>'")
+            body = self._parse_statements(("case",))
+            whens.append(
+                ast.CaseWhen(choices=choices, body=body, **self._loc(when_tok))
+            )
+        self._expect_keyword("end")
+        self._expect_keyword("case")
+        self._expect(TokenKind.SEMICOLON, "';'")
+        if not whens:
+            raise self._error("case statement with no alternatives", start)
+        return ast.Case(selector=selector, whens=whens, **self._loc(start))
+
+    def _parse_for(self) -> ast.ForLoop:
+        start = self._expect_keyword("for")
+        var = self._expect_ident("loop variable").text
+        self._expect_keyword("in")
+        low = self._parse_simple_expression()
+        if self._accept_keyword("to"):
+            direction = "to"
+        elif self._accept_keyword("downto"):
+            direction = "downto"
+        else:
+            raise self._error("expected 'to' or 'downto' in for loop range")
+        high = self._parse_simple_expression()
+        self._expect_keyword("loop")
+        body = self._parse_statements(("loop",))
+        self._expect_keyword("end")
+        self._expect_keyword("loop")
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.ForLoop(
+            var=var, low=low, high=high, direction=direction, body=body,
+            **self._loc(start),
+        )
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        left = self._parse_relation()
+        if (
+            self._cur.kind is TokenKind.KEYWORD
+            and self._cur.text in _LOGICAL_OPS
+        ):
+            op = self._cur.text
+            while (
+                self._cur.kind is TokenKind.KEYWORD
+                and self._cur.text in _LOGICAL_OPS
+            ):
+                op_tok = self._advance()
+                if op_tok.text != op:
+                    raise self._error(
+                        "mixing logical operators requires parentheses",
+                        op_tok,
+                    )
+                right = self._parse_relation()
+                left = ast.Binary(
+                    op=op, left=left, right=right, **self._loc(op_tok)
+                )
+        return left
+
+    def _parse_relation(self) -> ast.Expr:
+        left = self._parse_simple_expression()
+        if self._cur.kind in _RELATIONAL:
+            op_tok = self._advance()
+            right = self._parse_simple_expression()
+            return ast.Binary(
+                op=_RELATIONAL[op_tok.kind], left=left, right=right,
+                **self._loc(op_tok),
+            )
+        return left
+
+    def _parse_simple_expression(self) -> ast.Expr:
+        if self._cur.kind is TokenKind.MINUS:
+            op_tok = self._advance()
+            operand = self._parse_term()
+            left: ast.Expr = ast.Unary(
+                op="-", operand=operand, **self._loc(op_tok)
+            )
+        elif self._cur.kind is TokenKind.PLUS:
+            self._advance()
+            left = self._parse_term()
+        else:
+            left = self._parse_term()
+        while self._cur.kind in (TokenKind.PLUS, TokenKind.MINUS, TokenKind.AMP):
+            op_tok = self._advance()
+            op = {"+": "+", "-": "-", "&": "&"}[op_tok.text]
+            right = self._parse_term()
+            left = ast.Binary(op=op, left=left, right=right, **self._loc(op_tok))
+        return left
+
+    def _parse_term(self) -> ast.Expr:
+        left = self._parse_factor()
+        while self._cur.kind is TokenKind.STAR or self._cur.is_keyword(
+            "mod"
+        ) or self._cur.is_keyword("rem"):
+            op_tok = self._advance()
+            right = self._parse_factor()
+            left = ast.Binary(
+                op=op_tok.text, left=left, right=right, **self._loc(op_tok)
+            )
+        return left
+
+    def _parse_factor(self) -> ast.Expr:
+        if self._cur.is_keyword("not"):
+            op_tok = self._advance()
+            operand = self._parse_primary()
+            return ast.Unary(op="not", operand=operand, **self._loc(op_tok))
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        cur = self._cur
+        if cur.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLit(value=int(cur.text), **self._loc(cur))
+        if cur.kind is TokenKind.CHAR:
+            self._advance()
+            return ast.BitLit(value=int(cur.text), **self._loc(cur))
+        if cur.kind is TokenKind.STRING:
+            self._advance()
+            return ast.BitStringLit(bits=cur.text, **self._loc(cur))
+        if cur.kind is TokenKind.IDENT:
+            if cur.text == "true":
+                self._advance()
+                return ast.BoolLit(value=True, **self._loc(cur))
+            if cur.text == "false":
+                self._advance()
+                return ast.BoolLit(value=False, **self._loc(cur))
+            return self._parse_name()
+        if cur.kind is TokenKind.LPAREN:
+            self._advance()
+            if self._cur.is_keyword("others"):
+                self._advance()
+                self._expect(TokenKind.ARROW, "'=>'")
+                value = self._parse_expression()
+                self._expect(TokenKind.RPAREN, "')'")
+                return ast.OthersAggregate(value=value, **self._loc(cur))
+            inner = self._parse_expression()
+            self._expect(TokenKind.RPAREN, "')'")
+            return inner
+        raise self._error("expected an expression")
+
+    def _parse_name(self) -> ast.Expr:
+        start = self._expect_ident("name")
+        if start.text in BUILTIN_FUNCTIONS:
+            self._expect(TokenKind.LPAREN, "'('")
+            args = [self._parse_expression()]
+            while self._cur.kind is TokenKind.COMMA:
+                self._advance()
+                args.append(self._parse_expression())
+            self._expect(TokenKind.RPAREN, "')'")
+            return ast.Call(func=start.text, args=args, **self._loc(start))
+        node: ast.Expr = ast.Name(ident=start.text, **self._loc(start))
+        while True:
+            if self._cur.kind is TokenKind.TICK:
+                self._advance()
+                attr = self._expect_ident("attribute name").text
+                if attr != "event":
+                    raise self._error(f"unsupported attribute '{attr}'")
+                node = ast.Attribute(prefix=node, attr=attr, **self._loc(start))
+                continue
+            if self._cur.kind is TokenKind.LPAREN:
+                self._advance()
+                first = self._parse_simple_expression()
+                if self._accept_keyword("downto"):
+                    right = self._parse_simple_expression()
+                    self._expect(TokenKind.RPAREN, "')'")
+                    node = ast.Slice(
+                        prefix=node, left=first, right=right,
+                        direction="downto", **self._loc(start),
+                    )
+                elif self._accept_keyword("to"):
+                    raise self._error("ascending slices are not supported")
+                else:
+                    self._expect(TokenKind.RPAREN, "')'")
+                    node = ast.Index(
+                        prefix=node, index=first, **self._loc(start)
+                    )
+                continue
+            return node

@@ -1,0 +1,831 @@
+"""Semantic analysis: names, types, process classification, elaboration.
+
+``analyze(units)`` turns the parser's design units into a
+:class:`repro.hdl.design.Design`:
+
+* resolves and checks every name and type, annotating expression nodes in
+  place (``node.ty``, ``node.symbol``) — the annotations are what the
+  interpreter, the synthesizer and the mutation engine rely on;
+* folds constants and static expressions (ranges, case choices, slice
+  bounds, loop bounds);
+* desugars concurrent signal assignments into combinational processes;
+* classifies processes as clocked (async-reset template) or
+  combinational and infers/completes sensitivity lists;
+* enforces single-driver discipline and case coverage.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ElaborationError, SemanticError
+from repro.hdl import ast
+from repro.hdl import types as ty
+from repro.hdl.design import Design, Process, ProcessKind, Symbol, SymbolKind
+from repro.hdl.values import BV, default_value
+from repro.hdl.walker import walk_expr
+
+_UNIVERSAL_INT = ty.IntegerType()
+
+#: Maximum enumerable selector domain for ``case`` coverage checking.
+_MAX_CASE_DOMAIN = 4096
+
+
+def analyze(units: list[ast.DesignUnit]) -> Design:
+    """Analyze one entity + one architecture into a Design."""
+    entities = [u for u in units if isinstance(u, ast.EntityDecl)]
+    architectures = [u for u in units if isinstance(u, ast.ArchitectureBody)]
+    if len(entities) != 1 or len(architectures) != 1:
+        raise ElaborationError(
+            f"expected exactly one entity and one architecture, got "
+            f"{len(entities)} / {len(architectures)}"
+        )
+    entity = entities[0]
+    architecture = architectures[0]
+    if architecture.entity_name != entity.name:
+        raise ElaborationError(
+            f"architecture {architecture.name!r} is for entity "
+            f"{architecture.entity_name!r}, not {entity.name!r}"
+        )
+    return _Analyzer(entity, architecture).run()
+
+
+def _err(message: str, node: ast.Node) -> SemanticError:
+    return SemanticError(message, node.line, node.col)
+
+
+class _Analyzer:
+    def __init__(self, entity: ast.EntityDecl, arch: ast.ArchitectureBody):
+        self._entity = entity
+        self._arch = arch
+        self._symbols: dict[str, Symbol] = {}
+        self._enums: dict[str, ty.EnumType] = {}
+        self._constants: dict[str, Symbol] = {}
+        self._ports: list[Symbol] = []
+        self._signals: list[Symbol] = []
+        self._processes: list[Process] = []
+        # Per-process state while checking
+        self._locals: dict[str, Symbol] = {}
+        self._loop_vars: list[Symbol] = []
+        self._reads: set[str] = set()
+        self._writes: set[str] = set()
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> Design:
+        self._declare_ports()
+        self._declare_arch_decls()
+        concurrent = self._desugar_concurrent(self._arch.concurrent)
+        for index, process_stmt in enumerate(concurrent):
+            self._processes.append(self._check_process(process_stmt, index))
+        self._check_single_drivers()
+        return Design(
+            name=self._entity.name,
+            ports=self._ports,
+            signals=self._signals,
+            constants=self._constants,
+            enums=self._enums,
+            processes=self._processes,
+            symbols=dict(self._symbols),
+        )
+
+    # -- declarations ---------------------------------------------------------
+
+    def _define(self, symbol: Symbol, node: ast.Node) -> Symbol:
+        if symbol.name in self._symbols:
+            raise _err(f"duplicate declaration of {symbol.name!r}", node)
+        self._symbols[symbol.name] = symbol
+        return symbol
+
+    def _declare_ports(self) -> None:
+        for port in self._entity.ports:
+            port_type = self._resolve_type(port.type_ind)
+            kind = (
+                SymbolKind.PORT_IN
+                if port.direction == "in"
+                else SymbolKind.PORT_OUT
+            )
+            for name in port.names:
+                symbol = Symbol(name, kind, port_type, default_value(port_type))
+                self._define(symbol, port)
+                self._ports.append(symbol)
+
+    def _declare_arch_decls(self) -> None:
+        for decl in self._arch.decls:
+            if isinstance(decl, ast.EnumTypeDecl):
+                self._declare_enum(decl)
+            elif isinstance(decl, ast.ConstantDecl):
+                self._declare_constant(decl, self._define)
+            elif isinstance(decl, ast.SignalDecl):
+                self._declare_signal(decl)
+            else:  # pragma: no cover - parser restricts decl kinds
+                raise _err("unsupported declaration", decl)
+
+    def _declare_enum(self, decl: ast.EnumTypeDecl) -> None:
+        if decl.name in self._enums or decl.name in self._symbols:
+            raise _err(f"duplicate type name {decl.name!r}", decl)
+        enum_type = ty.EnumType(decl.name, tuple(decl.literals))
+        self._enums[decl.name] = enum_type
+        for index, literal in enumerate(decl.literals):
+            symbol = Symbol(literal, SymbolKind.ENUM_LITERAL, enum_type, index)
+            self._define(symbol, decl)
+
+    def _declare_constant(self, decl: ast.ConstantDecl, define) -> Symbol:
+        const_type = self._resolve_type(decl.type_ind)
+        value = self._fold_with_type(decl.value, const_type)
+        symbol = Symbol(decl.name, SymbolKind.CONSTANT, const_type, value)
+        define(symbol, decl)
+        self._constants[decl.name] = symbol
+        return symbol
+
+    def _declare_signal(self, decl: ast.SignalDecl) -> None:
+        signal_type = self._resolve_type(decl.type_ind)
+        init = default_value(signal_type)
+        if decl.init is not None:
+            init = self._fold_with_type(decl.init, signal_type)
+        for name in decl.names:
+            symbol = Symbol(name, SymbolKind.SIGNAL, signal_type, init)
+            self._define(symbol, decl)
+            self._signals.append(symbol)
+
+    def _resolve_type(self, ind: ast.TypeIndication) -> ty.HdlType:
+        name = ind.type_name
+        if name == "bit":
+            return ty.BIT
+        if name == "boolean":
+            return ty.BOOLEAN
+        if name in ("integer", "natural"):
+            low = 0 if name == "natural" else _UNIVERSAL_INT.low
+            high = _UNIVERSAL_INT.high
+            if ind.constraint_left is not None:
+                low = self._fold_int(ind.constraint_left)
+                high = self._fold_int(ind.constraint_right)
+                if low > high:
+                    raise _err(f"empty integer range {low} to {high}", ind)
+            return ty.IntegerType(low, high)
+        if name == "bit_vector":
+            if ind.constraint_left is None:
+                raise _err("bit_vector requires a (h downto l) constraint", ind)
+            left = self._fold_int(ind.constraint_left)
+            right = self._fold_int(ind.constraint_right)
+            if left < right:
+                raise _err("bit_vector range must be descending", ind)
+            return ty.BitVectorType(left, right)
+        if name in self._enums:
+            return self._enums[name]
+        raise _err(f"unknown type {name!r}", ind)
+
+    # -- static folding -------------------------------------------------------
+
+    def _fold_int(self, expr: ast.Expr) -> int:
+        value = self._fold_static(expr)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise _err("expected a static integer expression", expr)
+        return value
+
+    def _fold_static(self, expr: ast.Expr):
+        """Evaluate a locally-static expression (constants + literals)."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.BitLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.BitStringLit):
+            return BV.from_string(expr.bits)
+        if isinstance(expr, ast.Name):
+            symbol = self._lookup(expr)
+            if symbol.kind in (SymbolKind.CONSTANT, SymbolKind.ENUM_LITERAL):
+                return symbol.init
+            raise _err(f"{expr.ident!r} is not a static value", expr)
+        if isinstance(expr, ast.Unary):
+            value = self._fold_static(expr.operand)
+            if expr.op == "-" and isinstance(value, int):
+                return -value
+            if expr.op == "not" and isinstance(value, bool):
+                return not value
+            raise _err("unsupported static unary operation", expr)
+        if isinstance(expr, ast.Binary):
+            left = self._fold_static(expr.left)
+            right = self._fold_static(expr.right)
+            if isinstance(left, int) and isinstance(right, int):
+                ops = {
+                    "+": lambda: left + right,
+                    "-": lambda: left - right,
+                    "*": lambda: left * right,
+                    "mod": lambda: left % right,
+                    "rem": lambda: int(_rem(left, right)),
+                }
+                if expr.op in ops:
+                    return ops[expr.op]()
+            raise _err("unsupported static binary operation", expr)
+        raise _err("expected a static expression", expr)
+
+    def _fold_with_type(self, expr: ast.Expr, expected: ty.HdlType):
+        """Fold a static initializer and check it against ``expected``."""
+        if isinstance(expr, ast.OthersAggregate):
+            if not isinstance(expected, ty.BitVectorType):
+                raise _err("aggregate requires a bit_vector context", expr)
+            bit = self._fold_static(expr.value)
+            if bit not in (0, 1):
+                raise _err("aggregate element must be a bit", expr)
+            value = BV((1 << expected.width) - 1 if bit else 0, expected.width)
+            expr.ty = expected
+            return value
+        value = self._fold_static(expr)
+        if isinstance(expected, ty.BitVectorType):
+            if not isinstance(value, BV) or value.width != expected.width:
+                raise _err(
+                    f"initializer does not fit {expected}", expr
+                )
+        elif isinstance(expected, ty.IntegerType):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise _err("expected an integer initializer", expr)
+            if not expected.contains(value):
+                raise _err(f"value {value} outside {expected}", expr)
+        elif isinstance(expected, ty.BitType):
+            if value not in (0, 1):
+                raise _err("expected a bit initializer", expr)
+        elif isinstance(expected, ty.BooleanType):
+            if not isinstance(value, bool):
+                raise _err("expected a boolean initializer", expr)
+        elif isinstance(expected, ty.EnumType):
+            if not isinstance(value, int) or not (
+                0 <= value < len(expected.literals)
+            ):
+                raise _err(f"expected a literal of {expected}", expr)
+        return value
+
+    # -- concurrent statements -------------------------------------------------
+
+    def _desugar_concurrent(self, items: list[ast.Node]) -> list[ast.ProcessStmt]:
+        processes: list[ast.ProcessStmt] = []
+        for item in items:
+            if isinstance(item, ast.ProcessStmt):
+                processes.append(item)
+            elif isinstance(item, ast.ConcurrentAssign):
+                processes.append(self._assign_to_process(item))
+            else:  # pragma: no cover - parser restricts concurrent kinds
+                raise _err("unsupported concurrent statement", item)
+        return processes
+
+    def _assign_to_process(self, assign: ast.ConcurrentAssign) -> ast.ProcessStmt:
+        """Turn ``y <= a when c else b;`` into an equivalent process."""
+        loc = {"line": assign.line, "col": assign.col}
+
+        def make_assign(value: ast.Expr) -> ast.SignalAssign:
+            return ast.SignalAssign(target=assign.target, value=value, **loc)
+
+        body: list[ast.Stmt]
+        arms = assign.arms
+        if len(arms) == 1:
+            body = [make_assign(arms[0][0])]
+        else:
+            if_arms = [
+                (cond, [make_assign(value)])
+                for value, cond in arms[:-1]
+            ]
+            body = [
+                ast.If(
+                    arms=if_arms,
+                    else_body=[make_assign(arms[-1][0])],
+                    **loc,
+                )
+            ]
+        return ast.ProcessStmt(label="", sensitivity=[], body=body, **loc)
+
+    # -- processes ---------------------------------------------------------------
+
+    def _check_process(self, stmt: ast.ProcessStmt, index: int) -> Process:
+        label = stmt.label or f"proc{index}"
+        self._locals = {}
+        self._loop_vars = []
+        self._reads = set()
+        self._writes = set()
+        variables: list[Symbol] = []
+        for decl in stmt.decls:
+            if isinstance(decl, ast.VariableDecl):
+                var_type = self._resolve_type(decl.type_ind)
+                init = default_value(var_type)
+                if decl.init is not None:
+                    init = self._fold_with_type(decl.init, var_type)
+                for name in decl.names:
+                    if name in self._symbols or name in self._locals:
+                        raise _err(f"duplicate declaration of {name!r}", decl)
+                    symbol = Symbol(name, SymbolKind.VARIABLE, var_type, init)
+                    self._locals[name] = symbol
+                    variables.append(symbol)
+            elif isinstance(decl, ast.ConstantDecl):
+                def define_local(symbol: Symbol, node: ast.Node) -> Symbol:
+                    if symbol.name in self._symbols or symbol.name in self._locals:
+                        raise _err(
+                            f"duplicate declaration of {symbol.name!r}", node
+                        )
+                    self._locals[symbol.name] = symbol
+                    return symbol
+
+                self._declare_constant(decl, define_local)
+            else:  # pragma: no cover
+                raise _err("unsupported process declaration", decl)
+
+        for sub in stmt.body:
+            self._check_stmt(sub)
+
+        process = Process(
+            label=label,
+            kind=ProcessKind.COMBINATIONAL,
+            sensitivity=list(stmt.sensitivity),
+            variables=variables,
+            body=stmt.body,
+            reads=set(self._reads),
+            writes=set(self._writes),
+        )
+        self._classify(process, stmt)
+        return process
+
+    def _classify(self, process: Process, stmt: ast.ProcessStmt) -> None:
+        """Detect the clocked async-reset template; else combinational."""
+        body = process.body
+        template = None
+        if len(body) == 1 and isinstance(body[0], ast.If):
+            template = self._match_clocked_template(body[0])
+        if template is not None:
+            clock, reset, reset_level, reset_body, sync_body, guards = template
+            process.kind = ProcessKind.CLOCKED
+            process.clock = clock
+            process.reset = reset
+            process.reset_level = reset_level
+            process.reset_body = reset_body
+            process.sync_body = sync_body
+            process.guard_nids = guards
+            wanted = [clock] + ([reset] if reset else [])
+            for name in wanted:
+                if name not in process.sensitivity:
+                    process.sensitivity.append(name)
+            return
+        # Not clocked: any edge construct elsewhere is unsupported.
+        for expr in _all_exprs(body):
+            if isinstance(expr, ast.Attribute) or (
+                isinstance(expr, ast.Call)
+                and expr.func in ("rising_edge", "falling_edge")
+            ):
+                raise ElaborationError(
+                    f"process {process.label!r} uses clock-edge constructs "
+                    "outside the supported clocked template"
+                )
+        # Combinational: complete the sensitivity list from reads.
+        for name in sorted(self._reads):
+            symbol = self._symbols.get(name)
+            if (
+                symbol is not None
+                and symbol.is_signal_like
+                and name not in process.sensitivity
+            ):
+                process.sensitivity.append(name)
+
+    def _match_clocked_template(self, node: ast.If):
+        """Return (clock, reset, level, reset_body, sync_body, guard_nids)."""
+        if node.else_body:
+            return None
+        arms = node.arms
+        if len(arms) == 1:
+            clock = self._match_edge(arms[0][0])
+            if clock is None:
+                return None
+            guards = {n.nid for n in walk_expr(arms[0][0])} | {node.nid}
+            return clock, None, 1, [], arms[0][1], guards
+        if len(arms) == 2:
+            reset_test = self._match_reset(arms[0][0])
+            clock = self._match_edge(arms[1][0])
+            if reset_test is None or clock is None:
+                return None
+            reset, level = reset_test
+            guards = (
+                {n.nid for n in walk_expr(arms[0][0])}
+                | {n.nid for n in walk_expr(arms[1][0])}
+                | {node.nid}
+            )
+            return clock, reset, level, arms[0][1], arms[1][1], guards
+        return None
+
+    def _match_edge(self, expr: ast.Expr) -> str | None:
+        if isinstance(expr, ast.Call) and expr.func == "rising_edge":
+            arg = expr.args[0]
+            if isinstance(arg, ast.Name):
+                return arg.ident
+            return None
+        if isinstance(expr, ast.Binary) and expr.op == "and":
+            left, right = expr.left, expr.right
+            if isinstance(right, ast.Attribute):
+                left, right = right, left
+            if (
+                isinstance(left, ast.Attribute)
+                and left.attr == "event"
+                and isinstance(left.prefix, ast.Name)
+                and isinstance(right, ast.Binary)
+                and right.op == "="
+            ):
+                name_side, lit_side = right.left, right.right
+                if isinstance(name_side, ast.BitLit):
+                    name_side, lit_side = lit_side, name_side
+                if (
+                    isinstance(name_side, ast.Name)
+                    and isinstance(lit_side, ast.BitLit)
+                    and lit_side.value == 1
+                    and name_side.ident == left.prefix.ident
+                ):
+                    return name_side.ident
+        return None
+
+    def _match_reset(self, expr: ast.Expr) -> tuple[str, int] | None:
+        if not (isinstance(expr, ast.Binary) and expr.op == "="):
+            return None
+        name_side, lit_side = expr.left, expr.right
+        if isinstance(name_side, ast.BitLit):
+            name_side, lit_side = lit_side, name_side
+        if isinstance(name_side, ast.Name) and isinstance(lit_side, ast.BitLit):
+            return name_side.ident, lit_side.value
+        return None
+
+    # -- statements ---------------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.SignalAssign):
+            target_type, base = self._check_target(stmt.target, signal=True)
+            self._check_expr_expected(stmt.value, target_type)
+            self._writes.add(base.name)
+        elif isinstance(stmt, ast.VarAssign):
+            target_type, base = self._check_target(stmt.target, signal=False)
+            self._check_expr_expected(stmt.value, target_type)
+        elif isinstance(stmt, ast.If):
+            for cond, body in stmt.arms:
+                cond_type = self._check_expr(cond)
+                if not ty.is_boolean(cond_type):
+                    raise _err(
+                        f"if condition must be boolean, got {cond_type}", cond
+                    )
+                for sub in body:
+                    self._check_stmt(sub)
+            for sub in stmt.else_body:
+                self._check_stmt(sub)
+        elif isinstance(stmt, ast.Case):
+            self._check_case(stmt)
+        elif isinstance(stmt, ast.ForLoop):
+            self._check_for(stmt)
+        elif isinstance(stmt, ast.NullStmt):
+            pass
+        else:  # pragma: no cover
+            raise _err(f"unsupported statement {type(stmt).__name__}", stmt)
+
+    def _check_case(self, stmt: ast.Case) -> None:
+        selector_type = self._check_expr(stmt.selector)
+        domain = _case_domain(selector_type)
+        if domain is None:
+            raise _err(
+                f"case selector type {selector_type} is not enumerable",
+                stmt.selector,
+            )
+        covered: set = set()
+        has_others = False
+        for when in stmt.whens:
+            if when.is_others:
+                if when is not stmt.whens[-1]:
+                    raise _err("'others' must be the last alternative", when)
+                has_others = True
+            for choice in when.choices:
+                value = self._fold_choice(choice, selector_type)
+                if value in covered:
+                    raise _err(f"duplicate case choice {value!r}", choice)
+                covered.add(value)
+            for sub in when.body:
+                self._check_stmt(sub)
+        if not has_others:
+            if domain is _TOO_LARGE:
+                raise _err(
+                    "case over a large domain requires an others branch", stmt
+                )
+            missing = domain - covered
+            if missing:
+                raise _err(
+                    f"case does not cover {sorted(missing)[:5]} and has no "
+                    "others branch",
+                    stmt,
+                )
+
+    def _fold_choice(self, choice: ast.Expr, selector_type: ty.HdlType):
+        value = self._fold_static(choice)
+        choice.ty = selector_type
+        if isinstance(selector_type, ty.BitVectorType):
+            if not isinstance(value, BV) or value.width != selector_type.width:
+                raise _err("case choice width mismatch", choice)
+            return value.value
+        if isinstance(selector_type, ty.IntegerType):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise _err("case choice must be an integer", choice)
+            if not selector_type.contains(value):
+                raise _err(
+                    f"case choice {value} outside {selector_type}", choice
+                )
+            return value
+        if isinstance(selector_type, ty.BitType):
+            if value not in (0, 1):
+                raise _err("case choice must be '0' or '1'", choice)
+            return value
+        if isinstance(selector_type, ty.EnumType):
+            if not isinstance(value, int):
+                raise _err("case choice must be an enum literal", choice)
+            return value
+        raise _err("unsupported case selector type", choice)
+
+    def _check_for(self, stmt: ast.ForLoop) -> None:
+        low = self._fold_int(stmt.low)
+        high = self._fold_int(stmt.high)
+        if stmt.var in self._symbols or stmt.var in self._locals:
+            raise _err(f"loop variable {stmt.var!r} shadows a declaration", stmt)
+        lo, hi = (low, high) if stmt.direction == "to" else (high, low)
+        symbol = Symbol(
+            stmt.var, SymbolKind.LOOP_VAR, ty.IntegerType(min(lo, hi), max(lo, hi))
+        )
+        self._loop_vars.append(symbol)
+        try:
+            for sub in stmt.body:
+                self._check_stmt(sub)
+        finally:
+            self._loop_vars.pop()
+
+    def _check_target(
+        self, target: ast.Expr, signal: bool
+    ) -> tuple[ty.HdlType, Symbol]:
+        """Check an assignment target; returns (element type, base symbol)."""
+        if isinstance(target, ast.Name):
+            symbol = self._lookup(target, is_read=False)
+            self._require_assignable(symbol, signal, target)
+            target.ty = symbol.ty
+            return symbol.ty, symbol
+        if isinstance(target, ast.Index):
+            if not isinstance(target.prefix, ast.Name):
+                raise _err("indexed target must be a plain name", target)
+            symbol = self._lookup(target.prefix, is_read=False)
+            self._require_assignable(symbol, signal, target)
+            if not isinstance(symbol.ty, ty.BitVectorType):
+                raise _err("only bit_vectors can be indexed", target)
+            index_type = self._check_expr(target.index)
+            if not ty.is_integer(index_type):
+                raise _err("index must be an integer", target.index)
+            target.prefix.ty = symbol.ty
+            target.ty = ty.BIT
+            return ty.BIT, symbol
+        if isinstance(target, ast.Slice):
+            if not isinstance(target.prefix, ast.Name):
+                raise _err("sliced target must be a plain name", target)
+            symbol = self._lookup(target.prefix, is_read=False)
+            self._require_assignable(symbol, signal, target)
+            if not isinstance(symbol.ty, ty.BitVectorType):
+                raise _err("only bit_vectors can be sliced", target)
+            left = self._fold_int(target.left)
+            right = self._fold_int(target.right)
+            try:
+                symbol.ty.bit_index(left)
+                symbol.ty.bit_index(right)
+            except ValueError as exc:
+                raise _err(str(exc), target) from None
+            if left < right:
+                raise _err("slice must be descending", target)
+            slice_type = ty.BitVectorType(left, right)
+            target.prefix.ty = symbol.ty
+            target.ty = slice_type
+            return slice_type, symbol
+        raise _err("unsupported assignment target", target)
+
+    def _require_assignable(
+        self, symbol: Symbol, signal: bool, node: ast.Node
+    ) -> None:
+        if signal:
+            if symbol.kind not in (SymbolKind.SIGNAL, SymbolKind.PORT_OUT):
+                raise _err(
+                    f"{symbol.name!r} is not a signal or output port", node
+                )
+        else:
+            if symbol.kind is not SymbolKind.VARIABLE:
+                raise _err(f"{symbol.name!r} is not a variable", node)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _lookup(self, name: ast.Name, is_read: bool = True) -> Symbol:
+        symbol = self._locals.get(name.ident)
+        if symbol is None:
+            for loop_var in reversed(self._loop_vars):
+                if loop_var.name == name.ident:
+                    symbol = loop_var
+                    break
+        if symbol is None:
+            symbol = self._symbols.get(name.ident)
+        if symbol is None:
+            raise _err(f"unknown name {name.ident!r}", name)
+        name.symbol = symbol
+        name.ty = symbol.ty
+        if is_read and symbol.is_signal_like:
+            self._reads.add(symbol.name)
+        return symbol
+
+    def _check_expr_expected(
+        self, expr: ast.Expr, expected: ty.HdlType
+    ) -> ty.HdlType:
+        if isinstance(expr, ast.OthersAggregate):
+            if not isinstance(expected, ty.BitVectorType):
+                raise _err("aggregate requires a bit_vector context", expr)
+            element = self._check_expr(expr.value)
+            if not ty.is_scalar_bit(element):
+                raise _err("aggregate element must be a bit", expr.value)
+            expr.ty = expected
+            return expected
+        actual = self._check_expr(expr)
+        if not expected.compatible(actual):
+            raise _err(f"cannot assign {actual} to {expected}", expr)
+        return actual
+
+    def _check_expr(self, expr: ast.Expr) -> ty.HdlType:
+        result = self._check_expr_inner(expr)
+        expr.ty = result
+        return result
+
+    def _check_expr_inner(self, expr: ast.Expr) -> ty.HdlType:
+        if isinstance(expr, ast.Name):
+            return self._lookup(expr).ty
+        if isinstance(expr, ast.IntLit):
+            return _UNIVERSAL_INT
+        if isinstance(expr, ast.BitLit):
+            return ty.BIT
+        if isinstance(expr, ast.BoolLit):
+            return ty.BOOLEAN
+        if isinstance(expr, ast.BitStringLit):
+            return ty.BitVectorType(len(expr.bits) - 1, 0)
+        if isinstance(expr, ast.EnumLit):
+            return self._enums[expr.type_name]
+        if isinstance(expr, ast.Unary):
+            return self._check_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr)
+        if isinstance(expr, ast.Index):
+            prefix_type = self._check_expr(expr.prefix)
+            if not isinstance(prefix_type, ty.BitVectorType):
+                raise _err("only bit_vectors can be indexed", expr)
+            index_type = self._check_expr(expr.index)
+            if not ty.is_integer(index_type):
+                raise _err("index must be an integer", expr.index)
+            return ty.BIT
+        if isinstance(expr, ast.Slice):
+            prefix_type = self._check_expr(expr.prefix)
+            if not isinstance(prefix_type, ty.BitVectorType):
+                raise _err("only bit_vectors can be sliced", expr)
+            left = self._fold_int(expr.left)
+            right = self._fold_int(expr.right)
+            try:
+                prefix_type.bit_index(left)
+                prefix_type.bit_index(right)
+            except ValueError as exc:
+                raise _err(str(exc), expr) from None
+            if left < right:
+                raise _err("slice must be descending", expr)
+            return ty.BitVectorType(left, right)
+        if isinstance(expr, ast.Attribute):
+            prefix_type = self._check_expr(expr.prefix)
+            if expr.attr != "event":
+                raise _err(f"unsupported attribute {expr.attr!r}", expr)
+            if not isinstance(expr.prefix, ast.Name):
+                raise _err("'event requires a signal name", expr)
+            return ty.BOOLEAN
+        if isinstance(expr, ast.Call):
+            if expr.func in ("rising_edge", "falling_edge"):
+                if len(expr.args) != 1 or not isinstance(expr.args[0], ast.Name):
+                    raise _err(f"{expr.func} takes one signal argument", expr)
+                arg_type = self._check_expr(expr.args[0])
+                if not ty.is_scalar_bit(arg_type):
+                    raise _err(f"{expr.func} requires a bit signal", expr)
+                return ty.BOOLEAN
+            raise _err(f"unknown function {expr.func!r}", expr)
+        if isinstance(expr, ast.OthersAggregate):
+            raise _err(
+                "aggregate is only allowed directly as an assignment source",
+                expr,
+            )
+        raise _err(f"unsupported expression {type(expr).__name__}", expr)
+
+    def _check_unary(self, expr: ast.Unary) -> ty.HdlType:
+        operand = self._check_expr(expr.operand)
+        if expr.op == "not":
+            if ty.is_scalar_bit(operand) or ty.is_boolean(operand) or ty.is_vector(
+                operand
+            ):
+                return operand
+            raise _err(f"'not' cannot apply to {operand}", expr)
+        if expr.op == "-":
+            if ty.is_integer(operand):
+                return _UNIVERSAL_INT
+            raise _err(f"unary '-' cannot apply to {operand}", expr)
+        raise _err(f"unsupported unary operator {expr.op!r}", expr)
+
+    def _check_binary(self, expr: ast.Binary) -> ty.HdlType:
+        left = self._check_expr(expr.left)
+        right = self._check_expr(expr.right)
+        op = expr.op
+        if op in ("and", "or", "nand", "nor", "xor", "xnor"):
+            if ty.is_scalar_bit(left) and ty.is_scalar_bit(right):
+                return ty.BIT
+            if ty.is_boolean(left) and ty.is_boolean(right):
+                return ty.BOOLEAN
+            if (
+                ty.is_vector(left)
+                and ty.is_vector(right)
+                and left.width == right.width
+            ):
+                return ty.BitVectorType(left.width - 1, 0)
+            raise _err(f"operator {op!r} cannot apply to {left} and {right}", expr)
+        if op in ("=", "/="):
+            if not left.compatible(right):
+                raise _err(f"cannot compare {left} with {right}", expr)
+            return ty.BOOLEAN
+        if op in ("<", "<=", ">", ">="):
+            if ty.is_integer(left) and ty.is_integer(right):
+                return ty.BOOLEAN
+            raise _err(
+                f"ordering operator {op!r} requires integers, got "
+                f"{left} and {right}",
+                expr,
+            )
+        if op in ("+", "-", "*", "mod", "rem"):
+            if ty.is_integer(left) and ty.is_integer(right):
+                return _UNIVERSAL_INT
+            raise _err(
+                f"arithmetic operator {op!r} requires integers, got "
+                f"{left} and {right}",
+                expr,
+            )
+        if op == "&":
+            left_width = _concat_width(left)
+            right_width = _concat_width(right)
+            if left_width is None or right_width is None:
+                raise _err(f"cannot concatenate {left} and {right}", expr)
+            return ty.BitVectorType(left_width + right_width - 1, 0)
+        raise _err(f"unsupported binary operator {op!r}", expr)
+
+    # -- whole-design checks -------------------------------------------------------
+
+    def _check_single_drivers(self) -> None:
+        drivers: dict[str, str] = {}
+        for process in self._processes:
+            for name in process.writes:
+                if name in drivers:
+                    raise ElaborationError(
+                        f"signal {name!r} is driven by both "
+                        f"{drivers[name]!r} and {process.label!r}"
+                    )
+                drivers[name] = process.label
+
+
+def _rem(a: int, b: int) -> int:
+    """VHDL ``rem``: result has the sign of the dividend."""
+    if b == 0:
+        raise ZeroDivisionError("rem by zero")
+    return a - b * int(a / b)
+
+
+def _concat_width(hdl_type: ty.HdlType) -> int | None:
+    if isinstance(hdl_type, ty.BitType):
+        return 1
+    if isinstance(hdl_type, ty.BitVectorType):
+        return hdl_type.width
+    return None
+
+
+#: Sentinel: the selector domain is enumerable in principle but too large
+#: to enumerate; an ``others`` branch is then mandatory.
+_TOO_LARGE = object()
+
+
+def _case_domain(selector_type: ty.HdlType):
+    """The full value domain of a case selector.
+
+    Returns a set of values, the sentinel :data:`_TOO_LARGE`, or ``None``
+    when the type cannot be a case selector at all.
+    """
+    if isinstance(selector_type, ty.BitType):
+        return {0, 1}
+    if isinstance(selector_type, ty.BooleanType):
+        return {False, True}
+    if isinstance(selector_type, ty.EnumType):
+        return set(range(len(selector_type.literals)))
+    if isinstance(selector_type, ty.IntegerType):
+        size = selector_type.high - selector_type.low + 1
+        if size > _MAX_CASE_DOMAIN:
+            return _TOO_LARGE
+        return set(range(selector_type.low, selector_type.high + 1))
+    if isinstance(selector_type, ty.BitVectorType):
+        if 2**selector_type.width > _MAX_CASE_DOMAIN:
+            return _TOO_LARGE
+        return set(range(2**selector_type.width))
+    return None
+
+
+def _all_exprs(stmts: list[ast.Stmt]):
+    from repro.hdl.walker import walk_all_exprs_in_stmts
+
+    yield from walk_all_exprs_in_stmts(stmts)

@@ -1,0 +1,101 @@
+"""Token kinds and the token record produced by the lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    """Lexical categories of the VHDL subset."""
+
+    IDENT = auto()
+    KEYWORD = auto()
+    INT = auto()
+    CHAR = auto()        # '0' / '1' bit literals
+    STRING = auto()      # "0101" bit-string literals
+    LPAREN = auto()
+    RPAREN = auto()
+    SEMICOLON = auto()
+    COLON = auto()
+    COMMA = auto()
+    DOT = auto()
+    BAR = auto()         # | in case choices
+    TICK = auto()        # ' in attribute names
+    ARROW = auto()       # =>
+    VARASSIGN = auto()   # :=
+    LE = auto()          # <= (signal assignment or relational)
+    GE = auto()          # >=
+    LT = auto()
+    GT = auto()
+    EQ = auto()          # =
+    NEQ = auto()         # /=
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    AMP = auto()         # & concatenation
+    EOF = auto()
+
+
+#: Reserved words of the subset.  VHDL is case-insensitive; the lexer
+#: lower-cases identifiers before checking membership.
+KEYWORDS = frozenset(
+    {
+        "architecture",
+        "and",
+        "begin",
+        "case",
+        "constant",
+        "downto",
+        "else",
+        "elsif",
+        "end",
+        "entity",
+        "for",
+        "if",
+        "in",
+        "inout",
+        "is",
+        "library",
+        "loop",
+        "mod",
+        "nand",
+        "nor",
+        "not",
+        "null",
+        "of",
+        "others",
+        "out",
+        "port",
+        "process",
+        "range",
+        "rem",
+        "signal",
+        "subtype",
+        "then",
+        "to",
+        "type",
+        "use",
+        "variable",
+        "when",
+        "xnor",
+        "xor",
+        "or",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"

@@ -1,0 +1,81 @@
+"""Generic AST walkers shared by semantic analysis and mutation.
+
+The walkers yield nodes in a deterministic depth-first, left-to-right
+order, which makes mutant numbering stable across runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.hdl import ast
+
+
+def walk_expr(expr: ast.Expr) -> Iterator[ast.Expr]:
+    """Yield ``expr`` and every sub-expression, depth-first pre-order."""
+    yield expr
+    if isinstance(expr, ast.Unary):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, ast.Binary):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, ast.Index):
+        yield from walk_expr(expr.prefix)
+        yield from walk_expr(expr.index)
+    elif isinstance(expr, ast.Slice):
+        yield from walk_expr(expr.prefix)
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, ast.Attribute):
+        yield from walk_expr(expr.prefix)
+    elif isinstance(expr, ast.Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, ast.OthersAggregate):
+        yield from walk_expr(expr.value)
+
+
+def walk_stmts(stmts: Iterable[ast.Stmt]) -> Iterator[ast.Stmt]:
+    """Yield every statement in ``stmts`` recursively, pre-order."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, ast.If):
+            for _, body in stmt.arms:
+                yield from walk_stmts(body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, ast.Case):
+            for when in stmt.whens:
+                yield from walk_stmts(when.body)
+        elif isinstance(stmt, ast.ForLoop):
+            yield from walk_stmts(stmt.body)
+
+
+def stmt_rvalue_exprs(stmt: ast.Stmt) -> list[ast.Expr]:
+    """Top-level *read* expressions of one statement (no sub-statements).
+
+    These are the expressions mutation operators may rewrite: assignment
+    sources, branch conditions, case selectors and loop bounds are
+    excluded only where mutation would change control structure that the
+    paper's operators do not touch (loop bounds stay static).
+    """
+    if isinstance(stmt, (ast.SignalAssign, ast.VarAssign)):
+        exprs = [stmt.value]
+        # Index expressions on the target are reads too.
+        target = stmt.target
+        if isinstance(target, ast.Index):
+            exprs.append(target.index)
+        return exprs
+    if isinstance(stmt, ast.If):
+        return [cond for cond, _ in stmt.arms]
+    if isinstance(stmt, ast.Case):
+        return [stmt.selector]
+    if isinstance(stmt, ast.ForLoop):
+        return []
+    return []
+
+
+def walk_all_exprs_in_stmts(stmts: Iterable[ast.Stmt]) -> Iterator[ast.Expr]:
+    """Every expression reachable from ``stmts`` (via rvalue roles)."""
+    for stmt in walk_stmts(stmts):
+        for top in stmt_rvalue_exprs(stmt):
+            yield from walk_expr(top)

@@ -1,0 +1,12 @@
+"""Evaluation metrics: mutation score, fault coverages, NLFCE."""
+
+from repro.metrics.nlfce import NlfceReport, compute_nlfce, nlfce_from_results
+from repro.mutation.score import MutationScore, mutation_score
+
+__all__ = [
+    "MutationScore",
+    "NlfceReport",
+    "compute_nlfce",
+    "mutation_score",
+    "nlfce_from_results",
+]

@@ -1,0 +1,37 @@
+"""Mutation engine: operators, mutant generation, execution, scoring.
+
+The paper applies high-level mutation operators to VHDL descriptions
+([3] defines ten for VHDL; that reference being unavailable, the set is
+reconstructed — see DESIGN.md §2).  The four operators the paper
+evaluates by name (LOR, VR, CVR, CR) follow the paper's semantics
+exactly; AOR, ROR, UOI, VCR, SDL and CCR complete the population the
+sampling strategies draw from.
+
+Mutants never copy the design: each is a patch table (node id ->
+replacement node) consulted by the interpreter (mutant schema).
+"""
+
+from repro.mutation.generator import generate_mutants, mutants_by_operator
+from repro.mutation.mutant import Mutant
+from repro.mutation.execution import KillRecord, MutationEngine
+from repro.mutation.operators import OPERATOR_NAMES, all_operators
+from repro.mutation.score import (
+    EquivalenceAnalysis,
+    MutationScore,
+    estimate_equivalents,
+    mutation_score,
+)
+
+__all__ = [
+    "EquivalenceAnalysis",
+    "KillRecord",
+    "Mutant",
+    "MutationEngine",
+    "MutationScore",
+    "OPERATOR_NAMES",
+    "all_operators",
+    "estimate_equivalents",
+    "generate_mutants",
+    "mutants_by_operator",
+    "mutation_score",
+]

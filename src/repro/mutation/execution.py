@@ -1,0 +1,247 @@
+"""Mutant execution against stimuli: kills, matrices, survivors.
+
+Strong mutation: a mutant is killed by a stimulus sequence when any
+sampled output differs from the original at any cycle, or when its
+execution raises a run-time error / fails to settle (observably
+different behaviour).  Sequences always start from reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MutantRuntimeError, OscillationError
+from repro.hdl import ast
+from repro.hdl.design import Design
+from repro.mutation.mutant import Mutant
+from repro.sim.interp import ExecContext
+from repro.sim.testbench import StimulusEncoder, Testbench
+
+
+class _SingleProcessCombRunner:
+    """Fast path for one-process combinational designs.
+
+    Such a process reads only input ports (the synthesizable-comb
+    discipline), so one execution per vector replaces the delta-cycle
+    scheduler: no per-vector signal-store rebuilds, no settle loops.
+    """
+
+    def __init__(self, design: Design,
+                 patch: dict[int, ast.Node] | None, backend: str,
+                 cache=None):
+        self._design = design
+        self._process = design.processes[0]
+        if backend == "compiled":
+            from repro.sim.compiler import CompiledExecutor
+
+            self._executor = CompiledExecutor(design, patch, cache)
+        else:
+            from repro.sim.compiler import InterpretedExecutor
+
+            self._executor = InterpretedExecutor(design, patch)
+        self._defaults = {
+            symbol.name: symbol.init
+            for symbol in design.signal_like_symbols
+        }
+        self._variables = {
+            var.name: var.init for var in self._process.variables
+        }
+        self._output_names = [p.name for p in design.output_ports]
+
+    def outputs(self, stimulus: dict[str, object]) -> tuple:
+        values = dict(self._defaults)
+        values.update(stimulus)
+        scheduled: dict[str, object] = {}
+
+        def schedule(name: str, value) -> None:
+            scheduled[name] = value
+
+        def schedule_base(name: str):
+            return scheduled.get(name, values[name])
+
+        ctx = ExecContext(
+            values.__getitem__, schedule, schedule_base,
+            self._variables, frozenset(),
+        )
+        self._executor.exec_process(self._process, ctx)
+        return tuple(
+            scheduled.get(name, values[name]) for name in self._output_names
+        )
+
+
+def _can_fast_path(design: Design) -> bool:
+    if design.is_sequential or len(design.processes) != 1:
+        return False
+    process = design.processes[0]
+    # The fast path needs the process to read input ports only.
+    return all(
+        design.symbols[name].kind.name == "PORT_IN"
+        for name in process.reads
+    )
+
+
+@dataclass(frozen=True)
+class KillRecord:
+    """Outcome of running one mutant against one stimulus sequence."""
+
+    mid: int
+    killed: bool
+    cycle: int | None          # first differing cycle (0-based)
+    reason: str                # "output-diff" | "runtime" | "oscillation" | "survived"
+
+
+class MutationEngine:
+    """Runs mutants of one design against packed stimulus sequences."""
+
+    def __init__(self, design: Design, max_delta: int = 256,
+                 backend: str = "compiled"):
+        self._design = design
+        self._encoder = StimulusEncoder(design)
+        self._max_delta = max_delta
+        self._backend = backend
+        self._fast = _can_fast_path(design)
+        if backend == "compiled":
+            from repro.sim.compiler import CompileCache
+
+            self._cache = CompileCache()
+        else:
+            self._cache = None
+
+    @property
+    def design(self) -> Design:
+        return self._design
+
+    @property
+    def encoder(self) -> StimulusEncoder:
+        return self._encoder
+
+    def decode_all(self, stimuli: list[int]) -> list[dict[str, object]]:
+        return [self._encoder.decode(packed) for packed in stimuli]
+
+    def reference_outputs(self, stimuli: list[int]) -> list[tuple]:
+        """Original-design responses (no patch)."""
+        if self._fast:
+            runner = _SingleProcessCombRunner(
+                self._design, None, self._backend, self._cache
+            )
+            return [
+                runner.outputs(stimulus)
+                for stimulus in self.decode_all(stimuli)
+            ]
+        bench = Testbench(
+            self._design, max_delta=self._max_delta,
+            backend=self._backend,
+        )
+        return bench.run_sequence(self.decode_all(stimuli))
+
+    def run_mutant(
+        self,
+        mutant: Mutant,
+        stimuli: list[int],
+        reference: list[tuple] | None = None,
+    ) -> KillRecord:
+        """Run one mutant, stopping at the first observable difference."""
+        if reference is None:
+            reference = self.reference_outputs(stimuli)
+        decoded = self.decode_all(stimuli)
+        try:
+            if self._fast:
+                runner = _SingleProcessCombRunner(
+                    self._design, mutant.patch(), self._backend, self._cache
+                )
+                for cycle, stimulus in enumerate(decoded):
+                    if runner.outputs(stimulus) != reference[cycle]:
+                        return KillRecord(
+                            mutant.mid, True, cycle, "output-diff"
+                        )
+                return KillRecord(mutant.mid, False, None, "survived")
+            bench = Testbench(
+                self._design, mutant.patch(), max_delta=self._max_delta,
+                backend=self._backend,
+            )
+            bench.reset()
+            for cycle, stimulus in enumerate(decoded):
+                outputs = bench.step(stimulus)
+                if outputs != reference[cycle]:
+                    return KillRecord(mutant.mid, True, cycle, "output-diff")
+        except MutantRuntimeError:
+            return KillRecord(mutant.mid, True, None, "runtime")
+        except OscillationError:
+            return KillRecord(mutant.mid, True, None, "oscillation")
+        return KillRecord(mutant.mid, False, None, "survived")
+
+    def run_all(
+        self,
+        mutants: list[Mutant],
+        stimuli: list[int],
+        reference: list[tuple] | None = None,
+    ) -> list[KillRecord]:
+        if reference is None:
+            reference = self.reference_outputs(stimuli)
+        return [
+            self.run_mutant(mutant, stimuli, reference)
+            for mutant in mutants
+        ]
+
+    def killed_mids(
+        self,
+        mutants: list[Mutant],
+        stimuli: list[int],
+        reference: list[tuple] | None = None,
+    ) -> set[int]:
+        return {
+            record.mid
+            for record in self.run_all(mutants, stimuli, reference)
+            if record.killed
+        }
+
+    def comb_kill_sets(
+        self,
+        mutants: list[Mutant],
+        vectors: list[int],
+        reference: list[tuple] | None = None,
+    ) -> dict[int, set[int]]:
+        """For combinational designs: mid -> indexes of killing vectors.
+
+        Every vector is independent (no state), so the whole matrix
+        comes from one pass per mutant over the candidate list.
+        """
+        if reference is None:
+            reference = self.reference_outputs(vectors)
+        decoded = self.decode_all(vectors)
+        matrix: dict[int, set[int]] = {}
+        if self._fast:
+            for mutant in mutants:
+                kills: set[int] = set()
+                runner = _SingleProcessCombRunner(
+                    self._design, mutant.patch(), self._backend, self._cache
+                )
+                for index, stimulus in enumerate(decoded):
+                    try:
+                        if runner.outputs(stimulus) != reference[index]:
+                            kills.add(index)
+                    except (MutantRuntimeError, OscillationError):
+                        kills.add(index)
+                matrix[mutant.mid] = kills
+            return matrix
+        for mutant in mutants:
+            kills: set[int] = set()
+            bench = Testbench(
+                self._design, mutant.patch(), max_delta=self._max_delta,
+                backend=self._backend,
+            )
+            for index, stimulus in enumerate(decoded):
+                try:
+                    if bench.step(stimulus) != reference[index]:
+                        kills.add(index)
+                except (MutantRuntimeError, OscillationError):
+                    # The erroring vector observably differs; a fresh
+                    # bench continues the sweep for the remaining ones.
+                    kills.add(index)
+                    bench = Testbench(
+                        self._design, mutant.patch(),
+                        max_delta=self._max_delta,
+                        backend=self._backend,
+                    )
+            matrix[mutant.mid] = kills
+        return matrix

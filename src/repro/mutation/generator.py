@@ -1,0 +1,88 @@
+"""Mutant generation: walk every process, apply every operator.
+
+Order is deterministic (processes in elaboration order, statements
+pre-order, expressions depth-first, operators in canonical order), so a
+mutant id always denotes the same mutant for a given design — sampling
+experiments rely on this.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import ast
+from repro.hdl.design import Design, Process
+from repro.hdl.walker import stmt_rvalue_exprs, walk_expr, walk_stmts
+from repro.mutation.mutant import Mutant
+from repro.mutation.operators import SiteContext, all_operators, operators_named
+from repro.mutation.operators.case_ops import CCR
+
+
+def generate_mutants(
+    design: Design, operator_names: list[str] | None = None
+) -> list[Mutant]:
+    """All first-order mutants of ``design``.
+
+    ``operator_names`` restricts generation to a subset of operators
+    (e.g. ``["LOR"]`` for the paper's per-operator study).
+    """
+    operators = (
+        all_operators()
+        if operator_names is None
+        else operators_named(operator_names)
+    )
+    mutants: list[Mutant] = []
+    seen: set[tuple[int, str, str]] = set()
+
+    def emit(op_name: str, site: ast.Node, replacement: ast.Node,
+             description: str, process: Process) -> None:
+        key = (site.nid, op_name, description)
+        if key in seen:
+            return
+        seen.add(key)
+        mutants.append(
+            Mutant(
+                mid=len(mutants),
+                operator=op_name,
+                site_nid=site.nid,
+                replacement=replacement,
+                description=f"{process.label}: {description}",
+                process_label=process.label,
+            )
+        )
+
+    for process in design.processes:
+        ctx = SiteContext(design, process)
+        guard = process.guard_nids
+        for stmt in walk_stmts(process.body):
+            if stmt.nid in guard:
+                continue
+            for operator in operators:
+                for replacement, description in operator.stmt_mutations(
+                    stmt, ctx
+                ):
+                    emit(operator.name, stmt, replacement, description,
+                         process)
+                if isinstance(operator, CCR) and isinstance(stmt, ast.Case):
+                    for choice, replacement, description in (
+                        operator.choice_mutations(stmt, ctx)
+                    ):
+                        emit(operator.name, choice, replacement,
+                             description, process)
+            for top in stmt_rvalue_exprs(stmt):
+                for expr in walk_expr(top):
+                    if expr.nid in guard:
+                        continue
+                    for operator in operators:
+                        for replacement, description in (
+                            operator.expr_mutations(expr, ctx)
+                        ):
+                            emit(operator.name, expr, replacement,
+                                 description, process)
+    return mutants
+
+
+def mutants_by_operator(mutants: list[Mutant]) -> dict[str, list[Mutant]]:
+    """Group mutants per operator (insertion order preserved)."""
+    groups: dict[str, list[Mutant]] = {}
+    for mutant in mutants:
+        groups.setdefault(mutant.operator, []).append(mutant)
+    return groups

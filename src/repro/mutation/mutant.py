@@ -1,0 +1,69 @@
+"""The mutant record and AST cloning for replacement construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.hdl import ast
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One first-order mutant.
+
+    ``patch()`` yields the node-id substitution the interpreter applies;
+    the design tree itself is never modified.
+    """
+
+    mid: int
+    operator: str
+    site_nid: int
+    replacement: ast.Node
+    description: str
+    process_label: str
+
+    def patch(self) -> dict[int, ast.Node]:
+        return {self.site_nid: self.replacement}
+
+    def __str__(self) -> str:
+        return f"M{self.mid}[{self.operator}] {self.description}"
+
+
+def clone_expr(node: ast.Expr) -> ast.Expr:
+    """Deep-copy an expression with fresh node ids.
+
+    Type and symbol annotations are preserved, so cloned trees evaluate
+    without re-analysis.  Cloning is what lets an operator embed the
+    original subtree inside a replacement (e.g. UOI's ``not (...)``)
+    without creating a patch cycle on the original's node id.
+    """
+    fresh = ast.fresh_nid()
+    if isinstance(node, (ast.Name, ast.IntLit, ast.BitLit, ast.BoolLit,
+                         ast.BitStringLit, ast.EnumLit)):
+        return dc_replace(node, nid=fresh)
+    if isinstance(node, ast.Unary):
+        return dc_replace(node, nid=fresh, operand=clone_expr(node.operand))
+    if isinstance(node, ast.Binary):
+        return dc_replace(
+            node, nid=fresh,
+            left=clone_expr(node.left), right=clone_expr(node.right),
+        )
+    if isinstance(node, ast.Index):
+        return dc_replace(
+            node, nid=fresh,
+            prefix=clone_expr(node.prefix), index=clone_expr(node.index),
+        )
+    if isinstance(node, ast.Slice):
+        return dc_replace(
+            node, nid=fresh, prefix=clone_expr(node.prefix),
+            left=clone_expr(node.left), right=clone_expr(node.right),
+        )
+    if isinstance(node, ast.Attribute):
+        return dc_replace(node, nid=fresh, prefix=clone_expr(node.prefix))
+    if isinstance(node, ast.Call):
+        return dc_replace(
+            node, nid=fresh, args=[clone_expr(a) for a in node.args]
+        )
+    if isinstance(node, ast.OthersAggregate):
+        return dc_replace(node, nid=fresh, value=clone_expr(node.value))
+    raise TypeError(f"cannot clone {type(node).__name__}")

@@ -1,0 +1,66 @@
+"""The reconstructed ten-operator VHDL mutation set.
+
+==== =============================== ===========================================
+Name Long name                       Example
+==== =============================== ===========================================
+AOR  Arithmetic Operator Replacement ``cnt + 1`` -> ``cnt - 1``
+LOR  Logical Operator Replacement    ``a and b`` -> ``a or b``
+ROR  Relational Operator Replacement ``cnt < limit`` -> ``cnt <= limit``
+UOI  Unary Operator Insertion        ``line1`` -> ``not line1``
+VR   Variable Replacement            ``line1`` -> ``line2``
+CR   Constant Replacement            ``limit (6)`` -> ``7``; ``'1'`` -> ``'0'``
+CVR  Constant-for-Variable Replacement ``cnt`` -> ``0``
+VCR  Variable-for-Constant Replacement ``6`` -> ``cnt``
+SDL  Statement Deletion              ``outp <= ...;`` -> ``null;``
+CCR  Case Choice Replacement         ``when 2 =>`` -> ``when 3 =>``
+==== =============================== ===========================================
+
+LOR, VR, CVR and CR are the operators the paper's Table 1 evaluates.
+"""
+
+from repro.mutation.operators.base import MutationOperator, SiteContext
+from repro.mutation.operators.arithmetic import AOR
+from repro.mutation.operators.case_ops import CCR
+from repro.mutation.operators.constants import CR
+from repro.mutation.operators.logical import LOR
+from repro.mutation.operators.relational import ROR
+from repro.mutation.operators.replacement import CVR, VCR, VR
+from repro.mutation.operators.statements import SDL
+from repro.mutation.operators.unary import UOI
+
+#: Canonical generation order (stable mutant numbering).
+OPERATOR_NAMES = (
+    "AOR", "LOR", "ROR", "UOI", "VR", "CR", "CVR", "VCR", "SDL", "CCR",
+)
+
+_REGISTRY = {
+    "AOR": AOR,
+    "LOR": LOR,
+    "ROR": ROR,
+    "UOI": UOI,
+    "VR": VR,
+    "CR": CR,
+    "CVR": CVR,
+    "VCR": VCR,
+    "SDL": SDL,
+    "CCR": CCR,
+}
+
+
+def all_operators() -> list[MutationOperator]:
+    """Fresh instances of every operator, in canonical order."""
+    return [_REGISTRY[name]() for name in OPERATOR_NAMES]
+
+
+def operators_named(names) -> list[MutationOperator]:
+    unknown = [n for n in names if n not in _REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown mutation operators: {unknown}")
+    return [_REGISTRY[name]() for name in names]
+
+
+__all__ = [
+    "AOR", "CCR", "CR", "CVR", "LOR", "MutationOperator", "OPERATOR_NAMES",
+    "ROR", "SDL", "SiteContext", "UOI", "VCR", "VR", "all_operators",
+    "operators_named",
+]

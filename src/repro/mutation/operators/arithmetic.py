@@ -1,0 +1,40 @@
+"""AOR — Arithmetic Operator Replacement."""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.hdl import ast
+from repro.hdl.printer import expr_to_text
+from repro.mutation.mutant import clone_expr
+from repro.mutation.operators.base import MutationOperator, SiteContext
+
+_ARITH_OPS = ("+", "-", "*", "mod", "rem")
+
+
+class AOR(MutationOperator):
+    """Replace one arithmetic operator with each alternative.
+
+    ``mod``/``rem`` replacements are restricted to each other and to
+    ``-`` (introducing ``mod`` where the right operand may be zero is a
+    run-time error the engine would count as a trivial kill, which is
+    still a legal mutant — the paper's operators do not exclude it).
+    """
+
+    name = "AOR"
+
+    def expr_mutations(self, expr: ast.Expr, ctx: SiteContext):
+        if not isinstance(expr, ast.Binary) or expr.op not in _ARITH_OPS:
+            return
+        original = expr_to_text(expr)
+        for op in _ARITH_OPS:
+            if op == expr.op:
+                continue
+            replacement = dc_replace(
+                expr,
+                nid=ast.fresh_nid(),
+                op=op,
+                left=clone_expr(expr.left),
+                right=clone_expr(expr.right),
+            )
+            yield replacement, f"{original} -> {expr_to_text(replacement)}"

@@ -1,0 +1,73 @@
+"""Operator protocol and the per-process site context."""
+
+from __future__ import annotations
+
+from repro.hdl import ast
+from repro.hdl import types as ty
+from repro.hdl.design import Design, Process, Symbol, SymbolKind
+
+
+class SiteContext:
+    """Everything an operator may consult at a mutation site.
+
+    Exposes the pools of *visible data objects* (input ports, internal
+    signals, and the current process's variables) grouped so the
+    replacement operators can find same-type alternatives quickly.
+    Output ports and loop variables are excluded from pools: the former
+    to keep mutants synthesizable in principle, the latter because their
+    scope would not contain most sites.
+    """
+
+    def __init__(self, design: Design, process: Process):
+        self.design = design
+        self.process = process
+        pool: list[Symbol] = [
+            s
+            for s in design.signal_like_symbols
+            if s.kind in (SymbolKind.PORT_IN, SymbolKind.SIGNAL)
+        ]
+        pool.extend(process.variables)
+        self.data_pool = pool
+        self.int_constants: list[Symbol] = [
+            s
+            for s in design.constants.values()
+            if isinstance(s.ty, ty.IntegerType)
+        ]
+
+    def same_type_alternatives(self, symbol: Symbol) -> list[Symbol]:
+        """Pool members type-compatible with ``symbol`` (excluding it)."""
+        return [
+            other
+            for other in self.data_pool
+            if other.name != symbol.name
+            and _compatible(symbol.ty, other.ty)
+        ]
+
+    def symbols_of_type(self, wanted: ty.HdlType) -> list[Symbol]:
+        return [s for s in self.data_pool if _compatible(wanted, s.ty)]
+
+
+def _compatible(a: ty.HdlType, b: ty.HdlType) -> bool:
+    """VHDL base-type compatibility (ranges are runtime concerns)."""
+    if isinstance(a, ty.IntegerType):
+        return isinstance(b, ty.IntegerType)
+    return a.compatible(b)
+
+
+class MutationOperator:
+    """Base class; operators override the hooks that apply to them.
+
+    Hooks yield ``(replacement_node, description)`` pairs.  Replacement
+    nodes must be fully typed (``ty``/``symbol`` set) and carry fresh
+    node ids; the generator wraps them into :class:`Mutant` records.
+    """
+
+    name = "?"
+
+    def expr_mutations(self, expr: ast.Expr, ctx: SiteContext):
+        """Mutations replacing the expression node ``expr``."""
+        return ()
+
+    def stmt_mutations(self, stmt: ast.Stmt, ctx: SiteContext):
+        """Mutations replacing the statement node ``stmt``."""
+        return ()

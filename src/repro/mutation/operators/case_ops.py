@@ -1,0 +1,113 @@
+"""CCR — Case Choice Replacement."""
+
+from __future__ import annotations
+
+from repro.hdl import ast
+from repro.hdl import types as ty
+from repro.hdl.design import SymbolKind
+from repro.hdl.printer import expr_to_text
+from repro.mutation.operators.base import MutationOperator, SiteContext
+
+
+class CCR(MutationOperator):
+    """Rewrite one ``when`` choice to a neighbouring or sibling value.
+
+    Candidates per choice: the values used by the *other* alternatives
+    of the same case plus the choice's off-by-one neighbours inside the
+    selector domain.  Because the interpreter matches alternatives in
+    order, a duplicated value redirects the branch — exactly the
+    misrouted-transition design error this operator models.
+    """
+
+    name = "CCR"
+
+    def stmt_mutations(self, stmt: ast.Stmt, ctx: SiteContext):
+        # CCR patches choice *expressions*; it hooks the statement walk
+        # because choices are not rvalue expressions.
+        return ()
+
+    def choice_mutations(self, stmt: ast.Case, ctx: SiteContext):
+        """Yield (choice_node, replacement, description) triples."""
+        selector_ty = stmt.selector.ty
+        all_values: list[tuple[object, ast.Expr]] = []
+        for when in stmt.whens:
+            for choice in when.choices:
+                all_values.append((_choice_value(choice), choice))
+        for when in stmt.whens:
+            for choice in when.choices:
+                own = _choice_value(choice)
+                candidates: dict[object, str] = {}
+                for value, node in all_values:
+                    if value != own:
+                        candidates[value] = expr_to_text(node)
+                for neighbour in _neighbours(own, selector_ty):
+                    if neighbour != own and neighbour not in candidates:
+                        candidates[neighbour] = None
+                for value in sorted(candidates, key=repr):
+                    replacement = _make_choice(value, selector_ty)
+                    if replacement is None:
+                        continue
+                    text = candidates[value] or expr_to_text(replacement)
+                    yield choice, replacement, (
+                        f"when {expr_to_text(choice)} -> when {text}"
+                    )
+
+
+def _choice_value(choice: ast.Expr):
+    if isinstance(choice, ast.IntLit):
+        return choice.value
+    if isinstance(choice, ast.BitLit):
+        return choice.value
+    if isinstance(choice, ast.BitStringLit):
+        return choice.bits
+    if isinstance(choice, ast.EnumLit):
+        return choice.index
+    if isinstance(choice, ast.Name) and choice.symbol is not None:
+        if choice.symbol.kind in (
+            SymbolKind.CONSTANT, SymbolKind.ENUM_LITERAL
+        ):
+            return choice.symbol.init
+    return None
+
+
+def _neighbours(value, selector_ty):
+    if isinstance(selector_ty, ty.IntegerType) and isinstance(value, int):
+        lows = []
+        if value + 1 <= selector_ty.high:
+            lows.append(value + 1)
+        if value - 1 >= selector_ty.low:
+            lows.append(value - 1)
+        return lows
+    if isinstance(selector_ty, ty.EnumType) and isinstance(value, int):
+        count = len(selector_ty.literals)
+        return [v for v in (value + 1, value - 1) if 0 <= v < count]
+    if isinstance(selector_ty, ty.BitType) and isinstance(value, int):
+        return [value ^ 1]
+    return []
+
+
+def _make_choice(value, selector_ty) -> ast.Expr | None:
+    if value is None:
+        return None
+    if isinstance(selector_ty, ty.IntegerType):
+        node = ast.IntLit(value=int(value))
+        node.ty = selector_ty
+        return node
+    if isinstance(selector_ty, ty.BitType):
+        node = ast.BitLit(value=int(value))
+        node.ty = ty.BIT
+        return node
+    if isinstance(selector_ty, ty.EnumType):
+        index = int(value)
+        node = ast.EnumLit(
+            type_name=selector_ty.name,
+            literal=selector_ty.literals[index],
+            index=index,
+        )
+        node.ty = selector_ty
+        return node
+    if isinstance(selector_ty, ty.BitVectorType) and isinstance(value, str):
+        node = ast.BitStringLit(bits=value)
+        node.ty = ty.BitVectorType(len(value) - 1, 0)
+        return node
+    return None

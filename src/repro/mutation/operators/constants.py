@@ -1,0 +1,107 @@
+"""CR — Constant Replacement.
+
+The paper singles CR out: it "is only used if the high level description
+includes a constant declaration", and turns out to be the most efficient
+operator for stuck-at coverage.  CR here rewrites every constant
+*reference*: integer literals get off-by-one and boundary values, named
+constants additionally swap with the other declared constants, bit
+literals flip, bit-string literals get corner/edge variants and enum
+literals swap with their siblings.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import ast
+from repro.hdl import types as ty
+from repro.hdl.design import SymbolKind
+from repro.hdl.printer import expr_to_text
+from repro.mutation.operators.base import MutationOperator, SiteContext
+
+
+class CR(MutationOperator):
+    name = "CR"
+
+    def expr_mutations(self, expr: ast.Expr, ctx: SiteContext):
+        if isinstance(expr, ast.IntLit):
+            yield from _int_variants(expr.value, expr_to_text(expr), ())
+            return
+        if isinstance(expr, ast.BitLit):
+            node = ast.BitLit(value=expr.value ^ 1)
+            node.ty = ty.BIT
+            yield node, f"'{expr.value}' -> '{node.value}'"
+            return
+        if isinstance(expr, ast.BoolLit):
+            node = ast.BoolLit(value=not expr.value)
+            node.ty = ty.BOOLEAN
+            yield node, (
+                f"{expr_to_text(expr)} -> {str(node.value).lower()}"
+            )
+            return
+        if isinstance(expr, ast.BitStringLit):
+            yield from _bitstring_variants(expr)
+            return
+        if isinstance(expr, ast.Name) and expr.symbol is not None:
+            symbol = expr.symbol
+            if symbol.kind is SymbolKind.ENUM_LITERAL:
+                enum: ty.EnumType = symbol.ty
+                for index, literal in enumerate(enum.literals):
+                    if literal == symbol.name:
+                        continue
+                    node = ast.EnumLit(
+                        type_name=enum.name, literal=literal, index=index
+                    )
+                    node.ty = enum
+                    yield node, f"{symbol.name} -> {literal}"
+                return
+            if symbol.kind is SymbolKind.CONSTANT and isinstance(
+                symbol.ty, ty.IntegerType
+            ):
+                siblings = tuple(
+                    (c.init, c.name)
+                    for c in ctx.int_constants
+                    if c.name != symbol.name
+                )
+                yield from _int_variants(symbol.init, symbol.name, siblings)
+
+
+def _int_variants(value: int, original: str, siblings):
+    # Sibling declared constants first: swapping one named constant for
+    # another is the canonical hardware CR fault.
+    candidates: list[tuple[int, str]] = list(siblings)
+    candidates.extend(
+        [
+            (value + 1, str(value + 1)),
+            (value - 1, str(value - 1)),
+            (0, "0"),
+            (1, "1"),
+        ]
+    )
+    seen = {value}
+    for candidate, text in candidates:
+        if candidate in seen or candidate < 0:
+            continue
+        seen.add(candidate)
+        node = ast.IntLit(value=candidate)
+        node.ty = ty.IntegerType(candidate, candidate)
+        yield node, f"{original} -> {text}"
+
+
+def _bitstring_variants(expr: ast.BitStringLit):
+    bits = expr.bits
+    width = len(bits)
+    variants = {
+        "0" * width,
+        "1" * width,
+        _flip(bits, 0),
+        _flip(bits, width - 1),
+    }
+    variants.discard(bits)
+    for variant in sorted(variants):
+        node = ast.BitStringLit(bits=variant)
+        node.ty = ty.BitVectorType(width - 1, 0)
+        yield node, f'"{bits}" -> "{variant}"'
+
+
+def _flip(bits: str, index: int) -> str:
+    flipped = "1" if bits[index] == "0" else "0"
+    return bits[:index] + flipped + bits[index + 1 :]

@@ -1,0 +1,34 @@
+"""LOR — Logical Operator Replacement."""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.hdl import ast
+from repro.hdl.printer import expr_to_text
+from repro.mutation.mutant import clone_expr
+from repro.mutation.operators.base import MutationOperator, SiteContext
+
+_LOGICAL_OPS = ("and", "or", "nand", "nor", "xor", "xnor")
+
+
+class LOR(MutationOperator):
+    """Replace one logical connective with each of the other five."""
+
+    name = "LOR"
+
+    def expr_mutations(self, expr: ast.Expr, ctx: SiteContext):
+        if not isinstance(expr, ast.Binary) or expr.op not in _LOGICAL_OPS:
+            return
+        original = expr_to_text(expr)
+        for op in _LOGICAL_OPS:
+            if op == expr.op:
+                continue
+            replacement = dc_replace(
+                expr,
+                nid=ast.fresh_nid(),
+                op=op,
+                left=clone_expr(expr.left),
+                right=clone_expr(expr.right),
+            )
+            yield replacement, f"{original} -> {expr_to_text(replacement)}"

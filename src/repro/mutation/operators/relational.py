@@ -1,0 +1,48 @@
+"""ROR — Relational Operator Replacement."""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.hdl import ast
+from repro.hdl import types as ty
+from repro.hdl.printer import expr_to_text
+from repro.mutation.mutant import clone_expr
+from repro.mutation.operators.base import MutationOperator, SiteContext
+
+_EQUALITY = ("=", "/=")
+_ORDERING = ("<", "<=", ">", ">=")
+
+
+class ROR(MutationOperator):
+    """Replace a relational operator with each legal alternative.
+
+    Ordering operators only exist for integers in the subset, so
+    equality over bits/enums/vectors can only flip between ``=`` and
+    ``/=`` while integer comparisons draw from all six.
+    """
+
+    name = "ROR"
+
+    def expr_mutations(self, expr: ast.Expr, ctx: SiteContext):
+        if not isinstance(expr, ast.Binary):
+            return
+        if expr.op not in _EQUALITY + _ORDERING:
+            return
+        operand_ty = expr.left.ty
+        if isinstance(operand_ty, ty.IntegerType):
+            alternatives = _EQUALITY + _ORDERING
+        else:
+            alternatives = _EQUALITY
+        original = expr_to_text(expr)
+        for op in alternatives:
+            if op == expr.op:
+                continue
+            replacement = dc_replace(
+                expr,
+                nid=ast.fresh_nid(),
+                op=op,
+                left=clone_expr(expr.left),
+                right=clone_expr(expr.right),
+            )
+            yield replacement, f"{original} -> {expr_to_text(replacement)}"

@@ -1,0 +1,134 @@
+"""VR / CVR / VCR — name and constant substitution operators."""
+
+from __future__ import annotations
+
+from repro.hdl import ast
+from repro.hdl import types as ty
+from repro.hdl.design import Symbol, SymbolKind
+from repro.hdl.printer import expr_to_text
+from repro.mutation.operators.base import MutationOperator, SiteContext
+
+_DATA_KINDS = (SymbolKind.PORT_IN, SymbolKind.SIGNAL, SymbolKind.VARIABLE)
+
+#: Integer ranges wider than this only contribute named constants to the
+#: CVR pool (enumerating bounds of a 2**31 range is meaningless).
+_MAX_RANGE_SPAN = 1 << 16
+
+
+def _name_node(symbol: Symbol) -> ast.Name:
+    node = ast.Name(ident=symbol.name)
+    node.symbol = symbol
+    node.ty = symbol.ty
+    return node
+
+
+def _is_data_name(expr: ast.Expr) -> bool:
+    return (
+        isinstance(expr, ast.Name)
+        and expr.symbol is not None
+        and expr.symbol.kind in _DATA_KINDS
+    )
+
+
+class VR(MutationOperator):
+    """Variable Replacement: a data object reference becomes another
+    visible, type-compatible data object (the paper's VR)."""
+
+    name = "VR"
+
+    def expr_mutations(self, expr: ast.Expr, ctx: SiteContext):
+        if not _is_data_name(expr):
+            return
+        original = expr_to_text(expr)
+        for other in ctx.same_type_alternatives(expr.symbol):
+            yield _name_node(other), f"{original} -> {other.name}"
+
+
+class CVR(MutationOperator):
+    """Constant-for-Variable Replacement: a data object reference
+    becomes a constant of its type (the paper's CVR)."""
+
+    name = "CVR"
+
+    def expr_mutations(self, expr: ast.Expr, ctx: SiteContext):
+        if not _is_data_name(expr):
+            return
+        original = expr_to_text(expr)
+        for node, text in _constants_for_type(expr.symbol.ty, ctx):
+            yield node, f"{original} -> {text}"
+
+
+class VCR(MutationOperator):
+    """Variable-for-Constant Replacement: a constant reference becomes
+    a visible, type-compatible data object."""
+
+    name = "VCR"
+
+    def expr_mutations(self, expr: ast.Expr, ctx: SiteContext):
+        wanted = _constant_site_type(expr)
+        if wanted is None:
+            return
+        original = expr_to_text(expr)
+        for other in ctx.symbols_of_type(wanted):
+            yield _name_node(other), f"{original} -> {other.name}"
+
+
+def _constant_site_type(expr: ast.Expr) -> ty.HdlType | None:
+    """The type of a constant-reference site, or None if not one."""
+    if isinstance(expr, ast.IntLit):
+        return ty.IntegerType()
+    if isinstance(expr, ast.BitLit):
+        return ty.BIT
+    if isinstance(expr, ast.BitStringLit):
+        return expr.ty if isinstance(expr.ty, ty.BitVectorType) else None
+    if isinstance(expr, ast.Name) and expr.symbol is not None:
+        if expr.symbol.kind in (SymbolKind.CONSTANT, SymbolKind.ENUM_LITERAL):
+            return expr.symbol.ty
+    return None
+
+
+def _constants_for_type(hdl_type: ty.HdlType, ctx: SiteContext):
+    """Candidate constant nodes for CVR, typed and described."""
+    if isinstance(hdl_type, ty.BitType):
+        for value in (0, 1):
+            node = ast.BitLit(value=value)
+            node.ty = ty.BIT
+            yield node, f"'{value}'"
+        return
+    if isinstance(hdl_type, ty.BooleanType):
+        for value in (False, True):
+            node = ast.BoolLit(value=value)
+            node.ty = ty.BOOLEAN
+            yield node, str(value).lower()
+        return
+    if isinstance(hdl_type, ty.IntegerType):
+        values: list[tuple[int, str]] = []
+        span = hdl_type.high - hdl_type.low
+        if 0 <= span <= _MAX_RANGE_SPAN:
+            values.append((hdl_type.low, str(hdl_type.low)))
+            values.append((hdl_type.high, str(hdl_type.high)))
+        for const in ctx.int_constants:
+            values.append((const.init, const.name))
+        seen: set[int] = set()
+        for value, text in values:
+            if value in seen or value < 0:
+                continue
+            seen.add(value)
+            node = ast.IntLit(value=value)
+            node.ty = ty.IntegerType(value, value)
+            yield node, text
+        return
+    if isinstance(hdl_type, ty.EnumType):
+        for index, literal in enumerate(hdl_type.literals):
+            node = ast.EnumLit(
+                type_name=hdl_type.name, literal=literal, index=index
+            )
+            node.ty = hdl_type
+            yield node, literal
+        return
+    if isinstance(hdl_type, ty.BitVectorType):
+        width = hdl_type.width
+        for bits in ("0" * width, "1" * width):
+            node = ast.BitStringLit(bits=bits)
+            node.ty = ty.BitVectorType(width - 1, 0)
+            yield node, f'"{bits}"'

@@ -1,0 +1,29 @@
+"""SDL — Statement Deletion."""
+
+from __future__ import annotations
+
+from repro.hdl import ast
+from repro.hdl.printer import stmt_to_text
+from repro.mutation.operators.base import MutationOperator, SiteContext
+
+_DELETABLE = (ast.SignalAssign, ast.VarAssign, ast.If, ast.Case, ast.ForLoop)
+
+
+class SDL(MutationOperator):
+    """Replace a statement with ``null;``.
+
+    Compound statements (if/case/loop) are deleted as a whole, which
+    models omitted functionality; the generator never offers the clocked
+    template's guard ``if`` because its node id is in ``guard_nids``.
+    """
+
+    name = "SDL"
+
+    def stmt_mutations(self, stmt: ast.Stmt, ctx: SiteContext):
+        if not isinstance(stmt, _DELETABLE):
+            return
+        replacement = ast.NullStmt()
+        summary = stmt_to_text(stmt).splitlines()[0].strip()
+        if len(summary) > 60:
+            summary = summary[:57] + "..."
+        yield replacement, f"delete: {summary}"

@@ -1,0 +1,33 @@
+"""UOI — Unary Operator Insertion."""
+
+from __future__ import annotations
+
+from repro.hdl import ast
+from repro.hdl import types as ty
+from repro.hdl.printer import expr_to_text
+from repro.mutation.mutant import clone_expr
+from repro.mutation.operators.base import MutationOperator, SiteContext
+
+
+class UOI(MutationOperator):
+    """Wrap a bit/boolean/vector expression in ``not``.
+
+    Applied to names, indexed names and binary expressions; wrapping
+    literals is CR's territory and wrapping an existing ``not`` would
+    only cancel it.
+    """
+
+    name = "UOI"
+
+    def expr_mutations(self, expr: ast.Expr, ctx: SiteContext):
+        if not isinstance(expr, (ast.Name, ast.Index, ast.Binary)):
+            return
+        if not isinstance(
+            expr.ty, (ty.BitType, ty.BooleanType, ty.BitVectorType)
+        ):
+            return
+        replacement = ast.Unary(op="not", operand=clone_expr(expr))
+        replacement.ty = expr.ty
+        yield replacement, (
+            f"{expr_to_text(expr)} -> {expr_to_text(replacement)}"
+        )

@@ -1,0 +1,28 @@
+"""Gate-level netlist substrate.
+
+* :class:`repro.netlist.netlist.Netlist` — nets, gates, flip-flops, port
+  bit mappings
+* :class:`repro.netlist.netlist.NetlistBuilder` — hash-consing,
+  constant-folding gate construction (used by synthesis)
+* :mod:`repro.netlist.bench` — ISCAS ``.bench`` reader/writer
+* :mod:`repro.netlist.simulate` — bit-parallel logic simulation; each
+  Python big-int word carries one bit-lane per pattern (or per fault)
+"""
+
+from repro.netlist.cells import GateType
+from repro.netlist.netlist import DFF, Gate, Net, Netlist, NetlistBuilder
+from repro.netlist.simulate import CombSimulator, SeqSimulator
+from repro.netlist.bench import parse_bench, write_bench
+
+__all__ = [
+    "DFF",
+    "CombSimulator",
+    "Gate",
+    "GateType",
+    "Net",
+    "Netlist",
+    "NetlistBuilder",
+    "SeqSimulator",
+    "parse_bench",
+    "write_bench",
+]

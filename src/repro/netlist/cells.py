@@ -1,0 +1,84 @@
+"""Gate cell library: types and bit-parallel evaluation.
+
+Evaluation operates on Python integers used as bit-lane words: lane *i*
+of every net word belongs to pattern/fault-machine *i*.  All functions
+mask their result to ``mask`` so complements stay bounded.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from functools import reduce
+
+
+class GateType(Enum):
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    @property
+    def is_const(self) -> bool:
+        return self in (GateType.CONST0, GateType.CONST1)
+
+    @property
+    def arity(self) -> int | None:
+        """Fixed arity, or None for n-ary gates."""
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        if self.is_const:
+            return 0
+        return None
+
+
+#: Controlling input value per gate type (classic ATPG notion): a single
+#: input at this value forces the output regardless of the others.
+CONTROLLING_VALUE = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+#: Output inversion parity per gate type.
+INVERTING = {
+    GateType.NAND: True,
+    GateType.NOR: True,
+    GateType.XNOR: True,
+    GateType.NOT: True,
+    GateType.AND: False,
+    GateType.OR: False,
+    GateType.XOR: False,
+    GateType.BUF: False,
+}
+
+
+def eval_gate(gate_type: GateType, inputs: list[int], mask: int) -> int:
+    """Evaluate one gate over bit-lane words."""
+    if gate_type is GateType.AND:
+        return reduce(lambda a, b: a & b, inputs) & mask
+    if gate_type is GateType.OR:
+        return reduce(lambda a, b: a | b, inputs) & mask
+    if gate_type is GateType.NAND:
+        return ~reduce(lambda a, b: a & b, inputs) & mask
+    if gate_type is GateType.NOR:
+        return ~reduce(lambda a, b: a | b, inputs) & mask
+    if gate_type is GateType.XOR:
+        return reduce(lambda a, b: a ^ b, inputs) & mask
+    if gate_type is GateType.XNOR:
+        return ~reduce(lambda a, b: a ^ b, inputs) & mask
+    if gate_type is GateType.NOT:
+        return ~inputs[0] & mask
+    if gate_type is GateType.BUF:
+        return inputs[0] & mask
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return mask
+    raise ValueError(f"unknown gate type {gate_type!r}")

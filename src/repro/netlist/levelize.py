@@ -1,0 +1,50 @@
+"""Topological ordering of the combinational core of a netlist."""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Gate, Netlist
+
+
+def topo_gates(netlist: Netlist) -> list[Gate]:
+    """Gates in dependency order (inputs and DFF outputs are sources).
+
+    Raises :class:`NetlistError` on combinational cycles.
+    """
+    ready: set[int] = set(netlist.input_bits)
+    for dff in netlist.dffs:
+        ready.add(dff.q)
+    pending = list(netlist.gates)
+    ordered: list[Gate] = []
+    # Kahn-style sweep; the per-round filter keeps it O(E) amortized
+    # because gates usually arrive roughly in dependency order.
+    while pending:
+        progressed = False
+        remaining: list[Gate] = []
+        for gate in pending:
+            if all(nid in ready for nid in gate.inputs):
+                ordered.append(gate)
+                ready.add(gate.output)
+                progressed = True
+            else:
+                remaining.append(gate)
+        if not progressed:
+            names = [netlist.net_name(g.output) for g in remaining[:5]]
+            raise NetlistError(
+                f"combinational cycle involving nets {names}"
+            )
+        pending = remaining
+    return ordered
+
+
+def levelize(netlist: Netlist) -> dict[int, int]:
+    """Map net id -> logic level (inputs/DFF outputs are level 0)."""
+    levels: dict[int, int] = {nid: 0 for nid in netlist.input_bits}
+    for dff in netlist.dffs:
+        levels[dff.q] = 0
+    for gate in topo_gates(netlist):
+        if gate.inputs:
+            levels[gate.output] = 1 + max(levels[n] for n in gate.inputs)
+        else:
+            levels[gate.output] = 0
+    return levels

@@ -1,0 +1,28 @@
+"""Mutant sampling strategies (paper, section 4).
+
+Both strategies draw the same overall fraction of the mutant
+population; they differ only in *where* the samples come from:
+
+* :class:`RandomSampling` — the classical approach [6]: uniform over
+  the whole population.
+* :class:`TestOrientedSampling` — the paper's contribution: a
+  per-operator sampling rate proportional to the operator's stuck-at
+  efficiency weight, water-filled so the total matches exactly.
+"""
+
+from repro.sampling.allocation import largest_remainder, waterfill_rates
+from repro.sampling.random_sampling import RandomSampling
+from repro.sampling.weighted import (
+    PAPER_RANK_WEIGHTS,
+    TestOrientedSampling,
+    weights_from_nlfce,
+)
+
+__all__ = [
+    "PAPER_RANK_WEIGHTS",
+    "RandomSampling",
+    "TestOrientedSampling",
+    "largest_remainder",
+    "waterfill_rates",
+    "weights_from_nlfce",
+]

@@ -1,0 +1,95 @@
+"""Quota allocation helpers for stratified sampling."""
+
+from __future__ import annotations
+
+from repro.errors import SamplingError
+
+
+def largest_remainder(
+    shares: dict[str, float], total: int
+) -> dict[str, int]:
+    """Integer quotas summing to ``total``, proportional to ``shares``.
+
+    The largest-remainder (Hamilton) method: floor everything, then hand
+    the leftover units to the largest fractional parts.  Deterministic
+    tie-break on the group key.
+    """
+    if total < 0:
+        raise SamplingError("total must be non-negative")
+    weight_sum = sum(shares.values())
+    if weight_sum <= 0:
+        raise SamplingError("shares must contain positive mass")
+    exact = {
+        key: total * value / weight_sum for key, value in shares.items()
+    }
+    quotas = {key: int(exact[key]) for key in shares}
+    leftover = total - sum(quotas.values())
+    by_remainder = sorted(
+        shares, key=lambda key: (-(exact[key] - quotas[key]), key)
+    )
+    for key in by_remainder[:leftover]:
+        quotas[key] += 1
+    return quotas
+
+
+def waterfill_rates(
+    weights: dict[str, float],
+    sizes: dict[str, int],
+    total: int,
+) -> dict[str, int]:
+    """Per-group quotas with sampling *rates* proportional to weights.
+
+    Solves for ``c`` such that ``sum(min(c * w_g, 1) * n_g) = total``,
+    then rounds with the largest-remainder method within the uncapped
+    groups.  A group's quota never exceeds its size.
+    """
+    if total > sum(sizes.values()):
+        raise SamplingError(
+            f"cannot sample {total} from {sum(sizes.values())} mutants"
+        )
+    capped: set[str] = set()
+    while True:
+        remaining = total - sum(sizes[g] for g in capped)
+        mass = sum(
+            weights[g] * sizes[g] for g in sizes if g not in capped
+        )
+        if mass <= 0 or remaining <= 0:
+            break
+        scale = remaining / mass
+        newly_capped = [
+            g
+            for g in sizes
+            if g not in capped and scale * weights[g] >= 1.0
+        ]
+        if not newly_capped:
+            break
+        capped.update(newly_capped)
+    quotas = {g: sizes[g] for g in capped}
+    open_groups = {g: sizes[g] for g in sizes if g not in capped}
+    remaining = total - sum(quotas.values())
+    if open_groups and remaining > 0:
+        shares = {
+            g: weights[g] * size for g, size in open_groups.items()
+        }
+        if sum(shares.values()) <= 0:
+            shares = dict(open_groups)
+        open_quotas = largest_remainder(shares, remaining)
+        # Cap and redistribute any overshoot deterministically.
+        overflow = 0
+        for g in sorted(open_quotas):
+            if open_quotas[g] > open_groups[g]:
+                overflow += open_quotas[g] - open_groups[g]
+                open_quotas[g] = open_groups[g]
+        while overflow > 0:
+            for g in sorted(open_quotas):
+                if open_quotas[g] < open_groups[g]:
+                    open_quotas[g] += 1
+                    overflow -= 1
+                    if overflow == 0:
+                        break
+            else:
+                break
+        quotas.update(open_quotas)
+    elif open_groups:
+        quotas.update({g: 0 for g in open_groups})
+    return quotas

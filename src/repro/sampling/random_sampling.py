@@ -1,0 +1,29 @@
+"""Classical uniform mutant sampling (Offutt/Untch style)."""
+
+from __future__ import annotations
+
+from repro.errors import SamplingError
+from repro.mutation.mutant import Mutant
+from repro.util.rng import rng_stream
+
+
+class RandomSampling:
+    """Select ``fraction`` of the population uniformly, no replacement."""
+
+    name = "random"
+
+    def __init__(self, fraction: float = 0.10):
+        if not 0.0 < fraction <= 1.0:
+            raise SamplingError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def sample_size(self, population: int) -> int:
+        return max(1, round(self.fraction * population)) if population else 0
+
+    def sample(
+        self, mutants: list[Mutant], seed: int, *labels: str
+    ) -> list[Mutant]:
+        count = self.sample_size(len(mutants))
+        rng = rng_stream(seed, self.name, *labels)
+        chosen = rng.sample(mutants, count)
+        return sorted(chosen, key=lambda m: m.mid)

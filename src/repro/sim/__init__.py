@@ -1,0 +1,23 @@
+"""Behavioural simulator for elaborated designs.
+
+* :class:`repro.sim.scheduler.Simulator` — delta-cycle, event-driven
+  process execution with mutant patch tables
+* :class:`repro.sim.testbench.Testbench` — clocking/reset protocol and
+  sequence application
+* :class:`repro.sim.testbench.StimulusEncoder` — packs integers into
+  port-value dictionaries so test generators can treat stimuli as plain
+  bit-vectors
+"""
+
+from repro.hdl.values import BV, check_in_range, default_value
+from repro.sim.scheduler import Simulator
+from repro.sim.testbench import StimulusEncoder, Testbench
+
+__all__ = [
+    "BV",
+    "Simulator",
+    "StimulusEncoder",
+    "Testbench",
+    "check_in_range",
+    "default_value",
+]

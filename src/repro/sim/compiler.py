@@ -1,0 +1,579 @@
+"""Closure-compiling process executor.
+
+Compiles (patched) process bodies into nested Python closures once, so
+mutant simulation pays no per-node dispatch or patch lookup at run time:
+
+* patches resolve at compile time (each mutant compiles its own view);
+* operators specialize on the statically checked operand types (a bit
+  ``and`` compiles to ``&``, a boolean one to ``and``);
+* assignment range checks compile to type-specific closures that raise
+  :class:`repro.errors.MutantRuntimeError` exactly like the interpreter.
+
+The interpreter (:mod:`repro.sim.interp`) remains the reference
+implementation; a property test pins the two to identical behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.errors import MutantRuntimeError, SimulationError
+from repro.hdl import ast
+from repro.hdl import types as ty
+from repro.hdl.design import Design, Process, SymbolKind
+from repro.hdl.values import BV
+from repro.sim.interp import ExecContext
+
+_ExprFn = Callable[[ExecContext], object]
+_StmtFn = Callable[[ExecContext], None]
+
+
+class CompileCache:
+    """Shares compiled statement closures across mutants of one design.
+
+    Closures are stateless (the context is an argument), so any mutant
+    whose patch does not touch a statement's subtree can reuse the
+    design-wide compilation of that statement.  Keys are node object
+    ids; the design AST outlives every executor, keeping ids stable.
+    """
+
+    def __init__(self) -> None:
+        self.stmt_fns: dict[int, _StmtFn] = {}
+        self.subtree_nids: dict[int, frozenset[int]] = {}
+
+    def nids_of(self, stmt: ast.Stmt) -> frozenset[int]:
+        key = id(stmt)
+        cached = self.subtree_nids.get(key)
+        if cached is None:
+            acc: set[int] = set()
+            _collect_nids(stmt, acc)
+            cached = frozenset(acc)
+            self.subtree_nids[key] = cached
+        return cached
+
+
+def _collect_nids(node: ast.Node, acc: set[int]) -> None:
+    acc.add(node.nid)
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        _collect_from(value, acc)
+
+
+def _collect_from(value, acc: set[int]) -> None:
+    if isinstance(value, ast.Node):
+        _collect_nids(value, acc)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _collect_from(item, acc)
+
+
+class CompiledExecutor:
+    """Per-design (and per-mutant) compiled process bodies."""
+
+    def __init__(
+        self,
+        design: Design,
+        patch: dict[int, ast.Node] | None = None,
+        cache: CompileCache | None = None,
+    ):
+        compiler = _Compiler(patch or {}, cache)
+        self._fns: dict[str, _StmtFn] = {
+            process.label: compiler.compile_body(process.body)
+            for process in design.processes
+        }
+
+    def exec_process(self, process: Process, ctx: ExecContext) -> None:
+        self._fns[process.label](ctx)
+
+
+class InterpretedExecutor:
+    """Adapter giving the interpreter the executor interface."""
+
+    def __init__(self, design: Design, patch: dict[int, ast.Node] | None = None):
+        from repro.sim.interp import Evaluator
+
+        self._evaluator = Evaluator(patch)
+
+    def exec_process(self, process: Process, ctx: ExecContext) -> None:
+        self._evaluator.exec_body(process.body, ctx)
+
+
+class _Compiler:
+    def __init__(self, patch: dict[int, ast.Node],
+                 cache: CompileCache | None = None):
+        self._patch = patch
+        self._cache = cache
+
+    def _resolve(self, node: ast.Node) -> ast.Node:
+        return self._patch.get(node.nid, node)
+
+    # -- statements ----------------------------------------------------------
+
+    def compile_body(self, body: list[ast.Stmt]) -> _StmtFn:
+        fns = [self.compile_stmt_cached(stmt) for stmt in body]
+        if len(fns) == 1:
+            return fns[0]
+
+        def run(ctx: ExecContext) -> None:
+            for fn in fns:
+                fn(ctx)
+
+        return run
+
+    def compile_stmt_cached(self, stmt: ast.Stmt) -> _StmtFn:
+        cache = self._cache
+        if cache is None:
+            return self.compile_stmt(stmt)
+        if self._patch and not self._patch.keys().isdisjoint(
+            cache.nids_of(stmt)
+        ):
+            # The mutation lives in this subtree: compile privately.
+            return self.compile_stmt(stmt)
+        key = id(stmt)
+        fn = cache.stmt_fns.get(key)
+        if fn is None:
+            # Compile the pristine subtree once, shared by all mutants.
+            fn = _Compiler({}, cache).compile_stmt(stmt)
+            cache.stmt_fns[key] = fn
+        return fn
+
+    def compile_stmt(self, stmt: ast.Stmt) -> _StmtFn:
+        stmt = self._resolve(stmt)
+        if isinstance(stmt, ast.SignalAssign):
+            return self._compile_assign(stmt.target, stmt.value, signal=True)
+        if isinstance(stmt, ast.VarAssign):
+            return self._compile_assign(stmt.target, stmt.value, signal=False)
+        if isinstance(stmt, ast.If):
+            arms = [
+                (self.compile_expr(cond), self.compile_body(body))
+                for cond, body in stmt.arms
+            ]
+            else_fn = self.compile_body(stmt.else_body) if stmt.else_body else None
+
+            def run_if(ctx: ExecContext) -> None:
+                for cond_fn, body_fn in arms:
+                    value = cond_fn(ctx)
+                    if value is True:
+                        body_fn(ctx)
+                        return
+                    if value is not False:
+                        raise MutantRuntimeError(
+                            f"condition is not boolean: {value!r}"
+                        )
+                if else_fn is not None:
+                    else_fn(ctx)
+
+            return run_if
+        if isinstance(stmt, ast.Case):
+            return self._compile_case(stmt)
+        if isinstance(stmt, ast.ForLoop):
+            return self._compile_for(stmt)
+        if isinstance(stmt, ast.NullStmt):
+            return _nop
+        raise SimulationError(f"cannot compile {type(stmt).__name__}")
+
+    def _compile_case(self, stmt: ast.Case) -> _StmtFn:
+        selector_fn = self.compile_expr(stmt.selector)
+        selector_is_bv = isinstance(
+            self._resolve(stmt.selector).ty, ty.BitVectorType
+        )
+        arms: list[tuple[list[_ExprFn], _StmtFn]] = []
+        others_fn: _StmtFn | None = None
+        for when in stmt.whens:
+            body_fn = self.compile_body(when.body)
+            if when.is_others:
+                others_fn = body_fn
+            else:
+                choice_fns = [self.compile_expr(c) for c in when.choices]
+                arms.append((choice_fns, body_fn))
+
+        def run_case(ctx: ExecContext) -> None:
+            selector = selector_fn(ctx)
+            if selector_is_bv:
+                selector = _bv_key(selector)
+            for choice_fns, body_fn in arms:
+                for choice_fn in choice_fns:
+                    choice = choice_fn(ctx)
+                    if selector_is_bv:
+                        choice = _bv_key(choice)
+                    if choice == selector:
+                        body_fn(ctx)
+                        return
+            if others_fn is not None:
+                others_fn(ctx)
+
+        return run_case
+
+    def _compile_for(self, stmt: ast.ForLoop) -> _StmtFn:
+        low_fn = self.compile_expr(stmt.low)
+        high_fn = self.compile_expr(stmt.high)
+        body_fn = self.compile_body(stmt.body)
+        var = stmt.var
+        ascending = stmt.direction == "to"
+
+        def run_for(ctx: ExecContext) -> None:
+            low = low_fn(ctx)
+            high = high_fn(ctx)
+            values = (
+                range(low, high + 1) if ascending else range(low, high - 1, -1)
+            )
+            ctx.loop_stack.append((var, 0))
+            try:
+                for value in values:
+                    ctx.loop_stack[-1] = (var, value)
+                    body_fn(ctx)
+            finally:
+                ctx.loop_stack.pop()
+
+        return run_for
+
+    # -- assignment ------------------------------------------------------------
+
+    def _compile_assign(
+        self, target: ast.Expr, value: ast.Expr, signal: bool
+    ) -> _StmtFn:
+        value_fn = self.compile_expr(value)
+        target = self._resolve(target)
+        if isinstance(target, ast.Name):
+            name = target.symbol.name
+            check = _make_checker(target.symbol.ty)
+            if signal:
+                def assign_sig(ctx: ExecContext) -> None:
+                    ctx.schedule(name, check(value_fn(ctx)))
+                return assign_sig
+
+            def assign_var(ctx: ExecContext) -> None:
+                ctx.variables[name] = check(value_fn(ctx))
+            return assign_var
+        if isinstance(target, ast.Index):
+            name = target.prefix.symbol.name
+            vec_type: ty.BitVectorType = target.prefix.symbol.ty
+            index_fn = self.compile_expr(target.index)
+            check_bit = _make_checker(ty.BIT)
+
+            def assign_indexed(ctx: ExecContext) -> None:
+                offset = _offset(vec_type, index_fn(ctx))
+                bit = check_bit(value_fn(ctx))
+                if signal:
+                    base = ctx.schedule_base(name)
+                    ctx.schedule(name, base.with_bit(offset, bit))
+                else:
+                    ctx.variables[name] = ctx.variables[name].with_bit(
+                        offset, bit
+                    )
+
+            return assign_indexed
+        if isinstance(target, ast.Slice):
+            name = target.prefix.symbol.name
+            vec_type = target.prefix.symbol.ty
+            left_fn = self.compile_expr(target.left)
+            right_fn = self.compile_expr(target.right)
+
+            def assign_sliced(ctx: ExecContext) -> None:
+                high = _offset(vec_type, left_fn(ctx))
+                low = _offset(vec_type, right_fn(ctx))
+                piece = value_fn(ctx)
+                if not isinstance(piece, BV) or piece.width != high - low + 1:
+                    raise MutantRuntimeError(
+                        "slice assignment width mismatch"
+                    )
+                if signal:
+                    base = ctx.schedule_base(name)
+                    ctx.schedule(name, base.with_slice(high, low, piece))
+                else:
+                    ctx.variables[name] = ctx.variables[name].with_slice(
+                        high, low, piece
+                    )
+
+            return assign_sliced
+        raise SimulationError(
+            f"unsupported assignment target {type(target).__name__}"
+        )
+
+    # -- expressions -------------------------------------------------------------
+
+    def compile_expr(self, node: ast.Expr) -> _ExprFn:
+        node = self._resolve(node)
+        kind = type(node)
+        if kind is ast.Name:
+            symbol = node.symbol
+            name = symbol.name
+            if symbol.kind in (SymbolKind.CONSTANT, SymbolKind.ENUM_LITERAL):
+                value = symbol.init
+                return lambda ctx: value
+            if symbol.kind is SymbolKind.VARIABLE:
+                return lambda ctx: ctx.variables[name]
+            if symbol.kind is SymbolKind.LOOP_VAR:
+                return lambda ctx: ctx.loop_value(name)
+            return lambda ctx: ctx.read_signal(name)
+        if kind is ast.IntLit:
+            value = node.value
+            return lambda ctx: value
+        if kind is ast.BitLit:
+            value = node.value
+            return lambda ctx: value
+        if kind is ast.BoolLit:
+            value = node.value
+            return lambda ctx: value
+        if kind is ast.BitStringLit:
+            value = BV.from_string(node.bits)
+            return lambda ctx: value
+        if kind is ast.EnumLit:
+            value = node.index
+            return lambda ctx: value
+        if kind is ast.Binary:
+            return self._compile_binary(node)
+        if kind is ast.Unary:
+            return self._compile_unary(node)
+        if kind is ast.Index:
+            prefix_fn = self.compile_expr(node.prefix)
+            index_fn = self.compile_expr(node.index)
+            vec_type = self._resolve(node.prefix).ty
+            if not isinstance(vec_type, ty.BitVectorType):
+                raise SimulationError("indexing a non-vector expression")
+
+            def eval_index(ctx: ExecContext):
+                return prefix_fn(ctx).bit(_offset(vec_type, index_fn(ctx)))
+
+            return eval_index
+        if kind is ast.Slice:
+            prefix_fn = self.compile_expr(node.prefix)
+            left_fn = self.compile_expr(node.left)
+            right_fn = self.compile_expr(node.right)
+            vec_type = self._resolve(node.prefix).ty
+
+            def eval_slice(ctx: ExecContext):
+                return prefix_fn(ctx).slice(
+                    _offset(vec_type, left_fn(ctx)),
+                    _offset(vec_type, right_fn(ctx)),
+                )
+
+            return eval_slice
+        if kind is ast.Attribute:
+            prefix = self._resolve(node.prefix)
+            name = prefix.symbol.name
+            return lambda ctx: name in ctx.events
+        if kind is ast.Call:
+            signal = self._resolve(node.args[0])
+            name = signal.symbol.name
+            if node.func == "rising_edge":
+                return lambda ctx: (
+                    name in ctx.events and ctx.read_signal(name) == 1
+                )
+            if node.func == "falling_edge":
+                return lambda ctx: (
+                    name in ctx.events and ctx.read_signal(name) == 0
+                )
+            raise SimulationError(f"unknown function {node.func!r}")
+        if kind is ast.OthersAggregate:
+            bit_fn = self.compile_expr(node.value)
+            width = node.ty.width
+            ones = BV((1 << width) - 1, width)
+            zeros = BV(0, width)
+            return lambda ctx: ones if bit_fn(ctx) else zeros
+        raise SimulationError(f"cannot compile {kind.__name__}")
+
+    def _compile_unary(self, node: ast.Unary) -> _ExprFn:
+        operand_fn = self.compile_expr(node.operand)
+        operand_ty = self._resolve(node.operand).ty
+        if node.op == "not":
+            if isinstance(operand_ty, ty.BooleanType):
+                return lambda ctx: not operand_fn(ctx)
+            if isinstance(operand_ty, ty.BitVectorType):
+                return lambda ctx: _bv_not(operand_fn(ctx))
+            return lambda ctx: operand_fn(ctx) ^ 1
+        if node.op == "-":
+            return lambda ctx: -operand_fn(ctx)
+        raise SimulationError(f"unsupported unary operator {node.op!r}")
+
+    def _compile_binary(self, node: ast.Binary) -> _ExprFn:
+        lf = self.compile_expr(node.left)
+        rf = self.compile_expr(node.right)
+        left_ty = self._resolve(node.left).ty
+        op = node.op
+        if op in _LOGICAL_COMPILERS:
+            if isinstance(left_ty, ty.BooleanType):
+                return _LOGICAL_COMPILERS[op][0](lf, rf)
+            if isinstance(left_ty, ty.BitVectorType):
+                return _LOGICAL_COMPILERS[op][2](lf, rf)
+            return _LOGICAL_COMPILERS[op][1](lf, rf)
+        if op in ("=", "/="):
+            if isinstance(left_ty, ty.BitVectorType):
+                if op == "=":
+                    return lambda ctx: _bv_eq(lf(ctx), rf(ctx))
+                return lambda ctx: not _bv_eq(lf(ctx), rf(ctx))
+            if op == "=":
+                return lambda ctx: lf(ctx) == rf(ctx)
+            return lambda ctx: lf(ctx) != rf(ctx)
+        if op == "<":
+            return lambda ctx: lf(ctx) < rf(ctx)
+        if op == "<=":
+            return lambda ctx: lf(ctx) <= rf(ctx)
+        if op == ">":
+            return lambda ctx: lf(ctx) > rf(ctx)
+        if op == ">=":
+            return lambda ctx: lf(ctx) >= rf(ctx)
+        if op == "+":
+            return lambda ctx: lf(ctx) + rf(ctx)
+        if op == "-":
+            return lambda ctx: lf(ctx) - rf(ctx)
+        if op == "*":
+            return lambda ctx: lf(ctx) * rf(ctx)
+        if op == "mod":
+            def eval_mod(ctx: ExecContext):
+                divisor = rf(ctx)
+                if divisor == 0:
+                    raise MutantRuntimeError("mod by zero")
+                return lf(ctx) % divisor
+            return eval_mod
+        if op == "rem":
+            def eval_rem(ctx: ExecContext):
+                divisor = rf(ctx)
+                if divisor == 0:
+                    raise MutantRuntimeError("rem by zero")
+                dividend = lf(ctx)
+                return dividend - divisor * int(dividend / divisor)
+            return eval_rem
+        if op == "&":
+            return lambda ctx: _concat(lf(ctx), rf(ctx))
+        raise SimulationError(f"unsupported binary operator {op!r}")
+
+
+def _nop(ctx: ExecContext) -> None:
+    return None
+
+
+def _bv_key(value):
+    if isinstance(value, BV):
+        return (value.value, value.width)
+    raise MutantRuntimeError("case selector/choice kind mismatch")
+
+
+def _bv_not(value: BV) -> BV:
+    return BV(~value.value, value.width)
+
+
+def _bv_eq(a, b) -> bool:
+    if not (isinstance(a, BV) and isinstance(b, BV)):
+        raise MutantRuntimeError("comparing vector with scalar")
+    if a.width != b.width:
+        raise MutantRuntimeError("comparing vectors of unequal width")
+    return a.value == b.value
+
+
+def _concat(a, b) -> BV:
+    left = a if isinstance(a, BV) else BV(a, 1)
+    right = b if isinstance(b, BV) else BV(b, 1)
+    return left.concat(right)
+
+
+def _offset(vec_type: ty.BitVectorType, index: int) -> int:
+    try:
+        return vec_type.bit_index(index)
+    except ValueError as exc:
+        raise MutantRuntimeError(str(exc)) from None
+
+
+def _make_checker(target_type: ty.HdlType):
+    """Type-specialized assignment range/width check."""
+    if isinstance(target_type, ty.BitType):
+        def check_bit(value):
+            if (
+                isinstance(value, int)
+                and not isinstance(value, bool)
+                and (value == 0 or value == 1)
+            ):
+                return value
+            raise MutantRuntimeError(f"cannot assign {value!r} to bit")
+        return check_bit
+    if isinstance(target_type, ty.BooleanType):
+        def check_bool(value):
+            if isinstance(value, bool):
+                return value
+            raise MutantRuntimeError(f"cannot assign {value!r} to boolean")
+        return check_bool
+    if isinstance(target_type, ty.IntegerType):
+        low, high = target_type.low, target_type.high
+
+        def check_int(value):
+            if isinstance(value, int) and not isinstance(value, bool):
+                if low <= value <= high:
+                    return value
+                raise MutantRuntimeError(
+                    f"value {value} outside {target_type}"
+                )
+            raise MutantRuntimeError(f"cannot assign {value!r} to integer")
+        return check_int
+    if isinstance(target_type, ty.EnumType):
+        count = len(target_type.literals)
+
+        def check_enum(value):
+            if isinstance(value, int) and 0 <= value < count:
+                return value
+            raise MutantRuntimeError(
+                f"cannot assign {value!r} to {target_type}"
+            )
+        return check_enum
+    if isinstance(target_type, ty.BitVectorType):
+        width = target_type.width
+
+        def check_vec(value):
+            if isinstance(value, BV) and value.width == width:
+                return value
+            raise MutantRuntimeError(
+                f"cannot assign {value!r} to {target_type}"
+            )
+        return check_vec
+    raise SimulationError(f"unknown target type {target_type!r}")
+
+
+_LOGICAL_COMPILERS = {
+    # (boolean, bit, vector) specializations per connective
+    "and": (
+        lambda lf, rf: lambda ctx: lf(ctx) and rf(ctx),
+        lambda lf, rf: lambda ctx: lf(ctx) & rf(ctx),
+        lambda lf, rf: lambda ctx: _bv_bin(lf(ctx), rf(ctx), 0),
+    ),
+    "or": (
+        lambda lf, rf: lambda ctx: lf(ctx) or rf(ctx),
+        lambda lf, rf: lambda ctx: lf(ctx) | rf(ctx),
+        lambda lf, rf: lambda ctx: _bv_bin(lf(ctx), rf(ctx), 1),
+    ),
+    "xor": (
+        lambda lf, rf: lambda ctx: lf(ctx) != rf(ctx),
+        lambda lf, rf: lambda ctx: lf(ctx) ^ rf(ctx),
+        lambda lf, rf: lambda ctx: _bv_bin(lf(ctx), rf(ctx), 2),
+    ),
+    "nand": (
+        lambda lf, rf: lambda ctx: not (lf(ctx) and rf(ctx)),
+        lambda lf, rf: lambda ctx: (lf(ctx) & rf(ctx)) ^ 1,
+        lambda lf, rf: lambda ctx: _bv_bin(lf(ctx), rf(ctx), 3),
+    ),
+    "nor": (
+        lambda lf, rf: lambda ctx: not (lf(ctx) or rf(ctx)),
+        lambda lf, rf: lambda ctx: (lf(ctx) | rf(ctx)) ^ 1,
+        lambda lf, rf: lambda ctx: _bv_bin(lf(ctx), rf(ctx), 4),
+    ),
+    "xnor": (
+        lambda lf, rf: lambda ctx: lf(ctx) == rf(ctx),
+        lambda lf, rf: lambda ctx: (lf(ctx) ^ rf(ctx)) ^ 1,
+        lambda lf, rf: lambda ctx: _bv_bin(lf(ctx), rf(ctx), 5),
+    ),
+}
+
+
+def _bv_bin(a: BV, b: BV, op: int) -> BV:
+    if not (isinstance(a, BV) and isinstance(b, BV)) or a.width != b.width:
+        raise MutantRuntimeError("logical op on mismatched vectors")
+    if op == 0:
+        return BV(a.value & b.value, a.width)
+    if op == 1:
+        return BV(a.value | b.value, a.width)
+    if op == 2:
+        return BV(a.value ^ b.value, a.width)
+    if op == 3:
+        return BV(~(a.value & b.value), a.width)
+    if op == 4:
+        return BV(~(a.value | b.value), a.width)
+    return BV(~(a.value ^ b.value), a.width)

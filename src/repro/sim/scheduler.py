@@ -1,0 +1,180 @@
+"""Delta-cycle, event-driven simulation of an elaborated design.
+
+The simulator follows VHDL's two-phase model: triggered processes read
+the *current* signal values and schedule updates; updates are committed
+together; signals whose value changed form the event set that wakes the
+next round of processes.  Delta rounds repeat until quiescence (or
+:class:`repro.errors.OscillationError` after ``max_delta`` rounds, which
+can legitimately happen for mutants that create combinational cycles).
+"""
+
+from __future__ import annotations
+
+from repro.errors import OscillationError, SimulationError
+from repro.hdl import ast
+from repro.hdl.design import Design, Process
+from repro.sim.interp import process_context
+
+
+class Simulator:
+    """Executes a design, optionally through a mutant patch table.
+
+    ``backend`` selects the process executor: ``"interp"`` walks the
+    AST (reference semantics), ``"compiled"`` runs closure-compiled
+    bodies (~5-10x faster; used for mutant campaigns).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        patch: dict[int, ast.Node] | None = None,
+        max_delta: int = 256,
+        backend: str = "interp",
+    ):
+        self._design = design
+        if backend == "compiled":
+            from repro.sim.compiler import CompiledExecutor
+
+            self._executor = CompiledExecutor(design, patch)
+        elif backend == "interp":
+            from repro.sim.compiler import InterpretedExecutor
+
+            self._executor = InterpretedExecutor(design, patch)
+        else:
+            raise SimulationError(f"unknown backend {backend!r}")
+        self._max_delta = max_delta
+        # Signal store.
+        self._values: dict[str, object] = {}
+        for symbol in design.signal_like_symbols:
+            self._values[symbol.name] = symbol.init
+        # Per-process persistent variable stores.
+        self._variables: dict[str, dict[str, object]] = {}
+        for process in design.processes:
+            self._variables[process.label] = {
+                var.name: var.init for var in process.variables
+            }
+        # Sensitivity map: signal name -> processes to wake.
+        self._watchers: dict[str, list[Process]] = {}
+        for process in design.processes:
+            for name in process.sensitivity:
+                self._watchers.setdefault(name, []).append(process)
+        self._scheduled: dict[str, object] = {}
+        self._initialized = False
+
+    @property
+    def design(self) -> Design:
+        return self._design
+
+    # -- signal access ---------------------------------------------------------
+
+    def read(self, name: str):
+        """Current value of a signal or port."""
+        return self._values[name]
+
+    def _schedule(self, name: str, value) -> None:
+        self._scheduled[name] = value
+
+    def _schedule_base(self, name: str):
+        """Base value for partial (bit/slice) signal updates.
+
+        Projections accumulate within one delta: the second ``v(i) <=``
+        in the same round builds on the first one's pending value.
+        """
+        if name in self._scheduled:
+            return self._scheduled[name]
+        return self._values[name]
+
+    # -- execution ---------------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Run every process once (VHDL time-zero activation), settle."""
+        if self._initialized:
+            return
+        self._initialized = True
+        self._run_processes(self._design.processes, events=set())
+        events = self._commit()
+        self._settle(events)
+
+    def set_inputs(self, values: dict[str, object]) -> None:
+        """Drive input ports and settle all resulting activity."""
+        self.initialize()
+        events = set()
+        for name, value in values.items():
+            if self._values[name] != value:
+                self._values[name] = value
+                events.add(name)
+        self._settle(events)
+
+    def _settle(self, events: set[str]) -> None:
+        for _ in range(self._max_delta):
+            if not events:
+                return
+            triggered: list[Process] = []
+            seen: set[str] = set()
+            for name in events:
+                for process in self._watchers.get(name, ()):
+                    if process.label not in seen:
+                        seen.add(process.label)
+                        triggered.append(process)
+            self._run_processes(triggered, events)
+            events = self._commit()
+        raise OscillationError(
+            f"design {self._design.name!r} did not settle after "
+            f"{self._max_delta} delta cycles"
+        )
+
+    def _run_processes(self, processes: list[Process], events: set[str]) -> None:
+        for process in processes:
+            ctx = process_context(
+                process,
+                self.read,
+                self._schedule,
+                self._schedule_base,
+                self._variables[process.label],
+                events,
+            )
+            self._executor.exec_process(process, ctx)
+
+    def _commit(self) -> set[str]:
+        events: set[str] = set()
+        for name, value in self._scheduled.items():
+            if self._values[name] != value:
+                self._values[name] = value
+                events.add(name)
+        self._scheduled.clear()
+        return events
+
+    # -- state checkpointing ------------------------------------------------------
+
+    def save_state(self) -> tuple:
+        """Checkpoint signal values and process variables.
+
+        Values are immutable (ints, bools, BV), so shallow dict copies
+        capture the full machine state.
+        """
+        return (
+            dict(self._values),
+            {label: dict(vars_) for label, vars_ in self._variables.items()},
+            self._initialized,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        values, variables, initialized = state
+        self._values = dict(values)
+        self._variables = {
+            label: dict(vars_) for label, vars_ in variables.items()
+        }
+        self._initialized = initialized
+        self._scheduled.clear()
+
+    # -- convenience -------------------------------------------------------------
+
+    def snapshot_outputs(self) -> tuple:
+        """Current values of the output ports, in declaration order."""
+        return tuple(
+            self._values[port.name] for port in self._design.output_ports
+        )
+
+    def require_port(self, name: str) -> None:
+        if name not in self._values:
+            raise SimulationError(f"unknown signal {name!r}")

@@ -1,0 +1,18 @@
+"""Behavioural-to-gate synthesis.
+
+``synthesize(design)`` lowers an elaborated design to a
+:class:`repro.netlist.netlist.Netlist`:
+
+* clocked processes (async-reset template) become per-bit D flip-flops
+  whose reset values come from the reset body;
+* process bodies are symbolically executed into gate DAGs — if/case
+  become mux trees, for-loops unroll, integer arithmetic is bit-blasted
+  (ripple adders/subtractors, shift-and-add multipliers, borrow
+  comparators);
+* combinational processes are synthesized in dependency order; reading
+  an output the process itself drives (a latch) is rejected.
+"""
+
+from repro.synth.synthesize import synthesize
+
+__all__ = ["synthesize"]

@@ -1,0 +1,156 @@
+"""Bit-blasted word operations over builder net handles.
+
+All functions take LSB-first bit lists whose elements are
+:class:`repro.netlist.netlist.NetlistBuilder` net handles (real ids or
+constant sentinels).  Widths are small (benchmark state registers), so
+ripple structures are appropriate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SynthesisError
+from repro.netlist.netlist import CONST0, CONST1, NetlistBuilder
+
+Bits = tuple[int, ...]
+
+
+def const_bits(value: int, width: int) -> Bits:
+    """Encode a non-negative integer as constant sentinel bits."""
+    if value < 0:
+        raise SynthesisError(f"cannot encode negative constant {value}")
+    if width and value >> width:
+        raise SynthesisError(f"constant {value} does not fit {width} bits")
+    return tuple(
+        CONST1 if (value >> i) & 1 else CONST0 for i in range(width)
+    )
+
+
+def zext(bits: Bits, width: int) -> Bits:
+    """Zero-extend (or validate) to ``width`` bits."""
+    if len(bits) > width:
+        raise SynthesisError(
+            f"cannot narrow {len(bits)} bits to {width} by extension"
+        )
+    return tuple(bits) + (CONST0,) * (width - len(bits))
+
+
+def truncate(bits: Bits, width: int) -> Bits:
+    return tuple(bits[:width])
+
+
+def fit(bits: Bits, width: int) -> Bits:
+    """Zero-extend or truncate to exactly ``width`` bits."""
+    if len(bits) >= width:
+        return truncate(bits, width)
+    return zext(bits, width)
+
+
+def bitwise_not(builder: NetlistBuilder, bits: Bits) -> Bits:
+    return tuple(builder.g_not(b) for b in bits)
+
+
+def full_adder(
+    builder: NetlistBuilder, a: int, b: int, carry: int
+) -> tuple[int, int]:
+    axb = builder.g_xor(a, b)
+    total = builder.g_xor(axb, carry)
+    carry_out = builder.g_or(builder.g_and(a, b), builder.g_and(carry, axb))
+    return total, carry_out
+
+
+def add(builder: NetlistBuilder, a: Bits, b: Bits) -> Bits:
+    """Unsigned ripple-carry addition; result is one bit wider."""
+    width = max(len(a), len(b))
+    a = zext(a, width)
+    b = zext(b, width)
+    carry = CONST0
+    out = []
+    for i in range(width):
+        total, carry = full_adder(builder, a[i], b[i], carry)
+        out.append(total)
+    out.append(carry)
+    return tuple(out)
+
+
+def sub(builder: NetlistBuilder, a: Bits, b: Bits) -> Bits:
+    """``a - b`` assuming ``a >= b`` (two's complement, carry dropped)."""
+    width = max(len(a), len(b))
+    a = zext(a, width)
+    b = zext(b, width)
+    carry = CONST1
+    out = []
+    for i in range(width):
+        total, carry = full_adder(builder, a[i], builder.g_not(b[i]), carry)
+        out.append(total)
+    return tuple(out)
+
+
+def mul(builder: NetlistBuilder, a: Bits, b: Bits) -> Bits:
+    """Unsigned shift-and-add multiplication."""
+    result: Bits = const_bits(0, len(a) + len(b))
+    for j, b_bit in enumerate(b):
+        partial = tuple(builder.g_and(a_bit, b_bit) for a_bit in a)
+        shifted = const_bits(0, j) + partial
+        result = fit(add(builder, result, shifted), len(a) + len(b))
+    return result
+
+
+def less_than(builder: NetlistBuilder, a: Bits, b: Bits) -> int:
+    """Unsigned ``a < b`` via ripple borrow (majority form)."""
+    width = max(len(a), len(b))
+    a = zext(a, width)
+    b = zext(b, width)
+    borrow = CONST0
+    for i in range(width):
+        not_a = builder.g_not(a[i])
+        borrow = builder.g_or(
+            builder.g_and(not_a, b[i]),
+            builder.g_and(builder.g_or(not_a, b[i]), borrow),
+        )
+    return borrow
+
+
+def equal(builder: NetlistBuilder, a: Bits, b: Bits) -> int:
+    width = max(len(a), len(b))
+    a = zext(a, width)
+    b = zext(b, width)
+    matches = [builder.g_xnor(a[i], b[i]) for i in range(width)]
+    return builder.reduce_tree_and(matches)
+
+
+def mux_bits(builder: NetlistBuilder, sel: int, t: Bits, f: Bits) -> Bits:
+    width = max(len(t), len(f))
+    t = zext(t, width)
+    f = zext(f, width)
+    return tuple(builder.mux(sel, t[i], f[i]) for i in range(width))
+
+
+def mod_const(builder: NetlistBuilder, a: Bits, modulus: int) -> Bits:
+    """``a mod modulus`` for a constant positive modulus.
+
+    Power-of-two moduli reduce to slicing; otherwise conditional
+    subtraction (bounded because widths are small).
+    """
+    if modulus <= 0:
+        raise SynthesisError(f"modulus must be positive, got {modulus}")
+    if modulus & (modulus - 1) == 0:
+        width = modulus.bit_length() - 1
+        if width == 0:
+            return const_bits(0, 1)
+        return fit(a, width)
+    result_width = (modulus - 1).bit_length()
+    max_value = (1 << len(a)) - 1
+    iterations = max_value // modulus
+    if iterations > 64:
+        raise SynthesisError(
+            f"mod by {modulus} over {len(a)} bits needs {iterations} "
+            "subtractions; widen the design types instead"
+        )
+    value = tuple(a)
+    m_bits = const_bits(modulus, len(a) + 1)
+    for _ in range(iterations):
+        value_ext = zext(value, len(m_bits))
+        ge = builder.g_not(less_than(builder, value_ext, m_bits))
+        reduced = sub(builder, value_ext, m_bits)
+        value = mux_bits(builder, ge, reduced, value_ext)
+    return fit(value, result_width)

@@ -1,0 +1,569 @@
+"""Symbolic execution of process bodies into gate networks.
+
+The executor mirrors :mod:`repro.sim.interp` but produces net handles
+instead of values.  VHDL's read/write split is preserved: signal reads
+always see the activation-entry value (``read_env``); writes accumulate
+in ``write_env``; variables update immediately and start every
+activation undefined (``None`` bits) — reading an undefined bit is a
+synthesis error, which is exactly the latch/state condition the paper's
+benchmarks must not contain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+from repro.hdl import ast
+from repro.hdl import types as ty
+from repro.hdl.design import Symbol, SymbolKind
+from repro.hdl.values import BV
+from repro.netlist.netlist import CONST0, CONST1, NetlistBuilder
+from repro.synth import bitops
+from repro.synth.bitops import Bits
+
+
+@dataclass(frozen=True)
+class SymVal:
+    """Type-tagged bit-vector of net handles (LSB first)."""
+
+    kind: str          # "bit" | "bool" | "int" | "enum" | "vec"
+    bits: Bits
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    def bit(self) -> int:
+        if self.width != 1:
+            raise SynthesisError(f"expected a single bit, got {self.width}")
+        return self.bits[0]
+
+
+def type_width(hdl_type: ty.HdlType) -> int:
+    if isinstance(hdl_type, (ty.BitType, ty.BooleanType)):
+        return 1
+    if isinstance(hdl_type, ty.BitVectorType):
+        return hdl_type.width
+    if isinstance(hdl_type, ty.IntegerType):
+        if hdl_type.low < 0:
+            raise SynthesisError(
+                f"negative integer range {hdl_type} is not synthesizable"
+            )
+        return hdl_type.bit_width
+    if isinstance(hdl_type, ty.EnumType):
+        return hdl_type.bit_width
+    raise SynthesisError(f"unsupported type {hdl_type}")
+
+
+def type_kind(hdl_type: ty.HdlType) -> str:
+    if isinstance(hdl_type, ty.BitType):
+        return "bit"
+    if isinstance(hdl_type, ty.BooleanType):
+        return "bool"
+    if isinstance(hdl_type, ty.BitVectorType):
+        return "vec"
+    if isinstance(hdl_type, ty.IntegerType):
+        return "int"
+    if isinstance(hdl_type, ty.EnumType):
+        return "enum"
+    raise SynthesisError(f"unsupported type {hdl_type}")
+
+
+def encode_const(value, hdl_type: ty.HdlType) -> SymVal:
+    """Encode a folded constant as sentinel bits."""
+    kind = type_kind(hdl_type)
+    if kind == "vec":
+        if not isinstance(value, BV):
+            raise SynthesisError(f"expected BV constant, got {value!r}")
+        return SymVal("vec", bitops.const_bits(value.value, hdl_type.width))
+    if kind == "bool":
+        return SymVal("bool", bitops.const_bits(1 if value else 0, 1))
+    if kind == "int":
+        # Integer constants are universal: width follows the value, not
+        # the (possibly unconstrained) declared subtype.
+        if int(value) < 0:
+            raise SynthesisError(
+                f"negative constant {value} is not synthesizable"
+            )
+        width = max(int(value).bit_length(), 1)
+        return SymVal("int", bitops.const_bits(int(value), width))
+    return SymVal(kind, bitops.const_bits(int(value), type_width(hdl_type)))
+
+
+class SymExec:
+    """Executes one process body symbolically."""
+
+    def __init__(
+        self,
+        builder: NetlistBuilder,
+        read_env: dict[str, SymVal],
+        write_seed: dict[str, SymVal],
+        variables: list[Symbol],
+        const_only: bool = False,
+    ):
+        self._b = builder
+        self._read_env = read_env
+        self.write_env: dict[str, SymVal] = dict(write_seed)
+        self._vars: dict[str, SymVal] = {
+            var.name: SymVal(
+                type_kind(var.ty), (None,) * type_width(var.ty)
+            )
+            for var in variables
+        }
+        self._var_types = {var.name: var.ty for var in variables}
+        self._loop_stack: list[tuple[str, int]] = []
+        self._const_only = const_only
+
+    # -- statements ----------------------------------------------------------
+
+    def exec_body(self, body: list[ast.Stmt]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.SignalAssign):
+            self._assign(stmt.target, self.eval(stmt.value, stmt.target),
+                         signal=True)
+        elif isinstance(stmt, ast.VarAssign):
+            self._assign(stmt.target, self.eval(stmt.value, stmt.target),
+                         signal=False)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt)
+        elif isinstance(stmt, ast.Case):
+            self._exec_case(stmt)
+        elif isinstance(stmt, ast.ForLoop):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.NullStmt):
+            pass
+        else:  # pragma: no cover - analyzer limits statement kinds
+            raise SynthesisError(f"cannot synthesize {type(stmt).__name__}")
+
+    def _snapshot(self) -> tuple[dict[str, SymVal], dict[str, SymVal]]:
+        return dict(self.write_env), dict(self._vars)
+
+    def _restore(self, snap: tuple[dict[str, SymVal], dict[str, SymVal]]):
+        self.write_env, self._vars = dict(snap[0]), dict(snap[1])
+
+    def _merge(
+        self,
+        cond: int,
+        then_state: tuple[dict[str, SymVal], dict[str, SymVal]],
+        else_state: tuple[dict[str, SymVal], dict[str, SymVal]],
+    ) -> None:
+        merged_writes = self._merge_env(cond, then_state[0], else_state[0])
+        merged_vars = self._merge_env(cond, then_state[1], else_state[1])
+        self.write_env, self._vars = merged_writes, merged_vars
+
+    def _merge_env(
+        self, cond: int, then_env: dict[str, SymVal],
+        else_env: dict[str, SymVal],
+    ) -> dict[str, SymVal]:
+        merged: dict[str, SymVal] = {}
+        for name in set(then_env) | set(else_env):
+            t = then_env.get(name)
+            f = else_env.get(name)
+            if t is None or f is None:
+                present = t if t is not None else f
+                # Defined on one path only: keep per-bit undefinedness.
+                undef = SymVal(present.kind, (None,) * present.width)
+                t = t if t is not None else undef
+                f = f if f is not None else undef
+            merged[name] = self._mux_val(cond, t, f)
+        return merged
+
+    def _mux_val(self, cond: int, t: SymVal, f: SymVal) -> SymVal:
+        if t.bits == f.bits:
+            return t
+        width = max(t.width, f.width)
+        t_bits = self._pad(t, width)
+        f_bits = self._pad(f, width)
+        out = []
+        for i in range(width):
+            a, b = t_bits[i], f_bits[i]
+            if a is None and b is None:
+                out.append(None)
+            elif a is None or b is None:
+                # One branch leaves the bit undefined; reading it later
+                # is an error, so poison the merged bit.
+                out.append(None) if a == b else out.append(
+                    a if b is None else b
+                )
+                # A partially-defined merge keeps the defined branch's
+                # value; the behavioural simulator would read stale
+                # variable state here, which the analyzer forbids being
+                # observed (reads of undefined vars raise).
+                out[-1] = None
+            else:
+                out.append(self._b.mux(cond, a, b))
+        return SymVal(t.kind, tuple(out))
+
+    @staticmethod
+    def _pad(val: SymVal, width: int) -> Bits:
+        if val.width == width:
+            return val.bits
+        return tuple(val.bits) + (CONST0,) * (width - val.width)
+
+    def _exec_if(self, stmt: ast.If) -> None:
+        self._exec_if_arms(stmt.arms, stmt.else_body)
+
+    def _exec_if_arms(self, arms, else_body) -> None:
+        if not arms:
+            self.exec_body(else_body)
+            return
+        cond_expr, body = arms[0]
+        cond = self._as_bool_bit(self.eval(cond_expr))
+        entry = self._snapshot()
+        self.exec_body(body)
+        then_state = self._snapshot()
+        self._restore(entry)
+        self._exec_if_arms(arms[1:], else_body)
+        else_state = self._snapshot()
+        self._merge(cond, then_state, else_state)
+
+    def _exec_case(self, stmt: ast.Case) -> None:
+        selector = self.eval(stmt.selector)
+        arms: list[tuple[ast.Expr | None, list[ast.Stmt]]] = []
+        else_body: list[ast.Stmt] = []
+        whens = list(stmt.whens)
+        has_others = whens and whens[-1].is_others
+        if has_others:
+            else_body = whens[-1].body
+            whens = whens[:-1]
+        elif whens:
+            # Full coverage (checked by the analyzer): the final
+            # alternative becomes the else branch.
+            else_body = whens[-1].body
+            whens = whens[:-1]
+        if_arms = []
+        for when in whens:
+            conds = [
+                bitops.equal(
+                    self._b,
+                    selector.bits,
+                    self.eval(choice).bits,
+                )
+                for choice in when.choices
+            ]
+            cond = self._b.reduce_tree_or(conds)
+            if_arms.append((cond, when.body))
+        self._exec_case_arms(if_arms, else_body)
+
+    def _exec_case_arms(self, arms, else_body) -> None:
+        if not arms:
+            self.exec_body(else_body)
+            return
+        cond, body = arms[0]
+        entry = self._snapshot()
+        self.exec_body(body)
+        then_state = self._snapshot()
+        self._restore(entry)
+        self._exec_case_arms(arms[1:], else_body)
+        else_state = self._snapshot()
+        self._merge(cond, then_state, else_state)
+
+    def _exec_for(self, stmt: ast.ForLoop) -> None:
+        low = self._static_int(stmt.low)
+        high = self._static_int(stmt.high)
+        if stmt.direction == "to":
+            values = range(low, high + 1)
+        else:
+            values = range(low, high - 1, -1)
+        self._loop_stack.append((stmt.var, 0))
+        try:
+            for value in values:
+                self._loop_stack[-1] = (stmt.var, value)
+                self.exec_body(stmt.body)
+        finally:
+            self._loop_stack.pop()
+
+    def _static_int(self, expr: ast.Expr) -> int:
+        val = self.eval(expr)
+        out = 0
+        for i, bit in enumerate(val.bits):
+            if bit == CONST1:
+                out |= 1 << i
+            elif bit != CONST0:
+                raise SynthesisError("expected a static bound")
+        return out
+
+    # -- assignment -------------------------------------------------------------
+
+    def _assign(self, target: ast.Expr, value: SymVal, signal: bool) -> None:
+        if isinstance(target, ast.Name):
+            symbol: Symbol = target.symbol
+            fitted = self._fit_to(value, symbol.ty)
+            self._store(symbol, fitted, signal)
+            return
+        if isinstance(target, ast.Index):
+            symbol = target.prefix.symbol
+            current = self._load_for_update(symbol, signal)
+            index = self.eval(target.index)
+            bit = self._as_single_bit(value)
+            vec_type: ty.BitVectorType = symbol.ty
+            new_bits = self._set_element(current, index, bit, vec_type)
+            self._store(symbol, SymVal("vec", new_bits), signal)
+            return
+        if isinstance(target, ast.Slice):
+            symbol = target.prefix.symbol
+            current = self._load_for_update(symbol, signal)
+            vec_type = symbol.ty
+            left = self._static_int(target.left)
+            right = self._static_int(target.right)
+            high = vec_type.bit_index(left)
+            low = vec_type.bit_index(right)
+            if value.width != high - low + 1:
+                raise SynthesisError("slice assignment width mismatch")
+            bits = list(current.bits)
+            bits[low : high + 1] = value.bits
+            self._store(symbol, SymVal("vec", tuple(bits)), signal)
+            return
+        raise SynthesisError(
+            f"unsupported assignment target {type(target).__name__}"
+        )
+
+    def _set_element(
+        self, current: SymVal, index: SymVal, bit: int,
+        vec_type: ty.BitVectorType,
+    ) -> Bits:
+        """Write one (possibly dynamically indexed) vector element."""
+        static = self._try_static(index)
+        bits = list(current.bits)
+        if static is not None:
+            offset = vec_type.bit_index(static)
+            bits[offset] = bit
+            return tuple(bits)
+        for offset in range(vec_type.width):
+            vhdl_index = offset + vec_type.right
+            hit = bitops.equal(
+                self._b, index.bits,
+                bitops.const_bits(vhdl_index, max(index.width, 1)),
+            )
+            if bits[offset] is None:
+                raise SynthesisError(
+                    "dynamic bit write over an undefined base"
+                )
+            bits[offset] = self._b.mux(hit, bit, bits[offset])
+        return tuple(bits)
+
+    def _load_for_update(self, symbol: Symbol, signal: bool) -> SymVal:
+        if signal:
+            value = self.write_env.get(symbol.name)
+            if value is None:
+                raise SynthesisError(
+                    f"partial write to {symbol.name!r} before any full "
+                    "assignment in this process"
+                )
+            return value
+        return self._vars[symbol.name]
+
+    def _store(self, symbol: Symbol, value: SymVal, signal: bool) -> None:
+        if signal:
+            if symbol.kind is SymbolKind.VARIABLE:
+                raise SynthesisError(
+                    f"signal assignment to variable {symbol.name!r}"
+                )
+            self.write_env[symbol.name] = value
+        else:
+            self._vars[symbol.name] = value
+
+    def _fit_to(self, value: SymVal, target_type: ty.HdlType) -> SymVal:
+        width = type_width(target_type)
+        kind = type_kind(target_type)
+        if value.width == width:
+            return SymVal(kind, value.bits)
+        if value.width > width:
+            # In-range designs only ever truncate zero high bits.
+            return SymVal(kind, bitops.truncate(value.bits, width))
+        return SymVal(kind, bitops.zext(value.bits, width))
+
+    # -- expressions -----------------------------------------------------------
+
+    def eval(self, expr: ast.Expr, target: ast.Expr | None = None) -> SymVal:
+        if isinstance(expr, ast.Name):
+            return self._eval_name(expr)
+        if isinstance(expr, ast.IntLit):
+            width = max(expr.value.bit_length(), 1)
+            return SymVal("int", bitops.const_bits(expr.value, width))
+        if isinstance(expr, ast.BitLit):
+            return SymVal("bit", bitops.const_bits(expr.value, 1))
+        if isinstance(expr, ast.BoolLit):
+            return SymVal("bool", bitops.const_bits(int(expr.value), 1))
+        if isinstance(expr, ast.BitStringLit):
+            bv = BV.from_string(expr.bits)
+            return SymVal("vec", bitops.const_bits(bv.value, bv.width))
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr)
+        if isinstance(expr, ast.Index):
+            return self._eval_index(expr)
+        if isinstance(expr, ast.Slice):
+            return self._eval_slice(expr)
+        if isinstance(expr, ast.OthersAggregate):
+            bit = self._as_single_bit(self.eval(expr.value))
+            width = type_width(expr.ty)
+            return SymVal("vec", (bit,) * width)
+        raise SynthesisError(
+            f"cannot synthesize expression {type(expr).__name__}"
+        )
+
+    def _eval_name(self, expr: ast.Name) -> SymVal:
+        symbol: Symbol = expr.symbol
+        kind = symbol.kind
+        if kind in (SymbolKind.CONSTANT, SymbolKind.ENUM_LITERAL):
+            return encode_const(symbol.init, symbol.ty)
+        if kind is SymbolKind.VARIABLE:
+            value = self._vars[symbol.name]
+            self._require_defined(value, symbol.name)
+            return value
+        if kind is SymbolKind.LOOP_VAR:
+            for name, bound in reversed(self._loop_stack):
+                if name == symbol.name:
+                    width = max(bound.bit_length(), 1)
+                    return SymVal("int", bitops.const_bits(bound, width))
+            raise SynthesisError(f"unbound loop variable {symbol.name!r}")
+        if self._const_only:
+            raise SynthesisError(
+                f"reset body reads signal {symbol.name!r}; reset values "
+                "must be constants"
+            )
+        value = self._read_env.get(symbol.name)
+        if value is None:
+            raise SynthesisError(
+                f"process reads {symbol.name!r} which it also drives "
+                "(combinational latch/cycle)"
+            )
+        return value
+
+    def _require_defined(self, value: SymVal, name: str) -> None:
+        if any(bit is None for bit in value.bits):
+            raise SynthesisError(
+                f"variable {name!r} may be read before assignment"
+            )
+
+    def _eval_unary(self, expr: ast.Unary) -> SymVal:
+        operand = self.eval(expr.operand)
+        if expr.op == "not":
+            self._require_all_defined(operand)
+            return SymVal(operand.kind, bitops.bitwise_not(self._b, operand.bits))
+        raise SynthesisError(f"unary {expr.op!r} is not synthesizable")
+
+    def _eval_binary(self, expr: ast.Binary) -> SymVal:
+        op = expr.op
+        left = self.eval(expr.left)
+        right = self.eval(expr.right)
+        self._require_all_defined(left)
+        self._require_all_defined(right)
+        if op in ("and", "or", "nand", "nor", "xor", "xnor"):
+            return self._logical(op, left, right)
+        if op in ("=", "/="):
+            eq = bitops.equal(self._b, left.bits, right.bits)
+            if op == "/=":
+                eq = self._b.g_not(eq)
+            return SymVal("bool", (eq,))
+        if op in ("<", "<=", ">", ">="):
+            if op == "<":
+                bit = bitops.less_than(self._b, left.bits, right.bits)
+            elif op == ">=":
+                bit = self._b.g_not(
+                    bitops.less_than(self._b, left.bits, right.bits)
+                )
+            elif op == ">":
+                bit = bitops.less_than(self._b, right.bits, left.bits)
+            else:
+                bit = self._b.g_not(
+                    bitops.less_than(self._b, right.bits, left.bits)
+                )
+            return SymVal("bool", (bit,))
+        if op == "+":
+            return SymVal("int", bitops.add(self._b, left.bits, right.bits))
+        if op == "-":
+            return SymVal("int", bitops.sub(self._b, left.bits, right.bits))
+        if op == "*":
+            return SymVal("int", bitops.mul(self._b, left.bits, right.bits))
+        if op in ("mod", "rem"):
+            modulus = self._try_static(right)
+            if modulus is None:
+                raise SynthesisError(
+                    f"{op} requires a constant right operand"
+                )
+            return SymVal(
+                "int", bitops.mod_const(self._b, left.bits, modulus)
+            )
+        if op == "&":
+            # VHDL concat: left operand supplies the high-order bits.
+            return SymVal("vec", tuple(right.bits) + tuple(left.bits))
+        raise SynthesisError(f"binary {op!r} is not synthesizable")
+
+    def _logical(self, op: str, left: SymVal, right: SymVal) -> SymVal:
+        if left.width != right.width:
+            raise SynthesisError("logical operands of different widths")
+        gate = {
+            "and": self._b.g_and,
+            "or": self._b.g_or,
+            "nand": self._b.g_nand,
+            "nor": self._b.g_nor,
+            "xor": self._b.g_xor,
+            "xnor": self._b.g_xnor,
+        }[op]
+        bits = tuple(
+            gate(left.bits[i], right.bits[i]) for i in range(left.width)
+        )
+        return SymVal(left.kind, bits)
+
+    def _eval_index(self, expr: ast.Index) -> SymVal:
+        vector = self.eval(expr.prefix)
+        self._require_all_defined(vector)
+        index = self.eval(expr.index)
+        vec_type: ty.BitVectorType = expr.prefix.ty
+        static = self._try_static(index)
+        if static is not None:
+            return SymVal("bit", (vector.bits[vec_type.bit_index(static)],))
+        result = vector.bits[0]
+        for offset in range(1, vec_type.width):
+            vhdl_index = offset + vec_type.right
+            hit = bitops.equal(
+                self._b, index.bits,
+                bitops.const_bits(vhdl_index, max(index.width, 1)),
+            )
+            result = self._b.mux(hit, vector.bits[offset], result)
+        return SymVal("bit", (result,))
+
+    def _eval_slice(self, expr: ast.Slice) -> SymVal:
+        vector = self.eval(expr.prefix)
+        vec_type: ty.BitVectorType = expr.prefix.ty
+        left = self._static_int(expr.left)
+        right = self._static_int(expr.right)
+        high = vec_type.bit_index(left)
+        low = vec_type.bit_index(right)
+        return SymVal("vec", tuple(vector.bits[low : high + 1]))
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _try_static(self, value: SymVal) -> int | None:
+        out = 0
+        for i, bit in enumerate(value.bits):
+            if bit == CONST1:
+                out |= 1 << i
+            elif bit != CONST0:
+                return None
+        return out
+
+    def _as_bool_bit(self, value: SymVal) -> int:
+        if value.kind != "bool" or value.width != 1:
+            raise SynthesisError("condition must be boolean")
+        self._require_all_defined(value)
+        return value.bits[0]
+
+    def _as_single_bit(self, value: SymVal) -> int:
+        if value.width != 1:
+            raise SynthesisError("expected a single-bit value")
+        self._require_all_defined(value)
+        return value.bits[0]
+
+    def _require_all_defined(self, value: SymVal) -> None:
+        if any(bit is None for bit in value.bits):
+            raise SynthesisError(
+                "expression reads a value that may be unassigned"
+            )

@@ -1,0 +1,168 @@
+"""Top-level synthesis: elaborated design -> gate-level netlist."""
+
+from __future__ import annotations
+
+from repro.errors import LatchInferenceError, SynthesisError
+from repro.hdl.design import Design, Process, Symbol
+from repro.netlist.netlist import CONST0, CONST1, Netlist, NetlistBuilder
+from repro.synth.symexec import SymExec, SymVal, encode_const, type_kind, type_width
+
+
+def synthesize(design: Design) -> Netlist:
+    """Lower ``design`` to gates; see package docstring for the method."""
+    builder = NetlistBuilder(design.name)
+    env: dict[str, SymVal] = {}
+
+    control = set(design.clocks) | set(design.resets)
+    for port in design.input_ports:
+        if port.name in control:
+            continue  # clock/reset are implicit in the DFF model
+        width = type_width(port.ty)
+        msb_first = builder.add_input_port(port.name, width)
+        env[port.name] = SymVal(type_kind(port.ty), tuple(reversed(msb_first)))
+
+    clocked = [p for p in design.processes if p.is_clocked]
+    combinational = [p for p in design.processes if not p.is_clocked]
+
+    # 1. Flip-flop shells with reset values; their Q nets enter the env.
+    dff_bits: dict[str, list[int]] = {}
+    for process in clocked:
+        resets = _reset_values(builder, design, process)
+        for name in sorted(process.writes):
+            symbol = design.symbols[name]
+            width = type_width(symbol.ty)
+            q_bits = [
+                builder.add_dff(_reg_name(name, i, width), resets[name][i])
+                for i in range(width)
+            ]
+            dff_bits[name] = q_bits
+            env[name] = SymVal(type_kind(symbol.ty), tuple(q_bits))
+
+    # 2. Combinational processes in dependency order.
+    _synth_combinational(builder, design, combinational, env)
+
+    # 3. Clocked next-state logic.
+    for process in clocked:
+        read_env = dict(env)
+        write_seed = {name: env[name] for name in process.writes}
+        executor = SymExec(builder, read_env, write_seed, process.variables)
+        executor.exec_body(process.sync_body)
+        for name in sorted(process.writes):
+            next_val = executor.write_env[name]
+            if any(bit is None for bit in next_val.bits):
+                raise SynthesisError(
+                    f"registered signal {name!r} has an undefined next "
+                    f"value in process {process.label!r}"
+                )
+            for q, d in zip(dff_bits[name], next_val.bits):
+                builder.connect_dff(q, d)
+
+    # 4. Output ports.
+    for port in design.output_ports:
+        value = env.get(port.name)
+        if value is None:
+            raise SynthesisError(
+                f"output port {port.name!r} is never driven"
+            )
+        builder.set_output_port(port.name, list(reversed(value.bits)))
+
+    return builder.finish()
+
+
+def _reg_name(signal: str, lsb_offset: int, width: int) -> str:
+    if width == 1:
+        return f"{signal}_reg"
+    return f"{signal}_reg[{lsb_offset}]"
+
+
+def _reset_values(
+    builder: NetlistBuilder, design: Design, process: Process
+) -> dict[str, list[int]]:
+    """Per-signal, per-bit reset values (0/1) for a clocked process.
+
+    Signals the reset body does not assign fall back to their declared
+    initial value (the behavioural simulator's pre-reset state).
+    """
+    seed = {}
+    for name in process.writes:
+        symbol = design.symbols[name]
+        seed[name] = encode_const(symbol.init, symbol.ty)
+    executor = SymExec(
+        builder, read_env={}, write_seed=seed,
+        variables=process.variables, const_only=True,
+    )
+    executor.exec_body(process.reset_body)
+    resets: dict[str, list[int]] = {}
+    for name in process.writes:
+        bits = executor.write_env[name].bits
+        values = []
+        for bit in bits:
+            if bit == CONST1:
+                values.append(1)
+            elif bit == CONST0:
+                values.append(0)
+            else:
+                raise SynthesisError(
+                    f"reset value of {name!r} in process "
+                    f"{process.label!r} is not constant"
+                )
+        resets[name] = values
+    return resets
+
+
+def _synth_combinational(
+    builder: NetlistBuilder,
+    design: Design,
+    processes: list[Process],
+    env: dict[str, SymVal],
+) -> None:
+    pending = list(processes)
+    while pending:
+        progressed = False
+        remaining: list[Process] = []
+        for process in pending:
+            external_reads = process.reads - process.writes
+            if all(name in env for name in external_reads):
+                _synth_one_comb(builder, design, process, env)
+                progressed = True
+            else:
+                remaining.append(process)
+        if not progressed:
+            labels = [p.label for p in remaining]
+            raise SynthesisError(
+                f"combinational processes {labels} form a dependency "
+                "cycle or read undriven signals"
+            )
+        pending = remaining
+
+
+def _synth_one_comb(
+    builder: NetlistBuilder,
+    design: Design,
+    process: Process,
+    env: dict[str, SymVal],
+) -> None:
+    read_env = {
+        name: value
+        for name, value in env.items()
+        if name not in process.writes
+    }
+    executor = SymExec(builder, read_env, {}, process.variables)
+    executor.exec_body(process.body)
+    for name in sorted(process.writes):
+        value = executor.write_env.get(name)
+        symbol: Symbol = design.symbols[name]
+        if value is None or any(bit is None for bit in value.bits):
+            raise LatchInferenceError(
+                f"combinational process {process.label!r} does not assign "
+                f"{name!r} on every path (latch inferred)"
+            )
+        if value.width != type_width(symbol.ty):
+            raise SynthesisError(
+                f"signal {name!r} synthesized to {value.width} bits, "
+                f"expected {type_width(symbol.ty)}"
+            )
+        env[name] = value
+
+
+_ = CONST0  # re-exported sentinels are part of this module's contract

@@ -1,0 +1,25 @@
+"""Test data generation.
+
+* :mod:`repro.testgen.random_gen` — seeded uniform and LFSR-based
+  pseudo-random vector generators (the paper's baseline test sets)
+* :mod:`repro.testgen.mutation_gen` — mutation-adequate greedy
+  selection: the paper's validation-data generator
+* :mod:`repro.testgen.atpg` — PODEM deterministic ATPG (combinational),
+  used for the validation-data-reuse experiment
+* :mod:`repro.testgen.compaction` — reverse-order static compaction
+"""
+
+from repro.testgen.atpg import AtpgResult, Podem
+from repro.testgen.compaction import reverse_order_compaction
+from repro.testgen.mutation_gen import MutationTestGenerator, TestGenResult
+from repro.testgen.random_gen import LfsrGenerator, RandomVectorGenerator
+
+__all__ = [
+    "AtpgResult",
+    "LfsrGenerator",
+    "MutationTestGenerator",
+    "Podem",
+    "RandomVectorGenerator",
+    "TestGenResult",
+    "reverse_order_compaction",
+]

@@ -1,0 +1,345 @@
+"""PODEM — deterministic test pattern generation for stuck-at faults.
+
+Classic five-valued PODEM (Goel 1981) over the combinational netlist:
+objective / backtrace / imply with a decision stack and a backtrack
+limit.  Used by the validation-data-reuse experiment to measure "ATPG
+effort" (backtracks, decisions) with and without a preloaded test set,
+and usable standalone as a coverage top-up.
+
+Values are encoded as (good, faulty) bit pairs with ``None`` for X:
+D = (1, 0), D' = (0, 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AtpgError
+from repro.fault.model import StuckAtFault
+from repro.netlist.cells import GateType
+from repro.netlist.levelize import topo_gates
+from repro.netlist.netlist import Gate, Netlist
+
+_X = None
+
+
+@dataclass
+class AtpgFaultOutcome:
+    fault: StuckAtFault
+    status: str                # "detected" | "redundant" | "aborted"
+    vector: int | None         # packed PI assignment (X bits filled with 0)
+    decisions: int
+    backtracks: int
+
+
+@dataclass
+class AtpgResult:
+    outcomes: list[AtpgFaultOutcome] = field(default_factory=list)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "detected")
+
+    @property
+    def redundant(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "redundant")
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "aborted")
+
+    @property
+    def total_backtracks(self) -> int:
+        return sum(o.backtracks for o in self.outcomes)
+
+    @property
+    def total_decisions(self) -> int:
+        return sum(o.decisions for o in self.outcomes)
+
+    @property
+    def vectors(self) -> list[int]:
+        return [
+            o.vector for o in self.outcomes
+            if o.status == "detected" and o.vector is not None
+        ]
+
+
+class Podem:
+    """PODEM engine bound to one combinational netlist."""
+
+    def __init__(self, netlist: Netlist, backtrack_limit: int = 2000):
+        if netlist.dffs:
+            raise AtpgError(
+                "PODEM operates on combinational netlists only"
+            )
+        self._netlist = netlist
+        self._order = topo_gates(netlist)
+        self._fanout = netlist.fanout_map()
+        self._inputs = netlist.input_bits
+        self._outputs = set(netlist.output_bits)
+        self._backtrack_limit = backtrack_limit
+        self._drivers: dict[int, Gate] = {
+            gate.output: gate for gate in netlist.gates
+        }
+
+    # -- public API ------------------------------------------------------------
+
+    def generate(self, fault: StuckAtFault) -> AtpgFaultOutcome:
+        """Find a vector detecting ``fault``, or prove it redundant."""
+        state = _PodemState(fault)
+        decisions = 0
+        backtracks = 0
+        stack: list[tuple[int, int, bool]] = []  # (pi net, value, flipped)
+        while True:
+            self._imply(state)
+            if self._fault_detected(state):
+                return AtpgFaultOutcome(
+                    fault, "detected", self._pack_vector(state),
+                    decisions, backtracks,
+                )
+            objective = self._objective(state)
+            if objective is not None:
+                pi, value = self._backtrace(state, *objective)
+                stack.append((pi, value, False))
+                state.assignments[pi] = value
+                decisions += 1
+                continue
+            # No objective achievable: backtrack.
+            while stack:
+                pi, value, flipped = stack.pop()
+                del state.assignments[pi]
+                if not flipped:
+                    backtracks += 1
+                    if backtracks > self._backtrack_limit:
+                        return AtpgFaultOutcome(
+                            fault, "aborted", None, decisions, backtracks
+                        )
+                    stack.append((pi, value ^ 1, True))
+                    state.assignments[pi] = value ^ 1
+                    break
+            else:
+                return AtpgFaultOutcome(
+                    fault, "redundant", None, decisions, backtracks
+                )
+
+    def run(self, faults: list[StuckAtFault]) -> AtpgResult:
+        result = AtpgResult()
+        for fault in faults:
+            result.outcomes.append(self.generate(fault))
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _imply(self, state: "_PodemState") -> None:
+        good: dict[int, int | None] = {}
+        faulty: dict[int, int | None] = {}
+        for nid in self._inputs:
+            value = state.assignments.get(nid, _X)
+            good[nid] = value
+            faulty[nid] = value
+        fault = state.fault
+        if fault.is_stem and fault.net in good:
+            faulty[fault.net] = (
+                fault.stuck if good[fault.net] is not _X else _X
+            )
+            if good[fault.net] is not _X:
+                faulty[fault.net] = fault.stuck
+        for gate in self._order:
+            g_in = []
+            f_in = []
+            for pin, nid in enumerate(gate.inputs):
+                g_val = good[nid]
+                f_val = faulty[nid]
+                if (
+                    fault.gate is not None
+                    and gate.gid == fault.gate
+                    and pin == fault.pin
+                ):
+                    f_val = fault.stuck
+                g_in.append(g_val)
+                f_in.append(f_val)
+            g_out = _eval3(gate.gate_type, g_in)
+            f_out = _eval3(gate.gate_type, f_in)
+            if fault.is_stem and gate.output == fault.net:
+                f_out = fault.stuck
+            good[gate.output] = g_out
+            faulty[gate.output] = f_out
+        if fault.is_stem and fault.net in self._inputs:
+            faulty[fault.net] = fault.stuck
+        state.good = good
+        state.faulty = faulty
+
+    def _fault_detected(self, state: "_PodemState") -> bool:
+        return any(
+            state.good[o] is not _X
+            and state.faulty[o] is not _X
+            and state.good[o] != state.faulty[o]
+            for o in self._outputs
+        )
+
+    def _fault_activated(self, state: "_PodemState") -> bool:
+        fault = state.fault
+        site_good = state.good.get(fault.net)
+        if fault.gate is not None or fault.dff is not None:
+            return site_good is not _X and site_good != fault.stuck
+        return site_good is not _X and site_good != fault.stuck
+
+    def _objective(self, state: "_PodemState") -> tuple[int, int] | None:
+        """Next (net, value) objective, or None when stuck."""
+        fault = state.fault
+        site = fault.net
+        if state.good.get(site) is _X:
+            return site, fault.stuck ^ 1
+        if not self._fault_activated(state):
+            return None  # site fixed at the stuck value: backtrack
+        # Propagate: pick the lowest-level D-frontier gate and set one
+        # of its X inputs to the non-controlling value.
+        frontier = self._d_frontier(state)
+        if not frontier:
+            return None
+        gate = frontier[0]
+        for nid in gate.inputs:
+            if state.good[nid] is _X:
+                non_controlling = _non_controlling(gate.gate_type)
+                return nid, non_controlling
+        return None
+
+    def _d_frontier(self, state: "_PodemState") -> list[Gate]:
+        frontier = []
+        for gate in self._order:
+            out_g = state.good[gate.output]
+            out_f = state.faulty[gate.output]
+            # Resolved outputs (both machines known) need no help; the
+            # half-known case (one machine pinned by a controlling value
+            # on the faulty side only) still belongs to the frontier.
+            if out_g is not _X and out_f is not _X:
+                continue
+            has_d_input = any(
+                _differs(good_in, faulty_in)
+                for good_in, faulty_in in self._input_views(state, gate)
+            )
+            if has_d_input and any(
+                state.good[n] is _X for n in gate.inputs
+            ):
+                frontier.append(gate)
+        return frontier
+
+    def _input_views(self, state: "_PodemState", gate: Gate):
+        """(good, faulty) input pairs as the gate itself sees them.
+
+        Branch faults inject only into the faulted gate's view of its
+        pin, so the net's global faulty value is not enough here.
+        """
+        fault = state.fault
+        views = []
+        for pin, nid in enumerate(gate.inputs):
+            good_in = state.good[nid]
+            faulty_in = state.faulty[nid]
+            if (
+                fault.gate is not None
+                and gate.gid == fault.gate
+                and pin == fault.pin
+            ):
+                faulty_in = fault.stuck
+            views.append((good_in, faulty_in))
+        return views
+
+    def _backtrace(
+        self, state: "_PodemState", net: int, value: int
+    ) -> tuple[int, int]:
+        """Walk the objective back to an unassigned primary input."""
+        current, want = net, value
+        guard = 0
+        while current not in self._inputs:
+            guard += 1
+            if guard > 10 * len(self._order) + 10:
+                raise AtpgError("backtrace did not reach a primary input")
+            gate = self._drivers.get(current)
+            if gate is None:
+                raise AtpgError(
+                    f"net {self._netlist.net_name(current)!r} has no driver"
+                )
+            if gate.gate_type.is_const:
+                raise AtpgError("objective requires changing a constant")
+            want = want ^ (1 if _inverts(gate.gate_type) else 0)
+            x_inputs = [
+                nid for nid in gate.inputs if state.good[nid] is _X
+            ]
+            if not x_inputs:
+                # Shouldn't happen (objective net was X); pick input 0.
+                x_inputs = [gate.inputs[0]]
+            current = x_inputs[0]
+        return current, want
+
+    def _pack_vector(self, state: "_PodemState") -> int:
+        packed = 0
+        for nid in self._inputs:
+            bit = state.assignments.get(nid, 0) or 0
+            packed = (packed << 1) | bit
+        return packed
+
+
+class _PodemState:
+    def __init__(self, fault: StuckAtFault):
+        self.fault = fault
+        self.assignments: dict[int, int] = {}
+        self.good: dict[int, int | None] = {}
+        self.faulty: dict[int, int | None] = {}
+
+
+def _differs(good: int | None, faulty: int | None) -> bool:
+    """Whether a line carries a (possibly partial) fault effect."""
+    if good is _X and faulty is _X:
+        return False
+    if good is _X or faulty is _X:
+        return True  # may still diverge: worth driving through
+    return good != faulty
+
+
+def _eval3(gate_type: GateType, inputs: list[int | None]) -> int | None:
+    """Three-valued gate evaluation (X = None)."""
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return 1
+    if gate_type in (GateType.NOT, GateType.BUF):
+        value = inputs[0]
+        if value is _X:
+            return _X
+        return value ^ 1 if gate_type is GateType.NOT else value
+    if gate_type in (GateType.AND, GateType.NAND):
+        if any(v == 0 for v in inputs):
+            out = 0
+        elif all(v == 1 for v in inputs):
+            out = 1
+        else:
+            return _X
+        return out ^ 1 if gate_type is GateType.NAND else out
+    if gate_type in (GateType.OR, GateType.NOR):
+        if any(v == 1 for v in inputs):
+            out = 1
+        elif all(v == 0 for v in inputs):
+            out = 0
+        else:
+            return _X
+        return out ^ 1 if gate_type is GateType.NOR else out
+    # XOR / XNOR
+    if any(v is _X for v in inputs):
+        return _X
+    parity = 0
+    for v in inputs:
+        parity ^= v
+    return parity ^ 1 if gate_type is GateType.XNOR else parity
+
+
+def _non_controlling(gate_type: GateType) -> int:
+    if gate_type in (GateType.AND, GateType.NAND):
+        return 1
+    if gate_type in (GateType.OR, GateType.NOR):
+        return 0
+    return 1  # XOR-ish: either value can help; pick 1
+
+
+def _inverts(gate_type: GateType) -> bool:
+    return gate_type in (GateType.NAND, GateType.NOR, GateType.NOT,
+                         GateType.XNOR)

@@ -1,0 +1,48 @@
+"""Static test-set compaction by reverse-order fault simulation.
+
+The classic trick: simulate the vectors in reverse order against the
+fault list and keep only those that detect a fault not already detected
+by a later-kept vector.  Order of the kept vectors is preserved.
+Combinational test sets only (each vector detects independently).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TestGenError
+from repro.fault.comb_sim import CombFaultSimulator
+from repro.fault.model import StuckAtFault
+from repro.netlist.netlist import Netlist
+
+
+def reverse_order_compaction(
+    netlist: Netlist,
+    vectors: list[int],
+    faults: list[StuckAtFault] | None = None,
+) -> list[int]:
+    """Drop vectors whose detected faults are covered by kept ones."""
+    if netlist.dffs:
+        raise TestGenError(
+            "reverse-order compaction applies to combinational sets only"
+        )
+    if not vectors:
+        return []
+    simulator = CombFaultSimulator(netlist, faults)
+    result = simulator.simulate(vectors)
+    detects_by_vector: dict[int, set[int]] = {}
+    for fault_index, first in enumerate(result.detection):
+        if first is not None:
+            detects_by_vector.setdefault(first, set()).add(fault_index)
+    # First-detection indexes alone under-approximate per-vector detection;
+    # walk in reverse and re-simulate kept coverage incrementally.
+    covered: set[int] = set()
+    kept_reversed: list[int] = []
+    for index in range(len(vectors) - 1, -1, -1):
+        single = simulator.simulate([vectors[index]])
+        detected = {
+            fi for fi, d in enumerate(single.detection) if d is not None
+        }
+        if detected - covered:
+            kept_reversed.append(index)
+            covered |= detected
+    kept = sorted(kept_reversed)
+    return [vectors[i] for i in kept]

@@ -1,0 +1,222 @@
+"""Mutation-adequate test data generation (the paper's validation data).
+
+Vectors are drawn from a seeded pseudo-random source and kept only when
+they kill live mutants ("selecting only input data that are mutation
+adequate", section 2 of the paper).
+
+* Combinational designs: classic greedy set cover over candidate
+  batches — each batch's kill sets are computed in one sweep, then the
+  best vectors are taken until the batch stops contributing.
+* Sequential designs: the test set is a single reset-started sequence,
+  grown chunk by chunk; each round proposes several candidate chunks
+  and appends the one killing the most live mutants (state checkpoints
+  avoid re-simulating the prefix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MutantRuntimeError, OscillationError
+from repro.hdl.design import Design
+from repro.mutation.execution import MutationEngine
+from repro.mutation.mutant import Mutant
+from repro.sim.testbench import Testbench
+from repro.testgen.random_gen import RandomVectorGenerator
+
+
+@dataclass
+class TestGenResult:
+    """Outcome of a mutation-adequate generation run."""
+
+    vectors: list[int]
+    killed_mids: set[int]
+    total_targets: int
+    candidates_tried: int
+    rounds: int = 0
+    log: list[str] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.vectors)
+
+    @property
+    def kill_fraction(self) -> float:
+        if self.total_targets == 0:
+            return 1.0
+        return len(self.killed_mids) / self.total_targets
+
+
+class MutationTestGenerator:
+    """Greedy mutation-adequate stimulus selection for one design."""
+
+    def __init__(
+        self,
+        design: Design,
+        seed: int = 1,
+        engine: MutationEngine | None = None,
+        batch_size: int = 64,
+        chunk_length: int = 4,
+        chunk_candidates: int = 6,
+        stall_rounds: int = 4,
+        max_vectors: int = 1024,
+    ):
+        self._design = design
+        self._engine = engine or MutationEngine(design)
+        self._seed = seed
+        self._batch_size = batch_size
+        self._chunk_length = chunk_length
+        self._chunk_candidates = chunk_candidates
+        self._stall_rounds = stall_rounds
+        self._max_vectors = max_vectors
+
+    def generate(self, mutants: list[Mutant]) -> TestGenResult:
+        if self._design.is_sequential:
+            return self._generate_sequential(mutants)
+        return self._generate_combinational(mutants)
+
+    # -- combinational ---------------------------------------------------------
+
+    def _generate_combinational(self, mutants: list[Mutant]) -> TestGenResult:
+        gen = RandomVectorGenerator(
+            self._engine.encoder.width, self._seed, self._design.name,
+            "mutation-testgen",
+        )
+        live: dict[int, Mutant] = {m.mid: m for m in mutants}
+        selected: list[int] = []
+        killed: set[int] = set()
+        tried = 0
+        stall = 0
+        rounds = 0
+        while live and stall < self._stall_rounds and (
+            len(selected) < self._max_vectors
+        ):
+            rounds += 1
+            batch = gen.vectors(self._batch_size)
+            tried += len(batch)
+            kill_sets = self._engine.comb_kill_sets(
+                list(live.values()), batch
+            )
+            # Invert: vector index -> set of mids it kills.
+            by_vector: dict[int, set[int]] = {}
+            for mid, indexes in kill_sets.items():
+                for index in indexes:
+                    by_vector.setdefault(index, set()).add(mid)
+            progress = False
+            while by_vector and len(selected) < self._max_vectors:
+                best_index = max(
+                    by_vector, key=lambda i: (len(by_vector[i]), -i)
+                )
+                gained = by_vector[best_index] & set(live)
+                if not gained:
+                    break
+                selected.append(batch[best_index])
+                killed.update(gained)
+                for mid in gained:
+                    live.pop(mid, None)
+                progress = True
+                by_vector = {
+                    index: mids & set(live)
+                    for index, mids in by_vector.items()
+                    if index != best_index and mids & set(live)
+                }
+            stall = 0 if progress else stall + 1
+        return TestGenResult(
+            vectors=selected,
+            killed_mids=killed,
+            total_targets=len(mutants),
+            candidates_tried=tried,
+            rounds=rounds,
+        )
+
+    # -- sequential ---------------------------------------------------------------
+
+    def _generate_sequential(self, mutants: list[Mutant]) -> TestGenResult:
+        gen = RandomVectorGenerator(
+            self._engine.encoder.width, self._seed, self._design.name,
+            "mutation-testgen",
+        )
+        decode = self._engine.encoder.decode
+        reference = Testbench(self._design, backend="compiled")
+        reference.reset()
+        benches: dict[int, Testbench] = {}
+        live: dict[int, Mutant] = {}
+        killed: set[int] = set()
+        for mutant in mutants:
+            bench = Testbench(
+                self._design, mutant.patch(), backend="compiled"
+            )
+            try:
+                bench.reset()
+            except (MutantRuntimeError, OscillationError):
+                killed.add(mutant.mid)
+                continue
+            benches[mutant.mid] = bench
+            live[mutant.mid] = mutant
+
+        selected: list[int] = []
+        tried = 0
+        stall = 0
+        rounds = 0
+        while live and stall < self._stall_rounds and (
+            len(selected) < self._max_vectors
+        ):
+            rounds += 1
+            candidates = [
+                gen.vectors(self._chunk_length)
+                for _ in range(self._chunk_candidates)
+            ]
+            tried += self._chunk_length * self._chunk_candidates
+            ref_state = reference.save_state()
+            states = {mid: benches[mid].save_state() for mid in live}
+            best: tuple[int, list[int], set[int]] | None = None
+            for chunk in candidates:
+                ref_outputs = []
+                reference.restore_state(ref_state)
+                for packed in chunk:
+                    ref_outputs.append(reference.step(decode(packed)))
+                kills: set[int] = set()
+                for mid in live:
+                    bench = benches[mid]
+                    bench.restore_state(states[mid])
+                    try:
+                        for cycle, packed in enumerate(chunk):
+                            if bench.step(decode(packed)) != ref_outputs[cycle]:
+                                kills.add(mid)
+                                break
+                    except (MutantRuntimeError, OscillationError):
+                        kills.add(mid)
+                if best is None or len(kills) > len(best[2]):
+                    best = (len(kills), chunk, kills)
+            assert best is not None
+            _count, chunk, kills = best
+            if not kills:
+                reference.restore_state(ref_state)
+                for mid in live:
+                    benches[mid].restore_state(states[mid])
+                stall += 1
+                continue
+            stall = 0
+            # Commit the winning chunk on every live machine.
+            reference.restore_state(ref_state)
+            ref_outputs = [reference.step(decode(p)) for p in chunk]
+            for mid in list(live):
+                bench = benches[mid]
+                bench.restore_state(states[mid])
+                try:
+                    for packed in chunk:
+                        bench.step(decode(packed))
+                except (MutantRuntimeError, OscillationError):
+                    kills.add(mid)
+            selected.extend(chunk)
+            killed.update(kills)
+            for mid in kills:
+                live.pop(mid, None)
+                benches.pop(mid, None)
+        return TestGenResult(
+            vectors=selected,
+            killed_mids=killed,
+            total_targets=len(mutants),
+            candidates_tried=tried,
+            rounds=rounds,
+        )

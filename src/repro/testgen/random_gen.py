@@ -1,0 +1,96 @@
+"""Pseudo-random stimulus generators.
+
+Two flavours: a seeded uniform generator (experiments) and a maximal-
+length Fibonacci LFSR (the classic hardware pseudo-random TPG; useful
+for reproducing "pseudo-random test sets generally used as initial test
+sets" per the paper's section 3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TestGenError
+from repro.util.rng import rng_stream
+
+#: Maximal-length LFSR feedback taps (XOR form, 1-based bit positions),
+#: from the standard tables, for register lengths 2..41.
+LFSR_TAPS: dict[int, tuple[int, ...]] = {
+    2: (2, 1), 3: (3, 2), 4: (4, 3), 5: (5, 3), 6: (6, 5), 7: (7, 6),
+    8: (8, 6, 5, 4), 9: (9, 5), 10: (10, 7), 11: (11, 9),
+    12: (12, 11, 10, 4), 13: (13, 12, 11, 8), 14: (14, 13, 12, 2),
+    15: (15, 14), 16: (16, 15, 13, 4), 17: (17, 14), 18: (18, 11),
+    19: (19, 18, 17, 14), 20: (20, 17), 21: (21, 19), 22: (22, 21),
+    23: (23, 18), 24: (24, 23, 22, 17), 25: (25, 22),
+    26: (26, 25, 24, 20), 27: (27, 26, 25, 22), 28: (28, 25),
+    29: (29, 27), 30: (30, 29, 28, 7), 31: (31, 28),
+    32: (32, 30, 26, 25), 33: (33, 20), 34: (34, 31, 30, 10),
+    35: (35, 33), 36: (36, 25), 37: (37, 36, 33, 31),
+    38: (38, 37, 33, 32), 39: (39, 35), 40: (40, 37, 36, 35),
+    41: (41, 38),
+}
+
+
+class RandomVectorGenerator:
+    """Uniform random ``width``-bit vectors from a labelled seed."""
+
+    def __init__(self, width: int, seed: int, *labels: str):
+        if width < 1:
+            raise TestGenError("vector width must be >= 1")
+        self._width = width
+        self._rng = rng_stream(seed, *(labels or ("random-vectors",)))
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def vector(self) -> int:
+        return self._rng.getrandbits(self._width)
+
+    def vectors(self, count: int) -> list[int]:
+        return [self.vector() for _ in range(count)]
+
+
+class LfsrGenerator:
+    """Maximal-length Fibonacci LFSR producing ``width``-bit patterns.
+
+    For widths with a known tap set the sequence has period
+    ``2**width - 1`` (the all-zero state is unreachable); wider requests
+    chain an inner LFSR and fold, which keeps determinism if not
+    maximality.
+    """
+
+    def __init__(self, width: int, seed: int = 1):
+        if width < 1:
+            raise TestGenError("LFSR width must be >= 1")
+        self._width = width
+        self._reg_width = width if width in LFSR_TAPS else 41
+        if width == 1:
+            self._reg_width = 2
+        self._taps = LFSR_TAPS[self._reg_width]
+        mask = (1 << self._reg_width) - 1
+        self._state = (seed & mask) or 1
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def step(self) -> int:
+        feedback = 0
+        for tap in self._taps:
+            feedback ^= (self._state >> (tap - 1)) & 1
+        self._state = ((self._state << 1) | feedback) & (
+            (1 << self._reg_width) - 1
+        )
+        return self._state
+
+    def vector(self) -> int:
+        if self._width <= self._reg_width:
+            return self.step() & ((1 << self._width) - 1)
+        out = 0
+        produced = 0
+        while produced < self._width:
+            out = (out << self._reg_width) | self.step()
+            produced += self._reg_width
+        return out & ((1 << self._width) - 1)
+
+    def vectors(self, count: int) -> list[int]:
+        return [self.vector() for _ in range(count)]

@@ -1,0 +1,6 @@
+"""Small shared utilities: deterministic RNG streams and text tables."""
+
+from repro.util.rng import derive_seed, rng_stream
+from repro.util.tables import render_table
+
+__all__ = ["derive_seed", "rng_stream", "render_table"]

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned.  Floats are
+    shown with two decimals, which matches the precision used in the
+    paper's tables.
+    """
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    numeric = [
+        all(_is_numeric(row[i]) for row in rows) if rows else False
+        for i in range(columns)
+    ]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(fmt_line(list(headers)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(fmt_line(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _is_numeric(cell: object) -> bool:
+    return isinstance(cell, (int, float)) and not isinstance(cell, bool)

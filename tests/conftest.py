@@ -1,0 +1,151 @@
+"""Shared fixtures: parsed designs and synthesized netlists (cached)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import circuit_names, load_circuit
+from repro.synth import synthesize
+
+_NETLISTS = {}
+
+
+@pytest.fixture(scope="session", params=circuit_names())
+def any_circuit_name(request):
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def b01():
+    return load_circuit("b01")
+
+
+@pytest.fixture(scope="session")
+def b02():
+    return load_circuit("b02")
+
+
+@pytest.fixture(scope="session")
+def b03():
+    return load_circuit("b03")
+
+
+@pytest.fixture(scope="session")
+def c17():
+    return load_circuit("c17")
+
+
+@pytest.fixture(scope="session")
+def c432():
+    return load_circuit("c432")
+
+
+@pytest.fixture(scope="session")
+def c499():
+    return load_circuit("c499")
+
+
+def netlist_of(name: str):
+    if name not in _NETLISTS:
+        _NETLISTS[name] = synthesize(load_circuit(name))
+    return _NETLISTS[name]
+
+
+@pytest.fixture(scope="session")
+def c17_netlist():
+    return netlist_of("c17")
+
+
+@pytest.fixture(scope="session")
+def b01_netlist():
+    return netlist_of("b01")
+
+
+MUX_SOURCE = """
+entity mux2 is
+  port ( a, b, sel : in bit; y : out bit );
+end mux2;
+architecture rtl of mux2 is
+begin
+  y <= a when sel = '0' else b;
+end rtl;
+"""
+
+COUNTER_SOURCE = """
+entity counter is
+  port ( enable, reset, clock : in bit;
+         value : out bit_vector(2 downto 0);
+         wrap  : out bit );
+end counter;
+architecture rtl of counter is
+  signal count : integer range 0 to 7;
+begin
+  tick : process (clock, reset)
+  begin
+    if reset = '1' then
+      count <= 0;
+      value <= "000";
+      wrap  <= '0';
+    elsif rising_edge(clock) then
+      wrap <= '0';
+      if enable = '1' then
+        if count = 7 then
+          count <= 0;
+          wrap  <= '1';
+        else
+          count <= count + 1;
+        end if;
+      end if;
+      case count is
+        when 0 => value <= "000";
+        when 1 => value <= "001";
+        when 2 => value <= "010";
+        when 3 => value <= "011";
+        when 4 => value <= "100";
+        when 5 => value <= "101";
+        when 6 => value <= "110";
+        when 7 => value <= "111";
+      end case;
+    end if;
+  end process tick;
+end rtl;
+"""
+
+PARITY_SOURCE = """
+entity parity4 is
+  port ( d : in bit_vector(3 downto 0); p : out bit );
+end parity4;
+architecture rtl of parity4 is
+begin
+  calc : process (d)
+    variable acc : bit;
+  begin
+    acc := '0';
+    for i in 0 to 3 loop
+      acc := acc xor d(i);
+    end loop;
+    p <= acc;
+  end process calc;
+end rtl;
+"""
+
+
+@pytest.fixture()
+def mux_design():
+    from repro.hdl import load_design
+
+    return load_design(MUX_SOURCE, "mux2")
+
+
+@pytest.fixture()
+def counter_design():
+    from repro.hdl import load_design
+
+    return load_design(COUNTER_SOURCE, "counter")
+
+
+@pytest.fixture()
+def parity_design():
+    from repro.hdl import load_design
+
+    return load_design(PARITY_SOURCE, "parity4")

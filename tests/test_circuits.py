@@ -1,0 +1,244 @@
+"""Functional tests of the benchmark circuit library."""
+
+import pytest
+
+from repro.circuits import circuit_names, get_circuit, load_circuit
+from repro.circuits.iscas85 import hamming_data_positions
+from repro.errors import ConfigError
+from repro.hdl.values import BV
+from repro.sim import StimulusEncoder, Testbench
+
+
+def test_registry_lists_seven_circuits():
+    names = circuit_names()
+    assert names == ["b01", "b02", "b03", "b06", "c17", "c432", "c499"]
+
+
+def test_unknown_circuit_raises():
+    with pytest.raises(ConfigError):
+        get_circuit("b99")
+
+
+def test_registry_caches_designs():
+    assert load_circuit("b01") is load_circuit("b01")
+
+
+def test_constants_flag_matches_sources():
+    assert get_circuit("b01").has_constants
+    assert not get_circuit("b02").has_constants
+
+
+# -- c17 -----------------------------------------------------------------
+
+
+def c17_expected(i1, i2, i3, i6, i7):
+    n10 = 1 - (i1 & i3)
+    n11 = 1 - (i3 & i6)
+    n16 = 1 - (i2 & n11)
+    n19 = 1 - (n11 & i7)
+    return (1 - (n10 & n16), 1 - (n16 & n19))
+
+
+def test_c17_full_truth_table(c17):
+    bench = Testbench(c17)
+    for value in range(32):
+        bits = [(value >> k) & 1 for k in range(5)]
+        i1, i2, i3, i6, i7 = bits
+        outputs = bench.step(
+            {"i1": i1, "i2": i2, "i3": i3, "i6": i6, "i7": i7}
+        )
+        assert outputs == c17_expected(i1, i2, i3, i6, i7)
+
+
+# -- c432 -----------------------------------------------------------------
+
+
+def test_c432_bus_priority(c432):
+    bench = Testbench(c432)
+    all_en = BV(0x1FF, 9)
+    # A request wins over B and C.
+    pa, pb, pc, chan = bench.step(
+        {"a": BV(0b100, 9), "b": BV(0b1, 9), "c": BV(0b1, 9), "e": all_en}
+    )
+    assert (pa, pb, pc) == (1, 0, 0)
+    assert chan.value == 2  # lowest requesting channel on the A bus
+    # No A: B wins.
+    pa, pb, pc, chan = bench.step(
+        {"a": BV(0, 9), "b": BV(0b1000, 9), "c": BV(0b1, 9), "e": all_en}
+    )
+    assert (pa, pb, pc) == (0, 1, 0)
+    assert chan.value == 3
+
+
+def test_c432_enable_masks_requests(c432):
+    bench = Testbench(c432)
+    pa, pb, pc, chan = bench.step(
+        {"a": BV(0b100, 9), "b": BV(0, 9), "c": BV(0, 9), "e": BV(0, 9)}
+    )
+    assert (pa, pb, pc) == (0, 0, 0)
+    assert chan.value == 15  # idle code
+
+
+def test_c432_no_request_idle(c432):
+    bench = Testbench(c432)
+    pa, pb, pc, chan = bench.step(
+        {"a": BV(0, 9), "b": BV(0, 9), "c": BV(0, 9), "e": BV(0x1FF, 9)}
+    )
+    assert (pa, pb, pc) == (0, 0, 0)
+    assert chan.value == 15
+
+
+# -- c499 -----------------------------------------------------------------
+
+
+def c499_check_bits(data: int) -> BV:
+    """Check bits that make ``data`` a zero-syndrome code word."""
+    positions = hamming_data_positions(32)
+    ic = 0
+    for j in range(6):
+        parity = 0
+        for i, pos in enumerate(positions):
+            if pos & (1 << j):
+                parity ^= (data >> i) & 1
+        ic |= parity << j
+    low = 0
+    for i in range(16):
+        low ^= (data >> i) & 1
+    high = 0
+    for i in range(16, 32):
+        high ^= (data >> i) & 1
+    ic |= low << 6
+    ic |= high << 7
+    return BV(ic, 8)
+
+
+def test_c499_clean_word_passes_through(c499):
+    bench = Testbench(c499)
+    data = 0xDEADBEEF
+    (od,) = bench.step(
+        {"id": BV(data, 32), "ic": c499_check_bits(data), "cor": 1}
+    )
+    assert od.value == data
+
+
+@pytest.mark.parametrize("error_bit", [0, 1, 7, 15, 16, 21, 31])
+def test_c499_corrects_single_bit_errors(c499, error_bit):
+    bench = Testbench(c499)
+    data = 0x1234ABCD
+    corrupted = data ^ (1 << error_bit)
+    (od,) = bench.step(
+        {"id": BV(corrupted, 32), "ic": c499_check_bits(data), "cor": 1}
+    )
+    assert od.value == data
+
+
+def test_c499_correction_disabled_passes_error(c499):
+    bench = Testbench(c499)
+    data = 0x0F0F0F0F
+    corrupted = data ^ (1 << 5)
+    (od,) = bench.step(
+        {"id": BV(corrupted, 32), "ic": c499_check_bits(data), "cor": 0}
+    )
+    assert od.value == corrupted
+
+
+def test_hamming_positions_skip_powers_of_two():
+    positions = hamming_data_positions(32)
+    assert len(positions) == 32
+    assert all(p & (p - 1) for p in positions)
+    assert positions[0] == 3
+
+
+# -- b01 -------------------------------------------------------------------
+
+
+def test_b01_outputs_serial_sum(b01):
+    bench = Testbench(b01)
+    bench.reset()
+    # 1+1 -> sum 0 carry; then 0+0 -> sum 1 (carry consumed).
+    outp, overflw = bench.step({"line1": 1, "line2": 1})
+    assert (outp, overflw) == (0, 0)
+    outp, overflw = bench.step({"line1": 0, "line2": 0})
+    assert (outp, overflw) == (1, 0)
+
+
+def test_b01_overflow_flags_after_long_carry(b01):
+    bench = Testbench(b01)
+    bench.reset()
+    flagged = False
+    for _ in range(12):
+        _outp, overflw = bench.step({"line1": 1, "line2": 1})
+        flagged = flagged or overflw == 1
+    assert flagged
+
+
+# -- b02 -------------------------------------------------------------------
+
+
+def test_b02_detects_pattern(b02):
+    bench = Testbench(b02)
+    bench.reset()
+    outs = [bench.step({"linea": bit})[0] for bit in (1, 0, 0, 1, 0, 0)]
+    assert 1 in outs
+
+
+# -- b03 -------------------------------------------------------------------
+
+
+def test_b03_grants_are_one_hot(b03):
+    bench = Testbench(b03)
+    bench.reset()
+    from repro.util import rng_stream
+
+    rng = rng_stream(3, "b03-onehot")
+    for _ in range(60):
+        req = BV(rng.getrandbits(4), 4)
+        grant, _busy = bench.step({"req": req})
+        assert bin(grant.value).count("1") <= 1
+
+
+def test_b03_grant_only_when_requested(b03):
+    bench = Testbench(b03)
+    bench.reset()
+    grant, busy = bench.step({"req": BV(0, 4)})
+    assert grant.value == 0
+    grant, _ = bench.step({"req": BV(0b0010, 4)})
+    assert grant.value == 0b0010
+
+
+def test_b03_rotates_priority(b03):
+    bench = Testbench(b03)
+    bench.reset()
+    owners = []
+    for _ in range(24):
+        grant, _ = bench.step({"req": BV(0b1111, 4)})
+        if grant.value:
+            owners.append(grant.value)
+    assert len(set(owners)) == 4  # every requester eventually served
+
+
+# -- b06 -------------------------------------------------------------------
+
+
+def test_b06_interrupt_path(b06=None):
+    design = load_circuit("b06")
+    bench = Testbench(design)
+    bench.reset()
+    bench.step({"cont_eql": 0, "cc_mux": 0})   # s_init -> s_wait
+    uscite, enable = bench.step({"cont_eql": 1, "cc_mux": 0})
+    assert uscite.value == 0b01
+    uscite, enable = bench.step({"cont_eql": 1, "cc_mux": 0})
+    assert enable == 1
+
+
+def test_all_circuits_run_100_random_cycles(any_circuit_name):
+    design = load_circuit(any_circuit_name)
+    enc = StimulusEncoder(design)
+    bench = Testbench(design)
+    from repro.util import rng_stream
+
+    rng = rng_stream(17, any_circuit_name, "soak")
+    outs = bench.run_sequence(
+        [enc.decode(rng.getrandbits(enc.width)) for _ in range(100)]
+    )
+    assert len(outs) == 100

@@ -1,0 +1,142 @@
+"""Integration tests: experiment harness and the CLI."""
+
+import pytest
+
+from repro.experiments.context import LabConfig, get_lab
+from repro.experiments.report import table1_text, table2_text, to_json
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.cli import main
+
+#: Tiny budgets keep the integration tests fast while driving every
+#: stage of the real pipeline.
+FAST = LabConfig(
+    seed=77,
+    random_budget_comb=128,
+    random_budget_seq=128,
+    equivalence_budget=48,
+)
+
+
+@pytest.fixture(scope="module")
+def table1_b01():
+    return run_table1(circuits=("b01",), config=FAST, max_vectors=48)
+
+
+@pytest.fixture(scope="module")
+def table2_b01():
+    return run_table2(
+        circuits=("b01",), config=FAST, max_vectors=48, calibrate=True
+    )
+
+
+def test_table1_has_rows_for_applicable_operators(table1_b01):
+    operators = {row.operator for row in table1_b01.rows}
+    assert "LOR" in operators
+    assert "CR" in operators  # b01 declares constants
+
+
+def test_table1_rows_well_formed(table1_b01):
+    for row in table1_b01.rows:
+        assert row.circuit == "b01"
+        assert row.mutants > 0
+        assert row.test_length > 0
+        assert 0.0 <= row.mfc_pct <= 100.0
+
+
+def test_table1_calibration_interface(table1_b01):
+    efficiencies = table1_b01.nlfce_by_operator("b01")
+    assert set(efficiencies) == {r.operator for r in table1_b01.rows}
+    ranking = table1_b01.operator_ranking("b01")
+    assert len(ranking) == len(efficiencies)
+
+
+def test_table1_deterministic(table1_b01):
+    again = run_table1(circuits=("b01",), config=FAST, max_vectors=48)
+    assert [
+        (r.circuit, r.operator, r.nlfce) for r in again.rows
+    ] == [(r.circuit, r.operator, r.nlfce) for r in table1_b01.rows]
+
+
+def test_table2_has_both_strategies(table2_b01):
+    strategies = {row.strategy for row in table2_b01.rows}
+    assert strategies == {"random", "test-oriented"}
+
+
+def test_table2_equal_sample_sizes(table2_b01):
+    random_row = table2_b01.row("b01", "random")
+    oriented_row = table2_b01.row("b01", "test-oriented")
+    assert random_row.selected == oriented_row.selected
+    assert random_row.population == oriented_row.population
+
+
+def test_table2_scores_in_range(table2_b01):
+    for row in table2_b01.rows:
+        assert 0.0 <= row.ms_pct <= 100.0
+        assert row.killed <= row.population - row.equivalents
+
+
+def test_table2_advantage_interface(table2_b01):
+    ms_delta, nlfce_delta = table2_b01.advantage("b01")
+    assert isinstance(ms_delta, float)
+    assert isinstance(nlfce_delta, float)
+
+
+def test_lab_caching():
+    lab1 = get_lab("b01", FAST)
+    lab2 = get_lab("b01", FAST)
+    assert lab1 is lab2
+    assert lab1.random_vectors is lab2.random_vectors
+
+
+def test_report_rendering(table1_b01, table2_b01):
+    text1 = table1_text(table1_b01)
+    assert "Operator Fault Coverage Efficiency" in text1
+    assert "b01" in text1
+    text2 = table2_text(table2_b01)
+    assert "MS%" in text2
+
+
+def test_json_serialization(table2_b01):
+    blob = to_json(table2_b01.rows)
+    assert "test-oriented" in blob
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "b01" in out and "c499" in out
+
+
+def test_cli_show(capsys):
+    assert main(["show", "c17"]) == 0
+    out = capsys.readouterr().out
+    assert "collapsed" in out
+    assert "mutants" in out
+
+
+def test_cli_synth_bench_output(capsys):
+    assert main(["synth", "c17"]) == 0
+    out = capsys.readouterr().out
+    assert "NAND" in out
+    assert "INPUT(i1)" in out
+
+
+def test_cli_mutants_limit(capsys):
+    assert main(["mutants", "b01", "--operator", "LOR", "--limit", "5"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) <= 6
+
+
+def test_cli_testgen(capsys):
+    assert main(["testgen", "c17", "--operator", "LOR", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "vectors kill" in out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,171 @@
+"""Fault model, collapsing and fault simulation tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultSimError
+from repro.fault import (
+    CombFaultSimulator,
+    SeqFaultSimulator,
+    collapse_faults,
+    generate_faults,
+    simulate_stuck_at,
+)
+from repro.fault.model import StuckAtFault
+from repro.netlist.bench import C17_BENCH, parse_bench
+from repro.util import rng_stream
+from tests.conftest import netlist_of
+
+
+@pytest.fixture(scope="module")
+def c17net():
+    return parse_bench(C17_BENCH, "c17")
+
+
+def test_c17_textbook_fault_counts(c17net):
+    assert len(generate_faults(c17net)) == 34
+    assert len(collapse_faults(c17net)) == 22
+
+
+def test_branch_faults_only_on_fanout(c17net):
+    branch_nets = {
+        f.net for f in generate_faults(c17net) if f.gate is not None
+    }
+    names = {c17net.net_name(n) for n in branch_nets}
+    assert names == {"3", "11", "16"}  # the three fanout stems of c17
+
+
+def test_collapsed_representative_detection_equivalence(c17net):
+    """Any fault equivalent to a representative is detected identically."""
+    # NAND input s-a-0 is equivalent to its output s-a-1.
+    gate = c17net.gates[0]           # 10 = NAND(1, 3)
+    in_fault = StuckAtFault(net=gate.inputs[0], stuck=0)
+    out_fault = StuckAtFault(net=gate.output, stuck=1)
+    rng = rng_stream(1, "collapse-eq")
+    patterns = [rng.getrandbits(5) for _ in range(64)]
+    sim = CombFaultSimulator(c17net, [in_fault, out_fault])
+    result = sim.simulate(patterns)
+    assert result.detection[0] == result.detection[1]
+
+
+def test_comb_full_coverage_with_exhaustive_patterns(c17net):
+    sim = CombFaultSimulator(c17net)
+    result = sim.simulate(list(range(32)))
+    assert result.coverage() == 1.0
+
+
+def test_known_single_fault_detection(c17net):
+    # Output 22 stuck-at-1: detected by any pattern making 22 == 0,
+    # i.e. N10 = N16 = 1.
+    target = next(
+        f for f in generate_faults(c17net)
+        if c17net.net_name(f.net) == "22" and f.stuck == 1 and f.is_stem
+    )
+    sim = CombFaultSimulator(c17net, [target])
+    # i1=1, i3=1 makes n10=0 -> 22=1: fault NOT detected.
+    undetected = sim.simulate([0b11100])
+    assert undetected.detection[0] is None
+    # i1=0 ... with n16=1: 22 = 0 in good machine -> detected.
+    detected = sim.simulate([0b00000])
+    assert detected.detection[0] is not None
+
+
+def test_comb_rejects_sequential_netlists():
+    with pytest.raises(FaultSimError):
+        CombFaultSimulator(netlist_of("b01"))
+
+
+def test_seq_and_comb_agree_on_combinational_circuit():
+    netlist = netlist_of("c17")
+    faults = collapse_faults(netlist)
+    rng = rng_stream(9, "seqcomb")
+    patterns = [rng.getrandbits(5) for _ in range(40)]
+    comb = CombFaultSimulator(netlist, faults).simulate(patterns)
+    seq = SeqFaultSimulator(netlist, faults, lanes=7).simulate(patterns)
+    assert comb.detection == seq.detection
+
+
+def test_seq_lane_chunking_invariance(b01_netlist):
+    faults = collapse_faults(b01_netlist)[:50]
+    rng = rng_stream(10, "lanes")
+    stimuli = [rng.getrandbits(2) for _ in range(64)]
+    wide = SeqFaultSimulator(b01_netlist, faults, lanes=64).simulate(stimuli)
+    narrow = SeqFaultSimulator(b01_netlist, faults, lanes=5).simulate(stimuli)
+    assert wide.detection == narrow.detection
+
+
+def test_dispatcher_picks_engine(b01_netlist, c17_netlist):
+    rng = rng_stream(2, "dispatch")
+    seq_result = simulate_stuck_at(
+        b01_netlist, [rng.getrandbits(2) for _ in range(16)]
+    )
+    comb_result = simulate_stuck_at(
+        c17_netlist, [rng.getrandbits(5) for _ in range(16)]
+    )
+    assert seq_result.num_patterns == 16
+    assert comb_result.num_patterns == 16
+
+
+def test_detection_monotone_in_prefix_length(c17net):
+    sim = CombFaultSimulator(c17net)
+    patterns = list(range(20))
+    result = sim.simulate(patterns)
+    curve = result.coverage_curve()
+    assert all(b >= a for a, b in zip(curve, curve[1:]))
+    assert curve[-1] == result.coverage()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                max_size=40))
+def test_coverage_curve_consistency(patterns):
+    netlist = parse_bench(C17_BENCH, "c17")
+    result = CombFaultSimulator(netlist).simulate(patterns)
+    curve = result.coverage_curve()
+    for length in (1, len(patterns) // 2 or 1, len(patterns)):
+        assert curve[length - 1] == pytest.approx(result.coverage(length))
+
+
+def test_length_to_reach(c17net):
+    result = CombFaultSimulator(c17net).simulate(list(range(32)))
+    full = result.length_to_reach(1.0)
+    assert full is not None
+    assert result.coverage(full) == 1.0
+    assert result.coverage(full - 1) < 1.0 if full > 1 else True
+    assert result.length_to_reach(0.0) in (0, 1)
+
+
+def test_detection_prefix_consistency(c17net):
+    """First-detection with the full set matches a shorter run."""
+    rng = rng_stream(3, "prefix")
+    patterns = [rng.getrandbits(5) for _ in range(30)]
+    sim = CombFaultSimulator(c17net)
+    full = sim.simulate(patterns)
+    half = sim.simulate(patterns[:15])
+    for f_full, f_half in zip(full.detection, half.detection):
+        if f_full is not None and f_full < 15:
+            assert f_half == f_full
+        elif f_half is not None:
+            assert f_full == f_half
+
+
+def test_stem_fault_on_output_port(c17net):
+    fault = next(
+        f for f in generate_faults(c17net)
+        if c17net.net_name(f.net) == "23" and f.stuck == 0 and f.is_stem
+    )
+    result = CombFaultSimulator(c17net, [fault]).simulate(list(range(32)))
+    assert result.detection[0] is not None
+
+
+def test_empty_pattern_list(c17net):
+    result = CombFaultSimulator(c17net).simulate([])
+    assert result.coverage() == 0.0
+    assert result.detected == 0
+
+
+def test_undetected_faults_listed(b01_netlist):
+    result = simulate_stuck_at(b01_netlist, [0, 1, 2, 3])
+    undetected = result.undetected_faults()
+    assert len(undetected) == result.num_faults - result.detected

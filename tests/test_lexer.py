@@ -1,0 +1,117 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.hdl.lexer import tokenize
+from repro.hdl.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+def test_identifiers_are_lowercased():
+    assert texts("Entity FOO Is") == ["entity", "foo", "is"]
+
+
+def test_keywords_recognised():
+    toks = tokenize("entity architecture process")
+    assert all(t.kind is TokenKind.KEYWORD for t in toks[:-1])
+
+
+def test_non_keyword_is_ident():
+    token = tokenize("myname")[0]
+    assert token.kind is TokenKind.IDENT
+
+
+def test_integer_literal():
+    token = tokenize("1234")[0]
+    assert token.kind is TokenKind.INT
+    assert token.text == "1234"
+
+
+def test_integer_with_underscores():
+    assert tokenize("1_000")[0].text == "1000"
+
+
+def test_bit_char_literal():
+    token = tokenize("'1'")[0]
+    assert token.kind is TokenKind.CHAR
+    assert token.text == "1"
+
+
+def test_tick_for_attribute():
+    toks = tokenize("clock'event")
+    assert [t.kind for t in toks[:-1]] == [
+        TokenKind.IDENT, TokenKind.TICK, TokenKind.IDENT
+    ]
+
+
+def test_bit_string_literal():
+    token = tokenize('"0101"')[0]
+    assert token.kind is TokenKind.STRING
+    assert token.text == "0101"
+
+
+def test_bad_bit_string_rejected():
+    with pytest.raises(LexError):
+        tokenize('"01a1"')
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(LexError):
+        tokenize('"0101')
+
+
+def test_comment_skipped_to_end_of_line():
+    assert texts("a -- everything here ignored ; b\nc") == ["a", "c"]
+
+
+def test_two_char_operators():
+    expected = [
+        TokenKind.LE, TokenKind.GE, TokenKind.NEQ, TokenKind.ARROW,
+        TokenKind.VARASSIGN,
+    ]
+    assert kinds("<= >= /= => :=") == expected
+
+
+def test_single_char_operators():
+    expected = [
+        TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.SEMICOLON,
+        TokenKind.COLON, TokenKind.COMMA, TokenKind.PLUS, TokenKind.MINUS,
+        TokenKind.STAR, TokenKind.AMP, TokenKind.BAR,
+    ]
+    assert kinds("( ) ; : , + - * & |") == expected
+
+
+def test_relational_singletons():
+    assert kinds("< > =") == [TokenKind.LT, TokenKind.GT, TokenKind.EQ]
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].column) == (1, 1)
+    assert (toks[1].line, toks[1].column) == (2, 3)
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LexError) as err:
+        tokenize("a\n@")
+    assert err.value.line == 2
+
+
+def test_eof_token_present():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind is TokenKind.EOF
+
+
+def test_keyword_helper():
+    token = tokenize("begin")[0]
+    assert token.is_keyword("begin")
+    assert not token.is_keyword("end")

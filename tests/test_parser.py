@@ -1,0 +1,237 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.hdl import ast
+from repro.hdl.parser import parse_source
+
+ENTITY = """
+entity e is
+  port ( a, b : in bit; y : out bit );
+end entity e;
+"""
+
+
+def parse_arch(body_decls: str, concurrent: str):
+    text = ENTITY + (
+        f"architecture rtl of e is\n{body_decls}\nbegin\n{concurrent}\nend rtl;"
+    )
+    units = parse_source(text)
+    return units[1]
+
+
+def test_entity_ports_grouped_names():
+    units = parse_source(ENTITY)
+    entity = units[0]
+    assert isinstance(entity, ast.EntityDecl)
+    assert entity.ports[0].names == ["a", "b"]
+    assert entity.ports[0].direction == "in"
+    assert entity.ports[1].names == ["y"]
+    assert entity.ports[1].direction == "out"
+
+
+def test_library_use_clauses_skipped():
+    units = parse_source("library ieee;\nuse ieee.std_logic_1164.all;\n" + ENTITY)
+    assert len(units) == 1
+
+
+def test_simple_concurrent_assign():
+    arch = parse_arch("", "y <= a and b;")
+    assign = arch.concurrent[0]
+    assert isinstance(assign, ast.ConcurrentAssign)
+    assert len(assign.arms) == 1
+    assert isinstance(assign.arms[0][0], ast.Binary)
+
+
+def test_conditional_concurrent_assign():
+    arch = parse_arch("", "y <= a when b = '1' else b;")
+    assign = arch.concurrent[0]
+    assert len(assign.arms) == 2
+    assert assign.arms[0][1] is not None
+    assert assign.arms[1][1] is None
+
+
+def test_signal_declaration_with_init():
+    arch = parse_arch("signal s : bit := '1';", "y <= a;")
+    decl = arch.decls[0]
+    assert isinstance(decl, ast.SignalDecl)
+    assert isinstance(decl.init, ast.BitLit)
+
+
+def test_vector_type_indication():
+    arch = parse_arch("signal v : bit_vector(7 downto 0);", "y <= a;")
+    ind = arch.decls[0].type_ind
+    assert ind.type_name == "bit_vector"
+    assert ind.direction == "downto"
+
+
+def test_integer_range_type():
+    arch = parse_arch("signal n : integer range 0 to 7;", "y <= a;")
+    ind = arch.decls[0].type_ind
+    assert ind.type_name == "integer"
+    assert ind.direction == "to"
+
+
+def test_enum_type_declaration():
+    arch = parse_arch("type st is (s0, s1, s2);", "y <= a;")
+    decl = arch.decls[0]
+    assert isinstance(decl, ast.EnumTypeDecl)
+    assert decl.literals == ["s0", "s1", "s2"]
+
+
+def test_process_with_sensitivity_and_label():
+    arch = parse_arch("", "p0 : process (a, b)\nbegin\ny <= a;\nend process p0;")
+    proc = arch.concurrent[0]
+    assert isinstance(proc, ast.ProcessStmt)
+    assert proc.label == "p0"
+    assert proc.sensitivity == ["a", "b"]
+
+
+def test_if_elsif_else_structure():
+    body = (
+        "process (a, b)\nbegin\n"
+        "if a = '1' then y <= b;\n"
+        "elsif b = '1' then y <= a;\n"
+        "else y <= '0';\nend if;\n"
+        "end process;"
+    )
+    proc = parse_arch("", body).concurrent[0]
+    if_stmt = proc.body[0]
+    assert isinstance(if_stmt, ast.If)
+    assert len(if_stmt.arms) == 2
+    assert len(if_stmt.else_body) == 1
+
+
+def test_case_with_choice_bar_and_others():
+    decls = "signal n : integer range 0 to 7;"
+    body = (
+        "process (a)\nbegin\n"
+        "case n is\nwhen 0 | 1 => y <= '0';\nwhen others => y <= '1';\n"
+        "end case;\nend process;"
+    )
+    proc = parse_arch(decls, body).concurrent[0]
+    case = proc.body[0]
+    assert isinstance(case, ast.Case)
+    assert len(case.whens) == 2
+    assert len(case.whens[0].choices) == 2
+    assert case.whens[1].is_others
+
+
+def test_for_loop():
+    decls = "signal v : bit_vector(3 downto 0);"
+    body = (
+        "process (a)\nbegin\n"
+        "for i in 0 to 3 loop\nv(i) <= a;\nend loop;\n"
+        "end process;"
+    )
+    proc = parse_arch(decls, body).concurrent[0]
+    loop = proc.body[0]
+    assert isinstance(loop, ast.ForLoop)
+    assert loop.direction == "to"
+
+
+def test_variable_declarations_in_process():
+    body = (
+        "process (a)\nvariable t : bit;\nbegin\n"
+        "t := a;\ny <= t;\nend process;"
+    )
+    proc = parse_arch("", body).concurrent[0]
+    assert isinstance(proc.decls[0], ast.VariableDecl)
+    assert isinstance(proc.body[0], ast.VarAssign)
+
+
+def test_logical_chain_same_operator_allowed():
+    arch = parse_arch("", "y <= a and b and a;")
+    expr = arch.concurrent[0].arms[0][0]
+    assert isinstance(expr, ast.Binary)
+    assert expr.op == "and"
+
+
+def test_mixed_logical_operators_rejected():
+    with pytest.raises(ParseError):
+        parse_arch("", "y <= a and b or a;")
+
+
+def test_parenthesized_mixing_ok():
+    arch = parse_arch("", "y <= (a and b) or a;")
+    expr = arch.concurrent[0].arms[0][0]
+    assert expr.op == "or"
+
+
+def test_precedence_relational_binds_tighter_than_logical():
+    decls = "signal n : integer range 0 to 3;"
+    body = "process (a)\nbegin\nif n = 1 and a = '1' then y <= a; end if;\nend process;"
+    proc = parse_arch(decls, body).concurrent[0]
+    cond = proc.body[0].arms[0][0]
+    assert cond.op == "and"
+    assert cond.left.op == "="
+
+
+def test_indexing_and_slicing():
+    decls = "signal v : bit_vector(7 downto 0);"
+    arch = parse_arch(decls, "y <= v(3);")
+    expr = arch.concurrent[0].arms[0][0]
+    assert isinstance(expr, ast.Index)
+
+
+def test_slice_expression():
+    decls = (
+        "signal v : bit_vector(7 downto 0);\n"
+        "signal w : bit_vector(3 downto 0);"
+    )
+    body = "process (a)\nbegin\nw <= v(7 downto 4);\nend process;"
+    proc = parse_arch(decls, body).concurrent[0]
+    assert isinstance(proc.body[0].value, ast.Slice)
+
+
+def test_attribute_event():
+    body = (
+        "process (a)\nbegin\nif a'event and a = '1' then y <= b; end if;\n"
+        "end process;"
+    )
+    proc = parse_arch("", body).concurrent[0]
+    cond = proc.body[0].arms[0][0]
+    assert isinstance(cond.left, ast.Attribute)
+
+
+def test_rising_edge_call():
+    body = "process (a)\nbegin\nif rising_edge(a) then y <= b; end if;\nend process;"
+    proc = parse_arch("", body).concurrent[0]
+    assert isinstance(proc.body[0].arms[0][0], ast.Call)
+
+
+def test_others_aggregate():
+    decls = "signal v : bit_vector(7 downto 0);"
+    body = "process (a)\nbegin\nv <= (others => '0');\nend process;"
+    proc = parse_arch(decls, body).concurrent[0]
+    assert isinstance(proc.body[0].value, ast.OthersAggregate)
+
+
+def test_unsupported_attribute_rejected():
+    with pytest.raises(ParseError):
+        parse_arch("", "y <= a'last_value;")
+
+
+def test_inout_ports_rejected():
+    with pytest.raises(ParseError):
+        parse_source(
+            "entity e is port ( x : inout bit ); end e;"
+        )
+
+
+def test_missing_semicolon_reports_position():
+    with pytest.raises(ParseError) as err:
+        parse_source("entity e is port ( a : in bit ) end e;")
+    assert "expected" in str(err.value)
+
+
+def test_unique_node_ids():
+    units = parse_source(ENTITY + (
+        "architecture rtl of e is begin y <= a and b; end rtl;"
+    ))
+    arch = units[1]
+    assign = arch.concurrent[0]
+    expr = assign.arms[0][0]
+    nids = {assign.nid, expr.nid, expr.left.nid, expr.right.nid}
+    assert len(nids) == 4

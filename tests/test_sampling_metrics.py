@@ -1,0 +1,204 @@
+"""Sampling strategies, quota allocation and the NLFCE metric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import load_circuit
+from repro.errors import SamplingError
+from repro.fault.coverage import FaultSimResult
+from repro.fault.model import StuckAtFault
+from repro.metrics.nlfce import nlfce_from_results
+from repro.mutation import generate_mutants, mutants_by_operator
+from repro.sampling import (
+    PAPER_RANK_WEIGHTS,
+    RandomSampling,
+    TestOrientedSampling,
+    largest_remainder,
+    waterfill_rates,
+    weights_from_nlfce,
+)
+
+
+@pytest.fixture(scope="module")
+def b01_mutants():
+    return generate_mutants(load_circuit("b01"))
+
+
+# -- allocation ---------------------------------------------------------------
+
+
+def test_largest_remainder_sums_to_total():
+    quotas = largest_remainder({"a": 1.0, "b": 2.0, "c": 3.0}, 10)
+    assert sum(quotas.values()) == 10
+    assert quotas["c"] >= quotas["b"] >= quotas["a"]
+
+
+def test_largest_remainder_deterministic_ties():
+    first = largest_remainder({"x": 1.0, "y": 1.0, "z": 1.0}, 2)
+    second = largest_remainder({"x": 1.0, "y": 1.0, "z": 1.0}, 2)
+    assert first == second
+
+
+def test_largest_remainder_rejects_zero_mass():
+    with pytest.raises(SamplingError):
+        largest_remainder({"a": 0.0}, 3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d", "e"]),
+        st.integers(min_value=1, max_value=200),
+        min_size=1,
+    ),
+    st.data(),
+)
+def test_waterfill_invariants(sizes, data):
+    total = data.draw(
+        st.integers(min_value=0, max_value=sum(sizes.values()))
+    )
+    weights = {g: data.draw(
+        st.floats(min_value=0.01, max_value=10.0), label=f"w{g}"
+    ) for g in sizes}
+    quotas = waterfill_rates(weights, sizes, total)
+    assert sum(quotas.values()) == total
+    for group, quota in quotas.items():
+        assert 0 <= quota <= sizes[group]
+
+
+def test_waterfill_rejects_oversampling():
+    with pytest.raises(SamplingError):
+        waterfill_rates({"a": 1.0}, {"a": 3}, 5)
+
+
+# -- strategies ----------------------------------------------------------------
+
+
+def test_random_sampling_size_and_determinism(b01_mutants):
+    strategy = RandomSampling(0.10)
+    sample = strategy.sample(b01_mutants, seed=4)
+    assert len(sample) == round(0.10 * len(b01_mutants))
+    assert sample == strategy.sample(b01_mutants, seed=4)
+    assert sample != strategy.sample(b01_mutants, seed=5)
+
+
+def test_sampling_fraction_validation():
+    with pytest.raises(SamplingError):
+        RandomSampling(0.0)
+    with pytest.raises(SamplingError):
+        TestOrientedSampling(fraction=1.5)
+
+
+def test_strategies_select_equal_counts(b01_mutants):
+    random_sample = RandomSampling(0.10).sample(b01_mutants, seed=4)
+    oriented = TestOrientedSampling(fraction=0.10).sample(
+        b01_mutants, seed=4
+    )
+    assert len(random_sample) == len(oriented)
+
+
+def test_test_oriented_prefers_heavy_operators(b01_mutants):
+    groups = mutants_by_operator(b01_mutants)
+    weights = {op: 0.05 for op in groups}
+    weights["CR"] = 10.0
+    strategy = TestOrientedSampling(weights, 0.10)
+    quotas = strategy.quotas(b01_mutants)
+    assert sum(quotas.values()) == strategy.sample_size(len(b01_mutants))
+    cr_rate = quotas["CR"] / len(groups["CR"])
+    lor_rate = quotas.get("LOR", 0) / len(groups["LOR"])
+    assert cr_rate > lor_rate
+
+
+def test_test_oriented_sample_matches_quotas(b01_mutants):
+    strategy = TestOrientedSampling(fraction=0.10)
+    quotas = strategy.quotas(b01_mutants)
+    sample = strategy.sample(b01_mutants, seed=11)
+    counts = {
+        op: len(ms) for op, ms in mutants_by_operator(sample).items()
+    }
+    assert counts == {op: q for op, q in quotas.items() if q > 0}
+
+
+def test_weights_from_nlfce_normalizes_and_floors():
+    weights = weights_from_nlfce({"LOR": 10.0, "CR": 100.0, "VR": -5.0})
+    assert weights["CR"] == 1.0
+    assert weights["LOR"] == pytest.approx(0.1)
+    assert weights["VR"] == pytest.approx(0.05)  # floored
+
+
+def test_paper_rank_weights_cover_all_operators():
+    from repro.mutation.operators import OPERATOR_NAMES
+
+    assert set(PAPER_RANK_WEIGHTS) == set(OPERATOR_NAMES)
+    assert (
+        PAPER_RANK_WEIGHTS["LOR"]
+        < PAPER_RANK_WEIGHTS["VR"]
+        < PAPER_RANK_WEIGHTS["CVR"]
+        < PAPER_RANK_WEIGHTS["CR"]
+    )
+
+
+# -- NLFCE ----------------------------------------------------------------------
+
+
+def fake_result(detections, num_patterns):
+    faults = [StuckAtFault(net=i, stuck=0) for i in range(len(detections))]
+    return FaultSimResult(faults, detections, num_patterns)
+
+
+def test_nlfce_basic_gains():
+    # Mutation data: 4 faults covered in 2 vectors (100%).
+    mutation = fake_result([0, 0, 1, 1], 2)
+    # Random: reaches 50% at length 2, 100% at length 8.
+    random = fake_result([0, 1, 4, 7], 8)
+    report = nlfce_from_results(mutation, random)
+    assert report.mfc == 1.0
+    assert report.rfc_at_lm == 0.5
+    assert report.delta_fc_pct == pytest.approx(100.0)
+    assert report.random_length_for_mfc == 8
+    assert report.delta_l_pct == pytest.approx(100 * (8 - 2) / 8)
+    assert report.nlfce == pytest.approx(100.0 * 75.0)
+    assert report.reached_mfc
+
+
+def test_nlfce_budget_bound_flagged():
+    mutation = fake_result([0, 0], 1)
+    random = fake_result([None, None], 16)
+    report = nlfce_from_results(mutation, random)
+    assert not report.reached_mfc
+    assert report.random_length_for_mfc == 16
+
+
+def test_nlfce_double_negative_stays_negative():
+    # Mutation data worse than random on both axes.
+    mutation = fake_result([0, None, None, None], 4)
+    random = fake_result([0, 0, 1, 1], 8)
+    report = nlfce_from_results(mutation, random)
+    assert report.delta_fc_pct < 0
+    assert report.delta_l_pct < 0
+    assert report.nlfce < 0
+
+
+def test_nlfce_matches_paper_example_shape():
+    # Verify the product definition against the paper's b01/LOR row:
+    # 0.66 x 10.84 = 7.16 (values injected directly).
+    class Stub:
+        delta_fc_pct = 0.66
+        delta_l_pct = 10.84
+
+    from repro.metrics.nlfce import NlfceReport
+
+    report = NlfceReport(
+        mutation_length=10, mfc=0.5, rfc_at_lm=0.49,
+        delta_fc_pct=0.66, random_length_for_mfc=11, reached_mfc=True,
+        delta_l_pct=10.84, random_budget=100,
+    )
+    assert report.nlfce == pytest.approx(0.66 * 10.84, abs=1e-9)
+
+
+def test_nlfce_row_keys():
+    mutation = fake_result([0], 1)
+    random = fake_result([0], 4)
+    row = nlfce_from_results(mutation, random).row()
+    assert set(row) == {"Lm", "MFC%", "dFC%", "dL%", "NLFCE"}

@@ -1,0 +1,224 @@
+"""Semantic analysis tests: typing, elaboration, process classification."""
+
+import pytest
+
+from repro.errors import ElaborationError, SemanticError
+from repro.hdl import load_design
+from repro.hdl import types as ty
+from repro.hdl.design import ProcessKind, SymbolKind
+
+HEADER = """
+entity e is
+  port ( a, b : in bit; clock, reset : in bit; y : out bit );
+end e;
+"""
+
+
+def build(decls: str, concurrent: str):
+    return load_design(
+        HEADER + f"architecture rtl of e is\n{decls}\nbegin\n{concurrent}\nend rtl;"
+    )
+
+
+def test_ports_become_symbols():
+    design = build("", "y <= a;")
+    assert design.port("a").kind is SymbolKind.PORT_IN
+    assert design.port("y").kind is SymbolKind.PORT_OUT
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(SemanticError):
+        build("", "y <= nosuch;")
+
+
+def test_type_mismatch_rejected():
+    with pytest.raises(SemanticError):
+        build("signal n : integer range 0 to 3;", "y <= n;")
+
+
+def test_duplicate_declaration_rejected():
+    with pytest.raises(SemanticError):
+        build("signal a : bit;", "y <= a;")
+
+
+def test_constant_folding():
+    design = build(
+        "constant k : integer := 3;\nconstant m : integer := k + 2;",
+        "y <= a;",
+    )
+    assert design.constants["m"].init == 5
+
+
+def test_vector_constant_width_checked():
+    with pytest.raises(SemanticError):
+        build('constant k : bit_vector(3 downto 0) := "001";', "y <= a;")
+
+
+def test_enum_literals_registered():
+    design = build("type st is (s0, s1);", "y <= a;")
+    assert design.symbols["s1"].kind is SymbolKind.ENUM_LITERAL
+    assert design.symbols["s1"].init == 1
+
+
+def test_clocked_template_detected():
+    design = build(
+        "signal s : bit;",
+        "process (clock, reset)\nbegin\n"
+        "if reset = '1' then s <= '0'; y <= '0';\n"
+        "elsif rising_edge(clock) then s <= a; y <= s;\nend if;\n"
+        "end process;",
+    )
+    proc = design.processes[0]
+    assert proc.kind is ProcessKind.CLOCKED
+    assert proc.clock == "clock"
+    assert proc.reset == "reset"
+    assert proc.reset_level == 1
+    assert design.is_sequential
+
+
+def test_event_style_clock_template():
+    design = build(
+        "",
+        "process (clock)\nbegin\n"
+        "if clock'event and clock = '1' then y <= a;\nend if;\n"
+        "end process;",
+    )
+    assert design.processes[0].kind is ProcessKind.CLOCKED
+    assert design.processes[0].reset is None
+
+
+def test_guard_nids_cover_template_plumbing():
+    design = build(
+        "",
+        "process (clock, reset)\nbegin\n"
+        "if reset = '1' then y <= '0';\n"
+        "elsif rising_edge(clock) then y <= a;\nend if;\n"
+        "end process;",
+    )
+    proc = design.processes[0]
+    assert proc.guard_nids  # the reset compare + edge call + root if
+    assert len(proc.guard_nids) >= 5
+
+
+def test_edge_outside_template_rejected():
+    with pytest.raises(ElaborationError):
+        build(
+            "",
+            "process (clock)\nbegin\n"
+            "y <= a;\n"
+            "if rising_edge(clock) then y <= b;\nend if;\n"
+            "end process;",
+        )
+
+
+def test_comb_process_sensitivity_completed():
+    design = build(
+        "",
+        "process (a)\nbegin\ny <= a and b;\nend process;",
+    )
+    assert set(design.processes[0].sensitivity) >= {"a", "b"}
+
+
+def test_reads_and_writes_tracked():
+    design = build(
+        "signal s : bit;",
+        "process (a, b)\nbegin\ns <= a;\ny <= b;\nend process;",
+    )
+    proc = design.processes[0]
+    assert proc.reads == {"a", "b"}
+    assert proc.writes == {"s", "y"}
+
+
+def test_multiple_drivers_rejected():
+    with pytest.raises(ElaborationError):
+        build("", "y <= a;\ny <= b;")
+
+
+def test_case_full_coverage_ok_without_others():
+    build(
+        "signal n : integer range 0 to 1;",
+        "process (a, n)\nbegin\ncase n is\nwhen 0 => y <= a;\n"
+        "when 1 => y <= b;\nend case;\nend process;",
+    )
+
+
+def test_case_missing_choice_rejected():
+    with pytest.raises(SemanticError):
+        build(
+            "signal n : integer range 0 to 2;",
+            "process (a, n)\nbegin\ncase n is\nwhen 0 => y <= a;\n"
+            "when 1 => y <= b;\nend case;\nend process;",
+        )
+
+
+def test_case_duplicate_choice_rejected():
+    with pytest.raises(SemanticError):
+        build(
+            "signal n : integer range 0 to 1;",
+            "process (a, n)\nbegin\ncase n is\nwhen 0 => y <= a;\n"
+            "when 0 => y <= b;\nwhen others => null;\nend case;\nend process;",
+        )
+
+
+def test_if_condition_must_be_boolean():
+    with pytest.raises(SemanticError):
+        build("", "process (a)\nbegin\nif a then y <= b; end if;\nend process;")
+
+
+def test_ordering_operators_require_integers():
+    with pytest.raises(SemanticError):
+        build("", "process (a)\nbegin\nif a < b then y <= a; end if;\nend process;")
+
+
+def test_loop_variable_shadowing_rejected():
+    with pytest.raises(SemanticError):
+        build(
+            "signal i : bit;",
+            "process (a)\nbegin\nfor i in 0 to 3 loop\ny <= a;\nend loop;\n"
+            "end process;",
+        )
+
+
+def test_assignment_to_input_port_rejected():
+    with pytest.raises(SemanticError):
+        build("", "process (a)\nbegin\na <= b;\nend process;")
+
+
+def test_variable_assignment_to_signal_rejected():
+    with pytest.raises(SemanticError):
+        build(
+            "signal s : bit;",
+            "process (a)\nbegin\ns := a;\nend process;",
+        )
+
+
+def test_concat_widths():
+    design = build(
+        "signal v : bit_vector(1 downto 0);\nsignal w : bit_vector(2 downto 0);",
+        "process (a, b, v)\nbegin\nw <= a & v;\nend process;",
+    )
+    proc = design.processes[0]
+    value = proc.body[0].value
+    assert isinstance(value.ty, ty.BitVectorType)
+    assert value.ty.width == 3
+
+
+def test_slice_bounds_checked():
+    with pytest.raises(SemanticError):
+        build(
+            "signal v : bit_vector(3 downto 0);\n"
+            "signal w : bit_vector(1 downto 0);",
+            "process (v)\nbegin\nw <= v(5 downto 4);\nend process;",
+        )
+
+
+def test_data_input_ports_exclude_clock_reset():
+    design = build(
+        "",
+        "process (clock, reset)\nbegin\n"
+        "if reset = '1' then y <= '0';\n"
+        "elsif rising_edge(clock) then y <= a;\nend if;\n"
+        "end process;",
+    )
+    names = [p.name for p in design.data_input_ports]
+    assert names == ["a", "b"]

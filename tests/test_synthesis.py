@@ -1,0 +1,235 @@
+"""Synthesis correctness: the HDL-vs-gates equivalence property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import circuit_names, load_circuit
+from repro.errors import LatchInferenceError, SynthesisError
+from repro.hdl import load_design
+from repro.netlist import CombSimulator, SeqSimulator
+from repro.sim import StimulusEncoder, Testbench
+from repro.sim.testbench import encode_outputs
+from repro.synth import synthesize
+from repro.util import rng_stream
+from tests.conftest import netlist_of
+
+
+def run_both(name: str, packed: list[int]):
+    design = load_circuit(name)
+    netlist = netlist_of(name)
+    enc = StimulusEncoder(design)
+    bench = Testbench(design)
+    hdl = [
+        encode_outputs(design, o)
+        for o in bench.run_sequence([enc.decode(p) for p in packed])
+    ]
+    if design.is_sequential:
+        gate = SeqSimulator(netlist).run_packed(packed)
+    else:
+        gate = CombSimulator(netlist).apply_patterns(packed)
+    return hdl, gate
+
+
+@pytest.mark.parametrize("name", circuit_names())
+def test_gate_level_matches_behaviour(name):
+    design = load_circuit(name)
+    enc = StimulusEncoder(design)
+    rng = rng_stream(41, name, "synth-equiv")
+    packed = [rng.getrandbits(enc.width) for _ in range(120)]
+    hdl, gate = run_both(name, packed)
+    assert hdl == gate
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                max_size=40))
+def test_b01_equivalence_property(stimuli):
+    hdl, gate = run_both("b01", stimuli)
+    assert hdl == gate
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**36 - 1), min_size=1,
+                max_size=10))
+def test_c432_equivalence_property(stimuli):
+    hdl, gate = run_both("c432", stimuli)
+    assert hdl == gate
+
+
+def test_input_port_widths_match_encoder(any_circuit_name):
+    design = load_circuit(any_circuit_name)
+    netlist = netlist_of(any_circuit_name)
+    assert StimulusEncoder(design).width == len(netlist.input_bits)
+
+
+def test_dff_reset_values_from_reset_body():
+    design = load_design(
+        """
+        entity t is port ( clock, reset : in bit; y : out bit_vector(2 downto 0) ); end t;
+        architecture rtl of t is
+          signal s : integer range 0 to 7;
+        begin
+          process (clock, reset)
+          begin
+            if reset = '1' then
+              s <= 5;
+              y <= "101";
+            elsif rising_edge(clock) then
+              s <= s;
+              y <= "000";
+            end if;
+          end process;
+        end rtl;
+        """
+    )
+    netlist = synthesize(design)
+    resets = {dff.name: dff.reset_value for dff in netlist.dffs}
+    assert resets["s_reg[0]"] == 1
+    assert resets["s_reg[1]"] == 0
+    assert resets["s_reg[2]"] == 1
+
+
+def test_latch_inference_rejected():
+    design = load_design(
+        """
+        entity t is port ( a, b : in bit; y : out bit ); end t;
+        architecture rtl of t is
+        begin
+          process (a, b)
+          begin
+            if a = '1' then
+              y <= b;
+            end if;
+          end process;
+        end rtl;
+        """
+    )
+    with pytest.raises(LatchInferenceError):
+        synthesize(design)
+
+
+def test_comb_self_read_rejected():
+    design = load_design(
+        """
+        entity t is port ( a : in bit; y : out bit ); end t;
+        architecture rtl of t is
+          signal s : bit;
+        begin
+          process (a, s)
+          begin
+            s <= a and s;
+            y <= s;
+          end process;
+        end rtl;
+        """
+    )
+    with pytest.raises(SynthesisError):
+        synthesize(design)
+
+
+def test_variable_read_before_assignment_rejected():
+    design = load_design(
+        """
+        entity t is port ( a : in bit; y : out bit ); end t;
+        architecture rtl of t is
+        begin
+          process (a)
+            variable v : bit;
+          begin
+            if a = '1' then
+              v := '1';
+            end if;
+            y <= v;
+          end process;
+        end rtl;
+        """
+    )
+    with pytest.raises(SynthesisError):
+        synthesize(design)
+
+
+def test_negative_integer_range_rejected():
+    design = load_design(
+        """
+        entity t is port ( clock : in bit; y : out bit ); end t;
+        architecture rtl of t is
+          signal s : integer range -4 to 3;
+        begin
+          process (clock)
+          begin
+            if rising_edge(clock) then
+              s <= 0;
+              y <= '0';
+            end if;
+          end process;
+        end rtl;
+        """
+    )
+    with pytest.raises(SynthesisError):
+        synthesize(design)
+
+
+def test_undriven_output_rejected():
+    design = load_design(
+        """
+        entity t is port ( a : in bit; y, z : out bit ); end t;
+        architecture rtl of t is
+        begin
+          y <= a;
+        end rtl;
+        """
+    )
+    with pytest.raises(SynthesisError):
+        synthesize(design)
+
+
+def test_c17_synthesizes_to_six_nands(c17):
+    netlist = netlist_of("c17")
+    from repro.netlist import GateType
+
+    assert len(netlist.gates) == 6
+    assert all(g.gate_type is GateType.NAND for g in netlist.gates)
+
+
+def test_dynamic_index_read_and_write():
+    design = load_design(
+        """
+        entity t is port ( clock, reset : in bit;
+                           sel : in bit_vector(1 downto 0);
+                           d : in bit;
+                           y : out bit ); end t;
+        architecture rtl of t is
+          signal mem : bit_vector(3 downto 0);
+          signal idx : integer range 0 to 3;
+        begin
+          process (clock, reset)
+          begin
+            if reset = '1' then
+              mem <= "0000";
+              idx <= 0;
+              y <= '0';
+            elsif rising_edge(clock) then
+              if sel = "00" then idx <= 0;
+              elsif sel = "01" then idx <= 1;
+              elsif sel = "10" then idx <= 2;
+              else idx <= 3;
+              end if;
+              mem(idx) <= d;
+              y <= mem(idx);
+            end if;
+          end process;
+        end rtl;
+        """
+    )
+    netlist = synthesize(design)
+    enc = StimulusEncoder(design)
+    bench = Testbench(design)
+    rng = rng_stream(5, "dynidx")
+    packed = [rng.getrandbits(enc.width) for _ in range(60)]
+    hdl = [
+        encode_outputs(design, o)
+        for o in bench.run_sequence([enc.decode(p) for p in packed])
+    ]
+    gate = SeqSimulator(netlist).run_packed(packed)
+    assert hdl == gate

@@ -1,0 +1,124 @@
+"""Utilities (rng, tables) and the VHDL pretty-printer."""
+
+import pytest
+
+from repro.hdl.parser import parse_source
+from repro.hdl.printer import expr_to_text, stmt_to_text
+from repro.util import derive_seed, render_table, rng_stream
+
+ENTITY = """
+entity e is
+  port ( a, b : in bit; y : out bit );
+end e;
+"""
+
+
+def first_process_body(text: str):
+    units = parse_source(ENTITY + text)
+    return units[1].concurrent[0].body
+
+
+# -- rng ---------------------------------------------------------------------
+
+
+def test_derive_seed_depends_on_labels():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+    assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+
+
+def test_rng_stream_reproducible():
+    assert rng_stream(5, "x").random() == rng_stream(5, "x").random()
+
+
+def test_rng_streams_independent():
+    stream_a = rng_stream(5, "a")
+    stream_a.random()  # consuming A must not perturb a fresh B stream
+    fresh_b = rng_stream(5, "b")
+    seq_b = [fresh_b.random() for _ in range(5)]
+    again_b = rng_stream(5, "b")
+    assert seq_b == [again_b.random() for _ in range(5)]
+
+
+# -- tables -------------------------------------------------------------------
+
+
+def test_render_table_alignment():
+    text = render_table(["Name", "N"], [["x", 1], ["long", 23]])
+    lines = text.splitlines()
+    assert lines[0].startswith("+")
+    assert "| Name" in lines[1]
+    assert lines[3].index("1") > lines[3].index("x")  # numbers right-aligned
+
+
+def test_render_table_floats_two_decimals():
+    text = render_table(["V"], [[1.23456]])
+    assert "1.23" in text
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(["A", "B"], [["only-one"]])
+
+
+def test_render_table_title():
+    assert render_table(["A"], [[1]], title="T").startswith("T\n")
+
+
+# -- printer -------------------------------------------------------------------
+
+
+def test_expr_rendering():
+    body = first_process_body(
+        "architecture rtl of e is begin\n"
+        "process (a, b) begin\n"
+        "if (a and b) = '1' then y <= not a; end if;\n"
+        "end process;\nend rtl;"
+    )
+    cond = body[0].arms[0][0]
+    assert expr_to_text(cond) == "(a and b) = '1'"
+    assign = body[0].arms[0][1][0]
+    assert expr_to_text(assign.value) == "not a"
+
+
+def test_stmt_rendering_nested():
+    body = first_process_body(
+        "architecture rtl of e is\n"
+        "signal n : integer range 0 to 1;\nbegin\n"
+        "process (a, n) begin\n"
+        "case n is\nwhen 0 => y <= a;\nwhen others => null;\nend case;\n"
+        "end process;\nend rtl;"
+    )
+    text = stmt_to_text(body[0])
+    assert "case n is" in text
+    assert "when others =>" in text
+    assert "null;" in text
+
+
+def test_round_trip_through_printer():
+    source = (
+        "architecture rtl of e is begin\n"
+        "process (a, b) begin\n"
+        "for i in 0 to 3 loop\n"
+        "if a = '1' then y <= a xor b; else y <= '0'; end if;\n"
+        "end loop;\n"
+        "end process;\nend rtl;"
+    )
+    body = first_process_body(source)
+    printed = stmt_to_text(body[0])
+    # Re-embed the printed statement and confirm it parses identically.
+    reparsed = first_process_body(
+        "architecture rtl of e is begin\nprocess (a, b) begin\n"
+        + printed
+        + "\nend process;\nend rtl;"
+    )
+    assert stmt_to_text(reparsed[0]) == printed
+
+
+def test_errors_exported():
+    import repro.errors as errors
+
+    assert issubclass(errors.LexError, errors.SourceError)
+    assert issubclass(errors.LatchInferenceError, errors.SynthesisError)
+    assert issubclass(errors.MutantRuntimeError, errors.SimulationError)
+    assert issubclass(errors.OscillationError, errors.SimulationError)
