@@ -1,49 +1,39 @@
 #!/usr/bin/env python3
 """Per-operator efficiency study (a miniature of the paper's Table 1).
 
-For each mutation operator that applies to the chosen circuit, generate
-that operator's mutants, derive validation data from them alone, and
-compare the gate-level stuck-at coverage of those vectors against a
-pseudo-random baseline using the paper's ΔFC% / ΔL% / NLFCE metric.
+A calibration-only campaign: every operator that applies to the chosen
+circuit gets its own mutation-adequate test set, which is
+fault-simulated against a pseudo-random baseline and scored with the
+paper's ΔFC% / ΔL% / NLFCE metric.  The campaign pipeline does all of
+it — this example only configures and renders.
 
 Run:  python examples/operator_efficiency.py [circuit]
 """
 
 import sys
 
-from repro.experiments.context import LabConfig, get_lab
-from repro.metrics.nlfce import nlfce_from_results
-from repro.mutation import generate_mutants
+from repro import Campaign, CampaignConfig
 from repro.mutation.operators import OPERATOR_NAMES
-from repro.testgen import MutationTestGenerator
 from repro.util import render_table
 
 
 def main() -> None:
     circuit = sys.argv[1] if len(sys.argv) > 1 else "b01"
-    config = LabConfig(
-        random_budget_comb=1024, random_budget_seq=512,
+    config = CampaignConfig(
+        random_budget_comb=1024,
+        random_budget_seq=512,
         equivalence_budget=64,
+        max_vectors=128,
+        operators=tuple(OPERATOR_NAMES),   # all ten, not just Table 1's
+        strategies=(),                     # calibration only, no sampling
     )
-    lab = get_lab(circuit, config)
-    rows = []
-    for operator in OPERATOR_NAMES:
-        mutants = generate_mutants(lab.design, [operator])
-        if not mutants:
-            continue
-        data = MutationTestGenerator(
-            lab.design, seed=7, engine=lab.engine, max_vectors=128
-        ).generate(mutants)
-        if not data.vectors:
-            continue
-        report = nlfce_from_results(
-            lab.fault_sim(data.vectors), lab.random_baseline
-        )
-        rows.append(
-            [operator, len(mutants), len(data.vectors),
-             round(100 * report.mfc, 2), round(report.delta_fc_pct, 2),
-             round(report.delta_l_pct, 2), round(report.nlfce, 1)]
-        )
+    result = Campaign(config).run([circuit])
+    rows = [
+        [row.operator, row.mutants, row.test_length,
+         round(row.mfc_pct, 2), round(row.dfc_pct, 2),
+         round(row.dl_pct, 2), round(row.nlfce, 1)]
+        for row in result.circuit(circuit).operators
+    ]
     rows.sort(key=lambda r: r[-1])
     print(
         render_table(

@@ -1,51 +1,49 @@
 #!/usr/bin/env python3
-"""Quickstart: mutation-based validation data for one benchmark.
+"""Quickstart: the paper's whole flow as one campaign.
 
-Loads the b01 serial-flow FSM, generates its full mutant population,
-derives mutation-adequate validation data, and reports the mutation
-score plus the stuck-at fault coverage those "free" vectors reach on the
-synthesized gate-level netlist — the paper's core flow in ~30 lines.
+A single ``Campaign(config).run([...])`` call drives mutant generation,
+sampling, mutation-adequate test generation, stuck-at fault validation
+and the NLFCE metric, and returns plain-data results that render the
+paper's tables or serialize to JSON.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    MutationTestGenerator,
-    collapse_faults,
-    generate_mutants,
-    load_circuit,
-    simulate_stuck_at,
-    synthesize,
-)
+from repro import Campaign, CampaignConfig
 
 
 def main() -> None:
-    design = load_circuit("b01")
-    print(f"circuit: {design.name} "
-          f"({'sequential' if design.is_sequential else 'combinational'})")
-
-    mutants = generate_mutants(design)
-    print(f"mutants: {len(mutants)} across the ten operators")
-
-    generator = MutationTestGenerator(design, seed=1, max_vectors=128)
-    data = generator.generate(mutants)
-    print(
-        f"validation data: {len(data.vectors)} vectors kill "
-        f"{len(data.killed_mids)}/{data.total_targets} mutants "
-        f"({100 * data.kill_fraction:.1f}% raw kill rate)"
+    config = CampaignConfig(
+        random_budget_comb=512,
+        random_budget_seq=512,
+        equivalence_budget=96,
+        max_vectors=128,
+        fraction=0.10,
     )
+    result = Campaign(config).run(["b01"])
 
-    netlist = synthesize(design)
-    faults = collapse_faults(netlist)
-    result = simulate_stuck_at(netlist, data.vectors, faults)
-    print(
-        f"gate level: {netlist.stats()['gates']} gates, "
-        f"{len(faults)} collapsed stuck-at faults"
-    )
-    print(
-        f"re-used as structural test: {100 * result.coverage():.2f}% "
-        "fault coverage for free"
-    )
+    circuit = result.circuit("b01")
+    print(f"circuit: {circuit.circuit} "
+          f"({'sequential' if circuit.sequential else 'combinational'}), "
+          f"{circuit.gates} gates, {circuit.faults} collapsed faults")
+    print(f"mutants: {circuit.mutants} across the ten operators "
+          f"({circuit.equivalents} classified equivalent)")
+
+    print("\nper-operator calibration (the Table-1 measurements):")
+    for row in circuit.operators:
+        print(f"  {row.operator:4s} {row.mutants:4d} mutants  "
+              f"Lm={row.test_length:<3d} NLFCE={row.nlfce:8.1f}")
+
+    print("\nsampling strategies at 10% (the Table-2 measurements):")
+    for row in circuit.strategies:
+        print(f"  {row.strategy:13s} {row.selected:3d} selected  "
+              f"MS={row.ms_pct:6.2f}%  NLFCE={row.nlfce:8.1f}  "
+              f"{len(row.vectors)} validation vectors")
+
+    print("\nthe same numbers render as the paper's tables:")
+    from repro.experiments.report import table2_text
+
+    print(table2_text(result.table2()))
 
 
 if __name__ == "__main__":

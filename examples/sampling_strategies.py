@@ -1,64 +1,48 @@
 #!/usr/bin/env python3
 """Random vs. test-oriented mutant sampling (a miniature of Table 2).
 
-Samples 10% of a circuit's mutants twice — uniformly, and with the
-paper's operator-weighted strategy — generates validation data from
-each sample, and compares the mutation score on the *full* population
-and the NLFCE of the resulting vectors.
+One campaign samples the circuit's mutants twice — uniformly, and with
+the paper's operator-weighted strategy (rank weights; pass a third
+argument to calibrate instead) — generates validation data from each
+sample, and compares the mutation score on the *full* population and
+the NLFCE of the resulting vectors.
 
-Run:  python examples/sampling_strategies.py [circuit] [fraction]
+Run:  python examples/sampling_strategies.py [circuit] [fraction] [calibrate]
 """
 
 import sys
 
-from repro.experiments.context import LabConfig, get_lab
-from repro.metrics.nlfce import nlfce_from_results
-from repro.mutation.score import MutationScore
-from repro.sampling import RandomSampling, TestOrientedSampling
-from repro.testgen import MutationTestGenerator
+from repro import Campaign, CampaignConfig
 from repro.util import render_table
 
 
 def main() -> None:
     circuit = sys.argv[1] if len(sys.argv) > 1 else "b01"
     fraction = float(sys.argv[2]) if len(sys.argv) > 2 else 0.10
-    config = LabConfig(
-        random_budget_comb=1024, random_budget_seq=512,
+    calibrate = len(sys.argv) > 3
+
+    config = CampaignConfig(
+        random_budget_comb=1024,
+        random_budget_seq=512,
         equivalence_budget=96,
+        max_vectors=128,
+        fraction=fraction,
+        weight_scheme="calibrated" if calibrate else "paper-ranks",
+        operators=() if not calibrate else CampaignConfig().operators,
     )
-    lab = get_lab(circuit, config)
-    population = lab.all_mutants
-    equivalence = lab.equivalence
+    result = Campaign(config).run([circuit])
+
+    summary = result.circuit(circuit)
     print(
-        f"{circuit}: {len(population)} mutants, "
-        f"{equivalence.count} classified equivalent "
-        f"(budget {equivalence.budget}, "
-        f"{'exhaustive' if equivalence.exhaustive else 'random'})"
+        f"{circuit}: {summary.mutants} mutants, "
+        f"{summary.equivalents} classified equivalent; "
+        f"weights: { {op: round(w, 2) for op, w in (summary.weights or {}).items()} }"
     )
-    rows = []
-    for strategy in (
-        RandomSampling(fraction),
-        TestOrientedSampling(fraction=fraction),  # paper-rank weights
-    ):
-        sample = strategy.sample(population, seed=13, )
-        data = MutationTestGenerator(
-            lab.design, seed=7, engine=lab.engine, max_vectors=128
-        ).generate(sample)
-        targets = [
-            m for m in population
-            if m.mid not in equivalence.equivalent_mids
-        ]
-        killed = lab.engine.killed_mids(targets, data.vectors)
-        score = MutationScore(
-            len(population), len(killed), equivalence.count
-        )
-        nlfce = nlfce_from_results(
-            lab.fault_sim(data.vectors), lab.random_baseline
-        ).nlfce
-        rows.append(
-            [strategy.name, len(sample), len(data.vectors),
-             round(score.percent, 2), round(nlfce, 1)]
-        )
+    rows = [
+        [row.strategy, row.selected, len(row.vectors),
+         round(row.ms_pct, 2), round(row.nlfce, 1)]
+        for row in summary.strategies
+    ]
     print(
         render_table(
             ["Strategy", "Selected", "Vectors", "MS%", "NLFCE"],

@@ -9,10 +9,26 @@ netlists (``repro.synth`` / ``repro.netlist``), single-stuck-at fault
 simulation (``repro.fault``), the ten-operator mutation engine
 (``repro.mutation``), mutation-adequate / random / deterministic test
 generation (``repro.testgen``), the NLFCE metric (``repro.metrics``),
-mutant sampling strategies (``repro.sampling``) and the experiment
-harness regenerating the paper's tables (``repro.experiments``).
+mutant sampling strategies (``repro.sampling``), the campaign pipeline
+(``repro.campaign``) and the experiment facade regenerating the paper's
+tables (``repro.experiments``).
 
-Quickstart::
+Quickstart — the whole flow is one campaign::
+
+    from repro import Campaign, CampaignConfig
+
+    config = CampaignConfig(fraction=0.10, jobs=2)
+    result = Campaign(config).run(["c17", "b01"])
+    for circuit in result.circuits:
+        row = circuit.strategy("test-oriented")
+        print(circuit.circuit, f"MS={row.ms_pct:.1f}%",
+              f"NLFCE={row.nlfce:.1f}")
+    print(result.to_json())        # archive / replay the exact run
+
+``CampaignConfig`` is JSON-round-trippable, the stage pipeline is
+pluggable by name (see :mod:`repro.campaign`), and ``jobs=N`` runs
+circuits on a process pool with bit-identical results.  The low-level
+pieces stay available for custom flows::
 
     from repro import load_circuit, generate_mutants, MutationTestGenerator
 
@@ -22,6 +38,13 @@ Quickstart::
     print(len(data.vectors), "validation vectors")
 """
 
+from repro.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignEvents,
+    CampaignResult,
+    CircuitResult,
+)
 from repro.circuits import circuit_names, get_circuit, load_circuit
 from repro.errors import ReproError
 from repro.fault import collapse_faults, generate_faults, simulate_stuck_at
@@ -33,9 +56,14 @@ from repro.sim import StimulusEncoder, Testbench
 from repro.synth import synthesize
 from repro.testgen import MutationTestGenerator, RandomVectorGenerator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignEvents",
+    "CampaignResult",
+    "CircuitResult",
     "MutationEngine",
     "MutationTestGenerator",
     "RandomSampling",

@@ -1,0 +1,91 @@
+"""repro.campaign — the unified pipeline API for the whole flow.
+
+One entry point subsumes the paper's end-to-end mutation-sampling flow
+(synthesis → mutant generation → sampling → mutation-adequate test
+generation → stuck-at fault validation → NLFCE metrics)::
+
+    from repro.campaign import Campaign, CampaignConfig
+
+    config = CampaignConfig(fraction=0.10, jobs=2)
+    result = Campaign(config).run(["c17", "b01"])
+    print(result.table2())          # the paper's Table-2 rows
+    print(result.to_json())         # archive-ready JSON
+
+Pieces:
+
+* :class:`CampaignConfig` — typed, JSON-round-trippable configuration
+  unifying lab budgets, testgen knobs, sampling selection, the stage
+  pipeline and execution policy (``jobs``, ``cache_dir``).
+* Stages (:mod:`repro.campaign.stages`) — pluggable, registered by
+  name; compose custom pipelines via ``config.stages``.
+* :class:`CircuitResult` / :class:`CampaignResult` — plain-data results
+  that serialize to JSON and render the paper's tables.
+* :class:`CampaignEvents` — progress hooks replacing print-based
+  reporting.
+* :class:`Campaign` — the runner: serial or process-parallel over
+  circuits (bit-for-bit identical either way), with an on-disk result
+  cache keyed by ``(circuit, config fingerprint, version)``.
+"""
+
+from repro.campaign.cache import CACHE_VERSION, ResultCache
+from repro.campaign.config import (
+    DEFAULT_CIRCUITS,
+    DEFAULT_OPERATORS,
+    DEFAULT_PIPELINE,
+    WEIGHT_SCHEMES,
+    CampaignConfig,
+)
+from repro.campaign.events import CampaignEvents, ProgressEvents
+from repro.campaign.result import (
+    CampaignResult,
+    CircuitResult,
+    OperatorRow,
+    StrategyRow,
+)
+from repro.campaign.runner import Campaign, run_circuit
+from repro.campaign.stages import (
+    STAGE_REGISTRY,
+    CircuitContext,
+    FaultValidationStage,
+    MetricsStage,
+    MutantStage,
+    SamplingStage,
+    Stage,
+    SynthStage,
+    Target,
+    TestGenStage,
+    get_stage,
+    register_stage,
+    stage_names,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignEvents",
+    "CampaignResult",
+    "CircuitContext",
+    "CircuitResult",
+    "DEFAULT_CIRCUITS",
+    "DEFAULT_OPERATORS",
+    "DEFAULT_PIPELINE",
+    "FaultValidationStage",
+    "MetricsStage",
+    "MutantStage",
+    "OperatorRow",
+    "ProgressEvents",
+    "ResultCache",
+    "STAGE_REGISTRY",
+    "SamplingStage",
+    "Stage",
+    "StrategyRow",
+    "SynthStage",
+    "Target",
+    "TestGenStage",
+    "WEIGHT_SCHEMES",
+    "get_stage",
+    "register_stage",
+    "run_circuit",
+    "stage_names",
+]

@@ -1,0 +1,59 @@
+"""On-disk per-circuit result cache.
+
+A cache entry is keyed by ``(circuit, config fingerprint, format
+version)`` — the fingerprint covers every result-affecting config field
+(see :meth:`repro.campaign.CampaignConfig.fingerprint`), so a budget or
+seed change misses cleanly while re-running the same science on more
+jobs, or with a different circuit list, hits.  Entries are plain JSON
+(:meth:`CircuitResult.to_dict`); anything unreadable or structurally
+stale is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.campaign.result import CircuitResult
+from repro.errors import ConfigError
+
+#: Bump when the cached payload's shape or semantics change.
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """Load/store :class:`CircuitResult` objects under a directory."""
+
+    def __init__(self, directory, config):
+        self._dir = Path(directory)
+        self._fingerprint = config.fingerprint()
+        # Fail fast on an unusable cache location, before any compute.
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigError(f"unusable cache directory: {exc}") from exc
+
+    def path(self, circuit: str) -> Path:
+        return self._dir / (
+            f"{circuit}-{self._fingerprint}-v{CACHE_VERSION}.json"
+        )
+
+    def load(self, circuit: str) -> CircuitResult | None:
+        """The cached result, or ``None`` on any kind of miss."""
+        try:
+            text = self.path(circuit).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            return CircuitResult.from_dict(json.loads(text))
+        except (ValueError, TypeError, KeyError, ConfigError):
+            return None  # corrupt or stale entry: recompute
+
+    def store(self, result: CircuitResult) -> None:
+        target = self.path(result.circuit)
+        payload = json.dumps(result.to_dict(), sort_keys=True)
+        # Write-then-rename so concurrent readers never see half a file.
+        tmp = target.with_name(target.name + f".{os.getpid()}.tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        tmp.replace(target)

@@ -1,0 +1,208 @@
+"""Typed, JSON-round-trippable configuration for campaign runs.
+
+:class:`CampaignConfig` is the one object that governs the whole
+mutation-sampling flow: the lab budgets that used to live in
+``LabConfig``, the test-generation knobs that used to be
+``MutationTestGenerator`` keyword arguments, the sampling strategy
+selection, the stage pipeline, and the execution policy (parallel jobs,
+on-disk result cache).  It serializes to plain JSON (``to_json`` /
+``from_json`` / ``from_file``) so a campaign can be described in a
+config file and replayed bit-for-bit.
+
+The *fingerprint* — a stable hash over every field that influences the
+computed numbers — keys the on-disk result cache.  Execution-only
+fields (``circuits``, ``jobs``, ``cache_dir``) are excluded: running
+the same science on more workers must hit the same cache entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigError
+
+#: The four circuits of the paper's evaluation (the canonical
+#: definition; ``repro.experiments.context.PAPER_CIRCUITS`` re-exports
+#: it).
+DEFAULT_CIRCUITS = ("b01", "b03", "c432", "c499")
+#: The operators of the paper's Table 1 (canonical; re-exported as
+#: ``repro.experiments.context.PAPER_OPERATORS``).
+DEFAULT_OPERATORS = ("LOR", "VR", "CVR", "CR")
+
+#: The default stage pipeline.  Stages are incremental — each processes
+#: only the work earlier stages queued that it has not handled yet — so
+#: the calibration pass (per-operator test sets and their NLFCE, the
+#: paper's Table 1) runs to completion before ``sampling`` derives
+#: calibrated weights and queues the per-strategy work, which the second
+#: ``testgen``/``fault-validation``/``metrics`` pass then evaluates.
+DEFAULT_PIPELINE = (
+    "synth",
+    "mutants",
+    "testgen",
+    "fault-validation",
+    "metrics",
+    "sampling",
+    "testgen",
+    "fault-validation",
+    "metrics",
+)
+
+#: How the test-oriented sampler's operator weights are derived.
+WEIGHT_SCHEMES = ("calibrated", "paper-ranks", "uniform")
+
+#: Fields that change how a campaign *executes*, not what it computes.
+EXECUTION_FIELDS = frozenset({"circuits", "jobs", "cache_dir"})
+
+_TUPLE_FIELDS = ("operators", "strategies", "sample_labels", "stages",
+                 "circuits")
+
+
+@dataclass
+class CampaignConfig:
+    """Everything a :class:`repro.campaign.Campaign` needs to run."""
+
+    # -- seeds ---------------------------------------------------------------
+    seed: int = 20050301                #: master seed (baseline, equivalence)
+    testgen_seed: int = 7               #: mutation-adequate generator seed
+    sampling_seed: int = 13             #: mutant sampling seed
+
+    # -- lab budgets (the former LabConfig) ----------------------------------
+    random_budget_comb: int = 2048
+    random_budget_seq: int = 1024
+    equivalence_budget: int = 256
+    fault_lanes: int = 256
+
+    # -- test generation knobs -----------------------------------------------
+    max_vectors: int = 256
+    batch_size: int = 64
+    chunk_length: int = 4
+    chunk_candidates: int = 6
+    stall_rounds: int = 4
+
+    # -- calibration / sampling ----------------------------------------------
+    operators: tuple[str, ...] = DEFAULT_OPERATORS
+    strategies: tuple[str, ...] = ("random", "test-oriented")
+    fraction: float = 0.10
+    weight_scheme: str = "calibrated"
+    #: Explicit operator weights; when set, ``weight_scheme`` is ignored.
+    weights: dict[str, float] | None = None
+    #: Extra labels mixed into the sampling RNG stream (ablation variants).
+    sample_labels: tuple[str, ...] = ()
+
+    # -- pipeline ------------------------------------------------------------
+    stages: tuple[str, ...] = DEFAULT_PIPELINE
+
+    # -- execution (excluded from the fingerprint) ---------------------------
+    circuits: tuple[str, ...] = DEFAULT_CIRCUITS
+    jobs: int = 1
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        for name in _TUPLE_FIELDS:
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                setattr(self, name, tuple(value))
+        if self.weights is not None:
+            self.weights = {
+                str(op): float(w) for op, w in self.weights.items()
+            }
+        if self.weight_scheme not in WEIGHT_SCHEMES:
+            raise ConfigError(
+                f"weight_scheme must be one of {WEIGHT_SCHEMES}, "
+                f"got {self.weight_scheme!r}"
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigError(
+                f"fraction must be in (0, 1], got {self.fraction}"
+            )
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+
+    # -- bridges -------------------------------------------------------------
+
+    def lab_config(self):
+        """The :class:`repro.experiments.context.LabConfig` slice."""
+        from repro.experiments.context import LabConfig
+
+        return LabConfig.from_campaign(self)
+
+    @classmethod
+    def from_lab(cls, lab_config, **overrides) -> "CampaignConfig":
+        """Lift a legacy ``LabConfig`` into a campaign configuration."""
+        return cls(
+            seed=lab_config.seed,
+            random_budget_comb=lab_config.random_budget_comb,
+            random_budget_seq=lab_config.random_budget_seq,
+            equivalence_budget=lab_config.equivalence_budget,
+            fault_lanes=lab_config.fault_lanes,
+            **overrides,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            elif isinstance(value, dict):
+                value = dict(value)
+            data[f.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"campaign config must be an object, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown campaign config keys: {', '.join(unknown)}"
+            )
+        return cls(**data)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignConfig":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConfigError(f"invalid campaign config JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path) -> "CampaignConfig":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ConfigError(f"cannot read campaign config: {exc}") from exc
+        return cls.from_json(text)
+
+    def replace(self, **changes) -> "CampaignConfig":
+        """A copy with ``changes`` applied (dataclasses.replace)."""
+        return dataclasses.replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """Stable hash over every result-affecting field.
+
+        Keys the on-disk result cache together with the circuit name and
+        the cache format version.
+        """
+        payload = {
+            key: value
+            for key, value in self.to_dict().items()
+            if key not in EXECUTION_FIELDS
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,75 @@
+"""Event hooks for campaign progress reporting.
+
+The pipeline never prints; it reports through a :class:`CampaignEvents`
+instance instead, so front ends decide how (and whether) to render
+progress.  Subclass and override the hooks you care about — the base
+class is all no-ops, so implementations stay forward-compatible when
+hooks are added.
+
+Hook timing:
+
+* ``on_campaign_start`` / ``on_campaign_end`` wrap the whole run;
+* ``on_circuit_start`` / ``on_circuit_done`` wrap one circuit
+  (``on_circuit_done`` also fires for cache hits, with ``cached=True``);
+* ``on_stage_start`` / ``on_stage_end`` wrap one pipeline stage.
+  Stage hooks fire only for circuits executed in-process: with
+  ``jobs > 1`` the stages run in worker processes and only the
+  circuit-level hooks are observable from the parent.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+class CampaignEvents:
+    """No-op base class for campaign progress hooks."""
+
+    def on_campaign_start(self, circuits: tuple[str, ...], config) -> None:
+        """The campaign is about to run ``circuits``."""
+
+    def on_campaign_end(self, result, seconds: float) -> None:
+        """The campaign finished; ``result`` is the CampaignResult."""
+
+    def on_circuit_start(self, circuit: str) -> None:
+        """Work on ``circuit`` is starting."""
+
+    def on_circuit_done(
+        self, circuit: str, result, seconds: float, cached: bool = False
+    ) -> None:
+        """``circuit`` finished; ``result`` is its CircuitResult."""
+
+    def on_stage_start(self, circuit: str, stage: str) -> None:
+        """Stage ``stage`` is starting for ``circuit``."""
+
+    def on_stage_end(self, circuit: str, stage: str, seconds: float) -> None:
+        """Stage ``stage`` finished for ``circuit``."""
+
+
+class ProgressEvents(CampaignEvents):
+    """Line-per-event progress on a stream (default: stderr)."""
+
+    def __init__(self, stream=None):
+        self._stream = stream if stream is not None else sys.stderr
+
+    def _emit(self, message: str) -> None:
+        print(message, file=self._stream, flush=True)
+
+    def on_campaign_start(self, circuits, config) -> None:
+        self._emit(
+            f"campaign: {len(circuits)} circuit(s) "
+            f"[{', '.join(circuits)}], jobs={config.jobs}"
+        )
+
+    def on_campaign_end(self, result, seconds) -> None:
+        self._emit(f"campaign: done in {seconds:.1f}s")
+
+    def on_circuit_start(self, circuit) -> None:
+        self._emit(f"[{circuit}] start")
+
+    def on_circuit_done(self, circuit, result, seconds, cached=False) -> None:
+        suffix = " (cached)" if cached else f" in {seconds:.1f}s"
+        self._emit(f"[{circuit}] done{suffix}")
+
+    def on_stage_end(self, circuit, stage, seconds) -> None:
+        self._emit(f"[{circuit}] {stage}: {seconds:.2f}s")

@@ -1,0 +1,203 @@
+"""Campaign results: per-circuit and aggregate, JSON-serializable.
+
+Everything in here is plain data — ints, floats, strings, lists — so a
+:class:`CircuitResult` crosses process boundaries, lands in the on-disk
+cache, and round-trips through JSON without losing anything.  The
+aggregate :class:`CampaignResult` renders the paper's tables via
+``table1()`` / ``table2()`` (returning the exact result types the
+legacy experiment modules define, so existing reporting code keeps
+working).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+
+from repro.campaign.config import CampaignConfig
+from repro.errors import ConfigError
+
+
+@dataclass
+class OperatorRow:
+    """Calibration measurement for one mutation operator (Table 1)."""
+
+    operator: str
+    mutants: int
+    test_length: int
+    mfc_pct: float
+    dfc_pct: float
+    dl_pct: float
+    nlfce: float
+    reached_mfc: bool
+
+
+@dataclass
+class StrategyRow:
+    """Evaluation of one sampling strategy's test data (Table 2)."""
+
+    strategy: str
+    population: int
+    selected: int
+    equivalents: int
+    killed: int
+    ms_pct: float
+    test_length: int
+    nlfce: float
+    #: The generated validation vectors (packed stimuli) — the reusable
+    #: artifact downstream consumers (e.g. ATPG preload) care about.
+    vectors: list[int] = field(default_factory=list)
+
+
+def _row_to_dict(row) -> dict:
+    return {f.name: getattr(row, f.name) for f in fields(row)}
+
+
+def _row_from_dict(cls, data: dict):
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ConfigError(
+            f"unknown {cls.__name__} keys: {', '.join(unknown)}"
+        )
+    return cls(**data)
+
+
+@dataclass
+class CircuitResult:
+    """Everything one campaign run computed about one circuit."""
+
+    circuit: str
+    sequential: bool
+    gates: int
+    dffs: int
+    depth: int
+    faults: int
+    mutants: int
+    equivalents: int
+    operators: list[OperatorRow] = field(default_factory=list)
+    strategies: list[StrategyRow] = field(default_factory=list)
+    weights: dict[str, float] | None = None
+
+    def strategy(self, name: str) -> StrategyRow:
+        for row in self.strategies:
+            if row.strategy == name:
+                return row
+        raise KeyError(f"no strategy row {name!r} for {self.circuit}")
+
+    def to_dict(self) -> dict:
+        data = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("operators", "strategies")
+        }
+        data["operators"] = [_row_to_dict(row) for row in self.operators]
+        data["strategies"] = [_row_to_dict(row) for row in self.strategies]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CircuitResult":
+        payload = dict(data)
+        operators = [
+            _row_from_dict(OperatorRow, row)
+            for row in payload.pop("operators", [])
+        ]
+        strategies = [
+            _row_from_dict(StrategyRow, row)
+            for row in payload.pop("strategies", [])
+        ]
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown CircuitResult keys: {', '.join(unknown)}"
+            )
+        return cls(operators=operators, strategies=strategies, **payload)
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of :meth:`repro.campaign.Campaign.run`."""
+
+    config: CampaignConfig
+    circuits: list[CircuitResult] = field(default_factory=list)
+    cache_hits: tuple[str, ...] = ()
+
+    def circuit(self, name: str) -> CircuitResult:
+        for result in self.circuits:
+            if result.circuit == name:
+                return result
+        raise KeyError(f"no result for circuit {name!r}")
+
+    # -- paper tables --------------------------------------------------------
+
+    def table1(self):
+        """The rows as a :class:`repro.experiments.table1.Table1Result`."""
+        from repro.experiments.table1 import Table1Result, Table1Row
+
+        result = Table1Result()
+        for circuit in self.circuits:
+            for row in circuit.operators:
+                result.rows.append(
+                    Table1Row(
+                        circuit=circuit.circuit,
+                        operator=row.operator,
+                        mutants=row.mutants,
+                        test_length=row.test_length,
+                        mfc_pct=row.mfc_pct,
+                        dfc_pct=row.dfc_pct,
+                        dl_pct=row.dl_pct,
+                        nlfce=row.nlfce,
+                        reached_mfc=row.reached_mfc,
+                    )
+                )
+        return result
+
+    def table2(self):
+        """The rows as a :class:`repro.experiments.table2.Table2Result`."""
+        from repro.experiments.table2 import Table2Result, Table2Row
+
+        result = Table2Result()
+        for circuit in self.circuits:
+            for row in circuit.strategies:
+                result.rows.append(
+                    Table2Row(
+                        circuit=circuit.circuit,
+                        strategy=row.strategy,
+                        population=row.population,
+                        selected=row.selected,
+                        equivalents=row.equivalents,
+                        killed=row.killed,
+                        ms_pct=row.ms_pct,
+                        test_length=row.test_length,
+                        nlfce=row.nlfce,
+                    )
+                )
+        return result
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "circuits": [circuit.to_dict() for circuit in self.circuits],
+            "cache_hits": list(self.cache_hits),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        return cls(
+            config=CampaignConfig.from_dict(data["config"]),
+            circuits=[
+                CircuitResult.from_dict(circuit)
+                for circuit in data.get("circuits", [])
+            ],
+            cache_hits=tuple(data.get("cache_hits", ())),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,229 @@
+"""The campaign runner: serial or process-parallel over circuits.
+
+``Campaign(config).run(circuits)`` is the single entry point for the
+whole mutation-sampling flow.  Per circuit it executes the configured
+stage pipeline over a fresh :class:`CircuitContext` and condenses the
+context into a plain-data :class:`CircuitResult`.
+
+Circuits are independent — every random stream is derived from
+``(seed, labels...)`` with the circuit name in the labels — so the
+parallel path (``config.jobs > 1``) farms whole circuits out to a
+:class:`~concurrent.futures.ProcessPoolExecutor` and is bit-for-bit
+identical to the serial path.  Results cross the process boundary as
+dicts (the same payload the on-disk cache stores).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.config import CampaignConfig
+from repro.campaign.events import CampaignEvents
+from repro.campaign.result import (
+    CampaignResult,
+    CircuitResult,
+    OperatorRow,
+    StrategyRow,
+)
+from repro.campaign.stages import (
+    OPERATOR_TARGET,
+    STRATEGY_TARGET,
+    CircuitContext,
+    get_stage,
+)
+from repro.mutation.score import MutationScore
+
+_NULL_EVENTS = CampaignEvents()
+
+
+def run_circuit(
+    circuit: str,
+    config: CampaignConfig,
+    events: CampaignEvents | None = None,
+) -> CircuitResult:
+    """Run the configured stage pipeline for one circuit."""
+    events = events or _NULL_EVENTS
+    ctx = CircuitContext(circuit, config)
+    for name in config.stages:
+        stage = get_stage(name)
+        events.on_stage_start(circuit, name)
+        started = time.monotonic()
+        stage.run(ctx)
+        events.on_stage_end(circuit, name, time.monotonic() - started)
+    return _build_result(ctx)
+
+
+def _build_result(ctx: CircuitContext) -> CircuitResult:
+    lab = ctx.lab
+    stats = lab.netlist.stats() if lab is not None else {}
+    population = len(ctx.population) if ctx.population is not None else 0
+    equivalents = ctx.equivalence.count if ctx.equivalence is not None else 0
+
+    operators = []
+    for target in ctx.targets.values():
+        if target.kind != OPERATOR_TARGET or target.report is None:
+            continue
+        report = target.report
+        operators.append(
+            OperatorRow(
+                operator=target.name,
+                mutants=len(target.mutants),
+                test_length=report.mutation_length,
+                mfc_pct=100.0 * report.mfc,
+                dfc_pct=report.delta_fc_pct,
+                dl_pct=report.delta_l_pct,
+                nlfce=report.nlfce,
+                reached_mfc=report.reached_mfc,
+            )
+        )
+
+    strategies = []
+    for target in ctx.targets.values():
+        if target.kind != STRATEGY_TARGET:
+            continue
+        vectors = list(target.testgen.vectors) if target.testgen else []
+        if target.killed is not None:
+            killed = len(target.killed)
+        elif target.testgen is not None:
+            # Whole-population scoring was not run (no fault-validation
+            # stage): fall back to the kills within the sample itself.
+            killed = len(target.testgen.killed_mids)
+        else:
+            killed = 0
+        score = MutationScore(
+            total=population, killed=killed, equivalents=equivalents
+        )
+        strategies.append(
+            StrategyRow(
+                strategy=target.name,
+                population=population,
+                selected=len(target.mutants),
+                equivalents=equivalents,
+                killed=killed,
+                ms_pct=score.percent,
+                test_length=(
+                    target.report.mutation_length if target.report else 0
+                ),
+                nlfce=target.report.nlfce if target.report else 0.0,
+                vectors=vectors,
+            )
+        )
+
+    return CircuitResult(
+        circuit=ctx.circuit,
+        sequential=lab.design.is_sequential if lab is not None else False,
+        gates=stats.get("gates", 0),
+        dffs=stats.get("dffs", 0),
+        depth=stats.get("depth", 0),
+        faults=len(lab.faults) if lab is not None else 0,
+        mutants=population,
+        equivalents=equivalents,
+        operators=operators,
+        strategies=strategies,
+        weights=ctx.weights,
+    )
+
+
+def _circuit_payload(circuit: str, config_data: dict) -> dict:
+    """Worker entry point: rebuild the config, return a plain dict.
+
+    The circuit's own runtime is measured in the worker so the parent
+    can report it (wall clock since pool start would be wrong for every
+    completion after the first).
+    """
+    config = CampaignConfig.from_dict(config_data)
+    started = time.monotonic()
+    result = run_circuit(circuit, config)
+    return {
+        "seconds": time.monotonic() - started,
+        "result": result.to_dict(),
+    }
+
+
+class Campaign:
+    """One composable, parallel, resumable mutation-sampling run."""
+
+    def __init__(
+        self,
+        config: CampaignConfig | None = None,
+        events: CampaignEvents | None = None,
+    ):
+        self.config = config or CampaignConfig()
+        self.events = events or _NULL_EVENTS
+
+    def run(self, circuits=None) -> CampaignResult:
+        """Run the pipeline over ``circuits`` (default: the config's).
+
+        Cached circuits are loaded, the rest computed — serially, or on
+        a process pool when ``config.jobs > 1`` — and every freshly
+        computed result is written back to the cache.
+        """
+        config = self.config
+        events = self.events
+        names = tuple(circuits) if circuits is not None else config.circuits
+        events.on_campaign_start(names, config)
+        started = time.monotonic()
+
+        cache = (
+            ResultCache(config.cache_dir, config) if config.cache_dir else None
+        )
+        results: dict[str, CircuitResult] = {}
+        hits: list[str] = []
+        pending: list[str] = []
+        for name in names:
+            if name in results or name in pending:
+                continue
+            cached = cache.load(name) if cache is not None else None
+            if cached is not None:
+                results[name] = cached
+                hits.append(name)
+                events.on_circuit_done(name, cached, 0.0, cached=True)
+            else:
+                pending.append(name)
+
+        if config.jobs > 1 and len(pending) > 1:
+            self._run_parallel(pending, results)
+        else:
+            for name in pending:
+                events.on_circuit_start(name)
+                circuit_started = time.monotonic()
+                results[name] = run_circuit(name, config, events)
+                events.on_circuit_done(
+                    name, results[name],
+                    time.monotonic() - circuit_started,
+                )
+
+        if cache is not None:
+            for name in pending:
+                cache.store(results[name])
+
+        result = CampaignResult(
+            config=config,
+            circuits=[results[name] for name in dict.fromkeys(names)],
+            cache_hits=tuple(hits),
+        )
+        events.on_campaign_end(result, time.monotonic() - started)
+        return result
+
+    def _run_parallel(
+        self, pending: list[str], results: dict[str, CircuitResult]
+    ) -> None:
+        config, events = self.config, self.events
+        config_data = config.to_dict()
+        workers = min(config.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_circuit_payload, name, config_data): name
+                for name in pending
+            }
+            for name in pending:
+                events.on_circuit_start(name)
+            for future in as_completed(futures):
+                name = futures[future]
+                payload = future.result()
+                results[name] = CircuitResult.from_dict(payload["result"])
+                events.on_circuit_done(
+                    name, results[name], payload["seconds"]
+                )

@@ -7,10 +7,18 @@ Commands
 * ``synth``      — synthesize a circuit and print its ``.bench`` netlist
 * ``mutants``    — list (a sample of) a circuit's mutants
 * ``testgen``    — generate mutation-adequate validation data
+* ``run``        — execute a full campaign from a JSON config file
 * ``table1``     — regenerate the paper's Table 1
 * ``table2``     — regenerate the paper's Table 2
 * ``atpg-reuse`` — the §1 validation-reuse experiment
 * ``ablation``   — sampling-rate / weight-scheme ablations
+
+Every subcommand is a thin consumer of the campaign pipeline: the
+shared ``--seed`` / budget options build one
+:class:`repro.campaign.CampaignConfig`, table-producing commands accept
+``--jobs`` (process-parallel over circuits), ``--cache-dir`` (on-disk
+result cache) and ``--json`` (archive the result), and ``repro run``
+replays a campaign described entirely by a JSON config file.
 """
 
 from __future__ import annotations
@@ -18,12 +26,20 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.context import LabConfig, PAPER_CIRCUITS
+from repro.campaign.config import (
+    DEFAULT_CIRCUITS,
+    DEFAULT_OPERATORS,
+    CampaignConfig,
+)
 
 
 def _add_budget_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=20050301,
                         help="master experiment seed")
+    parser.add_argument("--testgen-seed", type=int, default=7,
+                        help="mutation-adequate generator seed")
+    parser.add_argument("--sampling-seed", type=int, default=13,
+                        help="mutant sampling seed")
     parser.add_argument("--random-budget", type=int, default=None,
                         help="random baseline length (both styles)")
     parser.add_argument("--equivalence-budget", type=int, default=256,
@@ -32,16 +48,74 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
                         help="cap on generated validation vectors")
 
 
-def _config(args) -> LabConfig:
-    config = LabConfig(seed=args.seed,
-                       equivalence_budget=args.equivalence_budget)
-    if args.random_budget is not None:
-        config.random_budget_comb = args.random_budget
-        config.random_budget_seq = args.random_budget
-    return config
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel worker processes over circuits")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk result cache")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the result as JSON to PATH")
+    parser.add_argument("--progress", action="store_true",
+                        help="report per-stage progress on stderr")
+
+
+def _campaign_config(args, **overrides) -> CampaignConfig:
+    """One CampaignConfig from the shared CLI options.
+
+    Subcommands expose only the options that affect them; anything a
+    parser does not declare keeps the campaign default.
+    """
+    values = dict(
+        seed=getattr(args, "seed", CampaignConfig.seed),
+        testgen_seed=getattr(args, "testgen_seed", CampaignConfig.testgen_seed),
+        sampling_seed=getattr(
+            args, "sampling_seed", CampaignConfig.sampling_seed
+        ),
+        equivalence_budget=getattr(
+            args, "equivalence_budget", CampaignConfig.equivalence_budget
+        ),
+        max_vectors=getattr(args, "max_vectors", CampaignConfig.max_vectors),
+        jobs=getattr(args, "jobs", CampaignConfig.jobs),
+        cache_dir=getattr(args, "cache_dir", CampaignConfig.cache_dir),
+    )
+    if getattr(args, "random_budget", None) is not None:
+        values["random_budget_comb"] = args.random_budget
+        values["random_budget_seq"] = args.random_budget
+    values.update(overrides)
+    return CampaignConfig(**values)
+
+
+def _events(args):
+    from repro.campaign.events import CampaignEvents, ProgressEvents
+
+    if getattr(args, "progress", False):
+        return ProgressEvents()
+    return CampaignEvents()
+
+
+def _archive(args, produce_json) -> None:
+    """Write ``produce_json()`` to ``--json PATH`` when requested.
+
+    Takes a producer so the (potentially large) serialization only
+    happens when the user asked for an archive.
+    """
+    if getattr(args, "json", None):
+        from repro.experiments.report import write_json
+
+        write_json(args.json, produce_json())
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.errors import ReproError
+
+    try:
+        return _main(argv)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -69,27 +143,53 @@ def main(argv: list[str] | None = None) -> int:
     )
     testgen.add_argument("circuit")
     testgen.add_argument("--operator", default=None)
-    testgen.add_argument("--seed", type=int, default=7)
-    testgen.add_argument("--max-vectors", type=int, default=256)
+    # Only the knobs that affect this subcommand; --seed stays the
+    # generator seed it has always been here (alias of --testgen-seed).
+    testgen.add_argument("--seed", "--testgen-seed", dest="testgen_seed",
+                         type=int, default=7,
+                         help="mutation-adequate generator seed")
+    testgen.add_argument("--max-vectors", type=int, default=256,
+                         help="cap on generated validation vectors")
+
+    run = sub.add_parser(
+        "run", help="execute a campaign from a JSON config file"
+    )
+    run.add_argument("config", help="path to a CampaignConfig JSON file")
+    run.add_argument("--circuits", nargs="*", default=None,
+                     help="override the config's circuit list")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="override the config's worker count")
+    run.add_argument("--cache-dir", default=None,
+                     help="override the config's result cache directory")
+    run.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the result as JSON to PATH")
+    run.add_argument("--progress", action="store_true",
+                     help="report per-stage progress on stderr")
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
-    table1.add_argument("--circuits", nargs="*", default=list(PAPER_CIRCUITS))
+    table1.add_argument("--circuits", nargs="*", default=list(DEFAULT_CIRCUITS))
     _add_budget_args(table1)
+    _add_exec_args(table1)
 
     table2 = sub.add_parser("table2", help="regenerate Table 2")
-    table2.add_argument("--circuits", nargs="*", default=list(PAPER_CIRCUITS))
+    table2.add_argument("--circuits", nargs="*", default=list(DEFAULT_CIRCUITS))
     table2.add_argument("--fraction", type=float, default=0.10)
     table2.add_argument("--no-calibrate", action="store_true")
     _add_budget_args(table2)
+    _add_exec_args(table2)
 
     reuse = sub.add_parser("atpg-reuse", help="validation-reuse experiment")
     reuse.add_argument("--circuits", nargs="*",
                        default=["c17", "c432", "c499"])
+    reuse.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the rows as JSON to PATH")
     _add_budget_args(reuse)
 
     ablation = sub.add_parser("ablation", help="ablation studies")
     ablation.add_argument("kind", choices=["rate", "weights"])
     ablation.add_argument("--circuit", default="b01")
+    ablation.add_argument("--json", default=None, metavar="PATH",
+                          help="also write the rows as JSON to PATH")
     _add_budget_args(ablation)
 
     args = parser.parse_args(argv)
@@ -117,37 +217,44 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_mutants(args)
     if command == "testgen":
         return _cmd_testgen(args)
+    if command == "run":
+        return _cmd_run(args)
     if command == "table1":
+        from repro.campaign.runner import Campaign
         from repro.experiments.report import table1_text
-        from repro.experiments.table1 import run_table1
 
-        result = run_table1(
-            circuits=tuple(args.circuits),
-            config=_config(args),
-            max_vectors=args.max_vectors,
+        config = _campaign_config(
+            args, operators=DEFAULT_OPERATORS, strategies=(),
         )
-        print(table1_text(result))
+        result = Campaign(config, _events(args)).run(tuple(args.circuits))
+        print(table1_text(result.table1()))
+        _archive(args, result.to_json)
         return 0
     if command == "table2":
+        from repro.campaign.runner import Campaign
         from repro.experiments.report import table2_text
-        from repro.experiments.table2 import run_table2
 
-        result = run_table2(
-            circuits=tuple(args.circuits),
+        calibrate = not args.no_calibrate
+        config = _campaign_config(
+            args,
+            operators=DEFAULT_OPERATORS if calibrate else (),
+            strategies=("random", "test-oriented"),
             fraction=args.fraction,
-            config=_config(args),
-            max_vectors=args.max_vectors,
-            calibrate=not args.no_calibrate,
+            weight_scheme="calibrated" if calibrate else "paper-ranks",
         )
-        print(table2_text(result))
+        result = Campaign(config, _events(args)).run(tuple(args.circuits))
+        print(table2_text(result.table2()))
+        _archive(args, result.to_json)
         return 0
     if command == "atpg-reuse":
         from repro.experiments.atpg_reuse import run_atpg_reuse
-        from repro.experiments.report import rows_text
+        from repro.experiments.report import rows_text, to_json
 
+        config = _campaign_config(args)
         rows = run_atpg_reuse(
-            circuits=tuple(args.circuits), config=_config(args),
-            max_vectors=args.max_vectors,
+            circuits=tuple(args.circuits), config=config.lab_config(),
+            testgen_seed=config.testgen_seed,
+            max_vectors=config.max_vectors,
         )
         print(
             rows_text(
@@ -160,24 +267,25 @@ def main(argv: list[str] | None = None) -> int:
                 "Validation-data reuse vs deterministic-only ATPG",
             )
         )
+        _archive(args, lambda: to_json(rows))
         return 0
     if command == "ablation":
         from repro.experiments.ablation import (
             run_rate_ablation,
             run_weight_ablation,
         )
-        from repro.experiments.report import rows_text
+        from repro.experiments.report import rows_text, to_json
 
-        if args.kind == "rate":
-            rows = run_rate_ablation(
-                circuit=args.circuit, config=_config(args),
-                max_vectors=args.max_vectors,
-            )
-        else:
-            rows = run_weight_ablation(
-                circuit=args.circuit, config=_config(args),
-                max_vectors=args.max_vectors,
-            )
+        config = _campaign_config(args)
+        runner = run_rate_ablation if args.kind == "rate" else (
+            run_weight_ablation
+        )
+        rows = runner(
+            circuit=args.circuit, config=config.lab_config(),
+            sampling_seed=config.sampling_seed,
+            testgen_seed=config.testgen_seed,
+            max_vectors=config.max_vectors,
+        )
         print(
             rows_text(
                 rows,
@@ -188,6 +296,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"Ablation: {args.kind}",
             )
         )
+        _archive(args, lambda: to_json(rows))
         return 0
     parser.error(f"unknown command {command!r}")
     return 2
@@ -236,11 +345,18 @@ def _cmd_testgen(args) -> int:
     from repro.mutation import generate_mutants
     from repro.testgen import MutationTestGenerator
 
+    config = _campaign_config(args)
     design = load_circuit(args.circuit)
     names = [args.operator] if args.operator else None
     mutants = generate_mutants(design, names)
     generator = MutationTestGenerator(
-        design, seed=args.seed, max_vectors=args.max_vectors
+        design,
+        seed=config.testgen_seed,
+        batch_size=config.batch_size,
+        chunk_length=config.chunk_length,
+        chunk_candidates=config.chunk_candidates,
+        stall_rounds=config.stall_rounds,
+        max_vectors=config.max_vectors,
     )
     result = generator.generate(mutants)
     print(
@@ -251,6 +367,26 @@ def _cmd_testgen(args) -> int:
     width = max((design.stimulus_width() + 3) // 4, 1)
     for vector in result.vectors:
         print(f"  {vector:0{width}x}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.campaign.runner import Campaign
+    from repro.experiments.report import campaign_text
+
+    config = CampaignConfig.from_file(args.config)
+    overrides = {}
+    if args.circuits is not None:
+        overrides["circuits"] = tuple(args.circuits)
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir
+    if overrides:
+        config = config.replace(**overrides)
+    result = Campaign(config, _events(args)).run()
+    print(campaign_text(result))
+    _archive(args, result.to_json)
     return 0
 
 

@@ -4,23 +4,22 @@
   5/10/20/40% sampling?
 * weight-scheme sweep — calibrated NLFCE weights vs. the paper's rank
   ordering vs. uniform weights (uniform reduces to stratified-random).
+
+Both sweeps are thin consumers of the campaign pipeline: the operator
+calibration runs once (a Table-1 campaign), then each variant is an
+evaluation-only campaign with explicit weights, the variant's sampling
+fraction, and the variant name mixed into the sampling stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.context import LabConfig, get_lab
+from repro.campaign.config import CampaignConfig
+from repro.campaign.runner import Campaign
+from repro.experiments.context import LabConfig
 from repro.experiments.table1 import run_table1
-from repro.metrics.nlfce import nlfce_from_results
-from repro.mutation.score import MutationScore
-from repro.sampling.random_sampling import RandomSampling
-from repro.sampling.weighted import (
-    PAPER_RANK_WEIGHTS,
-    TestOrientedSampling,
-    weights_from_nlfce,
-)
-from repro.testgen.mutation_gen import MutationTestGenerator
+from repro.sampling.weighted import PAPER_RANK_WEIGHTS, weights_from_nlfce
 
 
 @dataclass
@@ -33,30 +32,45 @@ class AblationRow:
     nlfce: float
 
 
-def _evaluate_sample(lab, sample, testgen_seed: int, max_vectors: int):
-    generator = MutationTestGenerator(
-        lab.design, seed=testgen_seed, engine=lab.engine,
+def _calibrated_weights(
+    circuit: str, config: LabConfig, testgen_seed: int, max_vectors: int
+) -> dict[str, float]:
+    calibration = run_table1(
+        circuits=(circuit,), config=config, testgen_seed=testgen_seed,
         max_vectors=max_vectors,
     )
-    vectors = generator.generate(sample).vectors
-    equivalence = lab.equivalence
-    targets = [
-        m for m in lab.all_mutants
-        if m.mid not in equivalence.equivalent_mids
-    ]
-    killed = lab.engine.killed_mids(targets, vectors) if vectors else set()
-    score = MutationScore(
-        total=len(lab.all_mutants),
-        killed=len(killed),
-        equivalents=equivalence.count,
+    measured = calibration.nlfce_by_operator(circuit)
+    return (
+        weights_from_nlfce(measured) if measured else dict(PAPER_RANK_WEIGHTS)
     )
-    if vectors:
-        nlfce = nlfce_from_results(
-            lab.fault_sim(vectors), lab.random_baseline
-        ).nlfce
-    else:
-        nlfce = 0.0
-    return score.percent, nlfce
+
+
+def _evaluate(
+    circuit: str,
+    config: LabConfig,
+    strategy: str,
+    fraction: float,
+    weights: dict[str, float],
+    variant_label: str,
+    sampling_seed: int,
+    testgen_seed: int,
+    max_vectors: int,
+) -> "tuple[int, float, float]":
+    """(selected, MS%, NLFCE) of one strategy/fraction/weights variant."""
+    campaign_config = CampaignConfig.from_lab(
+        config,
+        operators=(),
+        strategies=(strategy,),
+        fraction=fraction,
+        weights=weights,
+        sample_labels=(variant_label,),
+        sampling_seed=sampling_seed,
+        testgen_seed=testgen_seed,
+        max_vectors=max_vectors,
+    )
+    result = Campaign(campaign_config).run((circuit,))
+    row = result.circuit(circuit).strategies[0]
+    return row.selected, row.ms_pct, row.nlfce
 
 
 def run_rate_ablation(
@@ -68,33 +82,20 @@ def run_rate_ablation(
     max_vectors: int = 256,
 ) -> list[AblationRow]:
     config = config or LabConfig()
-    lab = get_lab(circuit, config)
-    calibration = run_table1(
-        circuits=(circuit,), config=config, testgen_seed=testgen_seed,
-        max_vectors=max_vectors,
-    )
-    measured = calibration.nlfce_by_operator(circuit)
-    weights = (
-        weights_from_nlfce(measured) if measured else dict(PAPER_RANK_WEIGHTS)
-    )
+    weights = _calibrated_weights(circuit, config, testgen_seed, max_vectors)
     rows: list[AblationRow] = []
     for rate in rates:
-        for strategy in (
-            RandomSampling(rate),
-            TestOrientedSampling(weights, rate),
-        ):
-            sample = strategy.sample(
-                lab.all_mutants, sampling_seed, circuit, f"rate{rate}"
-            )
-            ms_pct, nlfce = _evaluate_sample(
-                lab, sample, testgen_seed, max_vectors
+        for strategy in ("random", "test-oriented"):
+            selected, ms_pct, nlfce = _evaluate(
+                circuit, config, strategy, rate, weights, f"rate{rate}",
+                sampling_seed, testgen_seed, max_vectors,
             )
             rows.append(
                 AblationRow(
                     circuit=circuit,
-                    variant=strategy.name,
+                    variant=strategy,
                     fraction=rate,
-                    selected=len(sample),
+                    selected=selected,
                     ms_pct=ms_pct,
                     nlfce=nlfce,
                 )
@@ -111,7 +112,6 @@ def run_weight_ablation(
     max_vectors: int = 256,
 ) -> list[AblationRow]:
     config = config or LabConfig()
-    lab = get_lab(circuit, config)
     calibration = run_table1(
         circuits=(circuit,), config=config, testgen_seed=testgen_seed,
         max_vectors=max_vectors,
@@ -125,19 +125,16 @@ def run_weight_ablation(
         schemes["calibrated"] = weights_from_nlfce(measured)
     rows: list[AblationRow] = []
     for variant, weights in sorted(schemes.items()):
-        strategy = TestOrientedSampling(weights, fraction)
-        sample = strategy.sample(
-            lab.all_mutants, sampling_seed, circuit, variant
-        )
-        ms_pct, nlfce = _evaluate_sample(
-            lab, sample, testgen_seed, max_vectors
+        selected, ms_pct, nlfce = _evaluate(
+            circuit, config, "test-oriented", fraction, weights, variant,
+            sampling_seed, testgen_seed, max_vectors,
         )
         rows.append(
             AblationRow(
                 circuit=circuit,
                 variant=variant,
                 fraction=fraction,
-                selected=len(sample),
+                selected=selected,
                 ms_pct=ms_pct,
                 nlfce=nlfce,
             )

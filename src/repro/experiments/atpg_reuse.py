@@ -11,16 +11,22 @@ quantifies that on the combinational benchmarks:
 
 Reported effort: PODEM decisions + backtracks, and the deterministic
 vector count.
+
+The validation data come from a campaign with the ``exhaustive``
+sampling strategy and a truncated pipeline (no whole-population scoring
+or NLFCE — only the vectors matter here); PODEM itself stays outside
+the pipeline, consuming the campaign's vector artifact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.campaign.config import CampaignConfig
+from repro.campaign.runner import Campaign
+from repro.circuits import get_circuit
 from repro.experiments.context import LabConfig, get_lab
-from repro.mutation.generator import generate_mutants
 from repro.testgen.atpg import Podem
-from repro.testgen.mutation_gen import MutationTestGenerator
 
 
 @dataclass
@@ -51,11 +57,24 @@ def run_atpg_reuse(
     so quick runs stay a paired comparison.
     """
     config = config or LabConfig()
+    comb = tuple(
+        name for name in circuits if not get_circuit(name).sequential
+    )  # PODEM is combinational
+    if not comb:
+        return []
+    campaign_config = CampaignConfig.from_lab(
+        config,
+        operators=(),
+        strategies=("exhaustive",),
+        testgen_seed=testgen_seed,
+        max_vectors=max_vectors,
+        stages=("synth", "mutants", "sampling", "testgen"),
+    )
+    campaign = Campaign(campaign_config).run(comb)
+
     rows: list[AtpgReuseRow] = []
-    for circuit in circuits:
+    for circuit in comb:
         lab = get_lab(circuit, config)
-        if lab.design.is_sequential:
-            continue  # PODEM is combinational
         podem = Podem(lab.netlist, backtrack_limit)
 
         # Mode 1: deterministic-only.
@@ -78,12 +97,7 @@ def run_atpg_reuse(
         )
 
         # Mode 2: validation-data preload, ATPG top-up.
-        mutants = generate_mutants(lab.design)
-        generator = MutationTestGenerator(
-            lab.design, seed=testgen_seed, engine=lab.engine,
-            max_vectors=max_vectors,
-        )
-        validation = generator.generate(mutants).vectors
+        validation = campaign.circuit(circuit).strategy("exhaustive").vectors
         preload_result = lab.fault_sim(validation)
         remaining = preload_result.undetected_faults()[::fault_stride]
         atpg_rest = podem.run(remaining)

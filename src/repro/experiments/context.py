@@ -28,7 +28,13 @@ from repro.testgen.random_gen import RandomVectorGenerator
 
 @dataclass
 class LabConfig:
-    """Budgets and seeds shared by the experiments."""
+    """Budgets and seeds shared by the experiments.
+
+    This is the lab-level slice of the full campaign configuration; the
+    pipeline derives one via :meth:`from_campaign` (see
+    :class:`repro.campaign.CampaignConfig`, which callers should prefer
+    as the single configuration object).
+    """
 
     seed: int = 20050301
     random_budget_comb: int = 2048
@@ -39,6 +45,17 @@ class LabConfig:
     def random_budget(self, sequential: bool) -> int:
         return (
             self.random_budget_seq if sequential else self.random_budget_comb
+        )
+
+    @classmethod
+    def from_campaign(cls, config) -> "LabConfig":
+        """The lab slice of a :class:`repro.campaign.CampaignConfig`."""
+        return cls(
+            seed=config.seed,
+            random_budget_comb=config.random_budget_comb,
+            random_budget_seq=config.random_budget_seq,
+            equivalence_budget=config.equivalence_budget,
+            fault_lanes=config.fault_lanes,
         )
 
 
@@ -125,7 +142,12 @@ def get_lab(name: str, config: LabConfig | None = None) -> CircuitLab:
     return _LABS[key]
 
 
+from repro.campaign.config import (  # noqa: E402  (single source of truth)
+    DEFAULT_CIRCUITS,
+    DEFAULT_OPERATORS,
+)
+
 #: The four circuits of the paper's evaluation.
-PAPER_CIRCUITS = ("b01", "b03", "c432", "c499")
+PAPER_CIRCUITS = DEFAULT_CIRCUITS
 #: The operators of Table 1.
-PAPER_OPERATORS = ("LOR", "VR", "CVR", "CR")
+PAPER_OPERATORS = DEFAULT_OPERATORS

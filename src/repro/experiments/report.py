@@ -5,6 +5,7 @@ from __future__ import annotations
 import dataclasses
 import json
 
+from repro.errors import ConfigError
 from repro.experiments.table1 import Table1Result
 from repro.experiments.table2 import Table2Result
 from repro.util.tables import render_table
@@ -71,3 +72,48 @@ def to_json(obj) -> str:
         raise TypeError(f"cannot serialize {type(value).__name__}")
 
     return json.dumps(obj, default=default, indent=2, sort_keys=True)
+
+
+def write_json(path: str, text: str) -> None:
+    """Write a JSON payload produced by one of the serializers."""
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if not text.endswith("\n"):
+                handle.write("\n")
+    except OSError as exc:
+        raise ConfigError(f"cannot write JSON result: {exc}") from exc
+
+
+def campaign_text(result) -> str:
+    """Human summary of a :class:`repro.campaign.CampaignResult`."""
+    sections = []
+    rows = [
+        [
+            c.circuit,
+            "seq" if c.sequential else "comb",
+            c.gates,
+            c.dffs,
+            c.faults,
+            c.mutants,
+            c.equivalents,
+        ]
+        for c in result.circuits
+    ]
+    sections.append(
+        render_table(
+            ["Circuit", "Style", "Gates", "DFFs", "Faults", "Mutants",
+             "Equiv"],
+            rows,
+            title="Campaign: circuit inventory",
+        )
+    )
+    if any(c.operators for c in result.circuits):
+        sections.append(table1_text(result.table1()))
+    if any(c.strategies for c in result.circuits):
+        sections.append(table2_text(result.table2()))
+    if result.cache_hits:
+        sections.append(
+            "cache hits: " + ", ".join(result.cache_hits)
+        )
+    return "\n\n".join(sections)

@@ -8,21 +8,21 @@ pseudo-random baseline via ΔFC%, ΔL% and NLFCE.
 The paper notes operators only appear where they apply ("CR ... is only
 used if the high level description includes a constant declaration");
 pairs with no mutation sites are skipped the same way.
+
+This module is a thin facade: the computation is the campaign
+pipeline's calibration pass (:mod:`repro.campaign`) with sampling
+disabled; :func:`run_table1` keeps the historical signature and result
+type for existing callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.context import (
-    LabConfig,
-    PAPER_CIRCUITS,
-    PAPER_OPERATORS,
-    get_lab,
-)
-from repro.metrics.nlfce import NlfceReport, nlfce_from_results
-from repro.mutation.generator import generate_mutants
-from repro.testgen.mutation_gen import MutationTestGenerator
+from repro.campaign.config import CampaignConfig
+from repro.campaign.runner import Campaign
+from repro.experiments.context import LabConfig, PAPER_CIRCUITS, PAPER_OPERATORS
+from repro.metrics.nlfce import NlfceReport
 
 
 @dataclass
@@ -80,31 +80,17 @@ def run_table1(
     config: LabConfig | None = None,
     testgen_seed: int = 7,
     max_vectors: int = 256,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> Table1Result:
-    """Regenerate Table 1."""
-    config = config or LabConfig()
-    result = Table1Result()
-    for circuit in circuits:
-        lab = get_lab(circuit, config)
-        baseline = lab.random_baseline
-        for operator in operators:
-            mutants = generate_mutants(lab.design, [operator])
-            if not mutants:
-                continue  # operator does not apply to this description
-            generator = MutationTestGenerator(
-                lab.design,
-                seed=testgen_seed,
-                engine=lab.engine,
-                max_vectors=max_vectors,
-            )
-            testgen = generator.generate(mutants)
-            if not testgen.vectors:
-                continue  # nothing mutation-adequate found
-            mutation_result = lab.fault_sim(testgen.vectors)
-            report = nlfce_from_results(mutation_result, baseline)
-            result.rows.append(
-                Table1Row.from_report(
-                    circuit, operator, len(mutants), report
-                )
-            )
-    return result
+    """Regenerate Table 1 (a calibration-only campaign)."""
+    campaign_config = CampaignConfig.from_lab(
+        config or LabConfig(),
+        operators=tuple(operators),
+        strategies=(),
+        testgen_seed=testgen_seed,
+        max_vectors=max_vectors,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    return Campaign(campaign_config).run(tuple(circuits)).table1()

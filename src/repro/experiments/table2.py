@@ -12,23 +12,20 @@ exactly the two quantities the paper reports per circuit and strategy.
 The test-oriented sampler's weights are calibrated from a Table-1-style
 run on the same circuit (falling back to the paper's published operator
 ranking when calibration is disabled).
+
+This module is a thin facade over the campaign pipeline
+(:mod:`repro.campaign`): one default campaign run computes the
+calibration pass and both strategies; :func:`run_table2` keeps the
+historical signature and result type for existing callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.context import LabConfig, PAPER_CIRCUITS, get_lab
-from repro.experiments.table1 import run_table1
-from repro.metrics.nlfce import nlfce_from_results
-from repro.mutation.score import MutationScore
-from repro.sampling.random_sampling import RandomSampling
-from repro.sampling.weighted import (
-    PAPER_RANK_WEIGHTS,
-    TestOrientedSampling,
-    weights_from_nlfce,
-)
-from repro.testgen.mutation_gen import MutationTestGenerator
+from repro.campaign.config import CampaignConfig
+from repro.campaign.runner import Campaign
+from repro.experiments.context import LabConfig, PAPER_CIRCUITS, PAPER_OPERATORS
 
 
 @dataclass
@@ -72,83 +69,20 @@ def run_table2(
     testgen_seed: int = 7,
     max_vectors: int = 256,
     calibrate: bool = True,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> Table2Result:
-    """Regenerate Table 2."""
-    config = config or LabConfig()
-    result = Table2Result()
-    calibration = (
-        run_table1(
-            circuits=circuits, config=config, testgen_seed=testgen_seed,
-            max_vectors=max_vectors,
-        )
-        if calibrate
-        else None
+    """Regenerate Table 2 (the default campaign pipeline)."""
+    campaign_config = CampaignConfig.from_lab(
+        config or LabConfig(),
+        operators=PAPER_OPERATORS if calibrate else (),
+        strategies=("random", "test-oriented"),
+        fraction=fraction,
+        weight_scheme="calibrated" if calibrate else "paper-ranks",
+        sampling_seed=sampling_seed,
+        testgen_seed=testgen_seed,
+        max_vectors=max_vectors,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
-    for circuit in circuits:
-        lab = get_lab(circuit, config)
-        population = lab.all_mutants
-        equivalence = lab.equivalence
-        if calibration is not None:
-            measured = calibration.nlfce_by_operator(circuit)
-            weights = (
-                weights_from_nlfce(measured)
-                if measured
-                else dict(PAPER_RANK_WEIGHTS)
-            )
-            # Operators without a calibration row keep their paper rank
-            # (scaled into the calibrated scale's [floor, 1] band).
-            for op, rank in PAPER_RANK_WEIGHTS.items():
-                weights.setdefault(op, rank / 4.0)
-        else:
-            weights = dict(PAPER_RANK_WEIGHTS)
-        strategies = [
-            RandomSampling(fraction),
-            TestOrientedSampling(weights, fraction),
-        ]
-        for strategy in strategies:
-            sample = strategy.sample(
-                population, sampling_seed, circuit
-            )
-            generator = MutationTestGenerator(
-                lab.design,
-                seed=testgen_seed,
-                engine=lab.engine,
-                max_vectors=max_vectors,
-            )
-            testgen = generator.generate(sample)
-            vectors = testgen.vectors
-            # MS over the whole population; known-equivalent mutants are
-            # excluded from both the runs and the denominator.
-            targets = [
-                m for m in population
-                if m.mid not in equivalence.equivalent_mids
-            ]
-            killed = lab.engine.killed_mids(targets, vectors) if vectors else set()
-            score = MutationScore(
-                total=len(population),
-                killed=len(killed),
-                equivalents=equivalence.count,
-            )
-            if vectors:
-                report = nlfce_from_results(
-                    lab.fault_sim(vectors), lab.random_baseline
-                )
-                nlfce = report.nlfce
-                length = report.mutation_length
-            else:
-                nlfce = 0.0
-                length = 0
-            result.rows.append(
-                Table2Row(
-                    circuit=circuit,
-                    strategy=strategy.name,
-                    population=len(population),
-                    selected=len(sample),
-                    equivalents=equivalence.count,
-                    killed=len(killed),
-                    ms_pct=score.percent,
-                    test_length=length,
-                    nlfce=nlfce,
-                )
-            )
-    return result
+    return Campaign(campaign_config).run(tuple(circuits)).table2()

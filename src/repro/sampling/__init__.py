@@ -11,7 +11,14 @@ population; they differ only in *where* the samples come from:
 """
 
 from repro.sampling.allocation import largest_remainder, waterfill_rates
-from repro.sampling.random_sampling import RandomSampling
+from repro.sampling.random_sampling import ExhaustiveSampling, RandomSampling
+from repro.sampling.registry import (
+    STRATEGIES,
+    build_strategy,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+)
 from repro.sampling.weighted import (
     PAPER_RANK_WEIGHTS,
     TestOrientedSampling,
@@ -19,10 +26,16 @@ from repro.sampling.weighted import (
 )
 
 __all__ = [
+    "ExhaustiveSampling",
     "PAPER_RANK_WEIGHTS",
     "RandomSampling",
+    "STRATEGIES",
     "TestOrientedSampling",
+    "build_strategy",
+    "get_strategy",
     "largest_remainder",
+    "register_strategy",
+    "strategy_names",
     "waterfill_rates",
     "weights_from_nlfce",
 ]

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 from repro.errors import SamplingError
 from repro.mutation.mutant import Mutant
+from repro.sampling.registry import register_strategy
 from repro.util.rng import rng_stream
 
 
+@register_strategy
 class RandomSampling:
     """Select ``fraction`` of the population uniformly, no replacement."""
 
@@ -27,3 +29,23 @@ class RandomSampling:
         rng = rng_stream(seed, self.name, *labels)
         chosen = rng.sample(mutants, count)
         return sorted(chosen, key=lambda m: m.mid)
+
+
+@register_strategy
+class ExhaustiveSampling:
+    """The degenerate strategy: select the whole population.
+
+    Used when a consumer wants the pipeline's test generation and
+    validation machinery over every mutant (e.g. the validation-reuse
+    experiment), with sampling effectively disabled.
+    """
+
+    name = "exhaustive"
+
+    def sample_size(self, population: int) -> int:
+        return population
+
+    def sample(
+        self, mutants: list[Mutant], seed: int, *labels: str
+    ) -> list[Mutant]:
+        return list(mutants)

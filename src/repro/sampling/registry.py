@@ -1,0 +1,60 @@
+"""Named registry of mutant-sampling strategies.
+
+Strategies are pluggable by name so higher layers (the campaign
+pipeline, the CLI) can select them from configuration without importing
+concrete classes.  A strategy class needs:
+
+* a non-empty class attribute ``name`` (the registry key),
+* ``sample(mutants, seed, *labels) -> list[Mutant]``, deterministic for
+  a fixed ``(seed, labels)``,
+* optionally ``fraction`` / ``weights`` constructor keywords, which
+  :func:`build_strategy` forwards when the signature accepts them.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.errors import SamplingError
+
+#: name -> strategy class.
+STRATEGIES: dict[str, type] = {}
+
+
+def register_strategy(cls: type) -> type:
+    """Class decorator adding ``cls`` to the registry under ``cls.name``."""
+    name = getattr(cls, "name", "")
+    if not name:
+        raise SamplingError(
+            f"{cls.__name__} needs a non-empty 'name' to be registered"
+        )
+    STRATEGIES[name] = cls
+    return cls
+
+
+def get_strategy(name: str) -> type:
+    """Look up a registered strategy class by name."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise SamplingError(
+            f"unknown sampling strategy {name!r} (registered: {known})"
+        ) from None
+
+
+def strategy_names() -> tuple[str, ...]:
+    return tuple(sorted(STRATEGIES))
+
+
+def build_strategy(name: str, fraction: float = 0.10, weights=None):
+    """Instantiate a registered strategy, forwarding the keywords its
+    constructor declares (``fraction`` and/or ``weights``)."""
+    cls = get_strategy(name)
+    parameters = inspect.signature(cls.__init__).parameters
+    kwargs: dict = {}
+    if "fraction" in parameters:
+        kwargs["fraction"] = fraction
+    if "weights" in parameters and weights is not None:
+        kwargs["weights"] = weights
+    return cls(**kwargs)

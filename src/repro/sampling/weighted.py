@@ -20,6 +20,7 @@ from repro.errors import SamplingError
 from repro.mutation.generator import mutants_by_operator
 from repro.mutation.mutant import Mutant
 from repro.sampling.allocation import waterfill_rates
+from repro.sampling.registry import register_strategy
 from repro.util.rng import rng_stream
 
 #: Rank weights encoding the paper's reported operator ordering.
@@ -58,6 +59,7 @@ def weights_from_nlfce(nlfce_by_operator: dict[str, float]) -> dict[str, float]:
     }
 
 
+@register_strategy
 class TestOrientedSampling:
     """The paper's sampling strategy."""
 

@@ -102,23 +102,25 @@ class MutationTestGenerator:
             for mid, indexes in kill_sets.items():
                 for index in indexes:
                     by_vector.setdefault(index, set()).add(mid)
+            # Invariant: every kill set in by_vector is non-empty and
+            # only contains live mids, so the winner's whole set is the
+            # gain and the update is a subtraction — no per-iteration
+            # reconstruction of the live-mid set.
             progress = False
             while by_vector and len(selected) < self._max_vectors:
                 best_index = max(
                     by_vector, key=lambda i: (len(by_vector[i]), -i)
                 )
-                gained = by_vector[best_index] & set(live)
-                if not gained:
-                    break
+                gained = by_vector.pop(best_index)
                 selected.append(batch[best_index])
                 killed.update(gained)
                 for mid in gained:
                     live.pop(mid, None)
                 progress = True
                 by_vector = {
-                    index: mids & set(live)
+                    index: remaining
                     for index, mids in by_vector.items()
-                    if index != best_index and mids & set(live)
+                    if (remaining := mids - gained)
                 }
             stall = 0 if progress else stall + 1
         return TestGenResult(

@@ -1,0 +1,340 @@
+"""Tests for the unified campaign pipeline API (repro.campaign)."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CACHE_VERSION,
+    Campaign,
+    CampaignConfig,
+    CampaignEvents,
+    CampaignResult,
+    CircuitResult,
+    ResultCache,
+    STAGE_REGISTRY,
+    Stage,
+    get_stage,
+    register_stage,
+    stage_names,
+)
+from repro.errors import ConfigError, SamplingError
+from repro.sampling import build_strategy, get_strategy
+
+#: Tiny budgets: every stage of the real pipeline, fast.
+FAST = dict(
+    seed=77,
+    random_budget_comb=96,
+    random_budget_seq=96,
+    equivalence_budget=32,
+    max_vectors=24,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign_c17():
+    return Campaign(CampaignConfig(**FAST)).run(("c17",))
+
+
+# -- config ------------------------------------------------------------------
+
+
+def test_config_json_roundtrip():
+    config = CampaignConfig(
+        seed=5,
+        operators=("LOR", "VR"),
+        strategies=("random",),
+        fraction=0.25,
+        weights={"LOR": 1.0, "VR": 0.5},
+        sample_labels=("variant-a",),
+        circuits=("c17",),
+        jobs=4,
+        cache_dir="/tmp/cache",
+    )
+    assert CampaignConfig.from_json(config.to_json()) == config
+
+
+def test_config_from_dict_normalizes_lists():
+    config = CampaignConfig.from_dict(
+        {"operators": ["LOR"], "circuits": ["c17", "b01"]}
+    )
+    assert config.operators == ("LOR",)
+    assert config.circuits == ("c17", "b01")
+
+
+def test_config_rejects_unknown_keys():
+    with pytest.raises(ConfigError):
+        CampaignConfig.from_dict({"not_a_knob": 1})
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        CampaignConfig(fraction=0.0)
+    with pytest.raises(ConfigError):
+        CampaignConfig(jobs=0)
+    with pytest.raises(ConfigError):
+        CampaignConfig(weight_scheme="magic")
+
+
+def test_config_from_file(tmp_path):
+    path = tmp_path / "campaign.json"
+    path.write_text(CampaignConfig(seed=9).to_json())
+    assert CampaignConfig.from_file(path).seed == 9
+
+
+def test_fingerprint_ignores_execution_fields():
+    base = CampaignConfig(**FAST)
+    assert base.fingerprint() == CampaignConfig(
+        **FAST, jobs=8, cache_dir="/elsewhere", circuits=("c17",)
+    ).fingerprint()
+    assert base.fingerprint() != CampaignConfig(
+        **{**FAST, "seed": 78}
+    ).fingerprint()
+
+
+def test_lab_config_slice():
+    lab = CampaignConfig(**FAST).lab_config()
+    assert lab.seed == 77
+    assert lab.random_budget_comb == 96
+    assert lab.equivalence_budget == 32
+
+
+# -- registries --------------------------------------------------------------
+
+
+def test_stage_registry_lookup():
+    assert set(stage_names()) >= {
+        "synth", "mutants", "sampling", "testgen", "fault-validation",
+        "metrics",
+    }
+    assert get_stage("synth").name == "synth"
+    with pytest.raises(ConfigError):
+        get_stage("not-a-stage")
+
+
+def test_stage_registry_override(monkeypatch):
+    calls = []
+
+    class RecorderStage(Stage):
+        name = "recorder"
+
+        def run(self, ctx):
+            calls.append(ctx.circuit)
+
+    monkeypatch.setitem(STAGE_REGISTRY, "recorder", RecorderStage)
+    config = CampaignConfig(
+        **FAST, strategies=(), operators=(),
+        stages=("synth", "recorder"),
+    )
+    Campaign(config).run(("c17",))
+    assert calls == ["c17"]
+
+
+def test_strategy_registry():
+    assert get_strategy("random").name == "random"
+    strategy = build_strategy("test-oriented", 0.2, {"LOR": 1.0})
+    assert strategy.fraction == 0.2
+    assert strategy.weights == {"LOR": 1.0}
+    assert build_strategy("exhaustive").sample_size(10) == 10
+    with pytest.raises(SamplingError):
+        get_strategy("not-a-strategy")
+
+
+# -- pipeline results --------------------------------------------------------
+
+
+def test_campaign_result_shape(campaign_c17):
+    circuit = campaign_c17.circuit("c17")
+    assert circuit.circuit == "c17"
+    assert not circuit.sequential
+    assert circuit.gates > 0 and circuit.faults > 0 and circuit.mutants > 0
+    assert {row.strategy for row in circuit.strategies} == {
+        "random", "test-oriented"
+    }
+    assert circuit.operators, "calibration rows expected"
+    for row in circuit.strategies:
+        assert 0.0 <= row.ms_pct <= 100.0
+        assert len(row.vectors) == row.test_length
+
+
+def test_campaign_result_json_roundtrip(campaign_c17):
+    again = CampaignResult.from_json(campaign_c17.to_json())
+    assert [c.to_dict() for c in again.circuits] == [
+        c.to_dict() for c in campaign_c17.circuits
+    ]
+    assert again.config == campaign_c17.config
+
+
+def test_campaign_tables_match_facades(campaign_c17):
+    from repro.experiments.context import LabConfig
+    from repro.experiments.table1 import run_table1
+    from repro.experiments.table2 import run_table2
+
+    lab = LabConfig(
+        seed=77, random_budget_comb=96, random_budget_seq=96,
+        equivalence_budget=32,
+    )
+    table1 = run_table1(circuits=("c17",), config=lab, max_vectors=24)
+    table2 = run_table2(circuits=("c17",), config=lab, max_vectors=24)
+    assert campaign_c17.table1().rows == table1.rows
+    assert campaign_c17.table2().rows == table2.rows
+
+
+def test_parallel_matches_serial():
+    serial = Campaign(CampaignConfig(**FAST, jobs=1)).run(("c17", "b01"))
+    parallel = Campaign(CampaignConfig(**FAST, jobs=2)).run(("c17", "b01"))
+    assert [c.to_dict() for c in parallel.circuits] == [
+        c.to_dict() for c in serial.circuits
+    ]
+    assert [c.circuit for c in parallel.circuits] == ["c17", "b01"]
+
+
+def test_events_fire_in_order():
+    class Recorder(CampaignEvents):
+        def __init__(self):
+            self.events = []
+
+        def on_campaign_start(self, circuits, config):
+            self.events.append(("campaign-start", circuits))
+
+        def on_circuit_start(self, circuit):
+            self.events.append(("circuit-start", circuit))
+
+        def on_stage_start(self, circuit, stage):
+            self.events.append(("stage-start", stage))
+
+        def on_stage_end(self, circuit, stage, seconds):
+            self.events.append(("stage-end", stage))
+
+        def on_circuit_done(self, circuit, result, seconds, cached=False):
+            self.events.append(("circuit-done", circuit, cached))
+
+        def on_campaign_end(self, result, seconds):
+            self.events.append(("campaign-end", len(result.circuits)))
+
+    recorder = Recorder()
+    config = CampaignConfig(**FAST, strategies=(), operators=("LOR",))
+    Campaign(config, recorder).run(("c17",))
+    kinds = [event[0] for event in recorder.events]
+    assert kinds[0] == "campaign-start"
+    assert kinds[1] == "circuit-start"
+    assert kinds[-2] == ("circuit-done")
+    assert kinds[-1] == "campaign-end"
+    stages = [e[1] for e in recorder.events if e[0] == "stage-start"]
+    assert stages == list(config.stages)
+
+
+# -- cache -------------------------------------------------------------------
+
+
+def test_cache_hit_and_miss(tmp_path):
+    config = CampaignConfig(**FAST, cache_dir=str(tmp_path))
+    first = Campaign(config).run(("c17",))
+    assert first.cache_hits == ()
+    cache = ResultCache(tmp_path, config)
+    assert cache.path("c17").exists()
+    assert f"v{CACHE_VERSION}" in cache.path("c17").name
+
+    second = Campaign(config).run(("c17",))
+    assert second.cache_hits == ("c17",)
+    assert [c.to_dict() for c in second.circuits] == [
+        c.to_dict() for c in first.circuits
+    ]
+
+    changed = CampaignConfig(
+        **{**FAST, "seed": 78}, cache_dir=str(tmp_path)
+    )
+    third = Campaign(changed).run(("c17",))
+    assert third.cache_hits == ()
+
+
+def test_cache_ignores_corrupt_entries(tmp_path):
+    config = CampaignConfig(**FAST, cache_dir=str(tmp_path))
+    Campaign(config).run(("c17",))
+    cache = ResultCache(tmp_path, config)
+    cache.path("c17").write_text("{ not json")
+    result = Campaign(config).run(("c17",))
+    assert result.cache_hits == ()
+    assert result.circuit("c17").mutants > 0
+
+
+def test_cache_roundtrip_result(tmp_path):
+    config = CampaignConfig(**FAST)
+    cache = ResultCache(tmp_path, config)
+    row = CircuitResult(
+        circuit="x", sequential=False, gates=1, dffs=0, depth=1,
+        faults=2, mutants=3, equivalents=0,
+    )
+    cache.store(row)
+    loaded = cache.load("x")
+    assert loaded == row
+    assert cache.load("y") is None
+
+
+# -- custom pipelines --------------------------------------------------------
+
+
+def test_truncated_pipeline_skips_scoring():
+    config = CampaignConfig(
+        **FAST,
+        operators=(),
+        strategies=("exhaustive",),
+        stages=("synth", "mutants", "sampling", "testgen"),
+    )
+    result = Campaign(config).run(("c17",))
+    row = result.circuit("c17").strategy("exhaustive")
+    assert row.selected == result.circuit("c17").mutants
+    assert row.vectors, "testgen ran"
+    assert row.nlfce == 0.0 and row.test_length == 0  # no metrics stage
+    assert result.circuit("c17").equivalents == 0     # no scoring pass
+
+
+def test_pipeline_requires_synth_first():
+    config = CampaignConfig(**FAST, stages=("mutants",))
+    with pytest.raises(ConfigError):
+        Campaign(config).run(("c17",))
+
+
+def test_explicit_weights_override_scheme():
+    config = CampaignConfig(
+        **FAST,
+        operators=(),
+        strategies=("test-oriented",),
+        weights={"LOR": 1.0, "VR": 0.1, "CVR": 0.1, "CR": 0.1},
+    )
+    result = Campaign(config).run(("c17",))
+    assert result.circuit("c17").weights == {
+        "LOR": 1.0, "VR": 0.1, "CVR": 0.1, "CR": 0.1,
+    }
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_run_with_json(tmp_path, capsys):
+    from repro.cli import main
+
+    config_path = tmp_path / "campaign.json"
+    config_path.write_text(
+        CampaignConfig(**FAST, circuits=("c17",), strategies=()).to_json()
+    )
+    out_path = tmp_path / "result.json"
+    assert main(["run", str(config_path), "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Campaign: circuit inventory" in out
+    data = json.loads(out_path.read_text())
+    assert [c["circuit"] for c in data["circuits"]] == ["c17"]
+
+
+def test_cli_table1_json(tmp_path, capsys):
+    from repro.cli import main
+
+    out_path = tmp_path / "table1.json"
+    assert main([
+        "table1", "--circuits", "c17", "--seed", "77",
+        "--random-budget", "96", "--equivalence-budget", "32",
+        "--max-vectors", "24", "--json", str(out_path),
+    ]) == 0
+    assert "Operator Fault Coverage Efficiency" in capsys.readouterr().out
+    data = json.loads(out_path.read_text())
+    assert data["circuits"][0]["operators"], "calibration rows archived"

@@ -137,6 +137,18 @@ def test_cli_testgen(capsys):
     assert "vectors kill" in out
 
 
+def test_cli_testgen_follows_campaign_conventions(capsys):
+    # The testgen subcommand is governed by the same CampaignConfig
+    # options as the experiment subcommands.
+    assert main([
+        "testgen", "c17", "--operator", "LOR",
+        "--testgen-seed", "3", "--max-vectors", "4",
+    ]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert "vectors kill" in out[0]
+    assert len(out) <= 5  # the --max-vectors cap held
+
+
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])
