@@ -1,7 +1,14 @@
-"""Performance: stuck-at fault simulation throughput."""
+"""Performance: stuck-at fault simulation throughput, per engine.
+
+Parametrized over every registered :mod:`repro.engine` backend so the
+``interp`` reference and the ``compiled`` code-generating backend are
+measured side by side; ``benchmarks/run_benchmarks.py`` turns the
+results into the ``BENCH_engine.json`` trajectory at the repo root.
+"""
 
 import pytest
 
+from repro.engine import engine_names
 from repro.fault import CombFaultSimulator, SeqFaultSimulator, collapse_faults
 from repro.sim import StimulusEncoder
 from repro.util import rng_stream
@@ -9,26 +16,36 @@ from tests.conftest import netlist_of
 from repro.circuits import load_circuit
 
 
+@pytest.mark.parametrize("engine", engine_names())
 @pytest.mark.parametrize("name", ["c432", "c499"])
-def test_comb_fault_sim_throughput(benchmark, name):
+def test_comb_fault_sim_throughput(benchmark, name, engine):
     netlist = netlist_of(name)
     faults = collapse_faults(netlist)
     width = len(netlist.input_bits)
     rng = rng_stream(1, name, "bench-fsim")
     patterns = [rng.getrandbits(width) for _ in range(256)]
-    simulator = CombFaultSimulator(netlist, faults)
+    simulator = CombFaultSimulator(netlist, faults, engine=engine)
+    benchmark.extra_info.update(
+        circuit=name, engine=engine, style="comb",
+        patterns=len(patterns), faults=len(faults),
+    )
     result = benchmark(simulator.simulate, patterns)
     assert result.coverage() > 0.5
 
 
+@pytest.mark.parametrize("engine", engine_names())
 @pytest.mark.parametrize("name", ["b01", "b03"])
-def test_seq_fault_sim_throughput(benchmark, name):
+def test_seq_fault_sim_throughput(benchmark, name, engine):
     netlist = netlist_of(name)
     design = load_circuit(name)
     faults = collapse_faults(netlist)
     width = StimulusEncoder(design).width
     rng = rng_stream(1, name, "bench-fsim")
     stimuli = [rng.getrandbits(width) for _ in range(128)]
-    simulator = SeqFaultSimulator(netlist, faults, lanes=256)
+    simulator = SeqFaultSimulator(netlist, faults, lanes=256, engine=engine)
+    benchmark.extra_info.update(
+        circuit=name, engine=engine, style="seq",
+        patterns=len(stimuli), faults=len(faults),
+    )
     result = benchmark(simulator.simulate, stimuli)
     assert result.coverage() > 0.3

@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Run the fault-simulation perf suite; append to ``BENCH_engine.json``.
+
+Drives ``benchmarks/bench_faultsim.py`` through pytest-benchmark (so the
+numbers come from calibrated, warmed-up rounds — compilation cost of the
+``compiled`` backend lands in the warmup, exactly as it amortizes in
+real campaigns), converts the per-(circuit, engine) means into
+throughput rows ``{circuit, backend, patterns_per_sec, faults_per_sec}``
+and appends one run to the ``BENCH_engine.json`` trajectory at the repo
+root, together with a per-circuit speedup summary of every backend
+against the ``interp`` reference.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py [--json PATH] [--pytest-args ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_engine.json"
+REFERENCE = "interp"
+
+
+def run_suite(extra_args: list[str]) -> dict:
+    """Run bench_faultsim.py under pytest-benchmark; return its JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        report = Path(tmp) / "benchmark.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        command = [
+            sys.executable, "-m", "pytest",
+            str(REPO_ROOT / "benchmarks" / "bench_faultsim.py"),
+            "-q", "--benchmark-only",
+            "--benchmark-min-rounds=3",
+            "--benchmark-max-time=0.5",
+            f"--benchmark-json={report}",
+            *extra_args,
+        ]
+        subprocess.run(command, check=True, cwd=REPO_ROOT, env=env)
+        with open(report, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+
+def rows_from_report(report: dict) -> list[dict]:
+    rows = []
+    for bench in report["benchmarks"]:
+        info = bench["extra_info"]
+        seconds = bench["stats"]["mean"]
+        rows.append({
+            "circuit": info["circuit"],
+            "backend": info["engine"],
+            "style": info["style"],
+            "patterns": info["patterns"],
+            "faults": info["faults"],
+            "seconds_per_pass": seconds,
+            "patterns_per_sec": info["patterns"] / seconds,
+            "faults_per_sec": info["faults"] / seconds,
+        })
+    rows.sort(key=lambda r: (r["circuit"], r["backend"]))
+    return rows
+
+
+def speedups(rows: list[dict]) -> dict:
+    """backend -> circuit -> throughput multiple over the reference."""
+    reference = {
+        row["circuit"]: row["seconds_per_pass"]
+        for row in rows if row["backend"] == REFERENCE
+    }
+    table: dict[str, dict[str, float]] = {}
+    for row in rows:
+        if row["backend"] == REFERENCE or row["circuit"] not in reference:
+            continue
+        table.setdefault(row["backend"], {})[row["circuit"]] = round(
+            reference[row["circuit"]] / row["seconds_per_pass"], 2
+        )
+    return table
+
+
+def append_run(path: Path, rows: list[dict]) -> dict:
+    """Append one run to the trajectory file; returns the run entry."""
+    trajectory = {"benchmark": "fault-simulation throughput", "runs": []}
+    if path.exists():
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if isinstance(existing.get("runs"), list):
+                trajectory = existing
+        except (OSError, ValueError):
+            pass  # unreadable trajectory: start a fresh one
+    run = {
+        "sequence": len(trajectory["runs"]) + 1,
+        "rows": rows,
+        f"speedup_vs_{REFERENCE}": speedups(rows),
+    }
+    trajectory["runs"].append(run)
+    # Small summary only — duplicating the full row data here would
+    # bloat every committed trajectory diff.
+    trajectory["latest"] = {
+        "sequence": run["sequence"],
+        f"speedup_vs_{REFERENCE}": run[f"speedup_vs_{REFERENCE}"],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return run
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=str(DEFAULT_OUT), metavar="PATH",
+                        help="trajectory file to append to "
+                             "(default: BENCH_engine.json at the repo root)")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra arguments forwarded to pytest")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.pytest_args)
+    rows = rows_from_report(report)
+    if not rows:
+        print("no benchmark rows produced", file=sys.stderr)
+        return 1
+    run = append_run(Path(args.json), rows)
+
+    width = max(len(r["circuit"]) for r in rows)
+    for row in rows:
+        print(
+            f"{row['circuit']:{width}s} {row['backend']:10s}"
+            f" {row['patterns_per_sec']:12.1f} patterns/s"
+            f" {row['faults_per_sec']:12.1f} faults/s"
+        )
+    for backend, per_circuit in run[f"speedup_vs_{REFERENCE}"].items():
+        pairs = ", ".join(
+            f"{c}: {s:.2f}x" for c, s in sorted(per_circuit.items())
+        )
+        print(f"speedup {backend} vs {REFERENCE}: {pairs}")
+    print(f"trajectory written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

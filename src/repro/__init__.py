@@ -6,7 +6,8 @@ Technique for the Generation of Structural Test Data", DATE 2005.
 The stack, bottom to top: a VHDL-subset front end and delta-cycle
 simulator (``repro.hdl`` / ``repro.sim``), logic synthesis to gate-level
 netlists (``repro.synth`` / ``repro.netlist``), single-stuck-at fault
-simulation (``repro.fault``), the ten-operator mutation engine
+simulation (``repro.fault``) on pluggable simulation backends
+(``repro.engine``), the ten-operator mutation engine
 (``repro.mutation``), mutation-adequate / random / deterministic test
 generation (``repro.testgen``), the NLFCE metric (``repro.metrics``),
 mutant sampling strategies (``repro.sampling``), the campaign pipeline
@@ -46,6 +47,7 @@ from repro.campaign import (
     CircuitResult,
 )
 from repro.circuits import circuit_names, get_circuit, load_circuit
+from repro.engine import DEFAULT_ENGINE, build_engine, engine_names
 from repro.errors import ReproError
 from repro.fault import collapse_faults, generate_faults, simulate_stuck_at
 from repro.hdl import load_design
@@ -56,7 +58,7 @@ from repro.sim import StimulusEncoder, Testbench
 from repro.synth import synthesize
 from repro.testgen import MutationTestGenerator, RandomVectorGenerator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Campaign",
@@ -72,10 +74,13 @@ __all__ = [
     "StimulusEncoder",
     "Testbench",
     "TestOrientedSampling",
+    "DEFAULT_ENGINE",
     "__version__",
+    "build_engine",
     "circuit_names",
     "collapse_faults",
     "compute_nlfce",
+    "engine_names",
     "generate_faults",
     "generate_mutants",
     "get_circuit",

@@ -22,6 +22,7 @@ import hashlib
 import json
 from dataclasses import dataclass, fields
 
+from repro.engine import DEFAULT_ENGINE, engine_names
 from repro.errors import ConfigError
 
 #: The four circuits of the paper's evaluation (the canonical
@@ -73,7 +74,16 @@ class CampaignConfig:
     random_budget_comb: int = 2048
     random_budget_seq: int = 1024
     equivalence_budget: int = 256
+    #: fault-parallel chunk width of the sequential fault simulator
+    #: (lanes per chunk); results are lane-width independent, but the
+    #: value is fingerprinted so cached runs record how they executed.
     fault_lanes: int = 256
+
+    # -- simulation backend --------------------------------------------------
+    #: named :mod:`repro.engine` backend every netlist/fault simulation
+    #: runs on; in the fingerprint so the result cache never mixes
+    #: backends.
+    engine: str = DEFAULT_ENGINE
 
     # -- test generation knobs -----------------------------------------------
     max_vectors: int = 256
@@ -109,6 +119,15 @@ class CampaignConfig:
             self.weights = {
                 str(op): float(w) for op, w in self.weights.items()
             }
+        if self.engine not in engine_names():
+            raise ConfigError(
+                f"engine must be one of {engine_names()}, "
+                f"got {self.engine!r}"
+            )
+        if self.fault_lanes < 1:
+            raise ConfigError(
+                f"fault_lanes must be >= 1, got {self.fault_lanes}"
+            )
         if self.weight_scheme not in WEIGHT_SCHEMES:
             raise ConfigError(
                 f"weight_scheme must be one of {WEIGHT_SCHEMES}, "
@@ -138,6 +157,7 @@ class CampaignConfig:
             random_budget_seq=lab_config.random_budget_seq,
             equivalence_budget=lab_config.equivalence_budget,
             fault_lanes=lab_config.fault_lanes,
+            engine=lab_config.engine,
             **overrides,
         )
 

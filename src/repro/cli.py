@@ -6,6 +6,7 @@ Commands
 * ``show``       — stats of one circuit (mutants, gates, faults)
 * ``synth``      — synthesize a circuit and print its ``.bench`` netlist
 * ``mutants``    — list (a sample of) a circuit's mutants
+* ``engines``    — registered netlist-simulation backends
 * ``testgen``    — generate mutation-adequate validation data
 * ``run``        — execute a full campaign from a JSON config file
 * ``table1``     — regenerate the paper's Table 1
@@ -15,10 +16,12 @@ Commands
 
 Every subcommand is a thin consumer of the campaign pipeline: the
 shared ``--seed`` / budget options build one
-:class:`repro.campaign.CampaignConfig`, table-producing commands accept
-``--jobs`` (process-parallel over circuits), ``--cache-dir`` (on-disk
-result cache) and ``--json`` (archive the result), and ``repro run``
-replays a campaign described entirely by a JSON config file.
+:class:`repro.campaign.CampaignConfig` (including ``--engine`` /
+``--fault-lanes`` simulation selection), table-producing commands
+accept ``--jobs`` (process-parallel over circuits), ``--cache-dir``
+(on-disk result cache) and ``--json`` (archive the result), and
+``repro run`` replays a campaign described entirely by a JSON config
+file.
 """
 
 from __future__ import annotations
@@ -46,6 +49,25 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
                         help="stimuli for equivalent-mutant classification")
     parser.add_argument("--max-vectors", type=int, default=256,
                         help="cap on generated validation vectors")
+    _add_engine_args(parser)
+
+
+def _engine_choices() -> tuple[str, ...]:
+    from repro.engine import engine_names
+
+    return engine_names()
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    from repro.engine import DEFAULT_ENGINE
+
+    parser.add_argument("--engine", default=DEFAULT_ENGINE,
+                        choices=_engine_choices(),
+                        help="netlist-simulation backend "
+                             f"(default: {DEFAULT_ENGINE})")
+    parser.add_argument("--fault-lanes", type=int, default=256,
+                        help="fault-parallel chunk width for sequential "
+                             "fault simulation (default: 256)")
 
 
 def _add_exec_args(parser: argparse.ArgumentParser) -> None:
@@ -75,6 +97,10 @@ def _campaign_config(args, **overrides) -> CampaignConfig:
             args, "equivalence_budget", CampaignConfig.equivalence_budget
         ),
         max_vectors=getattr(args, "max_vectors", CampaignConfig.max_vectors),
+        engine=getattr(args, "engine", None) or CampaignConfig.engine,
+        fault_lanes=getattr(
+            args, "fault_lanes", CampaignConfig.fault_lanes
+        ),
         jobs=getattr(args, "jobs", CampaignConfig.jobs),
         cache_dir=getattr(args, "cache_dir", CampaignConfig.cache_dir),
     )
@@ -138,6 +164,8 @@ def _main(argv: list[str] | None = None) -> int:
     mutants.add_argument("--operator", default=None)
     mutants.add_argument("--limit", type=int, default=20)
 
+    sub.add_parser("engines", help="list netlist-simulation backends")
+
     testgen = sub.add_parser(
         "testgen", help="generate mutation-adequate validation data"
     )
@@ -159,6 +187,11 @@ def _main(argv: list[str] | None = None) -> int:
                      help="override the config's circuit list")
     run.add_argument("--jobs", type=int, default=None,
                      help="override the config's worker count")
+    run.add_argument("--engine", default=None, choices=_engine_choices(),
+                     help="override the config's simulation backend")
+    run.add_argument("--fault-lanes", type=int, default=None,
+                     help="override the config's fault-parallel "
+                          "chunk width")
     run.add_argument("--cache-dir", default=None,
                      help="override the config's result cache directory")
     run.add_argument("--json", default=None, metavar="PATH",
@@ -215,6 +248,8 @@ def _main(argv: list[str] | None = None) -> int:
         return 0
     if command == "mutants":
         return _cmd_mutants(args)
+    if command == "engines":
+        return _cmd_engines()
     if command == "testgen":
         return _cmd_testgen(args)
     if command == "run":
@@ -326,6 +361,19 @@ def _cmd_show(args) -> int:
     return 0
 
 
+def _cmd_engines() -> int:
+    from repro.engine import DEFAULT_ENGINE, engine_names, get_engine
+
+    for name in engine_names():
+        cls = get_engine(name)
+        doc = (cls.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        marker = "*" if name == DEFAULT_ENGINE else " "
+        print(f"{marker} {name:10s} {summary}")
+    print("(* = default backend)")
+    return 0
+
+
 def _cmd_mutants(args) -> int:
     from repro.circuits import load_circuit
     from repro.mutation import generate_mutants
@@ -380,6 +428,10 @@ def _cmd_run(args) -> int:
         overrides["circuits"] = tuple(args.circuits)
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    if args.fault_lanes is not None:
+        overrides["fault_lanes"] = args.fault_lanes
     if args.cache_dir is not None:
         overrides["cache_dir"] = args.cache_dir
     if overrides:

@@ -1,0 +1,236 @@
+"""The ``compiled`` backend: per-netlist Python code generation.
+
+For each netlist the backend emits topologically ordered straight-line
+source — one bitwise expression per gate on local variables — compiles
+it once with :func:`compile` and memoizes the resulting function, so
+the hot loops pay no dict lookups, no :class:`GateType` dispatch and no
+per-gate function calls:
+
+* the *full evaluator* computes every gate of the good machine;
+* a *cone evaluator* per fault-origin net re-evaluates only the fault's
+  output cone against hoisted good-machine side inputs and returns the
+  primary-output difference word directly;
+* an *injected evaluator* per fault chunk bakes the chunk's stem and
+  branch ``(clear, set)`` masks into the source as integer literals
+  (keyed by :meth:`InjectionPlan.injection_key`, so re-simulating the
+  same chunk never recompiles).
+
+Every emitted expression mirrors :func:`repro.netlist.cells.eval_gate`
+exactly (same operator order, same masking), which is what makes the
+backend bit-identical to ``interp`` — the differential property test
+holds it to that.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable
+
+from repro.engine.base import EngineBase, InjectionPlan, register_engine
+from repro.errors import EngineError
+from repro.netlist.cells import GateType
+from repro.netlist.levelize import topo_gates
+from repro.netlist.netlist import Gate, Netlist
+
+#: gate type -> (prefix, operand joiner); expression = prefix(join) & mask.
+_OPS = {
+    GateType.AND: ("", " & "),
+    GateType.OR: ("", " | "),
+    GateType.XOR: ("", " ^ "),
+    GateType.NAND: ("~", " & "),
+    GateType.NOR: ("~", " | "),
+    GateType.XNOR: ("~", " ^ "),
+}
+
+
+def _gate_expr(gate_type: GateType, operands: list[str]) -> str:
+    """The masked bitwise expression mirroring ``eval_gate``."""
+    if gate_type is GateType.CONST0:
+        return "0"
+    if gate_type is GateType.CONST1:
+        return "mask"
+    if gate_type is GateType.NOT:
+        return f"~{operands[0]} & mask"
+    if gate_type is GateType.BUF:
+        return f"{operands[0]} & mask"
+    try:
+        prefix, joiner = _OPS[gate_type]
+    except KeyError:
+        raise EngineError(
+            f"cannot compile gate type {gate_type!r}"
+        ) from None
+    return f"{prefix}({joiner.join(operands)}) & mask"
+
+
+def _override_expr(source: str, override: tuple[int, int]) -> str:
+    clear, setm = override
+    return f"(({source}) & {~clear}) | {setm}"
+
+
+def _compile_fn(source: str, filename: str) -> Callable:
+    namespace: dict = {}
+    exec(compile(source, filename, "exec"), namespace)
+    return namespace["_run"]
+
+
+class _CompiledProgram:
+    """All compiled artifacts of one netlist (built lazily, cached).
+
+    The netlist is referenced weakly — the engine's program cache must
+    not extend its lifetime — and dereferenced only while a caller
+    holds the netlist; everything codegen needs repeatedly (topo order,
+    port bits, name) is captured eagerly.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self._netlist_ref = weakref.ref(netlist)
+        self.name = netlist.name
+        self.order = topo_gates(netlist)
+        self.sources = list(netlist.input_bits)
+        self.sources.extend(dff.q for dff in netlist.dffs)
+        self.outputs = netlist.output_bits
+        self.output_set = frozenset(self.outputs)
+        self._full_fn: Callable | None = None
+        self._cone_fns: dict[int, Callable] = {}
+        self._injected_fns: dict[tuple, Callable] = {}
+        self._fanout: dict[int, list[tuple[Gate, int]]] | None = None
+
+    @property
+    def netlist(self) -> Netlist | None:
+        return self._netlist_ref()
+
+    # -- full evaluator ------------------------------------------------------
+
+    def full_fn(self) -> Callable:
+        if self._full_fn is None:
+            self._full_fn = _compile_fn(
+                self._emit_eval(stem={}, branch={}),
+                f"<engine.compiled {self.name} full>",
+            )
+        return self._full_fn
+
+    def _emit_eval(self, stem: dict, branch: dict) -> str:
+        """Source of a full evaluator, optionally with baked injections."""
+        lines = ["def _run(W, mask):"]
+        for nid in self.sources:
+            load = f"W[{nid}]"
+            override = stem.get(nid)
+            if override is not None:
+                load = _override_expr(load, override)
+            lines.append(f"    v{nid} = {load}")
+        for gate in self.order:
+            operands = []
+            for pin, nid in enumerate(gate.inputs):
+                operand = f"v{nid}"
+                override = branch.get((gate.gid, pin))
+                if override is not None:
+                    operand = f"({_override_expr(operand, override)})"
+                operands.append(operand)
+            expr = _gate_expr(gate.gate_type, operands)
+            override = stem.get(gate.output)
+            if override is not None:
+                expr = _override_expr(expr, override)
+            lines.append(f"    v{gate.output} = {expr}")
+        computed = self.sources + [gate.output for gate in self.order]
+        items = ", ".join(f"{nid}: v{nid}" for nid in computed)
+        lines.append("    return {**W, %s}" % items)
+        return "\n".join(lines) + "\n"
+
+    # -- cone evaluators -----------------------------------------------------
+
+    def cone_fn(self, origin: int) -> Callable:
+        fn = self._cone_fns.get(origin)
+        if fn is None:
+            fn = _compile_fn(
+                self._emit_cone(origin),
+                f"<engine.compiled {self.name} cone:{origin}>",
+            )
+            self._cone_fns[origin] = fn
+        return fn
+
+    def _emit_cone(self, origin: int) -> str:
+        """Source of the faulty-machine evaluator downstream of ``origin``.
+
+        ``_run(G, word, mask)`` takes the good-machine words and the
+        origin net's faulty word; cone gates read faulty locals, side
+        inputs read hoisted good words, and the return value is the
+        primary-output difference word.
+        """
+        if self._fanout is None:
+            self._fanout = self.netlist.fanout_map()
+        cone_gids: set[int] = set()
+        frontier = [origin]
+        seen = {origin}
+        while frontier:
+            nid = frontier.pop()
+            for gate, _pin in self._fanout.get(nid, ()):
+                if gate.gid not in cone_gids:
+                    cone_gids.add(gate.gid)
+                    if gate.output not in seen:
+                        seen.add(gate.output)
+                        frontier.append(gate.output)
+        cone_order = [g for g in self.order if g.gid in cone_gids]
+        cone_nets = {origin} | {g.output for g in cone_order}
+        side = sorted(
+            {n for g in cone_order for n in g.inputs if n not in cone_nets}
+        )
+        lines = ["def _run(G, word, mask):", f"    v{origin} = word"]
+        lines.extend(f"    g{nid} = G[{nid}]" for nid in side)
+        for gate in cone_order:
+            operands = [
+                f"v{n}" if n in cone_nets else f"g{n}" for n in gate.inputs
+            ]
+            lines.append(
+                f"    v{gate.output} = "
+                f"{_gate_expr(gate.gate_type, operands)}"
+            )
+        diffs = [
+            f"(v{nid} ^ G[{nid}])" for nid in self.outputs
+            if nid in cone_nets
+        ]
+        if diffs:
+            lines.append(f"    return ({' | '.join(diffs)}) & mask")
+        else:
+            lines.append("    return 0")
+        return "\n".join(lines) + "\n"
+
+    # -- injected evaluators -------------------------------------------------
+
+    def injected_fn(self, plan: InjectionPlan) -> Callable:
+        key = plan.injection_key()
+        fn = self._injected_fns.get(key)
+        if fn is None:
+            fn = _compile_fn(
+                self._emit_eval(stem=plan.stem, branch=plan.branch),
+                f"<engine.compiled {self.name} "
+                f"chunk:{len(self._injected_fns)}>",
+            )
+            self._injected_fns[key] = fn
+        return fn
+
+
+@register_engine
+class CompiledEngine(EngineBase):
+    """Code-generating backend: straight-line bitwise Python per netlist."""
+
+    name = "compiled"
+
+    def _build(self, netlist: Netlist) -> _CompiledProgram:
+        return _CompiledProgram(netlist)
+
+    def eval_full(
+        self, netlist: Netlist, words: dict[int, int], mask: int
+    ) -> dict[int, int]:
+        return self._program(netlist).full_fn()(words, mask)
+
+    def _cone_diff(
+        self, program: _CompiledProgram, origin: int, word: int,
+        good: dict[int, int], mask: int,
+    ) -> int:
+        return program.cone_fn(origin)(good, word, mask)
+
+    def eval_injected(
+        self, netlist: Netlist, plan: InjectionPlan,
+        words: dict[int, int], mask: int,
+    ) -> dict[int, int]:
+        return self._program(netlist).injected_fn(plan)(words, mask)

@@ -77,6 +77,10 @@ class FaultSimError(ReproError):
     """Fault list construction or fault simulation failed."""
 
 
+class EngineError(ReproError):
+    """A netlist-simulation engine is unknown or misconfigured."""
+
+
 class AtpgError(ReproError):
     """Deterministic test pattern generation failed."""
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.circuits import get_circuit, load_circuit
+from repro.engine import DEFAULT_ENGINE
 from repro.fault.collapse import collapse_faults
 from repro.fault.coverage import FaultSimResult
 from repro.fault.model import StuckAtFault
@@ -41,6 +42,7 @@ class LabConfig:
     random_budget_seq: int = 1024
     equivalence_budget: int = 256
     fault_lanes: int = 256
+    engine: str = DEFAULT_ENGINE
 
     def random_budget(self, sequential: bool) -> int:
         return (
@@ -56,6 +58,7 @@ class LabConfig:
             random_budget_seq=config.random_budget_seq,
             equivalence_budget=config.equivalence_budget,
             fault_lanes=config.fault_lanes,
+            engine=config.engine,
         )
 
 
@@ -94,15 +97,13 @@ class CircuitLab:
     def random_baseline(self) -> FaultSimResult:
         """Fault-simulation of the random baseline (RFC curve)."""
         if self._random_baseline is None:
-            self._random_baseline = simulate_stuck_at(
-                self.netlist, self.random_vectors, self.faults,
-                self.config.fault_lanes,
-            )
+            self._random_baseline = self.fault_sim(self.random_vectors)
         return self._random_baseline
 
     def fault_sim(self, vectors: list[int]) -> FaultSimResult:
         return simulate_stuck_at(
-            self.netlist, vectors, self.faults, self.config.fault_lanes
+            self.netlist, vectors, self.faults, self.config.fault_lanes,
+            engine=self.config.engine,
         )
 
     # -- mutants ----------------------------------------------------------------
@@ -135,7 +136,7 @@ def get_lab(name: str, config: LabConfig | None = None) -> CircuitLab:
     key = (
         name, config.seed, config.random_budget_comb,
         config.random_budget_seq, config.equivalence_budget,
-        config.fault_lanes,
+        config.fault_lanes, config.engine,
     )
     if key not in _LABS:
         _LABS[key] = CircuitLab(name, config)

@@ -2,23 +2,20 @@
 
 All patterns of the test set ride one arbitrary-precision integer per
 net (lane *i* = pattern *i*).  For each collapsed fault the faulty
-machine is re-evaluated only over the fault's output cone, in level
-order, stopping early when the frontier dies out.  The XOR of faulty
-and good primary-output words gives the per-pattern detection word; the
-lowest set bit is the first-detecting pattern.
+machine is re-evaluated only over the fault's output cone by the
+selected :mod:`repro.engine` backend.  The XOR of faulty and good
+primary-output words gives the per-pattern detection word; the lowest
+set bit is the first-detecting pattern.
 """
 
 from __future__ import annotations
 
-import heapq
-
+from repro.engine import build_engine
 from repro.errors import FaultSimError
 from repro.fault.collapse import collapse_faults
 from repro.fault.coverage import FaultSimResult
 from repro.fault.model import StuckAtFault
-from repro.netlist.cells import eval_gate
-from repro.netlist.levelize import levelize, topo_gates
-from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.netlist import Netlist
 from repro.netlist.simulate import unpack_patterns
 
 
@@ -26,20 +23,18 @@ class CombFaultSimulator:
     """Stuck-at fault simulation of a combinational netlist."""
 
     def __init__(self, netlist: Netlist,
-                 faults: list[StuckAtFault] | None = None):
+                 faults: list[StuckAtFault] | None = None,
+                 engine=None):
         if netlist.dffs:
             raise FaultSimError(
                 "CombFaultSimulator requires a purely combinational "
                 "netlist; use SeqFaultSimulator instead"
             )
         self._netlist = netlist
-        self._order = topo_gates(netlist)
-        self._levels = levelize(netlist)
-        self._fanout: dict[int, list[tuple[Gate, int]]] = netlist.fanout_map()
+        self._engine = build_engine(engine)
         self._faults = (
             faults if faults is not None else collapse_faults(netlist)
         )
-        self._outputs = netlist.output_bits
 
     @property
     def faults(self) -> list[StuckAtFault]:
@@ -49,6 +44,10 @@ class CombFaultSimulator:
     def netlist(self) -> Netlist:
         return self._netlist
 
+    @property
+    def engine(self):
+        return self._engine
+
     def simulate(self, patterns: list[int]) -> FaultSimResult:
         """Fault-simulate packed input patterns (MSB-first packing)."""
         count = len(patterns)
@@ -56,81 +55,15 @@ class CombFaultSimulator:
             return FaultSimResult(list(self._faults),
                                   [None] * len(self._faults), 0)
         mask = (1 << count) - 1
-        good = dict(unpack_patterns(patterns, self._netlist.input_bits))
-        for gate in self._order:
-            good[gate.output] = eval_gate(
-                gate.gate_type, [good[n] for n in gate.inputs], mask
-            )
+        netlist, engine = self._netlist, self._engine
+        good = engine.eval_full(
+            netlist, unpack_patterns(patterns, netlist.input_bits), mask
+        )
         detection: list[int | None] = []
         for fault in self._faults:
-            detect_word = self._propagate(fault, good, mask)
+            detect_word = engine.fault_diff(netlist, fault, good, mask)
             detection.append(_first_lane(detect_word))
         return FaultSimResult(list(self._faults), detection, count)
-
-    def _propagate(
-        self, fault: StuckAtFault, good: dict[int, int], mask: int
-    ) -> int:
-        """Forward-propagate one fault; returns the PO difference word."""
-        stuck_word = mask if fault.stuck else 0
-        faulty: dict[int, int] = {}
-        heap: list[tuple[int, int, Gate]] = []
-        queued: set[int] = set()
-
-        def enqueue(gate: Gate) -> None:
-            if gate.gid not in queued:
-                queued.add(gate.gid)
-                heapq.heappush(
-                    heap, (self._levels[gate.output], gate.gid, gate)
-                )
-
-        if fault.is_stem:
-            if good.get(fault.net) == stuck_word:
-                return 0  # fault never activated anywhere
-            faulty[fault.net] = stuck_word
-            for gate, _pin in self._fanout.get(fault.net, ()):
-                enqueue(gate)
-        else:
-            # Branch fault: only one gate sees the stuck value.
-            gates = self._netlist.gates
-            if fault.gate is None or not 0 <= fault.gate < len(gates):
-                raise FaultSimError(
-                    f"fault references unknown gate {fault.gate}"
-                )
-            target = gates[fault.gate]
-            inputs = []
-            for pin, nid in enumerate(target.inputs):
-                word = good[nid]
-                if pin == fault.pin:
-                    word = stuck_word
-                inputs.append(word)
-            out_word = eval_gate(target.gate_type, inputs, mask)
-            if out_word == good[target.output]:
-                return 0
-            faulty[target.output] = out_word
-            for gate, _pin in self._fanout.get(target.output, ()):
-                enqueue(gate)
-
-        while heap:
-            _level, _gid, gate = heapq.heappop(heap)
-            queued.discard(gate.gid)
-            inputs = [faulty.get(n, good[n]) for n in gate.inputs]
-            out_word = eval_gate(gate.gate_type, inputs, mask)
-            previous = faulty.get(gate.output, good[gate.output])
-            if out_word == previous:
-                continue
-            faulty[gate.output] = out_word
-            for load, _pin in self._fanout.get(gate.output, ()):
-                enqueue(load)
-
-        detect = 0
-        for nid in self._outputs:
-            if nid in faulty:
-                detect |= faulty[nid] ^ good[nid]
-        # A stem fault directly on an output net detects wherever the
-        # good value differs from the stuck value.
-        if fault.is_stem and fault.net in self._outputs:
-            detect |= good[fault.net] ^ stuck_word
-        return detect & mask
 
 
 def _first_lane(word: int) -> int | None:

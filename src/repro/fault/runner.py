@@ -15,15 +15,21 @@ def simulate_stuck_at(
     stimuli: list[int],
     faults: list[StuckAtFault] | None = None,
     lanes: int = 256,
+    engine=None,
 ) -> FaultSimResult:
     """Fault-simulate packed stimuli on ``netlist``.
 
-    Sequential netlists (any DFF) use the fault-parallel engine; pure
-    combinational ones the pattern-parallel engine.  ``faults`` defaults
-    to the collapsed fault list.
+    Sequential netlists (any DFF) use the fault-parallel simulator;
+    pure combinational ones the pattern-parallel simulator.  ``faults``
+    defaults to the collapsed fault list; ``engine`` selects the
+    :mod:`repro.engine` backend by name (default backend when ``None``).
     """
     if faults is None:
         faults = collapse_faults(netlist)
     if netlist.dffs:
-        return SeqFaultSimulator(netlist, faults, lanes).simulate(stimuli)
-    return CombFaultSimulator(netlist, faults).simulate(stimuli)
+        return SeqFaultSimulator(
+            netlist, faults, lanes, engine=engine
+        ).simulate(stimuli)
+    return CombFaultSimulator(netlist, faults, engine=engine).simulate(
+        stimuli
+    )

@@ -10,36 +10,20 @@ Injection masks are pre-compiled per chunk:
 
 Every cycle performs the evaluate / clock / re-evaluate sequence that
 matches :class:`repro.sim.testbench.Testbench`, so detection cycles are
-directly comparable with behavioural runs.
+directly comparable with behavioural runs.  The per-gate work runs on a
+pluggable :mod:`repro.engine` backend; the ``compiled`` backend bakes
+each chunk's injection masks into generated straight-line code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
+from repro.engine import InjectionPlan, build_engine
 from repro.errors import FaultSimError
 from repro.fault.collapse import collapse_faults
 from repro.fault.coverage import FaultSimResult
 from repro.fault.model import StuckAtFault
-from repro.netlist.cells import eval_gate
-from repro.netlist.levelize import topo_gates
 from repro.netlist.netlist import Netlist
 from repro.netlist.simulate import unpack_patterns
-
-
-@dataclass
-class _ChunkPlan:
-    """Pre-compiled injection masks for one chunk of faults."""
-
-    faults: list[StuckAtFault]
-    #: net id -> (clear_mask, set_mask) applied after the net is computed
-    stem: dict[int, tuple[int, int]] = field(default_factory=dict)
-    #: (gate gid, pin) -> (clear_mask, set_mask)
-    branch: dict[tuple[int, int], tuple[int, int]] = field(
-        default_factory=dict
-    )
-    #: dff fid -> (clear_mask, set_mask) on its D input view
-    dff_branch: dict[int, tuple[int, int]] = field(default_factory=dict)
 
 
 class SeqFaultSimulator:
@@ -50,11 +34,12 @@ class SeqFaultSimulator:
         netlist: Netlist,
         faults: list[StuckAtFault] | None = None,
         lanes: int = 256,
+        engine=None,
     ):
         if lanes < 1:
             raise FaultSimError("lanes must be >= 1")
         self._netlist = netlist
-        self._order = topo_gates(netlist)
+        self._engine = build_engine(engine)
         self._faults = (
             faults if faults is not None else collapse_faults(netlist)
         )
@@ -69,6 +54,14 @@ class SeqFaultSimulator:
     def netlist(self) -> Netlist:
         return self._netlist
 
+    @property
+    def engine(self):
+        return self._engine
+
+    @property
+    def lanes(self) -> int:
+        return self._lanes
+
     def simulate(self, stimuli: list[int]) -> FaultSimResult:
         """Fault-simulate a packed input sequence (applied after reset)."""
         detection: list[int | None] = [None] * len(self._faults)
@@ -82,8 +75,8 @@ class SeqFaultSimulator:
             list(self._faults), detection, len(stimuli)
         )
 
-    def _compile(self, chunk: list[StuckAtFault]) -> _ChunkPlan:
-        plan = _ChunkPlan(faults=chunk)
+    def _compile(self, chunk: list[StuckAtFault]) -> InjectionPlan:
+        plan = InjectionPlan(faults=chunk)
 
         def merge(table: dict, key, lane: int, stuck: int) -> None:
             clear, setm = table.get(key, (0, 0))
@@ -102,10 +95,10 @@ class SeqFaultSimulator:
         return plan
 
     def _run_chunk(
-        self, plan: _ChunkPlan, stimuli: list[int]
+        self, plan: InjectionPlan, stimuli: list[int]
     ) -> list[int | None]:
         mask = (1 << len(plan.faults)) - 1
-        netlist = self._netlist
+        netlist, engine = self._netlist, self._engine
         # Faulty-lane state and good-machine state.
         state = {
             dff.q: mask if dff.reset_value else 0 for dff in netlist.dffs
@@ -124,12 +117,16 @@ class SeqFaultSimulator:
         for cycle, packed in enumerate(stimuli):
             single = unpack_patterns([packed], netlist.input_bits)
             inputs = {nid: mask if word else 0 for nid, word in single.items()}
-            words = self._eval(plan, inputs, state, mask)
-            good = self._eval(None, single, good_state, 1)
+            words = engine.eval_injected(
+                netlist, plan, {**inputs, **state}, mask
+            )
+            good = engine.eval_full(netlist, {**single, **good_state}, 1)
             next_state = self._next_state(plan, words, mask)
             good_next = {dff.q: good[dff.d] for dff in netlist.dffs}
-            words = self._eval(plan, inputs, next_state, mask)
-            good = self._eval(None, single, good_next, 1)
+            words = engine.eval_injected(
+                netlist, plan, {**inputs, **next_state}, mask
+            )
+            good = engine.eval_full(netlist, {**single, **good_next}, 1)
             state, good_state = next_state, good_next
 
             diff = 0
@@ -148,42 +145,8 @@ class SeqFaultSimulator:
                     break
         return detect_cycle
 
-    def _eval(
-        self,
-        plan: _ChunkPlan | None,
-        input_words: dict[int, int],
-        state: dict[int, int],
-        mask: int,
-    ) -> dict[int, int]:
-        words = dict(input_words)
-        words.update(state)
-        if plan is not None:
-            for nid, (clear, setm) in plan.stem.items():
-                if nid in words:
-                    words[nid] = (words[nid] & ~clear) | setm
-        for gate in self._order:
-            if plan is not None and plan.branch:
-                inputs = []
-                for pin, nid in enumerate(gate.inputs):
-                    word = words[nid]
-                    override = plan.branch.get((gate.gid, pin))
-                    if override is not None:
-                        clear, setm = override
-                        word = (word & ~clear) | setm
-                    inputs.append(word)
-            else:
-                inputs = [words[nid] for nid in gate.inputs]
-            out = eval_gate(gate.gate_type, inputs, mask)
-            if plan is not None:
-                override = plan.stem.get(gate.output)
-                if override is not None:
-                    clear, setm = override
-                    out = (out & ~clear) | setm
-            words[gate.output] = out
-        return words
-
     def _next_state(
-        self, plan: _ChunkPlan, words: dict[int, int], mask: int
+        self, plan: InjectionPlan, words: dict[int, int], mask: int
     ) -> dict[int, int]:
         next_state: dict[int, int] = {}
         for dff in self._netlist.dffs:

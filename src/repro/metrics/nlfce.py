@@ -103,10 +103,13 @@ def compute_nlfce(
     random_vectors: list[int],
     faults: list[StuckAtFault] | None = None,
     lanes: int = 256,
+    engine=None,
 ) -> NlfceReport:
     """Fault-simulate both test sets on ``netlist`` and report NLFCE."""
     mutation_result = simulate_stuck_at(
-        netlist, mutation_vectors, faults, lanes
+        netlist, mutation_vectors, faults, lanes, engine=engine
     )
-    random_result = simulate_stuck_at(netlist, random_vectors, faults, lanes)
+    random_result = simulate_stuck_at(
+        netlist, random_vectors, faults, lanes, engine=engine
+    )
     return nlfce_from_results(mutation_result, random_result)

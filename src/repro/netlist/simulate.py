@@ -10,22 +10,30 @@ synthesized models can be compared cycle by cycle.
 
 from __future__ import annotations
 
+from repro.engine import build_engine
 from repro.errors import SimulationError
-from repro.netlist.cells import eval_gate
-from repro.netlist.levelize import topo_gates
 from repro.netlist.netlist import Netlist
 
 
 class CombSimulator:
-    """Evaluates the combinational core over pattern words."""
+    """Evaluates the combinational core over pattern words.
 
-    def __init__(self, netlist: Netlist):
+    ``engine`` selects the evaluation backend by name (or instance, see
+    :func:`repro.engine.build_engine`); the default is the registry's
+    default backend.
+    """
+
+    def __init__(self, netlist: Netlist, engine=None):
         self._netlist = netlist
-        self._order = topo_gates(netlist)
+        self._engine = build_engine(engine)
 
     @property
     def netlist(self) -> Netlist:
         return self._netlist
+
+    @property
+    def engine(self):
+        return self._engine
 
     def evaluate(
         self, input_words: dict[int, int], mask: int,
@@ -46,11 +54,7 @@ class CombSimulator:
                     f"missing input word for net "
                     f"{self._netlist.net_name(nid)!r}"
                 )
-        for gate in self._order:
-            words[gate.output] = eval_gate(
-                gate.gate_type, [words[n] for n in gate.inputs], mask
-            )
-        return words
+        return self._engine.eval_full(self._netlist, words, mask)
 
     def apply_patterns(self, patterns: list[int]) -> list[int]:
         """Convenience: apply packed input patterns, return packed outputs.
@@ -78,9 +82,9 @@ class SeqSimulator:
     input values per lane.  The common single-lane use passes mask=1.
     """
 
-    def __init__(self, netlist: Netlist, mask: int = 1):
+    def __init__(self, netlist: Netlist, mask: int = 1, engine=None):
         self._netlist = netlist
-        self._comb = CombSimulator(netlist)
+        self._comb = CombSimulator(netlist, engine)
         self._mask = mask
         self._state: dict[int, int] = {}
         self.reset()

@@ -18,6 +18,7 @@ def reverse_order_compaction(
     netlist: Netlist,
     vectors: list[int],
     faults: list[StuckAtFault] | None = None,
+    engine=None,
 ) -> list[int]:
     """Drop vectors whose detected faults are covered by kept ones."""
     if netlist.dffs:
@@ -26,7 +27,7 @@ def reverse_order_compaction(
         )
     if not vectors:
         return []
-    simulator = CombFaultSimulator(netlist, faults)
+    simulator = CombFaultSimulator(netlist, faults, engine=engine)
     result = simulator.simulate(vectors)
     detects_by_vector: dict[int, set[int]] = {}
     for fault_index, first in enumerate(result.detection):

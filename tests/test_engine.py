@@ -1,0 +1,260 @@
+"""The engine registry and backend equivalence.
+
+The differential property test mirrors the ``sim/compiler.py`` vs
+``sim/interp.py`` pinning pattern: randomized combinational and
+sequential netlists (good machine and injected faults) run through
+every registered backend, which must agree with the ``interp``
+reference bit for bit — net words, detection words and first-detecting
+patterns alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    DEFAULT_ENGINE,
+    CompiledEngine,
+    InterpEngine,
+    build_engine,
+    engine_names,
+    get_engine,
+    register_engine,
+)
+from repro.engine.base import ENGINES
+from repro.errors import ConfigError, EngineError
+from repro.fault import (
+    CombFaultSimulator,
+    SeqFaultSimulator,
+    collapse_faults,
+    simulate_stuck_at,
+)
+from repro.netlist import CombSimulator, SeqSimulator
+from repro.netlist.cells import GateType
+from repro.netlist.netlist import DFF, Gate, Net, Netlist
+from repro.util import rng_stream
+from tests.conftest import netlist_of
+
+ALTERNATES = [name for name in engine_names() if name != "interp"]
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_registry_lists_shipped_backends():
+    assert "interp" in engine_names()
+    assert "compiled" in engine_names()
+    assert DEFAULT_ENGINE in engine_names()
+    assert get_engine("interp") is InterpEngine
+    assert get_engine("compiled") is CompiledEngine
+
+
+def test_unknown_engine_raises():
+    with pytest.raises(EngineError, match="unknown simulation engine"):
+        get_engine("laser")
+
+
+def test_register_requires_name():
+    with pytest.raises(EngineError):
+        register_engine(type("Anon", (), {}))
+
+
+def test_build_engine_shares_instances_by_name():
+    assert build_engine("interp") is build_engine("interp")
+    assert build_engine() is build_engine(DEFAULT_ENGINE)
+
+
+def test_build_engine_passes_instances_through():
+    private = CompiledEngine()
+    assert build_engine(private) is private
+    assert build_engine("compiled") is not private
+
+
+def test_third_party_registration(monkeypatch):
+    monkeypatch.setitem(ENGINES, "custom", InterpEngine)
+    assert "custom" in engine_names()
+    assert get_engine("custom") is InterpEngine
+
+
+# -- random netlist generator ------------------------------------------------
+
+_TYPES = [
+    GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+    GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF,
+]
+
+
+def random_netlist(rng, num_inputs=4, num_gates=24, num_dffs=0) -> Netlist:
+    """A random DAG netlist (topological by construction).
+
+    Gate inputs draw from already-created nets, so fanout (and thereby
+    stem/branch fault sites) arises naturally; outputs sample any
+    driven net — including, sometimes, a primary input directly.
+    """
+    netlist = Netlist("rand")
+
+    def new_net(name: str) -> int:
+        nid = len(netlist.nets)
+        netlist.nets.append(Net(nid, name))
+        return nid
+
+    inputs = [new_net(f"i{k}") for k in range(num_inputs)]
+    netlist.input_ports = [(f"i{k}", [nid]) for k, nid in enumerate(inputs)]
+    available = list(inputs)
+    for f in range(num_dffs):
+        q = new_net(f"q{f}")
+        netlist.dffs.append(
+            DFF(f, d=-1, q=q, reset_value=rng.randint(0, 1), name=f"ff{f}")
+        )
+        available.append(q)
+    for g in range(num_gates):
+        gate_type = rng.choice(_TYPES)
+        arity = 1 if gate_type.arity == 1 else rng.choice((2, 2, 2, 3))
+        ins = [rng.choice(available) for _ in range(arity)]
+        out = new_net(f"n{g}")
+        netlist.gates.append(Gate(g, gate_type, ins, out))
+        available.append(out)
+    for dff in netlist.dffs:
+        dff.d = rng.choice(available)
+    outs = rng.sample(available, k=min(len(available), 3))
+    netlist.output_ports = [(f"o{j}", [nid]) for j, nid in enumerate(outs)]
+    netlist.validate()
+    return netlist
+
+
+@pytest.mark.parametrize("engine", ALTERNATES)
+def test_differential_combinational(engine):
+    """Random comb netlists: net words and detections match interp."""
+    for case in range(20):
+        rng = rng_stream(99, "engine-diff-comb", str(case))
+        netlist = random_netlist(
+            rng, num_inputs=rng.randint(2, 6), num_gates=rng.randint(1, 30)
+        )
+        faults = collapse_faults(netlist)
+        width = len(netlist.input_bits)
+        patterns = [
+            rng.getrandbits(width) for _ in range(rng.randint(1, 33))
+        ]
+        reference = CombFaultSimulator(
+            netlist, faults, engine="interp"
+        ).simulate(patterns)
+        candidate = CombFaultSimulator(
+            netlist, faults, engine=engine
+        ).simulate(patterns)
+        # Identical first-detecting pattern per fault (None included).
+        assert candidate.detection == reference.detection, f"case {case}"
+        # Identical net words from the good-machine evaluators.
+        mask = (1 << len(patterns)) - 1
+        from repro.netlist.simulate import unpack_patterns
+
+        words = unpack_patterns(patterns, netlist.input_bits)
+        ref_words = CombSimulator(netlist, "interp").evaluate(words, mask)
+        cand_words = CombSimulator(netlist, engine).evaluate(words, mask)
+        assert cand_words == ref_words, f"case {case}"
+
+
+@pytest.mark.parametrize("engine", ALTERNATES)
+def test_differential_sequential(engine):
+    """Random seq netlists: injected fault machines match interp."""
+    for case in range(10):
+        rng = rng_stream(99, "engine-diff-seq", str(case))
+        netlist = random_netlist(
+            rng,
+            num_inputs=rng.randint(2, 5),
+            num_gates=rng.randint(4, 24),
+            num_dffs=rng.randint(1, 4),
+        )
+        faults = collapse_faults(netlist)
+        width = len(netlist.input_bits)
+        stimuli = [
+            rng.getrandbits(width) for _ in range(rng.randint(1, 24))
+        ]
+        # Odd lane widths force multi-chunk injection plans.
+        lanes = rng.choice((3, 7, 64, 256))
+        reference = SeqFaultSimulator(
+            netlist, faults, lanes=lanes, engine="interp"
+        ).simulate(stimuli)
+        candidate = SeqFaultSimulator(
+            netlist, faults, lanes=lanes, engine=engine
+        ).simulate(stimuli)
+        assert candidate.detection == reference.detection, f"case {case}"
+        ref_out = SeqSimulator(netlist, engine="interp").run_packed(stimuli)
+        cand_out = SeqSimulator(netlist, engine=engine).run_packed(stimuli)
+        assert cand_out == ref_out, f"case {case}"
+
+
+@pytest.mark.parametrize("engine", ALTERNATES)
+@pytest.mark.parametrize("name", ["c17", "c432", "b01"])
+def test_differential_real_circuits(engine, name):
+    netlist = netlist_of(name)
+    rng = rng_stream(7, "engine-diff", name)
+    width = len(netlist.input_bits)
+    vectors = [rng.getrandbits(width) for _ in range(32)]
+    reference = simulate_stuck_at(netlist, vectors, engine="interp")
+    candidate = simulate_stuck_at(netlist, vectors, engine=engine)
+    assert candidate.detection == reference.detection
+    assert candidate.num_patterns == reference.num_patterns
+
+
+def test_compiled_cache_reuse_is_consistent():
+    """Repeated runs through the shared compiled engine stay identical."""
+    netlist = netlist_of("c17")
+    rng = rng_stream(3, "engine-cache")
+    width = len(netlist.input_bits)
+    vectors = [rng.getrandbits(width) for _ in range(16)]
+    first = simulate_stuck_at(netlist, vectors, engine="compiled")
+    second = simulate_stuck_at(netlist, vectors, engine="compiled")
+    assert first.detection == second.detection
+
+
+def test_campaign_results_identical_across_engines():
+    """Table 1 / Table 2 numbers never depend on the backend.
+
+    The archived JSON embeds the config (which records the engine by
+    design); the computed ``circuits`` payload must match bit for bit.
+    """
+    import json
+
+    from repro.campaign.config import CampaignConfig
+    from repro.campaign.runner import Campaign
+
+    payloads = {}
+    for engine in ("interp", "compiled"):
+        config = CampaignConfig(
+            engine=engine, random_budget_comb=128, random_budget_seq=64,
+            equivalence_budget=16, max_vectors=16,
+        )
+        result = Campaign(config).run(("c17",))
+        payloads[engine] = json.loads(result.to_json())["circuits"]
+    assert payloads["interp"] == payloads["compiled"]
+
+
+# -- configuration surface ---------------------------------------------------
+
+
+def test_campaign_config_carries_engine():
+    from repro.campaign.config import CampaignConfig
+
+    config = CampaignConfig(engine="interp", fault_lanes=17)
+    assert config.lab_config().engine == "interp"
+    assert config.lab_config().fault_lanes == 17
+    roundtrip = CampaignConfig.from_json(config.to_json())
+    assert roundtrip.engine == "interp"
+    assert roundtrip.fault_lanes == 17
+
+
+def test_campaign_config_rejects_unknown_engine():
+    from repro.campaign.config import CampaignConfig
+
+    with pytest.raises(ConfigError, match="engine"):
+        CampaignConfig(engine="laser")
+    with pytest.raises(ConfigError, match="fault_lanes"):
+        CampaignConfig(fault_lanes=0)
+
+
+def test_engine_and_lanes_in_fingerprint():
+    from repro.campaign.config import CampaignConfig
+
+    base = CampaignConfig()
+    assert base.fingerprint() != CampaignConfig(engine="interp").fingerprint()
+    assert base.fingerprint() != CampaignConfig(fault_lanes=8).fingerprint()

@@ -152,3 +152,43 @@ def test_cli_testgen_follows_campaign_conventions(capsys):
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cli_engines_listing(capsys):
+    assert main(["engines"]) == 0
+    out = capsys.readouterr().out
+    assert "interp" in out
+    assert "compiled" in out
+    assert "default backend" in out
+
+
+def test_cli_rejects_unknown_engine(capsys):
+    with pytest.raises(SystemExit):
+        main(["table1", "--circuits", "c17", "--engine", "laser"])
+
+
+@pytest.mark.parametrize("command", ["table1", "table2"])
+def test_cli_engine_selection_is_bit_identical(command, capsys):
+    """`--engine compiled` output must equal `--engine interp` exactly."""
+    argv = [
+        command, "--circuits", "c17", "--random-budget", "128",
+        "--equivalence-budget", "32", "--max-vectors", "32",
+    ]
+    outputs = {}
+    for engine in ("interp", "compiled"):
+        assert main(argv + ["--engine", engine]) == 0
+        outputs[engine] = capsys.readouterr().out
+    assert outputs["interp"] == outputs["compiled"]
+
+
+def test_cli_fault_lanes_is_result_neutral(capsys):
+    """Chunk width tunes execution, never the science."""
+    argv = [
+        "table1", "--circuits", "b01", "--random-budget", "64",
+        "--equivalence-budget", "16", "--max-vectors", "16",
+    ]
+    outputs = {}
+    for lanes in ("8", "256"):
+        assert main(argv + ["--fault-lanes", lanes]) == 0
+        outputs[lanes] = capsys.readouterr().out
+    assert outputs["8"] == outputs["256"]
