@@ -1,0 +1,62 @@
+"""Performance/quality: search strategies at an equal candidate budget.
+
+Parametrized over every registered :mod:`repro.search` strategy on one
+combinational and one sequential circuit, each run with the same
+candidate cap and the shipped comparison seed, so the kills-per-
+candidate trajectory (``BENCH_search.json``, via
+``benchmarks/run_benchmarks.py --suite search``) tracks search quality
+against the blind ``random`` baseline over time.
+"""
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.experiments.search_compare import DEFAULT_SEARCH_SEED
+from repro.mutation import MutationEngine, generate_mutants
+from repro.search import SearchBudget, search_strategy_names
+from repro.testgen import MutationTestGenerator
+
+#: One circuit per style, sized for CI smoke runs.
+CIRCUITS = ("c17", "b01")
+BUDGET = 256
+
+
+@pytest.fixture(scope="module")
+def populations():
+    cache = {}
+    for name in CIRCUITS:
+        design = load_circuit(name)
+        cache[name] = (
+            design, generate_mutants(design), MutationEngine(design)
+        )
+    return cache
+
+
+@pytest.mark.parametrize("strategy", search_strategy_names())
+@pytest.mark.parametrize("circuit", CIRCUITS)
+def test_search_strategy_throughput(benchmark, populations, circuit, strategy):
+    design, mutants, engine = populations[circuit]
+
+    def run():
+        generator = MutationTestGenerator(
+            design,
+            seed=DEFAULT_SEARCH_SEED,
+            engine=engine,
+            max_vectors=64,
+            strategy=strategy,
+            search_budget=SearchBudget(max_candidates=BUDGET),
+        )
+        return generator.generate(mutants)
+
+    result = benchmark(run)
+    assert result.killed_mids
+    benchmark.extra_info.update(
+        circuit=circuit,
+        strategy=strategy,
+        style="seq" if design.is_sequential else "comb",
+        budget=BUDGET,
+        candidates=result.candidates_tried,
+        vectors=len(result.vectors),
+        killed=len(result.killed_mids),
+        targets=result.total_targets,
+    )

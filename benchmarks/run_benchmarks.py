@@ -1,18 +1,24 @@
 #!/usr/bin/env python
-"""Run the fault-simulation perf suite; append to ``BENCH_engine.json``.
+"""Run a perf suite; append one run to its ``BENCH_*.json`` trajectory.
 
-Drives ``benchmarks/bench_faultsim.py`` through pytest-benchmark (so the
-numbers come from calibrated, warmed-up rounds — compilation cost of the
-``compiled`` backend lands in the warmup, exactly as it amortizes in
-real campaigns), converts the per-(circuit, engine) means into
-throughput rows ``{circuit, backend, patterns_per_sec, faults_per_sec}``
-and appends one run to the ``BENCH_engine.json`` trajectory at the repo
-root, together with a per-circuit speedup summary of every backend
-against the ``interp`` reference.
+Two suites, selected with ``--suite`` (default ``engine``):
+
+* ``engine`` — ``bench_faultsim.py``: fault-simulation throughput per
+  backend, appended to ``BENCH_engine.json`` with a per-circuit speedup
+  summary of every backend against the ``interp`` reference.
+* ``search`` — ``bench_search.py``: search-strategy quality at an equal
+  candidate budget, appended to ``BENCH_search.json`` as a
+  kills-per-candidate trajectory with a per-circuit gain summary of
+  every strategy against the ``random`` baseline.
+
+Both run under pytest-benchmark, so the numbers come from calibrated,
+warmed-up rounds — compilation cost of the ``compiled`` backend lands
+in the warmup, exactly as it amortizes in real campaigns.
 
 Usage::
 
-    python benchmarks/run_benchmarks.py [--json PATH] [--pytest-args ...]
+    python benchmarks/run_benchmarks.py [--suite engine|search|all]
+                                        [--json PATH] [--pytest-args ...]
 """
 
 from __future__ import annotations
@@ -26,12 +32,12 @@ import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUT = REPO_ROOT / "BENCH_engine.json"
-REFERENCE = "interp"
+ENGINE_REFERENCE = "interp"
+SEARCH_REFERENCE = "random"
 
 
-def run_suite(extra_args: list[str]) -> dict:
-    """Run bench_faultsim.py under pytest-benchmark; return its JSON."""
+def run_suite(bench_file: str, extra_args: list[str]) -> dict:
+    """Run one bench module under pytest-benchmark; return its JSON."""
     with tempfile.TemporaryDirectory() as tmp:
         report = Path(tmp) / "benchmark.json"
         env = dict(os.environ)
@@ -41,7 +47,7 @@ def run_suite(extra_args: list[str]) -> dict:
         )
         command = [
             sys.executable, "-m", "pytest",
-            str(REPO_ROOT / "benchmarks" / "bench_faultsim.py"),
+            str(REPO_ROOT / "benchmarks" / bench_file),
             "-q", "--benchmark-only",
             "--benchmark-min-rounds=3",
             "--benchmark-max-time=0.5",
@@ -53,7 +59,9 @@ def run_suite(extra_args: list[str]) -> dict:
             return json.load(handle)
 
 
-def rows_from_report(report: dict) -> list[dict]:
+# -- engine suite -------------------------------------------------------------
+
+def engine_rows(report: dict) -> list[dict]:
     rows = []
     for bench in report["benchmarks"]:
         info = bench["extra_info"]
@@ -72,15 +80,17 @@ def rows_from_report(report: dict) -> list[dict]:
     return rows
 
 
-def speedups(rows: list[dict]) -> dict:
+def engine_summary(rows: list[dict]) -> dict:
     """backend -> circuit -> throughput multiple over the reference."""
     reference = {
         row["circuit"]: row["seconds_per_pass"]
-        for row in rows if row["backend"] == REFERENCE
+        for row in rows if row["backend"] == ENGINE_REFERENCE
     }
     table: dict[str, dict[str, float]] = {}
     for row in rows:
-        if row["backend"] == REFERENCE or row["circuit"] not in reference:
+        if row["backend"] == ENGINE_REFERENCE or (
+            row["circuit"] not in reference
+        ):
             continue
         table.setdefault(row["backend"], {})[row["circuit"]] = round(
             reference[row["circuit"]] / row["seconds_per_pass"], 2
@@ -88,9 +98,110 @@ def speedups(rows: list[dict]) -> dict:
     return table
 
 
-def append_run(path: Path, rows: list[dict]) -> dict:
+def engine_print(rows: list[dict], summary: dict) -> None:
+    width = max(len(r["circuit"]) for r in rows)
+    for row in rows:
+        print(
+            f"{row['circuit']:{width}s} {row['backend']:10s}"
+            f" {row['patterns_per_sec']:12.1f} patterns/s"
+            f" {row['faults_per_sec']:12.1f} faults/s"
+        )
+    for backend, per_circuit in summary.items():
+        pairs = ", ".join(
+            f"{c}: {s:.2f}x" for c, s in sorted(per_circuit.items())
+        )
+        print(f"speedup {backend} vs {ENGINE_REFERENCE}: {pairs}")
+
+
+# -- search suite -------------------------------------------------------------
+
+def search_rows(report: dict) -> list[dict]:
+    rows = []
+    for bench in report["benchmarks"]:
+        info = bench["extra_info"]
+        seconds = bench["stats"]["mean"]
+        candidates = info["candidates"]
+        rows.append({
+            "circuit": info["circuit"],
+            "strategy": info["strategy"],
+            "style": info["style"],
+            "budget": info["budget"],
+            "candidates": candidates,
+            "vectors": info["vectors"],
+            "killed": info["killed"],
+            "targets": info["targets"],
+            "seconds_per_run": seconds,
+            "kills_per_candidate": (
+                info["killed"] / candidates if candidates else 0.0
+            ),
+            "candidates_per_sec": candidates / seconds if seconds else 0.0,
+        })
+    rows.sort(key=lambda r: (r["circuit"], r["strategy"]))
+    return rows
+
+
+def search_summary(rows: list[dict]) -> dict:
+    """strategy -> circuit -> kills-per-candidate multiple over random."""
+    reference = {
+        row["circuit"]: row["kills_per_candidate"]
+        for row in rows if row["strategy"] == SEARCH_REFERENCE
+    }
+    table: dict[str, dict[str, float | None]] = {}
+    for row in rows:
+        base = reference.get(row["circuit"])
+        if row["strategy"] == SEARCH_REFERENCE or base is None:
+            continue
+        # A zero baseline with guided kills is the strongest possible
+        # win; keep the entry (as null) rather than dropping the circuit.
+        table.setdefault(row["strategy"], {})[row["circuit"]] = (
+            round(row["kills_per_candidate"] / base, 2) if base else None
+        )
+    return table
+
+
+def search_print(rows: list[dict], summary: dict) -> None:
+    width = max(len(r["circuit"]) for r in rows)
+    for row in rows:
+        print(
+            f"{row['circuit']:{width}s} {row['strategy']:10s}"
+            f" {row['killed']:5d}/{row['targets']:<5d} killed"
+            f" {row['kills_per_candidate']:8.3f} kills/cand"
+            f" {row['candidates_per_sec']:10.1f} cand/s"
+        )
+    for strategy, per_circuit in summary.items():
+        pairs = ", ".join(
+            f"{c}: {'inf' if s is None else f'{s:.2f}x'}"
+            for c, s in sorted(per_circuit.items())
+        )
+        print(f"gain {strategy} vs {SEARCH_REFERENCE}: {pairs}")
+
+
+SUITES = {
+    "engine": {
+        "bench": "bench_faultsim.py",
+        "out": REPO_ROOT / "BENCH_engine.json",
+        "title": "fault-simulation throughput",
+        "rows": engine_rows,
+        "summary": engine_summary,
+        "summary_key": f"speedup_vs_{ENGINE_REFERENCE}",
+        "print": engine_print,
+    },
+    "search": {
+        "bench": "bench_search.py",
+        "out": REPO_ROOT / "BENCH_search.json",
+        "title": "search-strategy kills per candidate",
+        "rows": search_rows,
+        "summary": search_summary,
+        "summary_key": f"gain_vs_{SEARCH_REFERENCE}",
+        "print": search_print,
+    },
+}
+
+
+def append_run(path: Path, title: str, rows: list[dict],
+               summary_key: str, summary: dict) -> dict:
     """Append one run to the trajectory file; returns the run entry."""
-    trajectory = {"benchmark": "fault-simulation throughput", "runs": []}
+    trajectory = {"benchmark": title, "runs": []}
     if path.exists():
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -102,14 +213,14 @@ def append_run(path: Path, rows: list[dict]) -> dict:
     run = {
         "sequence": len(trajectory["runs"]) + 1,
         "rows": rows,
-        f"speedup_vs_{REFERENCE}": speedups(rows),
+        summary_key: summary,
     }
     trajectory["runs"].append(run)
     # Small summary only — duplicating the full row data here would
     # bloat every committed trajectory diff.
     trajectory["latest"] = {
         "sequence": run["sequence"],
-        f"speedup_vs_{REFERENCE}": run[f"speedup_vs_{REFERENCE}"],
+        summary_key: summary,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(trajectory, handle, indent=2, sort_keys=True)
@@ -117,35 +228,42 @@ def append_run(path: Path, rows: list[dict]) -> dict:
     return run
 
 
+def run_one(name: str, json_path: str | None,
+            pytest_args: list[str]) -> int:
+    suite = SUITES[name]
+    report = run_suite(suite["bench"], pytest_args)
+    rows = suite["rows"](report)
+    if not rows:
+        print("no benchmark rows produced", file=sys.stderr)
+        return 1
+    summary = suite["summary"](rows)
+    out = Path(json_path) if json_path else suite["out"]
+    append_run(out, suite["title"], rows, suite["summary_key"], summary)
+    suite["print"](rows, summary)
+    print(f"trajectory written to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--json", default=str(DEFAULT_OUT), metavar="PATH",
-                        help="trajectory file to append to "
-                             "(default: BENCH_engine.json at the repo root)")
+    parser.add_argument("--suite", default="engine",
+                        choices=(*SUITES, "all"),
+                        help="which benchmark suite to run (default: engine)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="trajectory file to append to (single suite "
+                             "only; default: the suite's BENCH_*.json at "
+                             "the repo root)")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments forwarded to pytest")
     args = parser.parse_args(argv)
 
-    report = run_suite(args.pytest_args)
-    rows = rows_from_report(report)
-    if not rows:
-        print("no benchmark rows produced", file=sys.stderr)
-        return 1
-    run = append_run(Path(args.json), rows)
-
-    width = max(len(r["circuit"]) for r in rows)
-    for row in rows:
-        print(
-            f"{row['circuit']:{width}s} {row['backend']:10s}"
-            f" {row['patterns_per_sec']:12.1f} patterns/s"
-            f" {row['faults_per_sec']:12.1f} faults/s"
-        )
-    for backend, per_circuit in run[f"speedup_vs_{REFERENCE}"].items():
-        pairs = ", ".join(
-            f"{c}: {s:.2f}x" for c, s in sorted(per_circuit.items())
-        )
-        print(f"speedup {backend} vs {REFERENCE}: {pairs}")
-    print(f"trajectory written to {args.json}")
+    names = list(SUITES) if args.suite == "all" else [args.suite]
+    if args.json and len(names) > 1:
+        parser.error("--json only applies to a single suite")
+    for name in names:
+        status = run_one(name, args.json, args.pytest_args)
+        if status:
+            return status
     return 0
 
 

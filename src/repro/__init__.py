@@ -9,8 +9,9 @@ netlists (``repro.synth`` / ``repro.netlist``), single-stuck-at fault
 simulation (``repro.fault``) on pluggable simulation backends
 (``repro.engine``), the ten-operator mutation engine
 (``repro.mutation``), mutation-adequate / random / deterministic test
-generation (``repro.testgen``), the NLFCE metric (``repro.metrics``),
-mutant sampling strategies (``repro.sampling``), the campaign pipeline
+generation (``repro.testgen``) with coverage-guided candidate search
+(``repro.search``), the NLFCE metric (``repro.metrics``), mutant
+sampling strategies (``repro.sampling``), the campaign pipeline
 (``repro.campaign``) and the experiment facade regenerating the paper's
 tables (``repro.experiments``).
 
@@ -54,11 +55,18 @@ from repro.hdl import load_design
 from repro.metrics import compute_nlfce
 from repro.mutation import MutationEngine, generate_mutants, mutants_by_operator
 from repro.sampling import RandomSampling, TestOrientedSampling
+from repro.search import (
+    DEFAULT_SEARCH,
+    SearchBudget,
+    SearchStrategy,
+    build_search_strategy,
+    search_strategy_names,
+)
 from repro.sim import StimulusEncoder, Testbench
 from repro.synth import synthesize
 from repro.testgen import MutationTestGenerator, RandomVectorGenerator
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Campaign",
@@ -71,12 +79,16 @@ __all__ = [
     "RandomSampling",
     "RandomVectorGenerator",
     "ReproError",
+    "SearchBudget",
+    "SearchStrategy",
     "StimulusEncoder",
     "Testbench",
     "TestOrientedSampling",
     "DEFAULT_ENGINE",
+    "DEFAULT_SEARCH",
     "__version__",
     "build_engine",
+    "build_search_strategy",
     "circuit_names",
     "collapse_faults",
     "compute_nlfce",
@@ -87,6 +99,7 @@ __all__ = [
     "load_circuit",
     "load_design",
     "mutants_by_operator",
+    "search_strategy_names",
     "simulate_stuck_at",
     "synthesize",
 ]

@@ -50,6 +50,7 @@ from repro.campaign.stages import (
     MetricsStage,
     MutantStage,
     SamplingStage,
+    SearchStage,
     Stage,
     SynthStage,
     Target,
@@ -78,6 +79,7 @@ __all__ = [
     "ResultCache",
     "STAGE_REGISTRY",
     "SamplingStage",
+    "SearchStage",
     "Stage",
     "StrategyRow",
     "SynthStage",

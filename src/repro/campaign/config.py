@@ -24,6 +24,7 @@ from dataclasses import dataclass, fields
 
 from repro.engine import DEFAULT_ENGINE, engine_names
 from repro.errors import ConfigError
+from repro.search import DEFAULT_SEARCH, search_strategy_names
 
 #: The four circuits of the paper's evaluation (the canonical
 #: definition; ``repro.experiments.context.PAPER_CIRCUITS`` re-exports
@@ -38,15 +39,19 @@ DEFAULT_OPERATORS = ("LOR", "VR", "CVR", "CR")
 #: the calibration pass (per-operator test sets and their NLFCE, the
 #: paper's Table 1) runs to completion before ``sampling`` derives
 #: calibrated weights and queues the per-strategy work, which the second
-#: ``testgen``/``fault-validation``/``metrics`` pass then evaluates.
+#: ``search``/``fault-validation``/``metrics`` pass then evaluates.
+#: ``search`` is the strategy-driven test generation stage (the
+#: ``search`` config block picks the :mod:`repro.search` strategy; the
+#: default ``random`` reproduces the historical ``testgen`` stage
+#: bit-for-bit, and ``testgen`` remains registered as an alias).
 DEFAULT_PIPELINE = (
     "synth",
     "mutants",
-    "testgen",
+    "search",
     "fault-validation",
     "metrics",
     "sampling",
-    "testgen",
+    "search",
     "fault-validation",
     "metrics",
 )
@@ -92,6 +97,17 @@ class CampaignConfig:
     chunk_candidates: int = 6
     stall_rounds: int = 4
 
+    # -- candidate search (the repro.search subsystem) -----------------------
+    #: named :mod:`repro.search` strategy proposing candidate vectors
+    #: during test generation; ``random`` is the paper's blind draw.
+    search: str = DEFAULT_SEARCH
+    #: total candidate-vector cap per target (None: uncapped).
+    search_budget: int | None = None
+    #: stale-round cap tightening ``stall_rounds`` (None: unset).
+    search_stale_rounds: int | None = None
+    #: per-strategy knobs forwarded to the strategy constructor.
+    search_knobs: dict | None = None
+
     # -- calibration / sampling ----------------------------------------------
     operators: tuple[str, ...] = DEFAULT_OPERATORS
     strategies: tuple[str, ...] = ("random", "test-oriented")
@@ -123,6 +139,31 @@ class CampaignConfig:
             raise ConfigError(
                 f"engine must be one of {engine_names()}, "
                 f"got {self.engine!r}"
+            )
+        if self.search not in search_strategy_names():
+            raise ConfigError(
+                f"search must be one of {search_strategy_names()}, "
+                f"got {self.search!r}"
+            )
+        if self.search_budget is not None and self.search_budget < 1:
+            raise ConfigError(
+                f"search_budget must be >= 1, got {self.search_budget}"
+            )
+        if self.search_stale_rounds is not None and (
+            self.search_stale_rounds < 1
+        ):
+            raise ConfigError(
+                f"search_stale_rounds must be >= 1, got "
+                f"{self.search_stale_rounds}"
+            )
+        if self.search_knobs is not None:
+            self.search_knobs = {
+                str(knob): value for knob, value in self.search_knobs.items()
+            }
+        if self.random_budget_comb < 1 or self.random_budget_seq < 1:
+            raise ConfigError(
+                f"random budgets must be >= 1, got comb="
+                f"{self.random_budget_comb} seq={self.random_budget_seq}"
             )
         if self.fault_lanes < 1:
             raise ConfigError(

@@ -5,9 +5,10 @@ A stage transforms a shared :class:`CircuitContext`.  Stages are
 it has not already handled (a target without test data, a test set
 without a fault simulation, ...), so a pipeline may list the same stage
 more than once — the default pipeline runs
-``testgen``/``fault-validation``/``metrics`` twice, first over the
+``search``/``fault-validation``/``metrics`` twice, first over the
 per-operator calibration targets, then over the sampled-strategy
-targets that ``sampling`` queues in between.
+targets that ``sampling`` queues in between.  (``testgen`` is the
+historical alias of ``search``.)
 
 Stages register by name in :data:`STAGE_REGISTRY` via the
 :func:`register_stage` decorator, so pipelines are described as tuples
@@ -26,6 +27,7 @@ from repro.mutation.generator import mutants_by_operator
 from repro.mutation.mutant import Mutant
 from repro.sampling.registry import build_strategy
 from repro.sampling.weighted import PAPER_RANK_WEIGHTS, weights_from_nlfce
+from repro.search import SearchBudget
 from repro.testgen.mutation_gen import MutationTestGenerator, TestGenResult
 
 #: Target kinds.
@@ -228,14 +230,26 @@ class SamplingStage(Stage):
 
 
 @register_stage
-class TestGenStage(Stage):
-    """Mutation-adequate test generation for every pending target."""
+class SearchStage(Stage):
+    """Strategy-driven mutation-adequate test generation.
 
-    name = "testgen"
+    Candidate vectors for every pending target come from the
+    :mod:`repro.search` strategy the config's ``search`` block selects;
+    the default ``random`` strategy reproduces the historical blind
+    pseudo-random generation bit-for-bit.
+    """
+
+    name = "search"
 
     def run(self, ctx: CircuitContext) -> None:
         lab = ctx.require_lab()
         config = ctx.config
+        budget = None
+        if config.search_budget or config.search_stale_rounds:
+            budget = SearchBudget(
+                max_candidates=config.search_budget,
+                max_stale_rounds=config.search_stale_rounds,
+            )
         for target in ctx.targets.values():
             if target.testgen is not None:
                 continue
@@ -248,8 +262,23 @@ class TestGenStage(Stage):
                 chunk_candidates=config.chunk_candidates,
                 stall_rounds=config.stall_rounds,
                 max_vectors=config.max_vectors,
+                strategy=config.search,
+                search_budget=budget,
+                search_knobs=config.search_knobs,
             )
             target.testgen = generator.generate(target.mutants)
+
+
+@register_stage
+class TestGenStage(SearchStage):
+    """Backwards-compatible alias: ``testgen`` runs the search stage.
+
+    Kept so pre-search pipelines (config files listing ``testgen``)
+    keep working; with the default ``search="random"`` block the
+    behaviour is identical to the historical stage.
+    """
+
+    name = "testgen"
 
 
 @register_stage

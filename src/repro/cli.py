@@ -7,12 +7,14 @@ Commands
 * ``synth``      — synthesize a circuit and print its ``.bench`` netlist
 * ``mutants``    — list (a sample of) a circuit's mutants
 * ``engines``    — registered netlist-simulation backends
+* ``strategies`` — registered search and sampling strategies
 * ``testgen``    — generate mutation-adequate validation data
 * ``run``        — execute a full campaign from a JSON config file
 * ``table1``     — regenerate the paper's Table 1
 * ``table2``     — regenerate the paper's Table 2
 * ``atpg-reuse`` — the §1 validation-reuse experiment
 * ``ablation``   — sampling-rate / weight-scheme ablations
+* ``search-compare`` — search strategies at an equal candidate budget
 
 Every subcommand is a thin consumer of the campaign pipeline: the
 shared ``--seed`` / budget options build one
@@ -36,7 +38,8 @@ from repro.campaign.config import (
 )
 
 
-def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+def _add_budget_args(parser: argparse.ArgumentParser,
+                     search: bool = True) -> None:
     parser.add_argument("--seed", type=int, default=20050301,
                         help="master experiment seed")
     parser.add_argument("--testgen-seed", type=int, default=7,
@@ -50,12 +53,32 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-vectors", type=int, default=256,
                         help="cap on generated validation vectors")
     _add_engine_args(parser)
+    if search:
+        _add_search_args(parser)
 
 
 def _engine_choices() -> tuple[str, ...]:
     from repro.engine import engine_names
 
     return engine_names()
+
+
+def _search_choices() -> tuple[str, ...]:
+    from repro.search import search_strategy_names
+
+    return search_strategy_names()
+
+
+def _add_search_args(parser: argparse.ArgumentParser) -> None:
+    from repro.search import DEFAULT_SEARCH
+
+    parser.add_argument("--search", default=DEFAULT_SEARCH,
+                        choices=_search_choices(),
+                        help="candidate-vector search strategy "
+                             f"(default: {DEFAULT_SEARCH})")
+    parser.add_argument("--search-budget", type=int, default=None,
+                        help="total candidate cap per target "
+                             "(default: uncapped)")
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
@@ -100,6 +123,10 @@ def _campaign_config(args, **overrides) -> CampaignConfig:
         engine=getattr(args, "engine", None) or CampaignConfig.engine,
         fault_lanes=getattr(
             args, "fault_lanes", CampaignConfig.fault_lanes
+        ),
+        search=getattr(args, "search", None) or CampaignConfig.search,
+        search_budget=getattr(
+            args, "search_budget", CampaignConfig.search_budget
         ),
         jobs=getattr(args, "jobs", CampaignConfig.jobs),
         cache_dir=getattr(args, "cache_dir", CampaignConfig.cache_dir),
@@ -166,6 +193,10 @@ def _main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("engines", help="list netlist-simulation backends")
 
+    sub.add_parser(
+        "strategies", help="list search and sampling strategies"
+    )
+
     testgen = sub.add_parser(
         "testgen", help="generate mutation-adequate validation data"
     )
@@ -178,6 +209,7 @@ def _main(argv: list[str] | None = None) -> int:
                          help="mutation-adequate generator seed")
     testgen.add_argument("--max-vectors", type=int, default=256,
                          help="cap on generated validation vectors")
+    _add_search_args(testgen)
 
     run = sub.add_parser(
         "run", help="execute a campaign from a JSON config file"
@@ -194,6 +226,10 @@ def _main(argv: list[str] | None = None) -> int:
                           "chunk width")
     run.add_argument("--cache-dir", default=None,
                      help="override the config's result cache directory")
+    run.add_argument("--search", default=None, choices=_search_choices(),
+                     help="override the config's search strategy")
+    run.add_argument("--search-budget", type=int, default=None,
+                     help="override the config's candidate cap")
     run.add_argument("--json", default=None, metavar="PATH",
                      help="also write the result as JSON to PATH")
     run.add_argument("--progress", action="store_true",
@@ -225,6 +261,25 @@ def _main(argv: list[str] | None = None) -> int:
                           help="also write the rows as JSON to PATH")
     _add_budget_args(ablation)
 
+    compare = sub.add_parser(
+        "search-compare",
+        help="compare search strategies at an equal candidate budget",
+    )
+    compare.add_argument("--circuits", nargs="*", default=None,
+                         help="circuits to compare on (default: c432 b01)")
+    compare.add_argument("--strategies", nargs="*", default=None,
+                         choices=_search_choices(),
+                         help="strategies to compare (default: all)")
+    compare.add_argument("--budget", type=int, default=512,
+                         help="candidate budget per strategy run")
+    compare.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the rows as JSON to PATH")
+    # The strategy is swept here, so the shared --search knobs are out;
+    # an unset seed resolves to the shipped comparison's
+    # DEFAULT_SEARCH_SEED in _cmd_search_compare.
+    _add_budget_args(compare, search=False)
+    compare.set_defaults(testgen_seed=None)
+
     args = parser.parse_args(argv)
     command = args.command
 
@@ -250,6 +305,8 @@ def _main(argv: list[str] | None = None) -> int:
         return _cmd_mutants(args)
     if command == "engines":
         return _cmd_engines()
+    if command == "strategies":
+        return _cmd_strategies()
     if command == "testgen":
         return _cmd_testgen(args)
     if command == "run":
@@ -333,6 +390,8 @@ def _main(argv: list[str] | None = None) -> int:
         )
         _archive(args, lambda: to_json(rows))
         return 0
+    if command == "search-compare":
+        return _cmd_search_compare(args)
     parser.error(f"unknown command {command!r}")
     return 2
 
@@ -374,6 +433,58 @@ def _cmd_engines() -> int:
     return 0
 
 
+def _cmd_strategies() -> int:
+    from repro.sampling import STRATEGIES
+    from repro.search import DEFAULT_SEARCH, SEARCH_STRATEGIES
+
+    def summary(cls) -> str:
+        doc = (cls.__doc__ or "").strip().splitlines()
+        return doc[0] if doc else ""
+
+    print("search strategies (candidate-vector proposal, --search):")
+    for name in sorted(SEARCH_STRATEGIES):
+        marker = "*" if name == DEFAULT_SEARCH else " "
+        print(f"{marker} {name:14s} {summary(SEARCH_STRATEGIES[name])}")
+    print("sampling strategies (mutant selection, campaign 'strategies'):")
+    for name in sorted(STRATEGIES):
+        print(f"  {name:14s} {summary(STRATEGIES[name])}")
+    print("(* = default search strategy)")
+    return 0
+
+
+def _cmd_search_compare(args) -> int:
+    from repro.experiments.report import rows_text, to_json
+    from repro.experiments.search_compare import (
+        DEFAULT_SEARCH_CIRCUITS,
+        DEFAULT_SEARCH_SEED,
+        run_search_compare,
+    )
+
+    if args.testgen_seed is None:
+        args.testgen_seed = DEFAULT_SEARCH_SEED
+    config = _campaign_config(args)
+    rows = run_search_compare(
+        circuits=tuple(args.circuits or DEFAULT_SEARCH_CIRCUITS),
+        strategies=tuple(args.strategies) if args.strategies else None,
+        budget=args.budget,
+        config=config.lab_config(),
+        testgen_seed=config.testgen_seed,
+        max_vectors=config.max_vectors,
+    )
+    print(
+        rows_text(
+            rows,
+            ["Circuit", "Strategy", "Budget", "Tried", "Vectors",
+             "Killed", "Targets", "Kill%", "Kills/1k"],
+            ["circuit", "strategy", "budget", "candidates", "vectors",
+             "killed", "targets", "kill_pct", "kills_per_1k"],
+            "Search strategies at an equal candidate budget",
+        )
+    )
+    _archive(args, lambda: to_json(rows))
+    return 0
+
+
 def _cmd_mutants(args) -> int:
     from repro.circuits import load_circuit
     from repro.mutation import generate_mutants
@@ -391,12 +502,16 @@ def _cmd_mutants(args) -> int:
 def _cmd_testgen(args) -> int:
     from repro.circuits import load_circuit
     from repro.mutation import generate_mutants
+    from repro.search import SearchBudget
     from repro.testgen import MutationTestGenerator
 
     config = _campaign_config(args)
     design = load_circuit(args.circuit)
     names = [args.operator] if args.operator else None
     mutants = generate_mutants(design, names)
+    budget = None
+    if config.search_budget:
+        budget = SearchBudget(max_candidates=config.search_budget)
     generator = MutationTestGenerator(
         design,
         seed=config.testgen_seed,
@@ -405,6 +520,8 @@ def _cmd_testgen(args) -> int:
         chunk_candidates=config.chunk_candidates,
         stall_rounds=config.stall_rounds,
         max_vectors=config.max_vectors,
+        strategy=config.search,
+        search_budget=budget,
     )
     result = generator.generate(mutants)
     print(
@@ -434,6 +551,10 @@ def _cmd_run(args) -> int:
         overrides["fault_lanes"] = args.fault_lanes
     if args.cache_dir is not None:
         overrides["cache_dir"] = args.cache_dir
+    if args.search is not None:
+        overrides["search"] = args.search
+    if args.search_budget is not None:
+        overrides["search_budget"] = args.search_budget
     if overrides:
         config = config.replace(**overrides)
     result = Campaign(config, _events(args)).run()

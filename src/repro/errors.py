@@ -97,5 +97,9 @@ class TestGenError(ReproError):
     """Stimulus generation failed."""
 
 
+class SearchError(ReproError):
+    """A test-vector search strategy is unknown or misconfigured."""
+
+
 class ConfigError(ReproError):
     """An experiment configuration is invalid."""

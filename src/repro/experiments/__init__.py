@@ -12,6 +12,9 @@ result types are kept as the stable facade:
   reuse reduces gate-level ATPG effort
 * :mod:`repro.experiments.ablation` — sampling-rate and weight-scheme
   ablations
+* :mod:`repro.experiments.search_compare` — search strategies compared
+  at an equal candidate budget (kills per candidate vs. the blind
+  baseline)
 """
 
 from repro.experiments.context import CircuitLab, LabConfig, get_lab
@@ -19,10 +22,15 @@ from repro.experiments.table1 import Table1Result, Table1Row, run_table1
 from repro.experiments.table2 import Table2Result, Table2Row, run_table2
 from repro.experiments.atpg_reuse import AtpgReuseRow, run_atpg_reuse
 from repro.experiments.ablation import run_rate_ablation, run_weight_ablation
+from repro.experiments.search_compare import (
+    SearchCompareRow,
+    run_search_compare,
+)
 from repro.experiments.report import campaign_text, table1_text, table2_text
 
 __all__ = [
     "AtpgReuseRow",
+    "SearchCompareRow",
     "CircuitLab",
     "LabConfig",
     "Table1Result",
@@ -33,6 +41,7 @@ __all__ = [
     "get_lab",
     "run_atpg_reuse",
     "run_rate_ablation",
+    "run_search_compare",
     "run_table1",
     "run_table2",
     "run_weight_ablation",

@@ -134,13 +134,35 @@ class MutationEngine:
         )
         return bench.run_sequence(self.decode_all(stimuli))
 
+    def _fresh_bench(self, patch) -> tuple[Testbench, tuple]:
+        """A reset bench plus its pristine state checkpoint.
+
+        Combinational vectors are independent by definition, but a
+        mutant may read an internal signal and thereby smuggle state
+        from one evaluation into the next when a bench is reused;
+        restoring the pristine checkpoint before every vector keeps the
+        per-vector semantics the fast path has (fresh evaluation), at a
+        state-copy rather than bench-construction price.
+        """
+        bench = Testbench(
+            self._design, patch, max_delta=self._max_delta,
+            backend=self._backend,
+        )
+        bench.reset()
+        return bench, bench.save_state()
+
     def run_mutant(
         self,
         mutant: Mutant,
         stimuli: list[int],
         reference: list[tuple] | None = None,
     ) -> KillRecord:
-        """Run one mutant, stopping at the first observable difference."""
+        """Run one mutant, stopping at the first observable difference.
+
+        Sequential stimuli are one reset-started sequence; for
+        combinational designs every vector is evaluated from fresh
+        state.
+        """
         if reference is None:
             reference = self.reference_outputs(stimuli)
         decoded = self.decode_all(stimuli)
@@ -155,12 +177,11 @@ class MutationEngine:
                             mutant.mid, True, cycle, "output-diff"
                         )
                 return KillRecord(mutant.mid, False, None, "survived")
-            bench = Testbench(
-                self._design, mutant.patch(), max_delta=self._max_delta,
-                backend=self._backend,
-            )
-            bench.reset()
+            bench, pristine = self._fresh_bench(mutant.patch())
+            sequential = self._design.is_sequential
             for cycle, stimulus in enumerate(decoded):
+                if not sequential:
+                    bench.restore_state(pristine)
                 outputs = bench.step(stimulus)
                 if outputs != reference[cycle]:
                     return KillRecord(mutant.mid, True, cycle, "output-diff")
@@ -226,22 +247,22 @@ class MutationEngine:
             return matrix
         for mutant in mutants:
             kills: set[int] = set()
-            bench = Testbench(
-                self._design, mutant.patch(), max_delta=self._max_delta,
-                backend=self._backend,
-            )
+            try:
+                bench, pristine = self._fresh_bench(mutant.patch())
+            except (MutantRuntimeError, OscillationError):
+                # Initialization itself misbehaves: observably different
+                # on every vector.
+                matrix[mutant.mid] = set(range(len(decoded)))
+                continue
             for index, stimulus in enumerate(decoded):
                 try:
+                    bench.restore_state(pristine)
                     if bench.step(stimulus) != reference[index]:
                         kills.add(index)
                 except (MutantRuntimeError, OscillationError):
                     # The erroring vector observably differs; a fresh
                     # bench continues the sweep for the remaining ones.
                     kills.add(index)
-                    bench = Testbench(
-                        self._design, mutant.patch(),
-                        max_delta=self._max_delta,
-                        backend=self._backend,
-                    )
+                    bench, pristine = self._fresh_bench(mutant.patch())
             matrix[mutant.mid] = kills
         return matrix

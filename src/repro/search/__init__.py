@@ -1,0 +1,61 @@
+"""repro.search — coverage-guided stochastic search for test vectors.
+
+The mutation-adequate generator (:mod:`repro.testgen.mutation_gen`)
+needs candidate stimulus vectors; this package decides *which*
+candidates to try.  The paper's blind pseudo-random draw is the
+``random`` strategy, and the coverage-guided strategies (``bitflip``,
+``genetic``, ``anneal``) evolve candidates from a :class:`Corpus` of
+vectors that already killed mutants — fitness is evaluated through the
+injected engine, so the compiled backend's speed directly buys search
+depth.
+
+::
+
+    from repro.search import SearchBudget, build_search_strategy
+
+    strategy = build_search_strategy(
+        "bitflip", width=8, seed=7, labels=("c17", "mutation-testgen"),
+    )
+    batch = strategy.propose(64)          # candidate vectors
+    strategy.feedback(batch, scores)      # kills per candidate
+
+Select a strategy campaign-wide with ``CampaignConfig(search=...)`` or
+``--search`` on the CLI; ``repro strategies`` lists the registry.
+Every strategy is bit-reproducible from labelled RNG streams, so runs
+are identical across repetitions and ``--jobs`` layouts.
+"""
+
+from repro.search.base import (
+    DEFAULT_SEARCH,
+    SEARCH_STRATEGIES,
+    SearchBudget,
+    SearchStrategy,
+    build_search_strategy,
+    get_search_strategy,
+    register_search_strategy,
+    search_strategy_names,
+)
+from repro.search.corpus import Corpus, CorpusEntry
+from repro.search.strategies import (
+    AnnealSearch,
+    BitflipSearch,
+    GeneticSearch,
+    RandomSearch,
+)
+
+__all__ = [
+    "AnnealSearch",
+    "BitflipSearch",
+    "Corpus",
+    "CorpusEntry",
+    "DEFAULT_SEARCH",
+    "GeneticSearch",
+    "RandomSearch",
+    "SEARCH_STRATEGIES",
+    "SearchBudget",
+    "SearchStrategy",
+    "build_search_strategy",
+    "get_search_strategy",
+    "register_search_strategy",
+    "search_strategy_names",
+]

@@ -1,0 +1,104 @@
+"""The corpus: scored seed vectors with an energy schedule.
+
+Every coverage-guided strategy draws its mutation seeds from a
+:class:`Corpus` — vectors that killed at least one live mutant when
+they were evaluated, each carrying its kill count as *score*.  Seed
+selection is energy-weighted (an AFL-style power schedule): a seed's
+energy is ``1 + score``, decayed every time it is picked so the search
+rotates through the corpus instead of hammering the single best seed.
+
+Everything is deterministic: insertion order breaks ties, eviction is
+by ``(score, recency)``, and :meth:`pick` draws from the caller's
+labelled stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CorpusEntry:
+    """One scored seed vector."""
+
+    vector: int
+    score: int                 #: live mutants killed when evaluated
+    age: int                   #: insertion sequence number
+    picks: int = field(default=0)  #: times chosen as a mutation seed
+
+    @property
+    def energy(self) -> float:
+        """Power-schedule weight: score-proportional, decayed per pick."""
+        return (1.0 + self.score) / (1.0 + self.picks)
+
+
+class Corpus:
+    """A bounded, deduplicated pool of scored seed vectors."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"corpus capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: dict[int, CorpusEntry] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def entries(self) -> list[CorpusEntry]:
+        """Entries in insertion order (stable across runs)."""
+        return sorted(self._entries.values(), key=lambda e: e.age)
+
+    def add(self, vector: int, score: int) -> bool:
+        """Admit ``vector`` when it scored; returns True if kept.
+
+        Re-adding a known vector keeps the higher score.  When full,
+        the weakest entry — lowest ``(score, age)``, i.e. oldest among
+        the worst — is evicted, but never in favour of a weaker newcomer.
+        """
+        if score < 1:
+            return False
+        known = self._entries.get(vector)
+        if known is not None:
+            if score > known.score:
+                known.score = score
+            return True
+        if len(self._entries) >= self._capacity:
+            weakest = min(
+                self._entries.values(), key=lambda e: (e.score, e.age)
+            )
+            if weakest.score >= score:
+                return False
+            del self._entries[weakest.vector]
+        self._entries[vector] = CorpusEntry(vector, score, self._counter)
+        self._counter += 1
+        return True
+
+    def pick(self, rng) -> int:
+        """Energy-weighted seed selection from the caller's stream."""
+        entries = self.entries
+        if not entries:
+            raise IndexError("pick from an empty corpus")
+        total = sum(entry.energy for entry in entries)
+        point = rng.random() * total
+        cumulative = 0.0
+        chosen = entries[-1]
+        for entry in entries:
+            cumulative += entry.energy
+            if point < cumulative:
+                chosen = entry
+                break
+        chosen.picks += 1
+        return chosen.vector
+
+    def best(self) -> CorpusEntry:
+        """The highest-scoring entry (earliest wins ties)."""
+        return max(self.entries, key=lambda e: (e.score, -e.age))

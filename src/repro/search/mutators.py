@@ -1,0 +1,97 @@
+"""Structure-aware bit mutations over packed stimulus vectors.
+
+The mutation vocabulary the coverage-guided strategies share.  A packed
+stimulus is one unsigned integer; ``field_widths`` (MSB-first, from
+:attr:`repro.sim.testbench.StimulusEncoder.field_widths`) describes the
+input-port fields inside it, so mutators can either treat the vector as
+an opaque bit string (AFL's "dumb" flips) or respect the port structure
+(randomize / step one field at a time).
+"""
+
+from __future__ import annotations
+
+
+def field_spans(
+    width: int, field_widths: tuple[int, ...]
+) -> list[tuple[int, int]]:
+    """``(shift, width)`` of every field, MSB-first packing order."""
+    spans = []
+    shift = width
+    for field_width in field_widths:
+        shift -= field_width
+        spans.append((shift, field_width))
+    return spans
+
+
+def flip_one(vector: int, width: int, rng) -> int:
+    """Flip a single random bit."""
+    return vector ^ (1 << rng.randrange(width))
+
+
+def flip_many(vector: int, width: int, rng) -> int:
+    """Flip 2..4 distinct random bits."""
+    count = min(width, rng.randrange(2, 5))
+    for position in rng.sample(range(width), count):
+        vector ^= 1 << position
+    return vector
+
+
+def swap_windows(vector: int, width: int, rng) -> int:
+    """Swap two non-overlapping equal-size bit windows (byte shuffle).
+
+    Window size adapts to narrow vectors: 8 bits when they fit twice,
+    otherwise half the vector.
+    """
+    size = 8 if width >= 16 else max(1, width // 2)
+    if width < 2 * size:
+        return flip_one(vector, width, rng)
+    first = rng.randrange(width - 2 * size + 1)
+    second = first + size + rng.randrange(width - first - 2 * size + 1)
+    mask = (1 << size) - 1
+    a = (vector >> first) & mask
+    b = (vector >> second) & mask
+    vector &= ~((mask << first) | (mask << second))
+    return vector | (b << first) | (a << second)
+
+
+def randomize_field(
+    vector: int, spans: list[tuple[int, int]], rng
+) -> int:
+    """Replace one input field with a fresh uniform value."""
+    shift, size = spans[rng.randrange(len(spans))]
+    mask = (1 << size) - 1
+    return (vector & ~(mask << shift)) | (rng.getrandbits(size) << shift)
+
+
+def step_field(vector: int, spans: list[tuple[int, int]], rng) -> int:
+    """Add ±1 to one input field, wrapping inside the field."""
+    shift, size = spans[rng.randrange(len(spans))]
+    mask = (1 << size) - 1
+    value = (vector >> shift) & mask
+    value = (value + (1 if rng.random() < 0.5 else -1)) & mask
+    return (vector & ~(mask << shift)) | (value << shift)
+
+
+def havoc(
+    vector: int, width: int, spans: list[tuple[int, int]], rng
+) -> int:
+    """A stacked run of 2..4 random primitive mutations."""
+    for _ in range(rng.randrange(2, 5)):
+        vector = mutate(vector, width, spans, rng)
+    return vector
+
+
+def mutate(
+    vector: int, width: int, spans: list[tuple[int, int]], rng
+) -> int:
+    """One primitive mutation, chosen uniformly from the vocabulary."""
+    choice = rng.randrange(5)
+    if choice == 0:
+        return flip_one(vector, width, rng)
+    if choice == 1:
+        return flip_many(vector, width, rng)
+    if choice == 2:
+        return swap_windows(vector, width, rng)
+    if choice == 3:
+        return randomize_field(vector, spans, rng)
+    return step_field(vector, spans, rng)

@@ -1,0 +1,319 @@
+"""The built-in search strategies.
+
+* ``random``  — the pinned baseline: blind uniform draws, bit-identical
+  to the pre-search :class:`repro.testgen.RandomVectorGenerator` stream.
+* ``bitflip`` — AFL-style hill climbing: corpus seeds picked by energy,
+  mutated by single/multi bit flips, window shuffles and
+  input-field-aware edits, with an exploration fraction of fresh
+  uniform draws so the search never starves on a stale corpus.
+* ``genetic`` — a population (the corpus) evolved by tournament
+  selection, uniform/one-point crossover and low-rate bit mutation;
+  fitness is the kill count.
+* ``anneal``  — simulated annealing over vector edits: neighbourhood
+  radius and acceptance both follow a geometric temperature schedule.
+
+Every draw comes from per-round / per-individual labelled streams
+(:func:`repro.util.rng.spawn`), so proposals are a pure function of
+``(seed, labels, feedback history)`` — independent of wall clock,
+process layout and hash seeds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.search import mutators
+from repro.search.base import SearchStrategy, register_search_strategy
+from repro.search.corpus import Corpus, CorpusEntry
+from repro.util.rng import spawn
+
+
+@register_search_strategy
+class RandomSearch(SearchStrategy):
+    """Blind uniform sampling (the paper's baseline, pinned)."""
+
+    name = "random"
+
+    def propose(self, count: int) -> list[int]:
+        # Straight off the root stream, one draw per cycle: the exact
+        # vector sequence of RandomVectorGenerator(width, seed, *labels)
+        # for any chunking.
+        out = []
+        for _ in range(count):
+            packed = 0
+            for _ in range(self._cycles):
+                packed = (packed << self._cycle_width) | (
+                    self._rng.getrandbits(self._cycle_width)
+                )
+            out.append(packed)
+        return out
+
+    def feedback(self, vectors: list[int], scores: list[int]) -> None:
+        """The baseline learns nothing — that is the point."""
+
+
+class _GuidedSearch(SearchStrategy):
+    """Shared plumbing for the corpus-driven strategies.
+
+    Exploration is adaptive: every feedback *signal* in which no
+    proposal killed anything widens the uniform-draw fraction one
+    notch, and any scoring signal resets the ramp.  Combinational
+    generation sends one signal per batch; sequential generation sends
+    one per candidate chunk, so a dead sequential round saturates
+    exploration within the round — deliberate: each dead chunk is
+    independent evidence the corpus neighbourhood is exhausted for the
+    *current* machine state, and the very next kill snaps exploration
+    back.  A strategy whose guidance has gone stale (tiny input spaces,
+    all easy mutants dead) thus degrades toward the blind baseline
+    instead of grinding on an exhausted neighbourhood.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        seed: int,
+        labels: tuple[str, ...] = (),
+        field_widths: tuple[int, ...] | None = None,
+        corpus: Corpus | None = None,
+        cycles: int = 1,
+        explore: float = 0.25,
+    ):
+        super().__init__(
+            width, seed, labels=labels, field_widths=field_widths,
+            corpus=corpus, cycles=cycles,
+        )
+        self._explore = float(explore)
+        self._stale_feedback = 0
+        self._proposed: set[int] = set()
+        self._spans = mutators.field_spans(self._width, self._field_widths)
+
+    def _begin_round(self) -> None:
+        self._round += 1
+        # Chunked (sequential) proposals are evaluated against the
+        # committed prefix state, which moves between rounds — a chunk
+        # that scored nothing last round may kill now, so the novelty
+        # memory only holds within a round.  Combinational evaluations
+        # are stateless, so there the memory is global.
+        if self._cycles > 1:
+            self._proposed.clear()
+
+    def _explore_now(self) -> float:
+        return min(1.0, self._explore * (1 + self._stale_feedback))
+
+    def _novelize(self, vector: int, rng) -> int:
+        """Nudge an already-tried proposal until it is novel.
+
+        Re-proposing a vector whose evaluation cannot have changed is
+        pure waste, so duplicates are mutated away — a few attempts,
+        then accepted as-is.  The blind baseline deliberately has no
+        such memory.
+        """
+        for _ in range(4):
+            if vector not in self._proposed:
+                break
+            vector = mutators.mutate(vector, self._width, self._spans, rng)
+        self._proposed.add(vector)
+        return vector
+
+    def feedback(self, vectors: list[int], scores: list[int]) -> None:
+        super().feedback(vectors, scores)
+        if vectors:
+            if max(scores) > 0:
+                self._stale_feedback = 0
+            else:
+                self._stale_feedback += 1
+
+
+@register_search_strategy
+class BitflipSearch(_GuidedSearch):
+    """AFL-style hill climbing over corpus seeds."""
+
+    name = "bitflip"
+
+    def __init__(
+        self,
+        width: int,
+        seed: int,
+        labels: tuple[str, ...] = (),
+        field_widths: tuple[int, ...] | None = None,
+        corpus: Corpus | None = None,
+        cycles: int = 1,
+        explore: float = 0.25,
+        havoc_fraction: float = 0.5,
+    ):
+        super().__init__(
+            width, seed, labels=labels, field_widths=field_widths,
+            corpus=corpus, cycles=cycles, explore=explore,
+        )
+        self._havoc_fraction = float(havoc_fraction)
+
+    def propose(self, count: int) -> list[int]:
+        self._begin_round()
+        out = []
+        for index in range(count):
+            rng = self._individual_rng(index)
+            if not self.corpus or rng.random() < self._explore_now():
+                out.append(self._novelize(self._uniform(rng), rng))
+                continue
+            seed_vector = self.corpus.pick(rng)
+            if rng.random() < self._havoc_fraction:
+                candidate = mutators.havoc(
+                    seed_vector, self._width, self._spans, rng
+                )
+            else:
+                candidate = mutators.mutate(
+                    seed_vector, self._width, self._spans, rng
+                )
+            out.append(self._novelize(candidate, rng))
+        return out
+
+
+@register_search_strategy
+class GeneticSearch(_GuidedSearch):
+    """Population search: tournament selection + crossover + mutation."""
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        width: int,
+        seed: int,
+        labels: tuple[str, ...] = (),
+        field_widths: tuple[int, ...] | None = None,
+        corpus: Corpus | None = None,
+        cycles: int = 1,
+        explore: float = 0.2,
+        population_size: int = 32,
+        tournament: int = 3,
+        # Mutation-heavy by default: crossover of similar parents keeps
+        # reproducing near-duplicates in narrow (chunked) input spaces,
+        # so most offspring get a primitive mutation on top.
+        mutation_rate: float = 0.8,
+    ):
+        super().__init__(
+            width, seed, labels=labels, field_widths=field_widths,
+            corpus=(
+                corpus if corpus is not None
+                else Corpus(capacity=population_size)
+            ),
+            cycles=cycles, explore=explore,
+        )
+        self._tournament = max(1, int(tournament))
+        self._mutation_rate = float(mutation_rate)
+
+    def _select(self, entries: list[CorpusEntry], rng) -> int:
+        best = None
+        for _ in range(self._tournament):
+            entry = entries[rng.randrange(len(entries))]
+            if best is None or (entry.score, -entry.age) > (
+                best.score, -best.age
+            ):
+                best = entry
+        return best.vector
+
+    def _crossover(self, a: int, b: int, rng) -> int:
+        if rng.random() < 0.5:
+            mask = rng.getrandbits(self._width)
+            return (a & mask) | (b & ~mask & self._mask)
+        point = rng.randrange(1, self._width) if self._width > 1 else 0
+        high = self._mask ^ ((1 << point) - 1)
+        return (a & high) | (b & ((1 << point) - 1))
+
+    def propose(self, count: int) -> list[int]:
+        self._begin_round()
+        entries = self.corpus.entries
+        out = []
+        for index in range(count):
+            rng = self._individual_rng(index)
+            if len(entries) < 2 or rng.random() < self._explore_now():
+                out.append(self._novelize(self._uniform(rng), rng))
+                continue
+            child = self._crossover(
+                self._select(entries, rng), self._select(entries, rng), rng
+            )
+            if rng.random() < self._mutation_rate:
+                child = mutators.mutate(child, self._width, self._spans, rng)
+            out.append(self._novelize(child, rng))
+        return out
+
+
+@register_search_strategy
+class AnnealSearch(_GuidedSearch):
+    """Simulated annealing over edits of a current best vector."""
+
+    name = "anneal"
+
+    def __init__(
+        self,
+        width: int,
+        seed: int,
+        labels: tuple[str, ...] = (),
+        field_widths: tuple[int, ...] | None = None,
+        corpus: Corpus | None = None,
+        cycles: int = 1,
+        explore: float = 0.15,
+        initial_temp: float = 3.0,
+        cooling: float = 0.9,
+        min_temp: float = 0.05,
+    ):
+        super().__init__(
+            width, seed, labels=labels, field_widths=field_widths,
+            corpus=corpus, cycles=cycles, explore=explore,
+        )
+        self._temp = float(initial_temp)
+        self._cooling = float(cooling)
+        self._min_temp = float(min_temp)
+        self._current: tuple[int, float] | None = None  # (vector, score)
+        self._feedbacks = 0
+
+    def propose(self, count: int) -> list[int]:
+        self._begin_round()
+        out = []
+        for index in range(count):
+            rng = self._individual_rng(index)
+            if self._current is None or rng.random() < self._explore_now():
+                out.append(self._novelize(self._uniform(rng), rng))
+                continue
+            vector = self._current[0]
+            edits = 1 + int(rng.random() * self._temp)
+            for _ in range(edits):
+                vector = mutators.mutate(
+                    vector, self._width, self._spans, rng
+                )
+            out.append(self._novelize(vector, rng))
+        return out
+
+    def feedback(self, vectors: list[int], scores: list[int]) -> None:
+        super().feedback(vectors, scores)
+        if not vectors:
+            return
+        self._feedbacks += 1
+        best_index = max(
+            range(len(vectors)), key=lambda i: (scores[i], -i)
+        )
+        candidate = (vectors[best_index], float(scores[best_index]))
+        if self._current is None:
+            self._current = candidate
+        else:
+            delta = candidate[1] - self._current[1]
+            if delta >= 0:
+                self._current = candidate
+            else:
+                # Feedback arrives several times per round (once per
+                # sequential candidate chunk), so the acceptance stream
+                # is labelled by the feedback counter, not the round —
+                # every Metropolis decision gets an independent draw.
+                accept = spawn(
+                    self._rng, "feedback", str(self._feedbacks), "accept"
+                )
+                if accept.random() < math.exp(delta / max(self._temp, 1e-9)):
+                    self._current = candidate
+        # The objective is non-stationary: the live-mutant set shrinks
+        # (and the sequential machine state moves) after every commit,
+        # so an old peak score is unattainable by construction.  Decay
+        # the reference so acceptance keeps comparing against a
+        # reachable target instead of freezing on a stale record.
+        self._current = (
+            self._current[0], self._current[1] * self._cooling
+        )
+        self._temp = max(self._min_temp, self._temp * self._cooling)

@@ -127,6 +127,16 @@ class StimulusEncoder:
     def design(self) -> Design:
         return self._design
 
+    @property
+    def field_widths(self) -> tuple[int, ...]:
+        """Per-port field widths, MSB-first (packing order).
+
+        Structure-aware consumers (the ``repro.search`` mutators) use
+        these to mutate one input field at a time instead of treating
+        the packed stimulus as an opaque bit string.
+        """
+        return tuple(width for _, width in self._fields)
+
     def decode(self, packed: int) -> dict[str, object]:
         """Expand ``packed`` into a port-value dictionary."""
         if packed < 0:

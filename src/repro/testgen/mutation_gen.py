@@ -1,16 +1,21 @@
 """Mutation-adequate test data generation (the paper's validation data).
 
-Vectors are drawn from a seeded pseudo-random source and kept only when
-they kill live mutants ("selecting only input data that are mutation
-adequate", section 2 of the paper).
+Candidate vectors come from a pluggable :mod:`repro.search` strategy
+and are kept only when they kill live mutants ("selecting only input
+data that are mutation adequate", section 2 of the paper).  The default
+``random`` strategy reproduces the paper's blind pseudo-random draw
+bit-for-bit; the coverage-guided strategies (``bitflip``, ``genetic``,
+``anneal``) evolve new candidates from ones that already killed.
 
 * Combinational designs: classic greedy set cover over candidate
   batches — each batch's kill sets are computed in one sweep, then the
-  best vectors are taken until the batch stops contributing.
+  best vectors are taken until the batch stops contributing.  The
+  per-vector kill counts are fed back to the strategy.
 * Sequential designs: the test set is a single reset-started sequence,
-  grown chunk by chunk; each round proposes several candidate chunks
-  and appends the one killing the most live mutants (state checkpoints
-  avoid re-simulating the prefix).
+  grown chunk by chunk; each round the strategy proposes several
+  candidate chunks and the one killing the most live mutants is
+  appended (state checkpoints avoid re-simulating the prefix).  Every
+  candidate chunk's kill count is fed back.
 """
 
 from __future__ import annotations
@@ -21,8 +26,8 @@ from repro.errors import MutantRuntimeError, OscillationError
 from repro.hdl.design import Design
 from repro.mutation.execution import MutationEngine
 from repro.mutation.mutant import Mutant
+from repro.search import SearchBudget, SearchStrategy, build_search_strategy
 from repro.sim.testbench import Testbench
-from repro.testgen.random_gen import RandomVectorGenerator
 
 
 @dataclass
@@ -60,6 +65,9 @@ class MutationTestGenerator:
         chunk_candidates: int = 6,
         stall_rounds: int = 4,
         max_vectors: int = 1024,
+        strategy: str | SearchStrategy = "random",
+        search_budget: SearchBudget | None = None,
+        search_knobs: dict | None = None,
     ):
         self._design = design
         self._engine = engine or MutationEngine(design)
@@ -69,6 +77,46 @@ class MutationTestGenerator:
         self._chunk_candidates = chunk_candidates
         self._stall_rounds = stall_rounds
         self._max_vectors = max_vectors
+        self._strategy = strategy
+        self._budget = search_budget or SearchBudget()
+        self._search_knobs = search_knobs
+
+    def _make_strategy(self, cycles: int = 1) -> SearchStrategy:
+        """One fresh strategy per generation run.
+
+        The stream labels match the pre-search random generator, so
+        ``strategy="random"`` reproduces its vector sequence exactly.
+        For sequential designs ``cycles = chunk_length`` makes the unit
+        of search a whole multi-cycle chunk, so the guided strategies
+        mutate input *sequences*, not single cycles.
+        """
+        encoder = self._engine.encoder
+        if isinstance(self._strategy, SearchStrategy):
+            expected = encoder.width * cycles
+            # Wrapper subclasses that skip SearchStrategy.__init__ have
+            # no width to check (the property raises AttributeError,
+            # which getattr maps to None) — they opt out of this guard
+            # and own their geometry.
+            width = getattr(self._strategy, "width", None)
+            if width is not None and width != expected:
+                from repro.errors import SearchError
+
+                raise SearchError(
+                    f"supplied strategy proposes {width}-bit vectors but "
+                    f"this design needs {expected} "
+                    f"({encoder.width}-bit stimuli x {cycles} cycles); "
+                    f"build it with cycles={cycles}"
+                )
+            return self._strategy
+        return build_search_strategy(
+            self._strategy,
+            width=encoder.width,
+            seed=self._seed,
+            labels=(self._design.name, "mutation-testgen"),
+            field_widths=encoder.field_widths,
+            cycles=cycles,
+            knobs=self._search_knobs,
+        )
 
     def generate(self, mutants: list[Mutant]) -> TestGenResult:
         if self._design.is_sequential:
@@ -78,10 +126,8 @@ class MutationTestGenerator:
     # -- combinational ---------------------------------------------------------
 
     def _generate_combinational(self, mutants: list[Mutant]) -> TestGenResult:
-        gen = RandomVectorGenerator(
-            self._engine.encoder.width, self._seed, self._design.name,
-            "mutation-testgen",
-        )
+        strategy = self._make_strategy()
+        budget = self._budget
         live: dict[int, Mutant] = {m.mid: m for m in mutants}
         selected: list[int] = []
         killed: set[int] = set()
@@ -90,9 +136,12 @@ class MutationTestGenerator:
         rounds = 0
         while live and stall < self._stall_rounds and (
             len(selected) < self._max_vectors
-        ):
+        ) and not budget.exhausted(tried, stall):
+            count = budget.clamp(self._batch_size, tried)
+            if count < 1:
+                break
             rounds += 1
-            batch = gen.vectors(self._batch_size)
+            batch = strategy.propose(count)
             tried += len(batch)
             kill_sets = self._engine.comb_kill_sets(
                 list(live.values()), batch
@@ -102,6 +151,10 @@ class MutationTestGenerator:
             for mid, indexes in kill_sets.items():
                 for index in indexes:
                     by_vector.setdefault(index, set()).add(mid)
+            strategy.feedback(
+                batch,
+                [len(by_vector.get(i, ())) for i in range(len(batch))],
+            )
             # Invariant: every kill set in by_vector is non-empty and
             # only contains live mids, so the winner's whole set is the
             # gain and the update is a subtraction — no per-iteration
@@ -133,11 +186,20 @@ class MutationTestGenerator:
 
     # -- sequential ---------------------------------------------------------------
 
+    def _split_chunk(self, packed: int) -> list[int]:
+        """Unpack a chunk proposal into per-cycle vectors (cycle 0 is
+        in the most significant bits)."""
+        width = self._engine.encoder.width
+        mask = (1 << width) - 1
+        length = self._chunk_length
+        return [
+            (packed >> (width * (length - 1 - cycle))) & mask
+            for cycle in range(length)
+        ]
+
     def _generate_sequential(self, mutants: list[Mutant]) -> TestGenResult:
-        gen = RandomVectorGenerator(
-            self._engine.encoder.width, self._seed, self._design.name,
-            "mutation-testgen",
-        )
+        strategy = self._make_strategy(cycles=self._chunk_length)
+        budget = self._budget
         decode = self._engine.encoder.decode
         reference = Testbench(self._design, backend="compiled")
         reference.reset()
@@ -162,17 +224,26 @@ class MutationTestGenerator:
         rounds = 0
         while live and stall < self._stall_rounds and (
             len(selected) < self._max_vectors
-        ):
+        ) and not budget.exhausted(tried, stall):
+            # Propose as many whole chunks as the candidate cap allows.
+            n_chunks = min(
+                self._chunk_candidates,
+                budget.clamp(
+                    self._chunk_candidates * self._chunk_length, tried
+                ) // self._chunk_length,
+            )
+            if n_chunks < 1:
+                break
             rounds += 1
             candidates = [
-                gen.vectors(self._chunk_length)
-                for _ in range(self._chunk_candidates)
+                (proposal, self._split_chunk(proposal))
+                for proposal in strategy.propose(n_chunks)
             ]
-            tried += self._chunk_length * self._chunk_candidates
+            tried += self._chunk_length * n_chunks
             ref_state = reference.save_state()
             states = {mid: benches[mid].save_state() for mid in live}
             best: tuple[int, list[int], set[int]] | None = None
-            for chunk in candidates:
+            for proposal, chunk in candidates:
                 ref_outputs = []
                 reference.restore_state(ref_state)
                 for packed in chunk:
@@ -188,6 +259,7 @@ class MutationTestGenerator:
                                 break
                     except (MutantRuntimeError, OscillationError):
                         kills.add(mid)
+                strategy.feedback([proposal], [len(kills)])
                 if best is None or len(kills) > len(best[2]):
                     best = (len(kills), chunk, kills)
             assert best is not None

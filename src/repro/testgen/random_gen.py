@@ -29,6 +29,43 @@ LFSR_TAPS: dict[int, tuple[int, ...]] = {
 }
 
 
+def _validate_taps(taps: dict[int, tuple[int, ...]]) -> None:
+    """Sanity-check the tap table once, at import time.
+
+    Guards the invariants the generator relies on: width coverage of at
+    least 2..41 (so the wide-fold fallback register always exists) and,
+    per width, distinct 1-based taps within range that include the
+    register's top bit (necessary for a maximal-length sequence).
+    """
+    missing = set(range(2, 42)) - set(taps)
+    if missing:
+        raise TestGenError(
+            f"LFSR_TAPS must cover every width in 2..41 (the wide-fold "
+            f"fallback register); missing: {sorted(missing)}"
+        )
+    for width, positions in taps.items():
+        if len(set(positions)) != len(positions):
+            raise TestGenError(f"LFSR_TAPS[{width}] has duplicate taps")
+        if not all(1 <= tap <= width for tap in positions):
+            raise TestGenError(
+                f"LFSR_TAPS[{width}] has taps outside 1..{width}: "
+                f"{positions}"
+            )
+        if width not in positions:
+            raise TestGenError(
+                f"LFSR_TAPS[{width}] must include the top bit {width}"
+            )
+
+
+_validate_taps(LFSR_TAPS)
+
+
+def _check_count(count: int) -> int:
+    if count < 1:
+        raise TestGenError(f"vector count must be >= 1, got {count}")
+    return count
+
+
 class RandomVectorGenerator:
     """Uniform random ``width``-bit vectors from a labelled seed."""
 
@@ -46,7 +83,7 @@ class RandomVectorGenerator:
         return self._rng.getrandbits(self._width)
 
     def vectors(self, count: int) -> list[int]:
-        return [self.vector() for _ in range(count)]
+        return [self.vector() for _ in range(_check_count(count))]
 
 
 class LfsrGenerator:
@@ -93,4 +130,4 @@ class LfsrGenerator:
         return out & ((1 << self._width) - 1)
 
     def vectors(self, count: int) -> list[int]:
-        return [self.vector() for _ in range(count)]
+        return [self.vector() for _ in range(_check_count(count))]

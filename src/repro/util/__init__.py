@@ -1,6 +1,8 @@
 """Small shared utilities: deterministic RNG streams and text tables."""
 
-from repro.util.rng import derive_seed, rng_stream
+from repro.util.rng import LabelledRandom, derive_seed, rng_stream, spawn
 from repro.util.tables import render_table
 
-__all__ = ["derive_seed", "rng_stream", "render_table"]
+__all__ = [
+    "LabelledRandom", "derive_seed", "rng_stream", "render_table", "spawn",
+]

@@ -3,9 +3,16 @@
 Experiments need many independent random sources (vector generation,
 mutant sampling, equivalence budgets) that must not perturb each other
 when one of them draws more numbers.  ``rng_stream(seed, *labels)``
-derives an independent :class:`random.Random` from a master seed and a
+derives an independent :class:`LabelledRandom` from a master seed and a
 tuple of string labels, so the stream for ``("b01", "random-vectors")``
 is stable no matter what other streams exist.
+
+Hierarchical consumers (search strategies needing per-round or
+per-individual streams) use :func:`spawn`: ``spawn(parent, "round", "3")``
+derives a child stream whose labels extend the parent's, without
+consuming any state from the parent — spawning is a pure function of
+``(master seed, labels)``, so a strategy can spawn children in any
+order, or not at all, without perturbing its sibling streams.
 """
 
 from __future__ import annotations
@@ -28,6 +35,42 @@ def derive_seed(master_seed: int, *labels: str) -> int:
     return int.from_bytes(hasher.digest()[:8], "big")
 
 
-def rng_stream(master_seed: int, *labels: str) -> random.Random:
-    """Return a :class:`random.Random` seeded from ``derive_seed``."""
-    return random.Random(derive_seed(master_seed, *labels))
+class LabelledRandom(random.Random):
+    """A :class:`random.Random` that remembers its derivation.
+
+    Carrying ``(master_seed, labels)`` lets :func:`spawn` derive child
+    streams purely from the labels, with no draws from the parent.
+    """
+
+    def __init__(self, master_seed: int, labels: tuple[str, ...]):
+        self.master_seed = int(master_seed)
+        self.labels = tuple(labels)
+        super().__init__(derive_seed(self.master_seed, *self.labels))
+
+
+def rng_stream(master_seed: int, *labels: str) -> LabelledRandom:
+    """Return a :class:`LabelledRandom` seeded from ``derive_seed``."""
+    return LabelledRandom(master_seed, labels)
+
+
+def spawn(parent: LabelledRandom | int, *labels: str) -> LabelledRandom:
+    """A child stream whose labels extend the parent's.
+
+    ``parent`` is a :class:`LabelledRandom` (from :func:`rng_stream` or
+    a previous :func:`spawn`) or a bare master seed.  The child is
+    derived from ``(parent.master_seed, *parent.labels, *labels)`` —
+    the parent's generator state is untouched, so the draw history of
+    the parent never influences (and is never influenced by) children.
+    """
+    if not labels:
+        raise ValueError("spawn needs at least one child label")
+    if isinstance(parent, LabelledRandom):
+        return LabelledRandom(
+            parent.master_seed, parent.labels + tuple(labels)
+        )
+    if isinstance(parent, int):
+        return LabelledRandom(parent, tuple(labels))
+    raise TypeError(
+        "spawn parent must be a LabelledRandom or a master seed, got "
+        f"{type(parent).__name__}"
+    )

@@ -1,0 +1,71 @@
+"""Labelled RNG streams: derivation, spawning, independence."""
+
+import pytest
+
+from repro.util.rng import LabelledRandom, derive_seed, rng_stream, spawn
+
+
+def test_derive_seed_label_sensitivity():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+    assert derive_seed(1, "a") == derive_seed(1, "a")
+
+
+def test_rng_stream_is_labelled():
+    stream = rng_stream(42, "x", "y")
+    assert isinstance(stream, LabelledRandom)
+    assert stream.master_seed == 42
+    assert stream.labels == ("x", "y")
+
+
+def test_spawn_extends_labels():
+    parent = rng_stream(42, "x")
+    child = spawn(parent, "y", "z")
+    assert child.labels == ("x", "y", "z")
+    assert child.master_seed == 42
+    # The child is exactly the stream the full label tuple denotes.
+    reference = rng_stream(42, "x", "y", "z")
+    assert [child.random() for _ in range(5)] == [
+        reference.random() for _ in range(5)
+    ]
+
+
+def test_spawn_does_not_consume_parent_state():
+    pristine = rng_stream(7, "p")
+    parent = rng_stream(7, "p")
+    spawn(parent, "child-a")
+    spawn(parent, "child-b", "deep")
+    assert [parent.random() for _ in range(10)] == [
+        pristine.random() for _ in range(10)
+    ]
+
+
+def test_spawn_order_independent():
+    a = spawn(spawn(rng_stream(7, "p"), "x"), "y")
+    b = spawn(rng_stream(7, "p"), "x", "y")
+    assert a.labels == b.labels
+    assert a.random() == b.random()
+
+
+def test_spawn_children_are_independent():
+    parent = rng_stream(7, "p")
+    a = spawn(parent, "round", "1")
+    b = spawn(parent, "round", "2")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_spawn_from_master_seed():
+    assert spawn(7, "a").labels == ("a",)
+    assert spawn(7, "a").random() == rng_stream(7, "a").random()
+
+
+def test_spawn_requires_labels():
+    with pytest.raises(ValueError):
+        spawn(rng_stream(1, "x"))
+
+
+def test_spawn_rejects_plain_random():
+    import random
+
+    with pytest.raises(TypeError):
+        spawn(random.Random(1), "x")

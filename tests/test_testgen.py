@@ -38,6 +38,33 @@ def test_random_vectors_fit_width(width):
     assert all(0 <= v < 2**width for v in gen.vectors(50))
 
 
+@pytest.mark.parametrize("count", [0, -1, -20])
+def test_random_vectors_rejects_non_positive_counts(count):
+    from repro.errors import TestGenError
+
+    with pytest.raises(TestGenError):
+        RandomVectorGenerator(8, 7).vectors(count)
+    with pytest.raises(TestGenError):
+        LfsrGenerator(8, 7).vectors(count)
+
+
+def test_lfsr_taps_table_is_validated():
+    from repro.errors import TestGenError
+    from repro.testgen.random_gen import LFSR_TAPS, _validate_taps
+
+    _validate_taps(LFSR_TAPS)  # the shipped table passes
+    broken = dict(LFSR_TAPS)
+    del broken[17]
+    with pytest.raises(TestGenError):
+        _validate_taps(broken)  # a coverage gap is caught
+    with pytest.raises(TestGenError):
+        _validate_taps({**LFSR_TAPS, 8: (6, 5, 4)})  # missing top bit
+    with pytest.raises(TestGenError):
+        _validate_taps({**LFSR_TAPS, 8: (8, 9)})  # tap out of range
+    with pytest.raises(TestGenError):
+        _validate_taps({**LFSR_TAPS, 8: (8, 8, 5, 4)})  # duplicate tap
+
+
 @pytest.mark.parametrize("width", [2, 3, 4, 5, 8])
 def test_lfsr_maximal_period(width):
     gen = LfsrGenerator(width, seed=1)
@@ -46,6 +73,21 @@ def test_lfsr_maximal_period(width):
         seen.add(gen.vector())
     assert len(seen) == 2**width - 1
     assert 0 not in seen or width == 1
+
+
+@given(st.integers(min_value=2, max_value=8),
+       st.integers(min_value=1, max_value=2**30))
+@settings(max_examples=30, deadline=None)
+def test_lfsr_full_period_never_repeats_before_cycling(width, seed):
+    # Maximal-length property: from any non-zero seed state, the first
+    # 2**n - 1 outputs are pairwise distinct (every non-zero state is
+    # visited exactly once), and the sequence then cycles.
+    gen = LfsrGenerator(width, seed=seed)
+    period = 2**width - 1
+    sequence = gen.vectors(period)
+    assert len(set(sequence)) == period
+    assert 0 not in sequence
+    assert gen.vectors(period) == sequence
 
 
 def test_lfsr_wide_fold():
