@@ -22,6 +22,26 @@ from repro.errors import ConfigError
 CACHE_VERSION = 1
 
 
+def _writer_alive(tmp_name: str) -> bool:
+    """Whether the pid embedded in ``<name>.<pid>.tmp`` still runs."""
+    try:
+        pid = int(tmp_name.rsplit(".", 2)[-2])
+    except (IndexError, ValueError):
+        return False  # malformed: nobody owns it
+    if os.name != "posix":
+        # os.kill(pid, 0) is only a probe on POSIX (on Windows it
+        # terminates); with no safe liveness check, assume alive and
+        # let the writer's own failure cleanup handle its tmp.
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # e.g. EPERM: somebody's process, leave it alone
+    return True
+
+
 class ResultCache:
     """Load/store :class:`CircuitResult` objects under a directory."""
 
@@ -33,6 +53,17 @@ class ResultCache:
             self._dir.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise ConfigError(f"unusable cache directory: {exc}") from exc
+        # Sweep droppings of writers that died between write and rename
+        # (store() cleans up after exceptions, but not after SIGKILL).
+        # The writer's pid is embedded in the name; a tmp whose writer
+        # is still alive is an in-flight store, not a dropping.
+        for stale in self._dir.glob("*.tmp"):
+            if _writer_alive(stale.name):
+                continue
+            try:
+                stale.unlink()
+            except OSError:
+                pass  # already gone, or not ours to remove
 
     def path(self, circuit: str) -> Path:
         return self._dir / (
@@ -55,5 +86,9 @@ class ResultCache:
         payload = json.dumps(result.to_dict(), sort_keys=True)
         # Write-then-rename so concurrent readers never see half a file.
         tmp = target.with_name(target.name + f".{os.getpid()}.tmp")
-        tmp.write_text(payload, encoding="utf-8")
-        tmp.replace(target)
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            tmp.replace(target)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise

@@ -86,8 +86,10 @@ class CampaignConfig:
 
     # -- simulation backend --------------------------------------------------
     #: named :mod:`repro.engine` backend every netlist/fault simulation
-    #: runs on; in the fingerprint so the result cache never mixes
-    #: backends.
+    #: runs on (``interp``, ``compiled``, ``vector``); in the
+    #: fingerprint so the result cache never mixes backends — the
+    #: backends are bit-identical by contract, recording one is about
+    #: provenance, not results.
     engine: str = DEFAULT_ENGINE
 
     # -- test generation knobs -----------------------------------------------

@@ -1,12 +1,15 @@
 """Pluggable netlist-simulation engines (see :mod:`repro.engine.base`).
 
-Two backends ship with the library:
+Three backends ship with the library:
 
 * ``interp`` — the reference implementation: per-gate
   :func:`repro.netlist.cells.eval_gate` enum dispatch.
 * ``compiled`` — per-netlist Python code generation; the default.
+* ``vector`` — bit-packed word-parallel evaluation over numpy uint64
+  lanes (segmented level kernels, row-parallel fault batching), with a
+  pure big-int fallback when numpy is absent.
 
-Both are bit-identical by contract; select one by name through
+All are bit-identical by contract; select one by name through
 ``CampaignConfig(engine=...)``, the ``--engine`` CLI flag, or the
 ``engine=`` keyword every simulator accepts.  ``repro engines`` lists
 the registry.
@@ -24,6 +27,7 @@ from repro.engine.base import (
 )
 from repro.engine.compiled import CompiledEngine
 from repro.engine.interp import InterpEngine
+from repro.engine.vector import VectorEngine
 
 __all__ = [
     "DEFAULT_ENGINE",
@@ -32,6 +36,7 @@ __all__ = [
     "EngineBase",
     "InjectionPlan",
     "InterpEngine",
+    "VectorEngine",
     "build_engine",
     "engine_names",
     "get_engine",

@@ -64,6 +64,10 @@ class InjectionPlan:
     )
     #: dff fid -> (clear_mask, set_mask) on its D input view
     dff_branch: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: Scratch slot engines may use to memoize per-plan precomputation
+    #: (e.g. packed mask arrays, keyed by engine name).  Never part of
+    #: the plan's identity.
+    memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     def injection_key(self) -> tuple:
         """Hashable identity of the word-rewriting overrides.
@@ -89,6 +93,13 @@ class EngineBase:
     """
 
     name: str = ""
+
+    #: How many chunks of the configured ``fault_lanes`` width the
+    #: backend wants packed into one ``eval_injected`` call.  Word-wide
+    #: backends raise this so :class:`repro.fault.SeqFaultSimulator`
+    #: amortizes its per-chunk work over more fault machines; results
+    #: are lane-layout independent by contract.
+    lane_batch: int = 1
 
     def __init__(self) -> None:
         # Keyed by id(); programs hold their netlist only weakly and a
@@ -161,6 +172,21 @@ class EngineBase:
             detect |= good[fault.net] ^ stuck_word
         return detect & mask
 
+    def fault_diff_batch(
+        self, netlist: Netlist, faults: list, good: dict[int, int],
+        mask: int,
+    ) -> list[int]:
+        """PO difference words for ``faults``, one per fault.
+
+        The default simply loops :meth:`fault_diff`; backends that can
+        evaluate many faulty machines per pass (the ``vector`` backend
+        batches one fault per row word) override it.  The per-fault
+        words must be identical to the looped reference either way.
+        """
+        return [
+            self.fault_diff(netlist, fault, good, mask) for fault in faults
+        ]
+
 
 # -- registry ----------------------------------------------------------------
 
@@ -172,12 +198,30 @@ ENGINES: dict[str, type] = {}
 _SHARED: dict[str, object] = {}
 
 
-def register_engine(cls: type) -> type:
-    """Class decorator adding ``cls`` to the registry under ``cls.name``."""
+def register_engine(cls: type | None = None, *, replace: bool = False):
+    """Class decorator adding ``cls`` to the registry under ``cls.name``.
+
+    Registering a *different* class under an already-taken name raises
+    :class:`EngineError` — a silent overwrite would let a plug-in
+    hijack a built-in backend by accident.  Pass ``replace=True``
+    (``register_engine(cls, replace=True)``) to overwrite explicitly;
+    re-registering the same class is always a no-op, so module
+    re-imports stay idempotent.
+    """
+    if cls is None:
+        return lambda target: register_engine(target, replace=replace)
     name = getattr(cls, "name", "")
     if not name:
         raise EngineError(
             f"{cls.__name__} needs a non-empty 'name' to be registered"
+        )
+    current = ENGINES.get(name)
+    if current is cls:
+        return cls  # re-import: keep the shared instance and its caches
+    if current is not None and not replace:
+        raise EngineError(
+            f"engine name {name!r} is already registered to "
+            f"{current.__name__}; pass replace=True to overwrite"
         )
     ENGINES[name] = cls
     _SHARED.pop(name, None)

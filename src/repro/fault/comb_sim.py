@@ -59,10 +59,19 @@ class CombFaultSimulator:
         good = engine.eval_full(
             netlist, unpack_patterns(patterns, netlist.input_bits), mask
         )
-        detection: list[int | None] = []
-        for fault in self._faults:
-            detect_word = engine.fault_diff(netlist, fault, good, mask)
-            detection.append(_first_lane(detect_word))
+        # One batched call: backends that propagate many faults per
+        # pass (the ``vector`` backend packs one fault per row) get the
+        # whole collapsed list; engines without the optional batch hook
+        # (duck-typed instances predating it) keep the fault_diff loop.
+        batch = getattr(engine, "fault_diff_batch", None)
+        if batch is not None:
+            words = batch(netlist, self._faults, good, mask)
+        else:
+            words = [
+                engine.fault_diff(netlist, fault, good, mask)
+                for fault in self._faults
+            ]
+        detection = [_first_lane(word) for word in words]
         return FaultSimResult(list(self._faults), detection, count)
 
 

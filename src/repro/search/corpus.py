@@ -100,5 +100,12 @@ class Corpus:
         return chosen.vector
 
     def best(self) -> CorpusEntry:
-        """The highest-scoring entry (earliest wins ties)."""
-        return max(self.entries, key=lambda e: (e.score, -e.age))
+        """The highest-scoring entry (earliest wins ties).
+
+        Raises the same domain error as :meth:`pick` when the corpus is
+        empty, instead of ``max()``'s bare ``ValueError``.
+        """
+        entries = self.entries
+        if not entries:
+            raise IndexError("best of an empty corpus")
+        return max(entries, key=lambda e: (e.score, -e.age))

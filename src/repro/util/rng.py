@@ -47,6 +47,19 @@ class LabelledRandom(random.Random):
         self.labels = tuple(labels)
         super().__init__(derive_seed(self.master_seed, *self.labels))
 
+    def __reduce__(self):
+        # random.Random.__reduce__ rebuilds with no constructor
+        # arguments, which a derived stream cannot satisfy — pickling
+        # (and copy/deepcopy, which go through the same protocol) died
+        # with a TypeError.  Rebuild from the derivation identity and
+        # restore the Mersenne state, so a mid-stream generator
+        # round-trips with its draw position intact.
+        return (
+            self.__class__,
+            (self.master_seed, self.labels),
+            self.getstate(),
+        )
+
 
 def rng_stream(master_seed: int, *labels: str) -> LabelledRandom:
     """Return a :class:`LabelledRandom` seeded from ``derive_seed``."""

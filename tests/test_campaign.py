@@ -248,6 +248,41 @@ def test_cache_hit_and_miss(tmp_path):
     assert third.cache_hits == ()
 
 
+def test_cache_store_cleans_up_tmp_on_failure(tmp_path, monkeypatch):
+    """Regression: a failed rename used to strand `<name>.<pid>.tmp`."""
+    from pathlib import Path
+
+    config = CampaignConfig(**FAST)
+    result = Campaign(config).run(("c17",)).circuits[0]
+    cache = ResultCache(tmp_path, config)
+
+    def boom(self, target):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(Path, "replace", boom)
+    with pytest.raises(OSError, match="disk on fire"):
+        cache.store(result)
+    assert list(tmp_path.glob("*.tmp")) == []
+    assert not cache.path("c17").exists()
+
+
+def test_cache_init_sweeps_stale_tmp_droppings(tmp_path):
+    import os
+
+    config = CampaignConfig(**FAST, cache_dir=str(tmp_path))
+    cache = ResultCache(tmp_path, config)
+    base = cache.path("c17")
+    # A dead writer's dropping (pid beyond any real pid space) ...
+    stale = base.with_name(base.name + f".{1 << 30}.tmp")
+    stale.write_text("half a payload")
+    # ... and a live writer's in-flight file (our own pid).
+    inflight = base.with_name(base.name + f".{os.getpid()}.tmp")
+    inflight.write_text("being written right now")
+    ResultCache(tmp_path, config)
+    assert not stale.exists()
+    assert inflight.exists()
+
+
 def test_cache_ignores_corrupt_entries(tmp_path):
     config = CampaignConfig(**FAST, cache_dir=str(tmp_path))
     Campaign(config).run(("c17",))

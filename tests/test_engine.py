@@ -15,7 +15,9 @@ import pytest
 from repro.engine import (
     DEFAULT_ENGINE,
     CompiledEngine,
+    EngineBase,
     InterpEngine,
+    VectorEngine,
     build_engine,
     engine_names,
     get_engine,
@@ -44,9 +46,11 @@ ALTERNATES = [name for name in engine_names() if name != "interp"]
 def test_registry_lists_shipped_backends():
     assert "interp" in engine_names()
     assert "compiled" in engine_names()
+    assert "vector" in engine_names()
     assert DEFAULT_ENGINE in engine_names()
     assert get_engine("interp") is InterpEngine
     assert get_engine("compiled") is CompiledEngine
+    assert get_engine("vector") is VectorEngine
 
 
 def test_unknown_engine_raises():
@@ -57,6 +61,37 @@ def test_unknown_engine_raises():
 def test_register_requires_name():
     with pytest.raises(EngineError):
         register_engine(type("Anon", (), {}))
+
+
+def test_register_rejects_duplicate_names():
+    """Regression: a plug-in used to silently hijack a built-in name."""
+
+    class Impostor(EngineBase):
+        name = "interp"
+
+    with pytest.raises(EngineError, match="already registered"):
+        register_engine(Impostor)
+    assert get_engine("interp") is InterpEngine
+
+
+def test_register_replace_escape_hatch():
+    class Override(EngineBase):
+        name = "interp"
+
+    try:
+        assert register_engine(Override, replace=True) is Override
+        assert get_engine("interp") is Override
+    finally:
+        register_engine(InterpEngine, replace=True)
+    assert get_engine("interp") is InterpEngine
+    # Re-registering the same class stays idempotent (module re-import):
+    # the shared instance and its program caches survive.
+    shared = build_engine("interp")
+    assert register_engine(InterpEngine) is InterpEngine
+    assert build_engine("interp") is shared
+    # The decorator form accepts the flag too.
+    decorated = register_engine(replace=True)(InterpEngine)
+    assert decorated is InterpEngine
 
 
 def test_build_engine_shares_instances_by_name():
@@ -219,7 +254,7 @@ def test_campaign_results_identical_across_engines():
     from repro.campaign.runner import Campaign
 
     payloads = {}
-    for engine in ("interp", "compiled"):
+    for engine in ("interp", "compiled", "vector"):
         config = CampaignConfig(
             engine=engine, random_budget_comb=128, random_budget_seq=64,
             equivalence_budget=16, max_vectors=16,
@@ -227,6 +262,7 @@ def test_campaign_results_identical_across_engines():
         result = Campaign(config).run(("c17",))
         payloads[engine] = json.loads(result.to_json())["circuits"]
     assert payloads["interp"] == payloads["compiled"]
+    assert payloads["interp"] == payloads["vector"]
 
 
 # -- configuration surface ---------------------------------------------------

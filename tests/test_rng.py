@@ -1,5 +1,8 @@
 """Labelled RNG streams: derivation, spawning, independence."""
 
+import copy
+import pickle
+
 import pytest
 
 from repro.util.rng import LabelledRandom, derive_seed, rng_stream, spawn
@@ -69,3 +72,40 @@ def test_spawn_rejects_plain_random():
 
     with pytest.raises(TypeError):
         spawn(random.Random(1), "x")
+
+
+def test_labelled_random_pickle_roundtrip_mid_stream():
+    """Regression: random.Random's reduce protocol knows nothing about
+    (master_seed, labels), so pickling used to raise TypeError."""
+    stream = rng_stream(11, "circuit", "testgen")
+    for _ in range(7):  # advance past the seed state
+        stream.random()
+    clone = pickle.loads(pickle.dumps(stream))
+    assert isinstance(clone, LabelledRandom)
+    assert clone.master_seed == 11
+    assert clone.labels == ("circuit", "testgen")
+    # The clone resumes at the exact draw position, not from the seed.
+    assert [clone.random() for _ in range(16)] == [
+        stream.random() for _ in range(16)
+    ]
+    assert clone.getrandbits(257) == stream.getrandbits(257)
+
+
+def test_labelled_random_deepcopy_preserves_draw_position():
+    stream = rng_stream(5, "x")
+    stream.getrandbits(333)
+    dup = copy.deepcopy(stream)
+    assert dup is not stream
+    assert dup.labels == stream.labels
+    assert [dup.random() for _ in range(8)] == [
+        stream.random() for _ in range(8)
+    ]
+
+
+def test_unpickled_stream_spawns_identical_children():
+    stream = rng_stream(3, "p")
+    clone = pickle.loads(pickle.dumps(stream))
+    assert (
+        spawn(clone, "round", "1").random()
+        == spawn(stream, "round", "1").random()
+    )

@@ -116,6 +116,16 @@ def test_corpus_eviction_keeps_strong_entries():
     assert not corpus.add(4, 1)          # weaker than everything kept
 
 
+def test_corpus_empty_raises_domain_errors():
+    """Regression: best() on an empty corpus leaked max()'s bare
+    ValueError; both accessors now raise the same domain error."""
+    corpus = Corpus()
+    with pytest.raises(IndexError, match="empty corpus"):
+        corpus.best()
+    with pytest.raises(IndexError, match="empty corpus"):
+        corpus.pick(object())
+
+
 def test_corpus_pick_deterministic():
     from repro.util.rng import rng_stream
 
