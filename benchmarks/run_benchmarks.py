@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run a perf suite; append one run to its ``BENCH_*.json`` trajectory.
 
-Two suites, selected with ``--suite`` (default ``engine``):
+Three suites, selected with ``--suite`` (default ``engine``):
 
 * ``engine`` — ``bench_faultsim.py``: fault-simulation throughput per
   backend, appended to ``BENCH_engine.json`` with a per-circuit speedup
@@ -10,8 +10,13 @@ Two suites, selected with ``--suite`` (default ``engine``):
   candidate budget, appended to ``BENCH_search.json`` as a
   kills-per-candidate trajectory with a per-circuit gain summary of
   every strategy against the ``random`` baseline.
+* ``grid`` — ``bench_grid.py``: one circuit's sharded fault validation
+  on the ``process`` scheduler at 1/2/4/8 workers, appended to
+  ``BENCH_grid.json`` as a workers-vs-throughput trajectory with a
+  per-circuit wall-clock speedup summary against the 1-worker run
+  (each row records ``cpus`` — interpret speedups against it).
 
-Both run under pytest-benchmark, so the numbers come from calibrated,
+All suites run under pytest-benchmark, so the numbers come from calibrated,
 warmed-up rounds — compilation cost of the ``compiled`` backend lands
 in the warmup, exactly as it amortizes in real campaigns.
 
@@ -176,6 +181,67 @@ def search_print(rows: list[dict], summary: dict) -> None:
         print(f"gain {strategy} vs {SEARCH_REFERENCE}: {pairs}")
 
 
+# -- grid suite ---------------------------------------------------------------
+
+GRID_REFERENCE_WORKERS = 1
+
+
+def grid_rows(report: dict) -> list[dict]:
+    rows = []
+    for bench in report["benchmarks"]:
+        info = bench["extra_info"]
+        seconds = bench["stats"]["mean"]
+        rows.append({
+            "circuit": info["circuit"],
+            "workers": info["workers"],
+            "cpus": info["cpus"],
+            "style": info["style"],
+            "engine": info["engine"],
+            "patterns": info["patterns"],
+            "faults": info["faults"],
+            "seconds_per_pass": seconds,
+            "faults_per_sec": info["faults"] / seconds,
+        })
+    rows.sort(key=lambda r: (r["circuit"], r["workers"]))
+    return rows
+
+
+def grid_summary(rows: list[dict]) -> dict:
+    """circuit -> workers -> wall-clock multiple over the 1-worker run."""
+    reference = {
+        row["circuit"]: row["seconds_per_pass"]
+        for row in rows if row["workers"] == GRID_REFERENCE_WORKERS
+    }
+    table: dict[str, dict[str, float]] = {}
+    for row in rows:
+        base = reference.get(row["circuit"])
+        if row["workers"] == GRID_REFERENCE_WORKERS or base is None:
+            continue
+        table.setdefault(row["circuit"], {})[str(row["workers"])] = round(
+            base / row["seconds_per_pass"], 2
+        )
+    return table
+
+
+def grid_print(rows: list[dict], summary: dict) -> None:
+    width = max(len(r["circuit"]) for r in rows)
+    for row in rows:
+        print(
+            f"{row['circuit']:{width}s} workers={row['workers']}"
+            f" (cpus={row['cpus']})"
+            f" {row['seconds_per_pass']:8.3f} s/pass"
+            f" {row['faults_per_sec']:12.1f} faults/s"
+        )
+    for circuit, per_workers in sorted(summary.items()):
+        pairs = ", ".join(
+            f"{w} workers: {s:.2f}x"
+            for w, s in sorted(per_workers.items(), key=lambda kv: int(kv[0]))
+        )
+        print(
+            f"speedup {circuit} vs {GRID_REFERENCE_WORKERS} worker: {pairs}"
+        )
+
+
 SUITES = {
     "engine": {
         "bench": "bench_faultsim.py",
@@ -194,6 +260,15 @@ SUITES = {
         "summary": search_summary,
         "summary_key": f"gain_vs_{SEARCH_REFERENCE}",
         "print": search_print,
+    },
+    "grid": {
+        "bench": "bench_grid.py",
+        "out": REPO_ROOT / "BENCH_grid.json",
+        "title": "grid fault-validation throughput vs worker count",
+        "rows": grid_rows,
+        "summary": grid_summary,
+        "summary_key": f"speedup_vs_{GRID_REFERENCE_WORKERS}_worker",
+        "print": grid_print,
     },
 }
 

@@ -22,9 +22,12 @@ Pieces:
   that serialize to JSON and render the paper's tables.
 * :class:`CampaignEvents` — progress hooks replacing print-based
   reporting.
-* :class:`Campaign` — the runner: serial or process-parallel over
-  circuits (bit-for-bit identical either way), with an on-disk result
-  cache keyed by ``(circuit, config fingerprint, version)``.
+* :class:`Campaign` — the runner: serial, process-parallel over
+  circuits, or sharded *within* circuits through a :mod:`repro.grid`
+  scheduler (``config.grid``; bit-for-bit identical every way), with
+  an on-disk result cache keyed by ``(circuit, config fingerprint,
+  version)`` and unit-level resume (``run(..., resume=True)``) backed
+  by the grid job store.
 """
 
 from repro.campaign.cache import CACHE_VERSION, ResultCache
@@ -35,7 +38,12 @@ from repro.campaign.config import (
     WEIGHT_SCHEMES,
     CampaignConfig,
 )
-from repro.campaign.events import CampaignEvents, ProgressEvents
+from repro.campaign.events import (
+    CampaignEvents,
+    GuardedEvents,
+    ProgressEvents,
+    guard_events,
+)
 from repro.campaign.result import (
     CampaignResult,
     CircuitResult,
@@ -72,6 +80,7 @@ __all__ = [
     "DEFAULT_OPERATORS",
     "DEFAULT_PIPELINE",
     "FaultValidationStage",
+    "GuardedEvents",
     "MetricsStage",
     "MutantStage",
     "OperatorRow",
@@ -87,6 +96,7 @@ __all__ = [
     "TestGenStage",
     "WEIGHT_SCHEMES",
     "get_stage",
+    "guard_events",
     "register_stage",
     "run_circuit",
     "stage_names",

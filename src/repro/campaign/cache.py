@@ -6,7 +6,9 @@ version)`` — the fingerprint covers every result-affecting config field
 seed change misses cleanly while re-running the same science on more
 jobs, or with a different circuit list, hits.  Entries are plain JSON
 (:meth:`CircuitResult.to_dict`); anything unreadable or structurally
-stale is treated as a miss, never an error.
+stale is treated as a miss, never an error.  An optional
+``max_entries`` bound turns the directory into an LRU cache
+(mtime-ordered sweep on every store).
 """
 
 from __future__ import annotations
@@ -43,11 +45,23 @@ def _writer_alive(tmp_name: str) -> bool:
 
 
 class ResultCache:
-    """Load/store :class:`CircuitResult` objects under a directory."""
+    """Load/store :class:`CircuitResult` objects under a directory.
 
-    def __init__(self, directory, config):
+    ``max_entries`` bounds the number of on-disk entries with an LRU
+    sweep: every store (and init) drops the least-recently-used entry
+    files — mtime-ordered, across fingerprints, hits refresh mtime —
+    beyond the bound.  ``None`` (the default) keeps the historical
+    unbounded behavior.
+    """
+
+    def __init__(self, directory, config, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ConfigError(
+                f"cache max_entries must be >= 1, got {max_entries}"
+            )
         self._dir = Path(directory)
         self._fingerprint = config.fingerprint()
+        self._max_entries = max_entries
         # Fail fast on an unusable cache location, before any compute.
         try:
             self._dir.mkdir(parents=True, exist_ok=True)
@@ -64,6 +78,7 @@ class ResultCache:
                 stale.unlink()
             except OSError:
                 pass  # already gone, or not ours to remove
+        self._sweep()
 
     def path(self, circuit: str) -> Path:
         return self._dir / (
@@ -72,14 +87,22 @@ class ResultCache:
 
     def load(self, circuit: str) -> CircuitResult | None:
         """The cached result, or ``None`` on any kind of miss."""
+        path = self.path(circuit)
         try:
-            text = self.path(circuit).read_text(encoding="utf-8")
+            text = path.read_text(encoding="utf-8")
         except OSError:
             return None
         try:
-            return CircuitResult.from_dict(json.loads(text))
+            result = CircuitResult.from_dict(json.loads(text))
         except (ValueError, TypeError, KeyError, ConfigError):
             return None  # corrupt or stale entry: recompute
+        # A hit counts as use: refresh mtime so the LRU sweep keeps the
+        # entries campaigns actually read.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return result
 
     def store(self, result: CircuitResult) -> None:
         target = self.path(result.circuit)
@@ -92,3 +115,29 @@ class ResultCache:
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
+        self._sweep()
+
+    def _sweep(self) -> None:
+        """Unlink least-recently-used entries beyond ``max_entries``.
+
+        Only files shaped like current-version cache entries
+        (``<circuit>-<fingerprint>-v<CACHE_VERSION>.json``) are
+        candidates — the grid job store lives in ``grid-*``
+        subdirectories, and foreign files a user keeps in the cache
+        directory (archives, notes) are never touched.  Races (another
+        process removing a file mid-sweep) are benign.
+        """
+        if self._max_entries is None:
+            return
+        entries = []
+        for path in self._dir.glob(f"*-*-v{CACHE_VERSION}.json"):
+            try:
+                entries.append((path.stat().st_mtime, path.name, path))
+            except OSError:
+                continue  # vanished mid-scan
+        entries.sort(reverse=True)  # newest first; name breaks mtime ties
+        for _, _, path in entries[self._max_entries:]:
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -10,9 +10,11 @@ on-disk result cache).  It serializes to plain JSON (``to_json`` /
 config file and replayed bit-for-bit.
 
 The *fingerprint* — a stable hash over every field that influences the
-computed numbers — keys the on-disk result cache.  Execution-only
-fields (``circuits``, ``jobs``, ``cache_dir``) are excluded: running
-the same science on more workers must hit the same cache entries.
+computed numbers — keys the on-disk result cache and the grid job
+store.  Execution-only fields (``circuits``, ``jobs``, ``cache_dir``,
+``grid_workers``, ``cache_max_entries``) are excluded: running the
+same science on more workers must hit the same cache entries and
+resume from the same stored work units.
 """
 
 from __future__ import annotations
@@ -60,7 +62,13 @@ DEFAULT_PIPELINE = (
 WEIGHT_SCHEMES = ("calibrated", "paper-ranks", "uniform")
 
 #: Fields that change how a campaign *executes*, not what it computes.
-EXECUTION_FIELDS = frozenset({"circuits", "jobs", "cache_dir"})
+#: (``grid_workers`` is pure execution width — a campaign killed on two
+#: workers must resume on eight against the same cache and job-store
+#: entries; ``grid``/``grid_shard`` stay in the fingerprint as
+#: provenance, like ``engine``.)
+EXECUTION_FIELDS = frozenset(
+    {"circuits", "jobs", "cache_dir", "grid_workers", "cache_max_entries"}
+)
 
 _TUPLE_FIELDS = ("operators", "strategies", "sample_labels", "stages",
                  "circuits")
@@ -123,10 +131,29 @@ class CampaignConfig:
     # -- pipeline ------------------------------------------------------------
     stages: tuple[str, ...] = DEFAULT_PIPELINE
 
+    # -- grid execution (within-circuit sharding) ----------------------------
+    #: named :mod:`repro.grid` scheduler running sharded work units
+    #: inside each circuit (``serial``, ``thread``, ``process``); None
+    #: keeps the classic unsharded path.  Fingerprinted for provenance
+    #: — all schedulers are bit-identical to serial by contract.  When
+    #: set, it supersedes ``jobs`` (circuits run in the parent, units
+    #: in the grid).
+    grid: str | None = None
+    #: items (faults / mutants) per work unit; 0 = auto (split each
+    #: axis into up to 16 units).  Fingerprinted: it defines the unit
+    #: boundaries the job store is keyed by.
+    grid_shard: int = 0
+    #: workers for the grid scheduler (execution-only: resuming on a
+    #: different pool size reuses every stored unit).
+    grid_workers: int = 1
+
     # -- execution (excluded from the fingerprint) ---------------------------
     circuits: tuple[str, ...] = DEFAULT_CIRCUITS
     jobs: int = 1
     cache_dir: str | None = None
+    #: LRU bound on on-disk result-cache entries (mtime-ordered sweep);
+    #: None = unlimited (the historical behavior).
+    cache_max_entries: int | None = None
 
     def __post_init__(self) -> None:
         for name in _TUPLE_FIELDS:
@@ -182,6 +209,27 @@ class CampaignConfig:
             )
         if self.jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if self.grid is not None:
+            from repro.grid import scheduler_names
+
+            if self.grid not in scheduler_names():
+                raise ConfigError(
+                    f"grid must be one of {scheduler_names()}, "
+                    f"got {self.grid!r}"
+                )
+        if self.grid_shard < 0:
+            raise ConfigError(
+                f"grid_shard must be >= 0, got {self.grid_shard}"
+            )
+        if self.grid_workers < 1:
+            raise ConfigError(
+                f"grid_workers must be >= 1, got {self.grid_workers}"
+            )
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ConfigError(
+                f"cache_max_entries must be >= 1, got "
+                f"{self.cache_max_entries}"
+            )
 
     # -- bridges -------------------------------------------------------------
 

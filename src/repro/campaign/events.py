@@ -11,10 +11,26 @@ Hook timing:
 * ``on_campaign_start`` / ``on_campaign_end`` wrap the whole run;
 * ``on_circuit_start`` / ``on_circuit_done`` wrap one circuit
   (``on_circuit_done`` also fires for cache hits, with ``cached=True``);
-* ``on_stage_start`` / ``on_stage_end`` wrap one pipeline stage.
-  Stage hooks fire only for circuits executed in-process: with
-  ``jobs > 1`` the stages run in worker processes and only the
-  circuit-level hooks are observable from the parent.
+* ``on_stage_start`` / ``on_stage_end`` wrap one pipeline stage;
+* ``on_unit_start`` / ``on_unit_done`` wrap one grid work unit
+  (``on_unit_done`` fires with ``cached=True`` for units resumed from
+  the job store).
+
+Visibility under parallelism: with per-circuit farming (``jobs > 1``
+and no grid) the stages run in worker processes, so only the
+circuit-level hooks are observable from the parent.  With a grid
+scheduler (``config.grid``) the circuits — and their stage hooks — run
+in the parent, and unit-level results are streamed back from the
+workers as they complete, so ``on_unit_done`` fires in the parent for
+every unit regardless of which process computed it (pooled backends
+fire ``on_unit_start`` at submission time).
+
+Hooks must not break the science: the runner wraps the events object
+in :func:`guard_events`, which catches an :class:`Exception` escaping
+a hook, reports it once per hook on stderr, and suppresses that hook
+for the rest of the run.  ``KeyboardInterrupt`` (and other
+``BaseException``) still propagates — aborting from a hook stays
+possible on purpose.
 """
 
 from __future__ import annotations
@@ -45,6 +61,83 @@ class CampaignEvents:
     def on_stage_end(self, circuit: str, stage: str, seconds: float) -> None:
         """Stage ``stage`` finished for ``circuit``."""
 
+    def on_unit_start(self, unit) -> None:
+        """Grid work ``unit`` (a :class:`repro.grid.WorkUnit`) was
+        scheduled (pooled backends report submission, not pickup)."""
+
+    def on_unit_done(self, unit, seconds: float, cached: bool = False) -> None:
+        """Grid work ``unit`` finished (``cached=True``: resumed from
+        the job store without recomputation)."""
+
+
+#: Hook names :class:`GuardedEvents` protects (everything above).
+_HOOKS = (
+    "on_campaign_start",
+    "on_campaign_end",
+    "on_circuit_start",
+    "on_circuit_done",
+    "on_stage_start",
+    "on_stage_end",
+    "on_unit_start",
+    "on_unit_done",
+)
+
+
+class GuardedEvents(CampaignEvents):
+    """Exception barrier around another events instance.
+
+    A raising hook used to abort the whole campaign mid-run; wrapped,
+    the first :class:`Exception` a hook raises is reported on stderr
+    and that hook is suppressed from then on (one warning per hook,
+    not one per event).  ``BaseException`` — ``KeyboardInterrupt`` in
+    particular — passes through untouched.
+    """
+
+    def __init__(self, inner: CampaignEvents, stream=None):
+        self._inner = inner
+        self._stream = stream if stream is not None else sys.stderr
+        self._broken: set[str] = set()
+
+    @property
+    def inner(self) -> CampaignEvents:
+        return self._inner
+
+    def _call(self, hook: str, *args, **kwargs) -> None:
+        if hook in self._broken:
+            return
+        try:
+            getattr(self._inner, hook)(*args, **kwargs)
+        except Exception as exc:
+            self._broken.add(hook)
+            print(
+                f"campaign: events hook {hook} raised "
+                f"{type(exc).__name__}: {exc} — suppressing this hook "
+                f"for the rest of the run",
+                file=self._stream,
+                flush=True,
+            )
+
+
+def _guarded_hook(hook: str):
+    def method(self, *args, **kwargs):
+        self._call(hook, *args, **kwargs)
+
+    method.__name__ = hook
+    method.__doc__ = f"Guarded delegation of ``{hook}``."
+    return method
+
+
+for _hook in _HOOKS:
+    setattr(GuardedEvents, _hook, _guarded_hook(_hook))
+del _hook
+
+
+def guard_events(events: CampaignEvents | None) -> GuardedEvents:
+    """Wrap ``events`` in a :class:`GuardedEvents` (idempotent)."""
+    if isinstance(events, GuardedEvents):
+        return events
+    return GuardedEvents(events if events is not None else CampaignEvents())
+
 
 class ProgressEvents(CampaignEvents):
     """Line-per-event progress on a stream (default: stderr)."""
@@ -56,9 +149,13 @@ class ProgressEvents(CampaignEvents):
         print(message, file=self._stream, flush=True)
 
     def on_campaign_start(self, circuits, config) -> None:
+        grid = (
+            f", grid={config.grid}x{config.grid_workers}"
+            if config.grid else ""
+        )
         self._emit(
             f"campaign: {len(circuits)} circuit(s) "
-            f"[{', '.join(circuits)}], jobs={config.jobs}"
+            f"[{', '.join(circuits)}], jobs={config.jobs}{grid}"
         )
 
     def on_campaign_end(self, result, seconds) -> None:
@@ -73,3 +170,10 @@ class ProgressEvents(CampaignEvents):
 
     def on_stage_end(self, circuit, stage, seconds) -> None:
         self._emit(f"[{circuit}] {stage}: {seconds:.2f}s")
+
+    def on_unit_done(self, unit, seconds, cached=False) -> None:
+        suffix = " (cached)" if cached else f" in {seconds:.2f}s"
+        self._emit(
+            f"[{unit.circuit}] {unit.stage} {unit.key} "
+            f"unit {unit.index + 1}/{unit.total}{suffix}"
+        )

@@ -1,16 +1,27 @@
-"""The campaign runner: serial or process-parallel over circuits.
+"""The campaign runner: serial, process-parallel, or grid-sharded.
 
 ``Campaign(config).run(circuits)`` is the single entry point for the
 whole mutation-sampling flow.  Per circuit it executes the configured
 stage pipeline over a fresh :class:`CircuitContext` and condenses the
 context into a plain-data :class:`CircuitResult`.
 
-Circuits are independent — every random stream is derived from
-``(seed, labels...)`` with the circuit name in the labels — so the
-parallel path (``config.jobs > 1``) farms whole circuits out to a
-:class:`~concurrent.futures.ProcessPoolExecutor` and is bit-for-bit
-identical to the serial path.  Results cross the process boundary as
-dicts (the same payload the on-disk cache stores).
+Two parallelism axes, both bit-for-bit identical to serial:
+
+* **Per-circuit** (``config.jobs > 1``): circuits are independent —
+  every random stream is derived from ``(seed, labels...)`` with the
+  circuit name in the labels — so whole circuits are farmed out to a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Results cross the
+  process boundary as dicts (the same payload the on-disk cache
+  stores).  Speedup caps at the circuit count.
+* **Within-circuit** (``config.grid``): the heavy axis-parallel
+  operations (fault validation, kill analysis, the equivalence sweep)
+  are sharded into :mod:`repro.grid` work units and executed on the
+  configured scheduler, with every finished unit persisted to the job
+  store when a cache directory is set.  ``run(..., resume=True)``
+  reuses those stored units, so a killed campaign picks up where it
+  stopped.  When both axes are requested, the grid wins: circuits run
+  in the parent (nesting process pools would oversubscribe) and units
+  fan out instead.
 """
 
 from __future__ import annotations
@@ -20,7 +31,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.config import CampaignConfig
-from repro.campaign.events import CampaignEvents
+from repro.campaign.events import CampaignEvents, guard_events
 from repro.campaign.result import (
     CampaignResult,
     CircuitResult,
@@ -42,10 +53,15 @@ def run_circuit(
     circuit: str,
     config: CampaignConfig,
     events: CampaignEvents | None = None,
+    grid=None,
 ) -> CircuitResult:
-    """Run the configured stage pipeline for one circuit."""
-    events = events or _NULL_EVENTS
-    ctx = CircuitContext(circuit, config)
+    """Run the configured stage pipeline for one circuit.
+
+    ``grid`` (a :class:`repro.grid.GridExecutor`) shards the heavy
+    operations inside the stages; ``None`` keeps the classic path.
+    """
+    events = guard_events(events if events is not None else _NULL_EVENTS)
+    ctx = CircuitContext(circuit, config, grid=grid)
     for name in config.stages:
         stage = get_stage(name)
         events.on_stage_start(circuit, name)
@@ -153,22 +169,46 @@ class Campaign:
         self.config = config or CampaignConfig()
         self.events = events or _NULL_EVENTS
 
-    def run(self, circuits=None) -> CampaignResult:
+    def run(self, circuits=None, resume: bool = False) -> CampaignResult:
         """Run the pipeline over ``circuits`` (default: the config's).
 
-        Cached circuits are loaded, the rest computed — serially, or on
-        a process pool when ``config.jobs > 1`` — and every freshly
-        computed result is written back to the cache.
+        Cached circuits are loaded, the rest computed — serially, on a
+        process pool (``config.jobs > 1``), or sharded through a grid
+        scheduler (``config.grid``) — and every freshly computed result
+        is written back to the cache as it completes.  ``resume=True``
+        (requires ``cache_dir``) additionally reuses finished work
+        units from the grid job store when a grid scheduler is
+        configured, so a killed run picks up from its last completed
+        unit; without a grid, resume granularity is whatever the
+        result cache holds (whole circuits), which the cache provides
+        on any run.
         """
+        from repro.errors import ConfigError
+
         config = self.config
-        events = self.events
+        events = guard_events(self.events)
         names = tuple(circuits) if circuits is not None else config.circuits
+        if resume and not config.cache_dir:
+            raise ConfigError(
+                "resume needs a cache directory (the config's "
+                "cache_dir, or --cache-dir on the CLI): finished "
+                "circuits and work units live there"
+            )
         events.on_campaign_start(names, config)
         started = time.monotonic()
 
         cache = (
-            ResultCache(config.cache_dir, config) if config.cache_dir else None
+            ResultCache(
+                config.cache_dir, config,
+                max_entries=config.cache_max_entries,
+            )
+            if config.cache_dir else None
         )
+        grid = None
+        if config.grid:
+            from repro.grid import GridExecutor
+
+            grid = GridExecutor(config, events=events, resume=resume)
         results: dict[str, CircuitResult] = {}
         hits: list[str] = []
         pending: list[str] = []
@@ -183,21 +223,30 @@ class Campaign:
             else:
                 pending.append(name)
 
-        if config.jobs > 1 and len(pending) > 1:
-            self._run_parallel(pending, results)
-        else:
-            for name in pending:
-                events.on_circuit_start(name)
-                circuit_started = time.monotonic()
-                results[name] = run_circuit(name, config, events)
-                events.on_circuit_done(
-                    name, results[name],
-                    time.monotonic() - circuit_started,
-                )
-
-        if cache is not None:
-            for name in pending:
-                cache.store(results[name])
+        try:
+            if grid is None and config.jobs > 1 and len(pending) > 1:
+                self._run_parallel(pending, results, events)
+                if cache is not None:
+                    for name in pending:
+                        cache.store(results[name])
+            else:
+                for name in pending:
+                    events.on_circuit_start(name)
+                    circuit_started = time.monotonic()
+                    results[name] = run_circuit(
+                        name, config, events, grid=grid
+                    )
+                    events.on_circuit_done(
+                        name, results[name],
+                        time.monotonic() - circuit_started,
+                    )
+                    # Persist per circuit (not all at the end) so an
+                    # interrupted multi-circuit run keeps what finished.
+                    if cache is not None:
+                        cache.store(results[name])
+        finally:
+            if grid is not None:
+                grid.close()
 
         result = CampaignResult(
             config=config,
@@ -208,9 +257,12 @@ class Campaign:
         return result
 
     def _run_parallel(
-        self, pending: list[str], results: dict[str, CircuitResult]
+        self,
+        pending: list[str],
+        results: dict[str, CircuitResult],
+        events: CampaignEvents,
     ) -> None:
-        config, events = self.config, self.events
+        config = self.config
         config_data = config.to_dict()
         workers = min(config.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:

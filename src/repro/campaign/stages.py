@@ -57,11 +57,19 @@ class Target:
 
 
 class CircuitContext:
-    """Mutable per-circuit state threaded through the stages."""
+    """Mutable per-circuit state threaded through the stages.
 
-    def __init__(self, circuit: str, config):
+    ``grid`` (a :class:`repro.grid.GridExecutor`, or ``None``) is the
+    within-circuit execution policy: when set, the heavy axis-parallel
+    operations below dispatch as sharded work units; when unset they
+    run the classic in-process path.  Both paths are bit-identical by
+    contract, so stages call the helpers unconditionally.
+    """
+
+    def __init__(self, circuit: str, config, grid=None):
         self.circuit = circuit
         self.config = config
+        self.grid = grid                      # GridExecutor | None
         self.lab = None                       # CircuitLab, set by "synth"
         self.population: list[Mutant] | None = None
         self.groups: dict[str, list[Mutant]] | None = None
@@ -76,6 +84,42 @@ class CircuitContext:
                 f"{self.circuit!r} first"
             )
         return self.lab
+
+    # -- grid-dispatchable operations ----------------------------------------
+
+    def fault_sim(self, vectors: list[int], key: str) -> FaultSimResult:
+        """Stuck-at validation of ``vectors`` (sharded under a grid)."""
+        lab = self.require_lab()
+        if self.grid is not None:
+            return self.grid.fault_sim(lab, vectors, key)
+        return lab.fault_sim(vectors)
+
+    def killed_mids(self, mutants, vectors: list[int], key: str) -> set[int]:
+        """Kill analysis over ``mutants`` (sharded under a grid)."""
+        lab = self.require_lab()
+        if self.grid is not None:
+            return self.grid.killed_mids(lab, mutants, vectors, key)
+        return lab.engine.killed_mids(mutants, vectors)
+
+    def random_baseline(self) -> FaultSimResult:
+        """The circuit's random fault-coverage baseline.
+
+        Under a grid the (heavy) fault simulation runs sharded and
+        primes the lab's lazy slot, so every later consumer shares it.
+        """
+        lab = self.require_lab()
+        if self.grid is not None and not lab.has_random_baseline:
+            lab.prime_random_baseline(
+                self.grid.fault_sim(lab, lab.random_vectors, "baseline")
+            )
+        return lab.random_baseline
+
+    def equivalence_analysis(self):
+        """The budgeted equivalence sweep (sharded under a grid)."""
+        lab = self.require_lab()
+        if self.grid is not None and not lab.has_equivalence:
+            lab.prime_equivalence(self.grid.equivalence(lab))
+        return lab.equivalence
 
     def operator_targets(self) -> list[Target]:
         return [
@@ -294,23 +338,25 @@ class FaultValidationStage(Stage):
     name = "fault-validation"
 
     def run(self, ctx: CircuitContext) -> None:
-        lab = ctx.require_lab()
+        ctx.require_lab()
         for target in ctx.targets.values():
             if target.testgen is None:
                 continue
             vectors = target.testgen.vectors
             if target.faultsim is None and vectors:
-                target.faultsim = lab.fault_sim(vectors)
+                target.faultsim = ctx.fault_sim(vectors, target.label)
             if target.kind != STRATEGY_TARGET or target.killed is not None:
                 continue
             if ctx.equivalence is None:
-                ctx.equivalence = lab.equivalence
+                ctx.equivalence = ctx.equivalence_analysis()
             if vectors:
                 survivors = [
                     m for m in (ctx.population or [])
                     if m.mid not in ctx.equivalence.equivalent_mids
                 ]
-                target.killed = lab.engine.killed_mids(survivors, vectors)
+                target.killed = ctx.killed_mids(
+                    survivors, vectors, target.label
+                )
             else:
                 target.killed = set()
 
@@ -322,10 +368,10 @@ class MetricsStage(Stage):
     name = "metrics"
 
     def run(self, ctx: CircuitContext) -> None:
-        lab = ctx.require_lab()
+        ctx.require_lab()
         for target in ctx.targets.values():
             if target.faultsim is None or target.report is not None:
                 continue
             target.report = nlfce_from_results(
-                target.faultsim, lab.random_baseline
+                target.faultsim, ctx.random_baseline()
             )

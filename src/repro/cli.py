@@ -8,8 +8,11 @@ Commands
 * ``mutants``    — list (a sample of) a circuit's mutants
 * ``engines``    — registered netlist-simulation backends
 * ``strategies`` — registered search and sampling strategies
+* ``grid``       — registered grid schedulers / job-store inspection
 * ``testgen``    — generate mutation-adequate validation data
 * ``run``        — execute a full campaign from a JSON config file
+  (``--resume`` continues a killed run: finished circuits from the
+  result cache, finished grid work units from the job store)
 * ``table1``     — regenerate the paper's Table 1
 * ``table2``     — regenerate the paper's Table 2
 * ``atpg-reuse`` — the §1 validation-reuse experiment
@@ -20,10 +23,12 @@ Every subcommand is a thin consumer of the campaign pipeline: the
 shared ``--seed`` / budget options build one
 :class:`repro.campaign.CampaignConfig` (including ``--engine`` /
 ``--fault-lanes`` simulation selection), table-producing commands
-accept ``--jobs`` (process-parallel over circuits), ``--cache-dir``
-(on-disk result cache) and ``--json`` (archive the result), and
-``repro run`` replays a campaign described entirely by a JSON config
-file.
+accept ``--jobs`` (process-parallel over whole circuits), ``--grid`` /
+``--grid-workers`` / ``--grid-shard`` (sharded work-unit execution
+*within* each circuit), ``--cache-dir`` (on-disk result cache, plus
+the grid job store) with ``--cache-max-entries`` (LRU bound) and
+``--json`` (archive the result), and ``repro run`` replays a campaign
+described entirely by a JSON config file.
 """
 
 from __future__ import annotations
@@ -93,11 +98,33 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                              "fault simulation (default: 256)")
 
 
+def _scheduler_choices() -> tuple[str, ...]:
+    from repro.grid import scheduler_names
+
+    return scheduler_names()
+
+
 def _add_exec_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1,
-                        help="parallel worker processes over circuits")
+                        help="parallel worker processes over whole "
+                             "circuits (per-circuit parallelism; see "
+                             "--grid for within-circuit sharding)")
+    parser.add_argument("--grid", default=None,
+                        choices=_scheduler_choices(),
+                        help="shard work within each circuit on this "
+                             "grid scheduler (supersedes --jobs)")
+    parser.add_argument("--grid-workers", type=int, default=1,
+                        help="workers for the grid scheduler "
+                             "(default: 1)")
+    parser.add_argument("--grid-shard", type=int, default=0,
+                        help="items (faults/mutants) per grid work "
+                             "unit (default: 0 = auto)")
     parser.add_argument("--cache-dir", default=None,
-                        help="directory for the on-disk result cache")
+                        help="directory for the on-disk result cache "
+                             "and the grid job store")
+    parser.add_argument("--cache-max-entries", type=int, default=None,
+                        help="LRU bound on result-cache entries "
+                             "(default: unlimited)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write the result as JSON to PATH")
     parser.add_argument("--progress", action="store_true",
@@ -129,7 +156,15 @@ def _campaign_config(args, **overrides) -> CampaignConfig:
             args, "search_budget", CampaignConfig.search_budget
         ),
         jobs=getattr(args, "jobs", CampaignConfig.jobs),
+        grid=getattr(args, "grid", CampaignConfig.grid),
+        grid_workers=getattr(
+            args, "grid_workers", CampaignConfig.grid_workers
+        ),
+        grid_shard=getattr(args, "grid_shard", CampaignConfig.grid_shard),
         cache_dir=getattr(args, "cache_dir", CampaignConfig.cache_dir),
+        cache_max_entries=getattr(
+            args, "cache_max_entries", CampaignConfig.cache_max_entries
+        ),
     )
     if getattr(args, "random_budget", None) is not None:
         values["random_budget_comb"] = args.random_budget
@@ -197,6 +232,17 @@ def _main(argv: list[str] | None = None) -> int:
         "strategies", help="list search and sampling strategies"
     )
 
+    grid = sub.add_parser(
+        "grid",
+        help="list grid schedulers, or inspect a job store",
+    )
+    grid.add_argument("--store", default=None, metavar="DIR",
+                      help="cache directory whose grid job store(s) to "
+                           "inspect")
+    grid.add_argument("--config", default=None, metavar="PATH",
+                      help="campaign config JSON narrowing --store to "
+                           "one fingerprint")
+
     testgen = sub.add_parser(
         "testgen", help="generate mutation-adequate validation data"
     )
@@ -219,6 +265,17 @@ def _main(argv: list[str] | None = None) -> int:
                      help="override the config's circuit list")
     run.add_argument("--jobs", type=int, default=None,
                      help="override the config's worker count")
+    run.add_argument("--grid", default=None, choices=_scheduler_choices(),
+                     help="override the config's grid scheduler")
+    run.add_argument("--grid-workers", type=int, default=None,
+                     help="override the config's grid worker count")
+    run.add_argument("--grid-shard", type=int, default=None,
+                     help="override the config's grid shard size")
+    run.add_argument("--resume", action="store_true",
+                     help="resume a killed run (needs --cache-dir): "
+                          "finished circuits come from the result "
+                          "cache, and with a grid scheduler finished "
+                          "work units come from the job store")
     run.add_argument("--engine", default=None, choices=_engine_choices(),
                      help="override the config's simulation backend")
     run.add_argument("--fault-lanes", type=int, default=None,
@@ -226,6 +283,8 @@ def _main(argv: list[str] | None = None) -> int:
                           "chunk width")
     run.add_argument("--cache-dir", default=None,
                      help="override the config's result cache directory")
+    run.add_argument("--cache-max-entries", type=int, default=None,
+                     help="override the config's cache LRU bound")
     run.add_argument("--search", default=None, choices=_search_choices(),
                      help="override the config's search strategy")
     run.add_argument("--search-budget", type=int, default=None,
@@ -307,6 +366,8 @@ def _main(argv: list[str] | None = None) -> int:
         return _cmd_engines()
     if command == "strategies":
         return _cmd_strategies()
+    if command == "grid":
+        return _cmd_grid(args)
     if command == "testgen":
         return _cmd_testgen(args)
     if command == "run":
@@ -452,6 +513,67 @@ def _cmd_strategies() -> int:
     return 0
 
 
+def _cmd_grid(args) -> int:
+    from repro.grid import DEFAULT_SCHEDULER, SCHEDULERS, scheduler_names
+
+    if args.store is None:
+        for name in scheduler_names():
+            cls = SCHEDULERS[name]
+            doc = (cls.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            marker = "*" if name == DEFAULT_SCHEDULER else " "
+            print(f"{marker} {name:10s} {summary}")
+        print("(* = reference scheduler; all are bit-identical to it)")
+        return 0
+    return _cmd_grid_store(args)
+
+
+def _cmd_grid_store(args) -> int:
+    """List stored work units under a cache directory."""
+    from pathlib import Path
+
+    from repro.grid import JobStore, STORE_VERSION
+
+    base = Path(args.store)
+    if args.config is not None:
+        config = CampaignConfig.from_file(args.config)
+        directories = [
+            base / f"grid-{config.fingerprint()}-v{STORE_VERSION}"
+        ]
+    else:
+        directories = sorted(base.glob("grid-*"))
+    found = False
+    for directory in directories:
+        if not directory.is_dir():
+            continue
+        # (circuit, stage, key) -> [done, planned, compute seconds]
+        groups: dict[tuple[str, str, str], list] = {}
+        for unit in JobStore.read_directory(directory):
+            try:
+                key = (unit["circuit"], unit["stage"], unit["key"])
+                total = int(unit["total"])
+            except (TypeError, ValueError, KeyError):
+                continue
+            row = groups.setdefault(key, [0, total, 0.0])
+            row[0] += 1
+            row[2] += float(unit.get("seconds") or 0.0)
+        if not groups:
+            continue
+        found = True
+        print(f"{directory.name}:")
+        for (circuit, stage, key), (done, total, secs) in sorted(
+            groups.items()
+        ):
+            print(
+                f"  {circuit:8s} {stage:18s} {key:24s} "
+                f"{done:4d}/{total:<4d} unit(s) done, "
+                f"{secs:7.2f}s compute"
+            )
+    if not found:
+        print("no stored grid units found")
+    return 0
+
+
 def _cmd_search_compare(args) -> int:
     from repro.experiments.report import rows_text, to_json
     from repro.experiments.search_compare import (
@@ -545,19 +667,29 @@ def _cmd_run(args) -> int:
         overrides["circuits"] = tuple(args.circuits)
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
+    if args.grid is not None:
+        overrides["grid"] = args.grid
+    if args.grid_workers is not None:
+        overrides["grid_workers"] = args.grid_workers
+    if args.grid_shard is not None:
+        overrides["grid_shard"] = args.grid_shard
     if args.engine is not None:
         overrides["engine"] = args.engine
     if args.fault_lanes is not None:
         overrides["fault_lanes"] = args.fault_lanes
     if args.cache_dir is not None:
         overrides["cache_dir"] = args.cache_dir
+    if args.cache_max_entries is not None:
+        overrides["cache_max_entries"] = args.cache_max_entries
     if args.search is not None:
         overrides["search"] = args.search
     if args.search_budget is not None:
         overrides["search_budget"] = args.search_budget
     if overrides:
         config = config.replace(**overrides)
-    result = Campaign(config, _events(args)).run()
+    # A resume without a cache directory is rejected by Campaign.run
+    # (the single owner of that validation).
+    result = Campaign(config, _events(args)).run(resume=args.resume)
     print(campaign_text(result))
     _archive(args, result.to_json)
     return 0

@@ -103,3 +103,7 @@ class SearchError(ReproError):
 
 class ConfigError(ReproError):
     """An experiment configuration is invalid."""
+
+
+class GridError(ReproError):
+    """A grid work unit, scheduler or job store is misconfigured."""

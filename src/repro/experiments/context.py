@@ -106,6 +106,31 @@ class CircuitLab:
             engine=self.config.engine,
         )
 
+    @property
+    def has_random_baseline(self) -> bool:
+        """Whether the lazy baseline is already materialized."""
+        return self._random_baseline is not None
+
+    @property
+    def has_equivalence(self) -> bool:
+        """Whether the lazy equivalence analysis is already materialized."""
+        return self._equivalence is not None
+
+    def prime_random_baseline(self, result: FaultSimResult) -> None:
+        """Seed the lazy baseline with an externally computed result.
+
+        Used by the grid executor, whose sharded computation is
+        bit-identical to the serial one by contract; a baseline that is
+        already materialized wins (first computation sticks).
+        """
+        if self._random_baseline is None:
+            self._random_baseline = result
+
+    def prime_equivalence(self, analysis: "EquivalenceAnalysis") -> None:
+        """Seed the lazy equivalence analysis (grid counterpart)."""
+        if self._equivalence is None:
+            self._equivalence = analysis
+
     # -- mutants ----------------------------------------------------------------
 
     @property

@@ -1,0 +1,136 @@
+"""Shard planners: decompose campaign operations into work units.
+
+Planning is deliberately *execution-independent*: the partition of an
+axis depends only on the axis length and the fingerprinted
+``grid_shard`` knob — never on the worker count — so a campaign killed
+on two workers resumes on eight without invalidating a single stored
+unit, and the job-store keys stay stable across machines.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GridError
+from repro.grid.units import (
+    EQUIV_PART,
+    FAULT_CHUNK,
+    MUTANT_PART,
+    WorkUnit,
+)
+
+#: Auto-sharding splits an axis into at most this many units.  Fixed
+#: (rather than derived from the worker count) so unit boundaries are a
+#: pure function of the fingerprinted configuration.
+AUTO_UNITS = 16
+
+
+def shard_size(total: int, configured: int) -> int:
+    """Items per unit: the configured size, or an auto split.
+
+    ``configured == 0`` (the default) splits the axis into up to
+    :data:`AUTO_UNITS` equal chunks, which keeps per-unit overhead
+    negligible while feeding typical worker counts.
+    """
+    if configured < 0:
+        raise GridError(f"shard size must be >= 0, got {configured}")
+    if configured:
+        return configured
+    return max(1, -(-total // AUTO_UNITS))
+
+
+def shard_ranges(total: int, size: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges covering ``range(total)``."""
+    if size < 1:
+        raise GridError(f"shard size must be >= 1, got {size}")
+    return [
+        (start, min(start + size, total)) for start in range(0, total, size)
+    ]
+
+
+def plan_fault_sim(
+    circuit: str,
+    key: str,
+    num_faults: int,
+    vectors: list[int],
+    shard: int = 0,
+) -> list[WorkUnit]:
+    """Fault-validation units: contiguous chunks of the collapsed list.
+
+    Each unit fault-simulates the whole vector set over its chunk; the
+    merge concatenates the per-chunk detection lists in index order,
+    which is bit-identical to serial because every fault's detection is
+    independent of how faults are grouped (pattern-parallel comb,
+    lane-layout-independent seq).
+    """
+    ranges = shard_ranges(num_faults, shard_size(num_faults, shard))
+    vectors = list(vectors)
+    return [
+        WorkUnit(
+            circuit=circuit,
+            stage="fault-validation",
+            key=key,
+            kind=FAULT_CHUNK,
+            index=index,
+            total=len(ranges),
+            spec={
+                "start": start,
+                "stop": stop,
+                "num_faults": num_faults,
+                "vectors": vectors,
+            },
+        )
+        for index, (start, stop) in enumerate(ranges)
+    ]
+
+
+def plan_kill_analysis(
+    circuit: str,
+    key: str,
+    mids: list[int],
+    vectors: list[int],
+    shard: int = 0,
+) -> list[WorkUnit]:
+    """Kill-analysis units: partitions of the mutant-id list.
+
+    The merge is a pure set union — each mutant's verdict against a
+    fixed vector set is independent of every other mutant.
+    """
+    ranges = shard_ranges(len(mids), shard_size(len(mids), shard))
+    vectors = list(vectors)
+    return [
+        WorkUnit(
+            circuit=circuit,
+            stage="kill-analysis",
+            key=key,
+            kind=MUTANT_PART,
+            index=index,
+            total=len(ranges),
+            spec={"mids": list(mids[start:stop]), "vectors": vectors},
+        )
+        for index, (start, stop) in enumerate(ranges)
+    ]
+
+
+def plan_equivalence(
+    circuit: str,
+    mids: list[int],
+    shard: int = 0,
+) -> list[WorkUnit]:
+    """Equivalence-sweep units: partitions of the mutant population.
+
+    The stimulus set is derived in the worker from the fingerprinted
+    ``(seed, equivalence_budget)`` pair, so the spec carries only the
+    mutant ids; survivors and kill cycles merge by union.
+    """
+    ranges = shard_ranges(len(mids), shard_size(len(mids), shard))
+    return [
+        WorkUnit(
+            circuit=circuit,
+            stage="equivalence",
+            key="population",
+            kind=EQUIV_PART,
+            index=index,
+            total=len(ranges),
+            spec={"mids": list(mids[start:stop])},
+        )
+        for index, (start, stop) in enumerate(ranges)
+    ]

@@ -1,0 +1,278 @@
+"""Scheduler backends: how planned work units get executed.
+
+Three backends ship with the library, registered by name (mirroring
+:mod:`repro.engine` and :mod:`repro.sampling.registry`):
+
+* ``serial`` — the reference: units run inline, in plan order.  Still
+  worthwhile on one worker because every finished unit lands in the
+  job store, making a killed campaign resumable at unit granularity.
+* ``thread`` — a persistent :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Python-level gate evaluation holds the GIL, so this backend pays off
+  with engines that release it (the numpy-backed ``vector`` engine) or
+  once unit work is I/O-bound.
+* ``process`` — a persistent :class:`~concurrent.futures.ProcessPoolExecutor`
+  fed from one shared queue, so idle workers steal the next pending
+  unit and stragglers never serialize the tail.  Workers rebuild
+  per-circuit state through the memoized lab lookup (synthesis is paid
+  once per circuit per worker) and stream ``(seconds, result)``
+  payloads back as futures complete.
+
+All backends call ``on_done`` as each unit finishes — *before*
+returning — so the executor can persist results incrementally.  On
+any abort (:class:`KeyboardInterrupt`, a unit raising in its worker,
+a broken pool) the pools drain gracefully: pending units are
+cancelled, already-finished futures are still harvested through
+``on_done`` (and therefore reach the job store), and the exception is
+re-raised for the caller.
+
+Determinism: schedulers affect only *where/when* units run.  Results
+are reassembled in plan order by the caller, and every unit is a pure
+function of its spec, so all backends are bit-identical by contract.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+
+from repro.errors import GridError
+from repro.grid.units import WorkUnit
+from repro.grid.worker import execute_unit, process_entry
+
+DEFAULT_SCHEDULER = "serial"
+
+
+class Scheduler:
+    """A named policy for executing planned work units.
+
+    ``run`` executes ``units`` and returns their result dicts in the
+    same order; ``on_start(unit)`` / ``on_done(unit, seconds, result)``
+    fire per unit (``on_start`` at submission time for pooled
+    backends).  Pools persist across ``run`` calls — one campaign
+    dispatches many small waves — until :meth:`close`.
+    """
+
+    name: str = ""
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise GridError(f"grid workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def run(self, units, config, on_start=None, on_done=None) -> list[dict]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} workers={self.workers}>"
+
+
+#: name -> scheduler class.
+SCHEDULERS: dict[str, type[Scheduler]] = {}
+
+
+def register_scheduler(cls: type[Scheduler]) -> type[Scheduler]:
+    """Class decorator adding ``cls`` to the registry under ``cls.name``."""
+    if not cls.name:
+        raise GridError(
+            f"{cls.__name__} needs a non-empty 'name' to be registered"
+        )
+    current = SCHEDULERS.get(cls.name)
+    if current is not None and current is not cls:
+        raise GridError(
+            f"scheduler name {cls.name!r} is already registered to "
+            f"{current.__name__}"
+        )
+    SCHEDULERS[cls.name] = cls
+    return cls
+
+
+def get_scheduler(name: str) -> type[Scheduler]:
+    """Look up a registered scheduler class by name."""
+    try:
+        return SCHEDULERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise GridError(
+            f"unknown grid scheduler {name!r} (registered: {known})"
+        ) from None
+
+
+def scheduler_names() -> tuple[str, ...]:
+    return tuple(sorted(SCHEDULERS))
+
+
+def build_scheduler(name: str, workers: int = 1) -> Scheduler:
+    """Instantiate the registered scheduler called ``name``."""
+    return get_scheduler(name)(workers)
+
+
+@register_scheduler
+class SerialScheduler(Scheduler):
+    """Units run inline, in plan order (the pinned reference)."""
+
+    name = "serial"
+
+    def run(self, units, config, on_start=None, on_done=None) -> list[dict]:
+        results: list[dict] = []
+        for unit in units:
+            if on_start is not None:
+                on_start(unit)
+            started = time.monotonic()
+            result = execute_unit(unit, config)
+            if on_done is not None:
+                on_done(unit, time.monotonic() - started, result)
+            results.append(result)
+        return results
+
+
+class _PooledScheduler(Scheduler):
+    """Shared future-draining logic for the thread/process pools."""
+
+    def _pool(self):
+        raise NotImplementedError
+
+    def _submit(self, pool, unit: WorkUnit, config) -> Future:
+        raise NotImplementedError
+
+    @staticmethod
+    def _payload(future: Future) -> tuple[float, dict]:
+        """(seconds, result) from a finished future."""
+        payload = future.result()
+        return payload["seconds"], payload["result"]
+
+    def run(self, units, config, on_start=None, on_done=None) -> list[dict]:
+        units = list(units)
+        if not units:
+            return []
+        pool = self._pool()
+        futures: dict[Future, int] = {}
+        for index, unit in enumerate(units):
+            if on_start is not None:
+                on_start(unit)
+            futures[self._submit(pool, unit, config)] = index
+        results: list[dict | None] = [None] * len(units)
+        try:
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    seconds, result = self._payload(future)
+                    results[index] = result
+                    if on_done is not None:
+                        on_done(units[index], seconds, result)
+        except BaseException:
+            # KeyboardInterrupt, a unit raising in its worker, a
+            # broken pool: either way the wave is over — drain so
+            # every *finished* unit still reaches on_done (and hence
+            # the job store) before the exception propagates.
+            self._drain(units, futures, results, on_done)
+            raise
+        return results  # type: ignore[return-value]
+
+    def _drain(self, units, futures, results, on_done) -> None:
+        """Graceful abort: cancel the queue, harvest finished units."""
+        for future in futures:
+            future.cancel()
+        for future, index in futures.items():
+            if results[index] is not None or not future.done() or (
+                future.cancelled()
+            ):
+                continue
+            try:
+                seconds, result = self._payload(future)
+            except BaseException:
+                continue  # the worker itself was interrupted mid-unit
+            results[index] = result
+            if on_done is not None:
+                try:
+                    on_done(units[index], seconds, result)
+                except Exception:
+                    # Drain persistence is best-effort: a store that
+                    # fails mid-abort must neither stop the harvest of
+                    # the remaining finished units nor supplant the
+                    # original exception (the unit just recomputes on
+                    # resume).
+                    continue
+        self.close()
+
+
+@register_scheduler
+class ThreadScheduler(_PooledScheduler):
+    """A persistent thread pool sharing the parent's labs.
+
+    Pays off with engines that release the GIL (numpy ``vector``);
+    pure-Python engines serialize on the interpreter lock and should
+    prefer ``process``.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(workers)
+        self._executor: ThreadPoolExecutor | None = None
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-grid",
+            )
+        return self._executor
+
+    def _submit(self, pool, unit, config) -> Future:
+        def call() -> dict:
+            started = time.monotonic()
+            result = execute_unit(unit, config)
+            return {"seconds": time.monotonic() - started, "result": result}
+
+        return pool.submit(call)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+
+@register_scheduler
+class ProcessScheduler(_PooledScheduler):
+    """A persistent work-stealing process pool.
+
+    All units go onto one shared queue; idle workers pull (steal) the
+    next pending unit, so shards of uneven cost balance themselves.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(workers)
+        self._executor: ProcessPoolExecutor | None = None
+        self._config_data: dict | None = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def _submit(self, pool, unit, config) -> Future:
+        if self._config_data is None:
+            self._config_data = config.to_dict()
+        return pool.submit(process_entry, unit.to_dict(), self._config_data)
+
+    def run(self, units, config, on_start=None, on_done=None) -> list[dict]:
+        self._config_data = None  # re-serialize per wave, configs may differ
+        return super().run(units, config, on_start=on_start, on_done=on_done)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None

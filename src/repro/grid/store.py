@@ -1,0 +1,113 @@
+"""Persistent per-unit job store: the campaign's resume ledger.
+
+One JSON file per finished :class:`~repro.grid.units.WorkUnit`, under a
+``grid-<config fingerprint>-v<version>`` directory inside the campaign
+cache directory — the same fingerprint scheme
+:class:`repro.campaign.cache.ResultCache` uses for whole circuits, one
+level finer.  The file name embeds the unit's spec digest, so a stored
+result can never be replayed against a unit whose inputs changed, and a
+fingerprint change (different seeds, budgets, engine, shard size)
+misses cleanly into a sibling directory.
+
+Writes are write-then-rename (crash-safe, like the result cache) and
+happen as each unit completes, so a campaign killed mid-flight — even
+mid-wave — resumes from every unit that finished.  Anything unreadable
+is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.grid.units import WorkUnit
+
+#: Bump when the stored payload's shape or semantics change.
+STORE_VERSION = 1
+
+
+class JobStore:
+    """Load/store per-unit results under a campaign cache directory."""
+
+    def __init__(self, directory, config):
+        self._dir = (
+            Path(directory)
+            / f"grid-{config.fingerprint()}-v{STORE_VERSION}"
+        )
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigError(f"unusable job-store directory: {exc}") from exc
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def path(self, unit: WorkUnit) -> Path:
+        return self._dir / f"{unit.uid}.json"
+
+    def load(self, unit: WorkUnit) -> dict | None:
+        """The stored result for ``unit``, or ``None`` on any miss."""
+        try:
+            text = self.path(unit).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+            result = payload["result"]
+        except (ValueError, TypeError, KeyError):
+            return None  # corrupt entry: recompute
+        return result if isinstance(result, dict) else None
+
+    def store(self, unit: WorkUnit, result: dict, seconds: float) -> None:
+        """Persist one finished unit (atomic write-then-rename)."""
+        target = self.path(unit)
+        descriptor = unit.to_dict()
+        # The spec (vectors, mutant ids) is covered by the digest in the
+        # file name; storing it again would bloat the ledger without
+        # adding identity.
+        descriptor.pop("spec", None)
+        payload = json.dumps(
+            {
+                "unit": descriptor,
+                "digest": unit.digest,
+                "seconds": seconds,
+                "result": result,
+            },
+            sort_keys=True,
+        )
+        tmp = target.with_name(target.name + f".{os.getpid()}.tmp")
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            tmp.replace(target)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def entries(self) -> list[dict]:
+        """Descriptors of every stored unit (for ``repro grid`` listing)."""
+        return self.read_directory(self._dir)
+
+    @staticmethod
+    def read_directory(directory) -> list[dict]:
+        """Stored-unit descriptors in any store directory.
+
+        The single parser behind :meth:`entries` and the CLI's
+        ``repro grid --store`` listing (which also scans directories
+        without knowing the fingerprint); unreadable files are
+        skipped, never an error.
+        """
+        rows: list[dict] = []
+        for path in sorted(Path(directory).glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                unit = payload["unit"]
+            except (OSError, ValueError, TypeError, KeyError):
+                continue
+            if isinstance(unit, dict):
+                unit = dict(unit)
+                unit["seconds"] = payload.get("seconds")
+                rows.append(unit)
+        return rows

@@ -1,0 +1,135 @@
+"""Work-unit execution: the same code path in every scheduler.
+
+:func:`execute_unit` turns one :class:`~repro.grid.units.WorkUnit` into
+a plain JSON-serializable result dict.  It rebuilds per-circuit state
+through the memoized :func:`repro.experiments.context.get_lab`, so a
+process worker pays synthesis once per circuit and amortizes it over
+every subsequent unit, while the serial and thread schedulers share the
+parent's lab outright.
+
+:func:`process_entry` is the top-level function a
+:class:`~concurrent.futures.ProcessPoolExecutor` pickles: it rebuilds
+the config from plain data, times the unit, and ships the timing back
+so the parent can stream accurate ``on_unit_done`` events.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.errors import GridError
+from repro.grid.units import EQUIV_PART, FAULT_CHUNK, MUTANT_PART, WorkUnit
+
+#: Good-machine reference responses, shared by every unit of a wave.
+#: All units of one kill-analysis (or equivalence) wave replay the same
+#: stimulus set, and mutant sweeps only need the *reference* once — so
+#: it is memoized per (circuit, stimuli) instead of recomputed per
+#: partition.  Keyed purely by design-determining inputs (the
+#: behavioural mutation engine does not depend on the netlist backend);
+#: bounded so long campaigns cannot grow it without limit.
+_REFERENCE_MEMO: OrderedDict = OrderedDict()
+_REFERENCE_MEMO_MAX = 8
+_REFERENCE_LOCK = threading.Lock()
+
+
+def _memoized_reference(key: tuple, compute):
+    with _REFERENCE_LOCK:
+        if key in _REFERENCE_MEMO:
+            _REFERENCE_MEMO.move_to_end(key)
+            return _REFERENCE_MEMO[key]
+        value = compute()
+        _REFERENCE_MEMO[key] = value
+        while len(_REFERENCE_MEMO) > _REFERENCE_MEMO_MAX:
+            _REFERENCE_MEMO.popitem(last=False)
+        return value
+
+
+def execute_unit(unit: WorkUnit, config) -> dict:
+    """Compute one work unit; returns a JSON-serializable result."""
+    from repro.experiments.context import get_lab
+    from repro.fault.runner import simulate_stuck_at
+    from repro.mutation.score import equivalence_stimuli
+
+    lab = get_lab(unit.circuit, config.lab_config())
+
+    if unit.kind == FAULT_CHUNK:
+        spec = unit.spec
+        if len(lab.faults) != spec["num_faults"]:
+            raise GridError(
+                f"unit {unit.uid}: fault list drifted "
+                f"({len(lab.faults)} != {spec['num_faults']})"
+            )
+        faults = lab.faults[spec["start"]:spec["stop"]]
+        result = simulate_stuck_at(
+            lab.netlist,
+            spec["vectors"],
+            faults,
+            config.fault_lanes,
+            engine=config.engine,
+        )
+        return {"detection": result.detection}
+
+    if unit.kind == MUTANT_PART:
+        wanted = set(unit.spec["mids"])
+        # Population order, so the relative run order inside a partition
+        # matches the serial sweep (the union is order-free regardless).
+        mutants = [m for m in lab.all_mutants if m.mid in wanted]
+        if len(mutants) != len(wanted):
+            raise GridError(
+                f"unit {unit.uid}: {len(wanted) - len(mutants)} mutant "
+                f"id(s) not in the population"
+            )
+        vectors = unit.spec["vectors"]
+        reference = _memoized_reference(
+            ("kill", unit.circuit, tuple(vectors)),
+            lambda: lab.engine.reference_outputs(vectors),
+        )
+        killed = lab.engine.killed_mids(mutants, vectors, reference)
+        return {"killed": sorted(killed)}
+
+    if unit.kind == EQUIV_PART:
+        wanted = set(unit.spec["mids"])
+        mutants = [m for m in lab.all_mutants if m.mid in wanted]
+        if len(mutants) != len(wanted):
+            raise GridError(
+                f"unit {unit.uid}: {len(wanted) - len(mutants)} mutant "
+                f"id(s) not in the population"
+            )
+
+        def compute():
+            stimuli, _ = equivalence_stimuli(
+                lab.design, config.equivalence_budget, config.seed
+            )
+            return stimuli, lab.engine.reference_outputs(stimuli)
+
+        stimuli, reference = _memoized_reference(
+            ("equiv", unit.circuit, config.equivalence_budget, config.seed),
+            compute,
+        )
+        survivors: list[int] = []
+        kill_cycle: dict[str, int | None] = {}
+        for mutant in mutants:
+            record = lab.engine.run_mutant(mutant, stimuli, reference)
+            # JSON object keys are strings; the merge converts back.
+            kill_cycle[str(mutant.mid)] = record.cycle
+            if not record.killed:
+                survivors.append(mutant.mid)
+        return {"survivors": survivors, "kill_cycle": kill_cycle}
+
+    raise GridError(f"unknown work-unit kind {unit.kind!r}")
+
+
+def process_entry(unit_data: dict, config_data: dict) -> dict:
+    """Process-pool entry point: plain dicts in, plain dict out."""
+    from repro.campaign.config import CampaignConfig
+
+    unit = WorkUnit.from_dict(unit_data)
+    config = CampaignConfig.from_dict(config_data)
+    started = time.monotonic()
+    result = execute_unit(unit, config)
+    return {
+        "seconds": time.monotonic() - started,
+        "result": result,
+    }

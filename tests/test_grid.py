@@ -1,0 +1,631 @@
+"""Tests for repro.grid: sharded work units, schedulers, job store.
+
+The load-bearing property: every (scheduler, shard size) combination
+is bit-identical to the serial campaign, because units shard along
+axes whose merges are pure unions/concatenations.  Pinned here on
+random comb/seq netlists (merge algebra), on real labs (kill-analysis
+and equivalence unions), and on full c432+b01 campaign payloads
+(end-to-end through every scheduler backend).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignEvents,
+    GuardedEvents,
+    ProgressEvents,
+    ResultCache,
+    guard_events,
+)
+from repro.errors import ConfigError, GridError
+from repro.experiments.context import _LABS, LabConfig, get_lab
+from repro.fault import collapse_faults, simulate_stuck_at
+from repro.grid import (
+    GridExecutor,
+    JobStore,
+    WorkUnit,
+    build_scheduler,
+    get_scheduler,
+    merge_detections,
+    plan_fault_sim,
+    register_scheduler,
+    scheduler_names,
+    shard_ranges,
+    shard_size,
+)
+from repro.util import rng_stream
+from tests.test_engine import random_netlist
+
+#: Tiny budgets: every stage of the real pipeline, fast.
+FAST = dict(
+    seed=77,
+    random_budget_comb=96,
+    random_budget_seq=96,
+    equivalence_budget=32,
+    max_vectors=24,
+)
+
+#: c432+b01 with one operator and one strategy: every grid-dispatched
+#: operation (baseline, per-target validation, kill analysis,
+#: equivalence) on a big comb and a seq circuit, at test speed.
+REDUCED = dict(FAST, operators=("LOR",), strategies=("random",))
+
+SHARD_SIZES = (1, 3, 7)
+
+
+def fresh_labs():
+    """Drop memoized labs so grid paths actually dispatch units."""
+    _LABS.clear()
+
+
+@pytest.fixture(scope="module")
+def serial_reduced():
+    fresh_labs()
+    return Campaign(CampaignConfig(**REDUCED)).run(("c432", "b01"))
+
+
+@pytest.fixture(scope="module")
+def serial_c17():
+    fresh_labs()
+    return Campaign(CampaignConfig(**FAST)).run(("c17",))
+
+
+def payload(result):
+    return [c.to_dict() for c in result.circuits]
+
+
+# -- units and planners ------------------------------------------------------
+
+
+def test_work_unit_validation_and_identity():
+    unit = WorkUnit("c17", "fault-validation", "baseline", "fault-chunk",
+                    0, 2, {"start": 0, "stop": 3, "vectors": [1, 2]})
+    again = WorkUnit.from_dict(unit.to_dict())
+    assert again == unit
+    assert again.digest == unit.digest
+    assert unit.uid.endswith(unit.digest)
+    other = WorkUnit("c17", "fault-validation", "baseline", "fault-chunk",
+                     0, 2, {"start": 0, "stop": 3, "vectors": [1, 3]})
+    assert other.digest != unit.digest, "spec changes must change identity"
+    with pytest.raises(GridError):
+        WorkUnit("c17", "s", "k", "not-a-kind", 0, 1, {})
+    with pytest.raises(GridError):
+        WorkUnit("c17", "s", "k", "fault-chunk", 2, 2, {})
+    with pytest.raises(GridError):
+        WorkUnit.from_dict({"circuit": "c17"})
+
+
+def test_shard_ranges_cover_axis():
+    for total in (0, 1, 5, 16, 17):
+        for size in (1, 3, 7, 16):
+            ranges = shard_ranges(total, size)
+            covered = [i for a, b in ranges for i in range(a, b)]
+            assert covered == list(range(total))
+    with pytest.raises(GridError):
+        shard_ranges(4, 0)
+
+
+def test_shard_size_auto_is_worker_independent():
+    assert shard_size(100, 10) == 10          # explicit wins
+    assert shard_size(1600, 0) == 100         # auto: 16 units
+    assert shard_size(5, 0) == 1
+    assert shard_size(0, 0) == 1
+    with pytest.raises(GridError):
+        shard_size(10, -1)
+
+
+def test_planner_units_are_deterministic():
+    a = plan_fault_sim("c17", "baseline", 22, [1, 2, 3], 7)
+    b = plan_fault_sim("c17", "baseline", 22, [1, 2, 3], 7)
+    assert [u.digest for u in a] == [u.digest for u in b]
+    assert [u.index for u in a] == list(range(len(a)))
+    assert all(u.total == len(a) for u in a)
+
+
+# -- scheduler registry ------------------------------------------------------
+
+
+def test_scheduler_registry():
+    assert set(scheduler_names()) >= {"serial", "thread", "process"}
+    assert get_scheduler("serial").name == "serial"
+    with pytest.raises(GridError):
+        get_scheduler("not-a-scheduler")
+    with pytest.raises(GridError):
+        build_scheduler("serial", 0)
+
+    with pytest.raises(GridError):
+        @register_scheduler
+        class Hijack:  # same name, different class
+            name = "serial"
+
+
+# -- merge algebra on random netlists (satellite: property test) -------------
+
+
+def _netlist_case(case: int, sequential: bool):
+    rng = rng_stream(20260730, "grid-fuzz", "seq" if sequential else "comb",
+                     str(case))
+    netlist = random_netlist(
+        rng,
+        num_inputs=rng.randint(2, 6),
+        num_gates=rng.randint(3, 30),
+        num_dffs=rng.randint(1, 4) if sequential else 0,
+    )
+    width = len(netlist.input_bits)
+    vectors = [rng.getrandbits(width) for _ in range(rng.randint(4, 24))]
+    return netlist, vectors
+
+
+@pytest.mark.parametrize("sequential", [False, True])
+def test_sharded_fault_validation_bit_identical_on_random_netlists(
+    sequential,
+):
+    for case in range(8):
+        netlist, vectors = _netlist_case(case, sequential)
+        faults = collapse_faults(netlist)
+        serial = simulate_stuck_at(netlist, vectors, faults)
+        for shard in (*SHARD_SIZES, len(faults) or 1):
+            chunks = [
+                simulate_stuck_at(
+                    netlist, vectors, faults[start:stop]
+                ).detection
+                for start, stop in shard_ranges(len(faults), shard)
+            ]
+            merged = merge_detections(
+                [{"detection": chunk} for chunk in chunks]
+            )
+            assert merged == serial.detection, (
+                f"case {case} shard {shard}"
+            )
+
+
+# -- sharded operations on a real lab ----------------------------------------
+
+
+def _lab(name="c17"):
+    return get_lab(name, LabConfig(
+        seed=77, random_budget_comb=96, random_budget_seq=96,
+        equivalence_budget=32,
+    ))
+
+
+@pytest.mark.parametrize("shard", [*SHARD_SIZES, 0])
+def test_executor_fault_sim_matches_lab(shard):
+    lab = _lab()
+    config = CampaignConfig(**FAST, grid="serial", grid_shard=shard)
+    grid = GridExecutor(config)
+    try:
+        sharded = grid.fault_sim(lab, lab.random_vectors, "baseline")
+    finally:
+        grid.close()
+    serial = lab.fault_sim(lab.random_vectors)
+    assert sharded.detection == serial.detection
+    assert sharded.num_patterns == serial.num_patterns
+    assert sharded.faults == serial.faults
+
+
+@pytest.mark.parametrize("shard", [*SHARD_SIZES, 0])
+def test_executor_killed_mids_matches_engine(shard):
+    lab = _lab()
+    vectors = lab.random_vectors[:12]
+    mutants = lab.all_mutants
+    config = CampaignConfig(**FAST, grid="serial", grid_shard=shard)
+    grid = GridExecutor(config)
+    try:
+        sharded = grid.killed_mids(lab, mutants, vectors, "population")
+    finally:
+        grid.close()
+    assert sharded == lab.engine.killed_mids(mutants, vectors)
+
+
+@pytest.mark.parametrize("shard", [1, 7, 0])
+def test_executor_equivalence_matches_lab(shard):
+    lab = _lab()
+    config = CampaignConfig(**FAST, grid="serial", grid_shard=shard)
+    grid = GridExecutor(config)
+    try:
+        sharded = grid.equivalence(lab)
+    finally:
+        grid.close()
+    serial = lab.equivalence
+    assert sharded.equivalent_mids == serial.equivalent_mids
+    assert sharded.kill_cycle == serial.kill_cycle
+    assert sharded.budget == serial.budget
+    assert sharded.exhaustive == serial.exhaustive
+    assert sharded.seed == serial.seed
+
+
+# -- full campaigns: every scheduler, bit-identical --------------------------
+
+
+@pytest.mark.parametrize("shard", SHARD_SIZES)
+def test_grid_campaign_shard_sizes_match_serial_c17(serial_c17, shard):
+    fresh_labs()
+    grid = Campaign(
+        CampaignConfig(**FAST, grid="serial", grid_shard=shard)
+    ).run(("c17",))
+    assert payload(grid) == payload(serial_c17)
+
+
+@pytest.mark.parametrize("scheduler", ["serial", "thread", "process"])
+def test_grid_campaign_schedulers_match_serial_c432_b01(
+    serial_reduced, scheduler
+):
+    fresh_labs()
+    grid = Campaign(
+        CampaignConfig(**REDUCED, grid=scheduler, grid_workers=2)
+    ).run(("c432", "b01"))
+    assert payload(grid) == payload(serial_reduced)
+
+
+def test_grid_supersedes_jobs(serial_c17):
+    """grid + jobs>1 runs in the parent: stage hooks stay observable."""
+    fresh_labs()
+
+    class Recorder(CampaignEvents):
+        def __init__(self):
+            self.stages = []
+            self.units = 0
+
+        def on_stage_start(self, circuit, stage):
+            self.stages.append(stage)
+
+        def on_unit_done(self, unit, seconds, cached=False):
+            self.units += 1
+
+    recorder = Recorder()
+    config = CampaignConfig(**FAST, grid="serial", jobs=4)
+    result = Campaign(config, recorder).run(("c17",))
+    assert payload(result) == payload(serial_c17)
+    assert recorder.stages == list(config.stages)
+    assert recorder.units > 0
+
+
+# -- resume (the job store) --------------------------------------------------
+
+
+class AbortAfter(CampaignEvents):
+    """Raise KeyboardInterrupt once the n-th unit completes."""
+
+    def __init__(self, n):
+        self.n = n
+        self.count = 0
+
+    def on_unit_done(self, unit, seconds, cached=False):
+        self.count += 1
+        if self.count == self.n:
+            raise KeyboardInterrupt
+
+
+class UnitCounter(CampaignEvents):
+    def __init__(self):
+        self.cached = 0
+        self.fresh = 0
+
+    def on_unit_done(self, unit, seconds, cached=False):
+        if cached:
+            self.cached += 1
+        else:
+            self.fresh += 1
+
+
+def test_killed_campaign_resumes_without_recompute(tmp_path, serial_c17):
+    fresh_labs()
+    config = CampaignConfig(**FAST, grid="serial", cache_dir=str(tmp_path))
+    with pytest.raises(KeyboardInterrupt):
+        Campaign(config, AbortAfter(5)).run(("c17",))
+    stored = list(tmp_path.glob("grid-*/*.json"))
+    assert len(stored) == 5, "every finished unit persisted before the kill"
+    assert not list(tmp_path.glob("*.json")), "no circuit-level entry yet"
+
+    fresh_labs()
+    counter = UnitCounter()
+    result = Campaign(config, counter).run(("c17",), resume=True)
+    assert counter.cached == 5, "finished units were not recomputed"
+    assert counter.fresh > 0
+    assert payload(result) == payload(serial_c17)
+
+
+def test_resume_survives_worker_count_change(tmp_path, serial_c17):
+    """Unit boundaries depend on grid_shard, never on grid_workers."""
+    fresh_labs()
+    config = CampaignConfig(
+        **FAST, grid="thread", grid_workers=1, cache_dir=str(tmp_path)
+    )
+    Campaign(config).run(("c17",))
+    # Drop the circuit-level entry, keep the unit ledger: the resumed
+    # run must rebuild the circuit purely from stored units.
+    for entry in tmp_path.glob("*.json"):
+        entry.unlink()
+
+    fresh_labs()
+    counter = UnitCounter()
+    wider = config.replace(grid_workers=3)
+    assert wider.fingerprint() == config.fingerprint()
+    result = Campaign(wider, counter).run(("c17",), resume=True)
+    assert counter.fresh == 0, "every unit came from the store"
+    assert counter.cached > 0
+    assert payload(result) == payload(serial_c17)
+
+
+def test_resume_requires_cache_dir():
+    config = CampaignConfig(**FAST, grid="serial")
+    with pytest.raises(ConfigError):
+        Campaign(config).run(("c17",), resume=True)
+
+
+def test_job_store_ignores_corrupt_and_mismatched_entries(tmp_path):
+    config = CampaignConfig(**FAST, grid="serial", cache_dir=str(tmp_path))
+    store = JobStore(tmp_path, config)
+    unit = plan_fault_sim("c17", "baseline", 8, [1, 2], 3)[0]
+    assert store.load(unit) is None
+    store.store(unit, {"detection": [None, 0, 1]}, 0.1)
+    assert store.load(unit) == {"detection": [None, 0, 1]}
+    # Different spec -> different identity -> miss, not a stale hit.
+    other = plan_fault_sim("c17", "baseline", 8, [1, 3], 3)[0]
+    assert store.load(other) is None
+    store.path(unit).write_text("{ not json")
+    assert store.load(unit) is None
+    assert store.entries() == []
+
+
+def test_worker_exception_drains_finished_units():
+    """A unit failing mid-wave must not lose its finished siblings."""
+    config = CampaignConfig(**FAST)
+    lab = _lab()
+    good = plan_fault_sim(
+        "c17", "baseline", len(lab.faults), lab.random_vectors[:4], 8
+    )
+    # A fault-count mismatch makes the worker raise GridError; queued
+    # last on one worker, every good unit finishes first.
+    bad = WorkUnit(
+        "c17", "fault-validation", "baseline", "fault-chunk",
+        0, 1, {"start": 0, "stop": 1, "num_faults": 999_999,
+               "vectors": lab.random_vectors[:4]},
+    )
+    scheduler = build_scheduler("thread", 1)
+    done = []
+    try:
+        with pytest.raises(GridError):
+            scheduler.run(
+                [*good, bad], config,
+                on_done=lambda unit, seconds, result: done.append(unit.uid),
+            )
+    finally:
+        scheduler.close()
+    assert sorted(done) == sorted(unit.uid for unit in good), (
+        "every finished unit was harvested before the error propagated"
+    )
+
+
+def test_scheduler_interrupt_drains_finished_units():
+    """A KeyboardInterrupt mid-wave still harvests finished futures."""
+    config = CampaignConfig(**FAST)
+    lab = _lab()
+    units = plan_fault_sim(
+        "c17", "baseline", len(lab.faults), lab.random_vectors[:8], 2
+    )
+    scheduler = build_scheduler("thread", 2)
+    done = []
+    first_done = {"raised": False}
+
+    def on_done(unit, seconds, result):
+        done.append(unit.uid)
+        if not first_done["raised"]:
+            first_done["raised"] = True
+            raise KeyboardInterrupt
+
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.run(units, config, on_done=on_done)
+        assert len(done) >= 1
+    finally:
+        scheduler.close()
+
+
+# -- events: guard, unit hooks, progress (satellites) ------------------------
+
+
+def test_raising_hook_does_not_abort_campaign(serial_c17, capsys):
+    fresh_labs()
+
+    class Broken(CampaignEvents):
+        def __init__(self):
+            self.stage_calls = 0
+
+        def on_stage_start(self, circuit, stage):
+            self.stage_calls += 1
+            raise ValueError("boom")
+
+        def on_circuit_done(self, circuit, result, seconds, cached=False):
+            raise RuntimeError("also boom")
+
+    broken = Broken()
+    result = Campaign(CampaignConfig(**FAST), broken).run(("c17",))
+    assert payload(result) == payload(serial_c17)
+    err = capsys.readouterr().err
+    assert err.count("on_stage_start") == 1, "one warning per hook"
+    assert err.count("on_circuit_done") == 1
+    assert broken.stage_calls == 1, "broken hook suppressed after first raise"
+
+
+def test_guard_events_is_idempotent_and_passes_base_exceptions():
+    class Interrupter(CampaignEvents):
+        def on_circuit_start(self, circuit):
+            raise KeyboardInterrupt
+
+    guarded = guard_events(Interrupter())
+    assert guard_events(guarded) is guarded
+    assert isinstance(guarded, GuardedEvents)
+    with pytest.raises(KeyboardInterrupt):
+        guarded.on_circuit_start("c17")
+
+
+def test_progress_events_render_units():
+    fresh_labs()
+    stream = io.StringIO()
+    config = CampaignConfig(**FAST, grid="serial")
+    Campaign(config, ProgressEvents(stream)).run(("c17",))
+    out = stream.getvalue()
+    assert "grid=serialx1" in out
+    assert "fault-validation baseline unit 1/" in out
+    assert "[c17] done" in out
+
+
+# -- config wiring -----------------------------------------------------------
+
+
+def test_grid_config_validation():
+    with pytest.raises(ConfigError):
+        CampaignConfig(grid="not-a-scheduler")
+    with pytest.raises(ConfigError):
+        CampaignConfig(grid_shard=-1)
+    with pytest.raises(ConfigError):
+        CampaignConfig(grid_workers=0)
+    with pytest.raises(ConfigError):
+        CampaignConfig(cache_max_entries=0)
+
+
+def test_grid_config_roundtrip_and_fingerprint():
+    config = CampaignConfig(
+        **FAST, grid="process", grid_workers=4, grid_shard=64,
+        cache_max_entries=10,
+    )
+    assert CampaignConfig.from_json(config.to_json()) == config
+    # Execution-only knobs never move the fingerprint ...
+    assert config.fingerprint() == config.replace(
+        grid_workers=1, cache_max_entries=None, jobs=8
+    ).fingerprint()
+    # ... the sharding provenance does.
+    assert config.fingerprint() != config.replace(grid=None).fingerprint()
+    assert config.fingerprint() != config.replace(
+        grid_shard=32
+    ).fingerprint()
+
+
+# -- result-cache LRU (satellite) --------------------------------------------
+
+
+def test_result_cache_lru_sweep(tmp_path):
+    import os
+    import time as time_module
+
+    from repro.campaign import CircuitResult
+
+    config = CampaignConfig(**FAST)
+
+    def entry(name):
+        return CircuitResult(
+            circuit=name, sequential=False, gates=1, dffs=0, depth=1,
+            faults=2, mutants=3, equivalents=0,
+        )
+
+    seed_dir = tmp_path / "bounded"
+    unbounded = ResultCache(seed_dir, config)
+    now = time_module.time()
+    for age, name in enumerate(("old", "mid", "new")):
+        unbounded.store(entry(name))
+        stamp = now - 100 + age
+        os.utime(unbounded.path(name), (stamp, stamp))
+
+    # Constructing with the bound sweeps the stalest entry immediately.
+    cache = ResultCache(seed_dir, config, max_entries=2)
+    assert cache.load("old") is None
+    assert cache.load("mid") is not None
+    assert cache.load("new") is not None
+    # Hits refreshed mtime; age "mid" again so it is the LRU victim.
+    os.utime(cache.path("mid"), (now - 10, now - 10))
+    cache.store(entry("fresh"))
+    assert cache.load("mid") is None
+    assert cache.load("new") is not None
+    assert cache.load("fresh") is not None
+
+    # Foreign JSON files in the cache directory are never sweep victims.
+    foreign = seed_dir / "notes.json"
+    foreign.write_text("{}")
+    os.utime(foreign, (now - 10_000, now - 10_000))
+    cache.store(entry("newest"))
+    assert foreign.exists(), "sweep only touches cache-entry-shaped files"
+
+    plain_dir = tmp_path / "unbounded"
+    plain = ResultCache(plain_dir, config)
+    for name in ("a", "b", "c", "d"):
+        plain.store(entry(name))
+    assert all(
+        plain.load(name) is not None for name in ("a", "b", "c", "d")
+    ), "default stays unbounded"
+
+    with pytest.raises(ConfigError):
+        ResultCache(tmp_path, config, max_entries=0)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_run_grid_resume_and_listing(tmp_path, capsys):
+    from repro.cli import main
+
+    fresh_labs()
+    cache_dir = tmp_path / "cache"
+    config_path = tmp_path / "campaign.json"
+    config_path.write_text(
+        CampaignConfig(
+            **FAST, circuits=("c17",), strategies=(),
+            grid="serial", cache_dir=str(cache_dir),
+        ).to_json()
+    )
+    assert main(["run", str(config_path)]) == 0
+    capsys.readouterr()
+
+    assert main(["grid"]) == 0
+    out = capsys.readouterr().out
+    assert "serial" in out and "process" in out and "thread" in out
+
+    assert main([
+        "grid", "--store", str(cache_dir), "--config", str(config_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fault-validation" in out and "unit(s) done" in out
+
+    # Resume after dropping the circuit entry: completes from the store.
+    for entry in cache_dir.glob("*.json"):
+        entry.unlink()
+    fresh_labs()
+    assert main(["run", str(config_path), "--resume"]) == 0
+    assert "Campaign: circuit inventory" in capsys.readouterr().out
+
+
+def test_cli_resume_without_cache_dir_errors(tmp_path, capsys):
+    from repro.cli import main
+
+    config_path = tmp_path / "campaign.json"
+    config_path.write_text(
+        CampaignConfig(**FAST, circuits=("c17",)).to_json()
+    )
+    assert main(["run", str(config_path), "--resume"]) == 2
+    assert "cache" in capsys.readouterr().err
+
+
+def test_cli_json_includes_grid_fields(tmp_path, capsys):
+    from repro.cli import main
+
+    config_path = tmp_path / "campaign.json"
+    config_path.write_text(
+        CampaignConfig(**FAST, circuits=("c17",), strategies=()).to_json()
+    )
+    out_path = tmp_path / "result.json"
+    assert main([
+        "run", str(config_path), "--grid", "serial",
+        "--grid-workers", "2", "--json", str(out_path),
+    ]) == 0
+    capsys.readouterr()
+    data = json.loads(out_path.read_text())
+    assert data["config"]["grid"] == "serial"
+    assert data["config"]["grid_workers"] == 2
