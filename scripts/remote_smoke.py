@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""End-to-end smoke for repro.net: real processes, real sockets.
+
+Drives the full cross-machine story on localhost, the way CI (or a
+skeptical human with two terminals) would:
+
+1. ``repro serve`` + two ``repro worker`` subprocesses; a c17+b01
+   campaign through ``--grid remote`` must produce a ``--json``
+   payload identical to ``--grid serial``.
+2. One worker is SIGKILLed mid-run — lease reassignment must finish
+   the campaign on the survivor, still bit-identical.
+3. The coordinator itself is SIGKILLed mid-run; a fresh coordinator
+   on the same ``--cache-dir`` plus ``repro run --resume`` must
+   complete from the persisted units, still bit-identical.
+4. Teardown is clean: every subprocess this script started is gone
+   when it exits (no orphans).
+
+Run as ``PYTHONPATH=src python scripts/remote_smoke.py``.  Exits 0 on
+success, 1 with a diagnostic on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+PORT = int(os.environ.get("REPRO_SMOKE_PORT", "18752"))
+URL = f"http://127.0.0.1:{PORT}"
+
+CONFIG = {
+    "circuits": ["c17", "b01"],
+    "operators": ["LOR"],
+    "strategies": ["random"],
+    "random_budget_comb": 256,
+    "random_budget_seq": 128,
+    "equivalence_budget": 64,
+    "max_vectors": 64,
+}
+
+PROCS: list[subprocess.Popen] = []
+
+
+def spawn(*args: str, **kwargs) -> subprocess.Popen:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env={**os.environ, "PYTHONHASHSEED": "0"},
+        **kwargs,
+    )
+    PROCS.append(proc)
+    return proc
+
+
+def run(*args: str, check: bool = True, **kwargs):
+    print(f"+ repro {' '.join(args)}", flush=True)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env={**os.environ, "PYTHONHASHSEED": "0"},
+        check=check,
+        **kwargs,
+    )
+
+
+def wait_for_coordinator(deadline: float = 30.0) -> None:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            with urllib.request.urlopen(f"{URL}/ping", timeout=1.0):
+                return
+        except OSError:
+            time.sleep(0.1)
+    raise RuntimeError(f"coordinator at {URL} never came up")
+
+
+def start_stack(cache_dir: str | None, lease_timeout: float = 3.0):
+    serve_args = ["serve", "--port", str(PORT),
+                  "--lease-timeout", str(lease_timeout)]
+    if cache_dir:
+        serve_args += ["--cache-dir", cache_dir]
+    coordinator = spawn(*serve_args)
+    wait_for_coordinator()
+    workers = [
+        spawn("worker", URL, "--name", f"smoke-{i}") for i in range(2)
+    ]
+    return coordinator, workers
+
+
+def reap(proc: subprocess.Popen, sig=signal.SIGTERM, timeout: float = 15.0):
+    if proc.poll() is None:
+        proc.send_signal(sig)
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=timeout)
+
+
+def payload(path: Path) -> list:
+    return json.loads(path.read_text())["circuits"]
+
+
+def run_until_units(args: list[str], units: int) -> subprocess.Popen:
+    """Start ``repro run --progress`` and return once ``units`` unit
+    completions have been reported (the run keeps going)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *args, "--progress"],
+        env={**os.environ, "PYTHONHASHSEED": "0"},
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    PROCS.append(proc)
+    seen = threading.Event()
+
+    def watch():
+        count = 0
+        for line in proc.stderr:
+            sys.stderr.write(line)
+            if " unit " in line:
+                count += 1
+                if count >= units:
+                    seen.set()
+        seen.set()  # stream closed: the run ended either way
+
+    threading.Thread(target=watch, daemon=True).start()
+    if not seen.wait(timeout=300):
+        raise RuntimeError("run made no visible progress")
+    return proc
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-remote-smoke-"))
+    config_path = workdir / "campaign.json"
+    config_path.write_text(json.dumps(CONFIG))
+    serial_json = workdir / "serial.json"
+    run("run", str(config_path), "--json", str(serial_json))
+    serial = payload(serial_json)
+
+    # -- leg 1+2: remote run, one worker murdered mid-flight -----------------
+    coordinator, workers = start_stack(cache_dir=None)
+    remote_json = workdir / "remote.json"
+    proc = run_until_units(
+        ["run", str(config_path), "--grid", "remote",
+         "--coordinator", URL, "--json", str(remote_json)],
+        units=4,
+    )
+    print("killing one worker mid-run", flush=True)
+    workers[1].kill()
+    workers[1].wait()
+    if proc.wait(timeout=600) != 0:
+        raise RuntimeError("remote run failed after losing a worker")
+    assert payload(remote_json) == serial, (
+        "remote payload drifted from serial after a worker loss"
+    )
+    print("OK: remote == serial with a worker killed mid-run", flush=True)
+    reap(workers[0])
+    reap(coordinator)
+
+    # -- leg 3: coordinator murdered mid-run, resume from its store ----------
+    shared = workdir / "shared-cache"
+    coordinator, workers = start_stack(cache_dir=str(shared))
+    proc = run_until_units(
+        ["run", str(config_path), "--grid", "remote",
+         "--coordinator", URL, "--cache-dir", str(shared)],
+        units=4,
+    )
+    print("killing the coordinator mid-run", flush=True)
+    coordinator.kill()
+    coordinator.wait()
+    if proc.wait(timeout=600) == 0:
+        print("note: run finished before the coordinator died", flush=True)
+    stored = len(list(shared.glob("grid-*/*.json")))
+    print(f"units persisted by the dead coordinator: {stored}", flush=True)
+    assert stored > 0, "the coordinator persisted nothing before dying"
+    for worker in workers:  # they point at a corpse; replace them
+        reap(worker, sig=signal.SIGKILL)
+    coordinator, workers = start_stack(cache_dir=str(shared))
+    resumed_json = workdir / "resumed.json"
+    result = run(
+        "run", str(config_path), "--grid", "remote",
+        "--coordinator", URL, "--cache-dir", str(shared),
+        "--resume", "--progress", "--json", str(resumed_json),
+        stderr=subprocess.PIPE, text=True,
+    )
+    sys.stderr.write(result.stderr)
+    assert payload(resumed_json) == serial, (
+        "resumed payload drifted from serial"
+    )
+    if "(cached)" not in result.stderr:
+        print("note: first attempt had finished before the kill", flush=True)
+    print("OK: resume after coordinator crash == serial", flush=True)
+
+    # -- teardown: nothing left running --------------------------------------
+    for worker in workers:
+        reap(worker)
+    reap(coordinator)
+    leftovers = [p.pid for p in PROCS if p.poll() is None]
+    assert not leftovers, f"orphaned processes: {leftovers}"
+    print("OK: clean teardown, no orphans", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except (AssertionError, RuntimeError) as exc:
+        print(f"remote smoke FAILED: {exc}", file=sys.stderr)
+        sys.exit(1)
+    finally:
+        for proc in PROCS:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

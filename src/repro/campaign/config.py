@@ -67,7 +67,8 @@ WEIGHT_SCHEMES = ("calibrated", "paper-ranks", "uniform")
 #: entries; ``grid``/``grid_shard`` stay in the fingerprint as
 #: provenance, like ``engine``.)
 EXECUTION_FIELDS = frozenset(
-    {"circuits", "jobs", "cache_dir", "grid_workers", "cache_max_entries"}
+    {"circuits", "jobs", "cache_dir", "grid_workers", "cache_max_entries",
+     "coordinator"}
 )
 
 _TUPLE_FIELDS = ("operators", "strategies", "sample_labels", "stages",
@@ -146,6 +147,11 @@ class CampaignConfig:
     #: workers for the grid scheduler (execution-only: resuming on a
     #: different pool size reuses every stored unit).
     grid_workers: int = 1
+    #: coordinator base URL for the ``remote`` scheduler
+    #: (``http://host:port``); execution-only — *where* units run,
+    #: never *what* they compute, so a campaign started against one
+    #: coordinator resumes against another (or locally) unchanged.
+    coordinator: str | None = None
 
     # -- execution (excluded from the fingerprint) ---------------------------
     circuits: tuple[str, ...] = DEFAULT_CIRCUITS
@@ -224,6 +230,18 @@ class CampaignConfig:
         if self.grid_workers < 1:
             raise ConfigError(
                 f"grid_workers must be >= 1, got {self.grid_workers}"
+            )
+        if self.coordinator is not None and not isinstance(
+            self.coordinator, str
+        ):
+            raise ConfigError(
+                f"coordinator must be a URL string, got "
+                f"{type(self.coordinator).__name__}"
+            )
+        if self.grid == "remote" and not self.coordinator:
+            raise ConfigError(
+                "the remote grid scheduler needs the coordinator "
+                "option (--coordinator http://host:port)"
             )
         if self.cache_max_entries is not None and self.cache_max_entries < 1:
             raise ConfigError(

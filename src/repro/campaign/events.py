@@ -139,6 +139,91 @@ def guard_events(events: CampaignEvents | None) -> GuardedEvents:
     return GuardedEvents(events if events is not None else CampaignEvents())
 
 
+#: Bump when the envelope shapes below change incompatibly.
+ENVELOPE_VERSION = 1
+
+
+def unit_envelope(unit) -> dict:
+    """The JSON-able identity of a grid work unit (no spec payload)."""
+    return {
+        "uid": unit.uid,
+        "circuit": unit.circuit,
+        "stage": unit.stage,
+        "key": unit.key,
+        "index": unit.index,
+        "total": unit.total,
+    }
+
+
+class RecordingEvents(CampaignEvents):
+    """Serializes every hook call into a JSON-able envelope.
+
+    Each hook becomes one plain-dict envelope — ``{"event": <kind>,
+    ...}`` with only JSON-native values — handed to the ``emit``
+    callable.  This is the wire format of the campaign service's
+    event stream (:mod:`repro.net`): the coordinator appends a
+    monotonic ``seq`` to each envelope as it lands in the per-campaign
+    buffer, and polling clients resume from any sequence number.
+
+    Envelopes deliberately carry identities and timings, not results:
+    the final :class:`CampaignResult` travels once, at the end,
+    through its own channel.
+    """
+
+    def __init__(self, emit):
+        self._emit = emit
+
+    def on_campaign_start(self, circuits, config) -> None:
+        self._emit({
+            "event": "campaign-start",
+            "circuits": list(circuits),
+            "fingerprint": config.fingerprint(),
+        })
+
+    def on_campaign_end(self, result, seconds) -> None:
+        self._emit({
+            "event": "campaign-end",
+            "circuits": len(result.circuits),
+            "cache_hits": list(result.cache_hits),
+            "seconds": seconds,
+        })
+
+    def on_circuit_start(self, circuit) -> None:
+        self._emit({"event": "circuit-start", "circuit": circuit})
+
+    def on_circuit_done(self, circuit, result, seconds, cached=False) -> None:
+        self._emit({
+            "event": "circuit-done",
+            "circuit": circuit,
+            "seconds": seconds,
+            "cached": bool(cached),
+        })
+
+    def on_stage_start(self, circuit, stage) -> None:
+        self._emit({
+            "event": "stage-start", "circuit": circuit, "stage": stage,
+        })
+
+    def on_stage_end(self, circuit, stage, seconds) -> None:
+        self._emit({
+            "event": "stage-end",
+            "circuit": circuit,
+            "stage": stage,
+            "seconds": seconds,
+        })
+
+    def on_unit_start(self, unit) -> None:
+        self._emit({"event": "unit-start", "unit": unit_envelope(unit)})
+
+    def on_unit_done(self, unit, seconds, cached=False) -> None:
+        self._emit({
+            "event": "unit-done",
+            "unit": unit_envelope(unit),
+            "seconds": seconds,
+            "cached": bool(cached),
+        })
+
+
 class ProgressEvents(CampaignEvents):
     """Line-per-event progress on a stream (default: stderr)."""
 

@@ -183,15 +183,15 @@ class Campaign:
         result cache holds (whole circuits), which the cache provides
         on any run.
         """
-        from repro.errors import ConfigError
+        from repro.errors import CampaignError
 
         config = self.config
         events = guard_events(self.events)
         names = tuple(circuits) if circuits is not None else config.circuits
         if resume and not config.cache_dir:
-            raise ConfigError(
-                "resume needs a cache directory (the config's "
-                "cache_dir, or --cache-dir on the CLI): finished "
+            raise CampaignError(
+                "resume needs the cache_dir option (set cache_dir in "
+                "the config, or pass --cache-dir on the CLI): finished "
                 "circuits and work units live there"
             )
         events.on_campaign_start(names, config)

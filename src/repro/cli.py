@@ -12,7 +12,14 @@ Commands
 * ``testgen``    — generate mutation-adequate validation data
 * ``run``        — execute a full campaign from a JSON config file
   (``--resume`` continues a killed run: finished circuits from the
-  result cache, finished grid work units from the job store)
+  result cache, finished grid work units from the job store;
+  ``--grid remote --coordinator URL`` dispatches units to a
+  coordinator's attached workers)
+* ``serve``      — run a repro.net coordinator: grid unit broker plus
+  the campaign-as-a-service front door
+* ``worker``     — attach a worker daemon to a coordinator
+* ``submit``     — submit a campaign config to a coordinator and
+  stream its event envelopes back as JSON lines
 * ``table1``     — regenerate the paper's Table 1
 * ``table2``     — regenerate the paper's Table 2
 * ``atpg-reuse`` — the §1 validation-reuse experiment
@@ -119,6 +126,9 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--grid-shard", type=int, default=0,
                         help="items (faults/mutants) per grid work "
                              "unit (default: 0 = auto)")
+    parser.add_argument("--coordinator", default=None, metavar="URL",
+                        help="coordinator base URL for --grid remote "
+                             "(http://host:port)")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result cache "
                              "and the grid job store")
@@ -161,6 +171,9 @@ def _campaign_config(args, **overrides) -> CampaignConfig:
             args, "grid_workers", CampaignConfig.grid_workers
         ),
         grid_shard=getattr(args, "grid_shard", CampaignConfig.grid_shard),
+        coordinator=getattr(
+            args, "coordinator", CampaignConfig.coordinator
+        ),
         cache_dir=getattr(args, "cache_dir", CampaignConfig.cache_dir),
         cache_max_entries=getattr(
             args, "cache_max_entries", CampaignConfig.cache_max_entries
@@ -271,6 +284,9 @@ def _main(argv: list[str] | None = None) -> int:
                      help="override the config's grid worker count")
     run.add_argument("--grid-shard", type=int, default=None,
                      help="override the config's grid shard size")
+    run.add_argument("--coordinator", default=None, metavar="URL",
+                     help="coordinator base URL for --grid remote "
+                          "(http://host:port)")
     run.add_argument("--resume", action="store_true",
                      help="resume a killed run (needs --cache-dir): "
                           "finished circuits come from the result "
@@ -293,6 +309,67 @@ def _main(argv: list[str] | None = None) -> int:
                      help="also write the result as JSON to PATH")
     run.add_argument("--progress", action="store_true",
                      help="report per-stage progress on stderr")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a repro.net coordinator (unit broker + campaign "
+             "service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1; use "
+                            "0.0.0.0 to accept remote workers)")
+    serve.add_argument("--port", type=int, default=8752,
+                       help="bind port (default: 8752; 0 = ephemeral)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="shared result-cache / job-store directory; "
+                            "completed units are persisted here so "
+                            "'repro run --resume' survives a "
+                            "coordinator crash")
+    serve.add_argument("--lease-timeout", type=float, default=None,
+                       help="seconds a worker may stay silent before "
+                            "its units are reassigned (default: 60)")
+    serve.add_argument("--no-service", action="store_true",
+                       help="plain unit broker: refuse campaign "
+                            "submissions")
+    serve.add_argument("--verbose", action="store_true",
+                       help="also log every HTTP request")
+
+    worker = sub.add_parser(
+        "worker", help="attach a worker daemon to a coordinator"
+    )
+    worker.add_argument("coordinator",
+                        help="coordinator base URL (http://host:port)")
+    worker.add_argument("--name", default=None,
+                        help="worker name shown in coordinator logs "
+                             "(default: hostname-pid)")
+    worker.add_argument("--max-units", type=int, default=None,
+                        help="exit after completing this many units")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many consecutive idle "
+                             "seconds")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign to a coordinator and stream its "
+             "events",
+    )
+    submit.add_argument("coordinator",
+                        help="coordinator base URL (http://host:port)")
+    submit.add_argument("config",
+                        help="path to a CampaignConfig JSON file")
+    submit.add_argument("--circuits", nargs="*", default=None,
+                        help="override the config's circuit list")
+    submit.add_argument("--since", type=int, default=0,
+                        help="resume the event stream from this "
+                             "sequence number")
+    submit.add_argument("--poll", type=float, default=0.5,
+                        help="event poll interval in seconds "
+                             "(default: 0.5)")
+    submit.add_argument("--quiet", action="store_true",
+                        help="suppress the event stream; print only "
+                             "the final summary")
+    submit.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the result as JSON to PATH")
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     table1.add_argument("--circuits", nargs="*", default=list(DEFAULT_CIRCUITS))
@@ -372,6 +449,12 @@ def _main(argv: list[str] | None = None) -> int:
         return _cmd_testgen(args)
     if command == "run":
         return _cmd_run(args)
+    if command == "serve":
+        return _cmd_serve(args)
+    if command == "worker":
+        return _cmd_worker(args)
+    if command == "submit":
+        return _cmd_submit(args)
     if command == "table1":
         from repro.campaign.runner import Campaign
         from repro.experiments.report import table1_text
@@ -673,6 +756,8 @@ def _cmd_run(args) -> int:
         overrides["grid_workers"] = args.grid_workers
     if args.grid_shard is not None:
         overrides["grid_shard"] = args.grid_shard
+    if args.coordinator is not None:
+        overrides["coordinator"] = args.coordinator
     if args.engine is not None:
         overrides["engine"] = args.engine
     if args.fault_lanes is not None:
@@ -690,6 +775,96 @@ def _cmd_run(args) -> int:
     # A resume without a cache directory is rejected by Campaign.run
     # (the single owner of that validation).
     result = Campaign(config, _events(args)).run(resume=args.resume)
+    print(campaign_text(result))
+    _archive(args, result.to_json)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.net import DEFAULT_LEASE_TIMEOUT, CoordinatorServer
+
+    server = CoordinatorServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        lease_timeout=(
+            args.lease_timeout if args.lease_timeout is not None
+            else DEFAULT_LEASE_TIMEOUT
+        ),
+        service=not args.no_service,
+        verbose=args.verbose,
+    )
+    store = f", job store: {args.cache_dir}" if args.cache_dir else ""
+    mode = "broker only" if args.no_service else "broker + service"
+    print(
+        f"coordinator listening on {server.url} ({mode}{store})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("coordinator: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.net import WorkerDaemon
+
+    daemon = WorkerDaemon(
+        args.coordinator,
+        name=args.name or "",
+        max_units=args.max_units,
+        max_idle=args.max_idle,
+    )
+    try:
+        daemon.run()
+    except KeyboardInterrupt:
+        print("worker: interrupted, exiting", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+    import time
+
+    from repro.campaign.result import CampaignResult
+    from repro.experiments.report import campaign_text
+    from repro.net import CoordinatorClient
+
+    config = CampaignConfig.from_file(args.config)
+    if args.circuits is not None:
+        config = config.replace(circuits=tuple(args.circuits))
+    client = CoordinatorClient(args.coordinator)
+    client.ping()
+    cid = client.submit_campaign(config.to_dict())["campaign"]
+    print(f"submitted campaign {cid} to {client.url}", file=sys.stderr)
+
+    def drain(since: int) -> int:
+        for event in client.campaign_events(cid, since):
+            since = int(event.get("seq", since)) + 1
+            if not args.quiet:
+                print(json.dumps(event, sort_keys=True), flush=True)
+        return since
+
+    since = max(0, args.since)
+    while True:
+        since = drain(since)
+        status = client.campaign_status(cid)
+        if status["status"] in ("done", "failed"):
+            # Events that landed between the drain and the status
+            # read are picked up by one final drain.
+            drain(since)
+            break
+        time.sleep(max(args.poll, 0.05))
+    if status["status"] == "failed":
+        print(
+            f"repro: campaign {cid} failed: "
+            f"{status.get('error', 'unknown error')}",
+            file=sys.stderr,
+        )
+        return 1
+    result = CampaignResult.from_dict(status["result"])
     print(campaign_text(result))
     _archive(args, result.to_json)
     return 0

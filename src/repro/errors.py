@@ -105,5 +105,19 @@ class ConfigError(ReproError):
     """An experiment configuration is invalid."""
 
 
+class CampaignError(ConfigError):
+    """A campaign run was invoked inconsistently.
+
+    Subclasses :class:`ConfigError` so existing callers that catch
+    configuration problems keep working; raised where the problem is
+    the *invocation* (e.g. ``--resume`` without a ``cache_dir``)
+    rather than a malformed config file.
+    """
+
+
 class GridError(ReproError):
     """A grid work unit, scheduler or job store is misconfigured."""
+
+
+class NetError(ReproError):
+    """A repro.net coordinator, worker or client protocol failure."""

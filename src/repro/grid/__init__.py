@@ -24,7 +24,8 @@ Pieces:
   (never by worker count), so resumes survive re-sizing the pool.
 * Schedulers (:mod:`repro.grid.scheduler`) — named registry:
   ``serial`` reference, ``thread`` pool, ``process`` work-stealing
-  pool with a graceful ``KeyboardInterrupt`` drain.
+  pool with a graceful ``KeyboardInterrupt`` drain, and ``remote``
+  (units dispatched to a :mod:`repro.net` coordinator over HTTP).
 * :class:`JobStore` (:mod:`repro.grid.store`) — JSON-per-unit ledger
   under the campaign cache's fingerprint scheme; powers
   ``repro run --resume``.
@@ -45,6 +46,7 @@ from repro.grid.scheduler import (
     DEFAULT_SCHEDULER,
     SCHEDULERS,
     ProcessScheduler,
+    RemoteScheduler,
     Scheduler,
     SerialScheduler,
     ThreadScheduler,
@@ -75,6 +77,7 @@ __all__ = [
     "JobStore",
     "MUTANT_PART",
     "ProcessScheduler",
+    "RemoteScheduler",
     "SCHEDULERS",
     "STORE_VERSION",
     "Scheduler",

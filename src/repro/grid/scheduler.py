@@ -1,6 +1,6 @@
 """Scheduler backends: how planned work units get executed.
 
-Three backends ship with the library, registered by name (mirroring
+Four backends ship with the library, registered by name (mirroring
 :mod:`repro.engine` and :mod:`repro.sampling.registry`):
 
 * ``serial`` — the reference: units run inline, in plan order.  Still
@@ -16,6 +16,9 @@ Three backends ship with the library, registered by name (mirroring
   per-circuit state through the memoized lab lookup (synthesis is paid
   once per circuit per worker) and stream ``(seconds, result)``
   payloads back as futures complete.
+* ``remote`` — units go to a :mod:`repro.net` coordinator over HTTP
+  and execute on whatever worker daemons are attached, on any machine.
+  Needs ``config.coordinator`` (``--coordinator http://host:port``).
 
 All backends call ``on_done`` as each unit finishes — *before*
 returning — so the executor can persist results incrementally.  On
@@ -241,6 +244,101 @@ class ThreadScheduler(_PooledScheduler):
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+
+
+@register_scheduler
+class RemoteScheduler(Scheduler):
+    """Units execute on workers attached to a repro.net coordinator.
+
+    The wave protocol: submit every unit of the wave (with the config)
+    to the coordinator in one POST, then poll the wave's completion
+    log with a ``since`` cursor, firing ``on_done`` for each newly
+    landed unit — the same incremental-persistence contract as the
+    local pools.  Parallelism is however many workers are attached to
+    the coordinator; the ``workers`` count is ignored.  Results come
+    back in plan order, and since every unit is a pure function of its
+    spec, the output is bit-identical to ``serial`` no matter which
+    machine computed what, or how often (lease reassignment can make
+    delivery at-least-once).
+
+    A unit that *raises* on a worker fails the wave with a
+    :class:`~repro.errors.GridError`, after harvesting every other
+    finished unit in the log — matching the local drain semantics.  An
+    abort (``KeyboardInterrupt``) cancels the wave so the coordinator
+    drops its pending units.
+    """
+
+    name = "remote"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(workers)
+        self._client = None
+
+    def _coordinator(self, config):
+        from repro.net.client import CoordinatorClient
+
+        url = getattr(config, "coordinator", None)
+        if not url:
+            raise GridError(
+                "the remote scheduler needs a coordinator URL: pass "
+                "--coordinator http://host:port (or set the "
+                "'coordinator' config option)"
+            )
+        if self._client is None or self._client.url != url.rstrip("/"):
+            self._client = CoordinatorClient(url)
+        return self._client
+
+    def run(self, units, config, on_start=None, on_done=None) -> list[dict]:
+        from repro.net.protocol import DEFAULT_POLL_INTERVAL
+
+        units = list(units)
+        if not units:
+            return []
+        client = self._coordinator(config)
+        for unit in units:
+            if on_start is not None:
+                on_start(unit)
+        wave = client.submit_wave(
+            [unit.to_dict() for unit in units], config.to_dict()
+        )
+        wid = wave["wave"]
+        results: list[dict | None] = [None] * len(units)
+        done = 0
+        since = 0
+        try:
+            while done < len(units):
+                status = client.wave_status(wid, since)
+                since = status["next"]
+                failure = None
+                for record in status["log"]:
+                    index = record["index"]
+                    if "error" in record:
+                        failure = failure or GridError(
+                            f"unit {record['uid']} failed on worker "
+                            f"{record['worker']}: {record['error']}"
+                        )
+                        continue
+                    results[index] = record["result"]
+                    done += 1
+                    if on_done is not None:
+                        on_done(
+                            units[index],
+                            float(record.get("seconds") or 0.0),
+                            record["result"],
+                        )
+                if failure is not None:
+                    raise failure
+                if done < len(units):
+                    time.sleep(DEFAULT_POLL_INTERVAL)
+        except BaseException:
+            # The wave is over either way: drop its pending units so
+            # attached workers go idle instead of computing for no one.
+            try:
+                client.cancel_wave(wid)
+            except Exception:
+                pass
+            raise
+        return results  # type: ignore[return-value]
 
 
 @register_scheduler

@@ -12,13 +12,16 @@ misses cleanly into a sibling directory.
 Writes are write-then-rename (crash-safe, like the result cache) and
 happen as each unit completes, so a campaign killed mid-flight — even
 mid-wave — resumes from every unit that finished.  Anything unreadable
-is treated as a miss, never an error.
+is treated as a miss, never an error: a corrupt or truncated unit file
+(a machine that died mid-write before the rename, a torn copy) is
+skipped with one stderr warning and simply recomputed.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 from pathlib import Path
 
 from repro.errors import ConfigError
@@ -40,6 +43,7 @@ class JobStore:
             self._dir.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise ConfigError(f"unusable job-store directory: {exc}") from exc
+        self._warned: set[str] = set()
 
     @property
     def directory(self) -> Path:
@@ -49,17 +53,40 @@ class JobStore:
         return self._dir / f"{unit.uid}.json"
 
     def load(self, unit: WorkUnit) -> dict | None:
-        """The stored result for ``unit``, or ``None`` on any miss."""
+        """The stored result for ``unit``, or ``None`` on any miss.
+
+        A file that exists but does not parse (truncated mid-write on
+        a crashed machine, torn copy) is a miss too — reported once on
+        stderr per file, then silently recomputed; a resume must never
+        crash on a damaged ledger.
+        """
+        path = self.path(unit)
         try:
-            text = self.path(unit).read_text(encoding="utf-8")
+            text = path.read_text(encoding="utf-8")
         except OSError:
             return None
         try:
             payload = json.loads(text)
             result = payload["result"]
-        except (ValueError, TypeError, KeyError):
+        except (ValueError, TypeError, KeyError) as exc:
+            self._warn_corrupt(path, exc)
             return None  # corrupt entry: recompute
-        return result if isinstance(result, dict) else None
+        if not isinstance(result, dict):
+            self._warn_corrupt(path, "result is not an object")
+            return None
+        return result
+
+    def _warn_corrupt(self, path: Path, reason) -> None:
+        """One stderr warning per corrupt unit file, then recompute."""
+        if path.name in self._warned:
+            return
+        self._warned.add(path.name)
+        print(
+            f"job store: skipping corrupt unit file {path} ({reason}); "
+            f"the unit will be recomputed",
+            file=sys.stderr,
+            flush=True,
+        )
 
     def store(self, unit: WorkUnit, result: dict, seconds: float) -> None:
         """Persist one finished unit (atomic write-then-rename)."""

@@ -1,0 +1,49 @@
+"""repro.net — cross-machine grid dispatch and campaign-as-a-service.
+
+The grid's fourth scheduler backend, stretched over HTTP: a
+:class:`CoordinatorServer` owns the unit queue, worker daemons
+(:class:`WorkerDaemon`, ``repro worker``) pull units and push results,
+and the ``remote`` scheduler (:class:`repro.grid.RemoteScheduler`)
+submits waves from an ordinary ``repro run --grid remote``.  The same
+coordinator doubles as a campaign service (``repro serve`` / ``repro
+submit``): submitted configs run server-side on the attached workers
+and stream sequence-numbered event envelopes back to polling clients.
+
+Everything is stdlib (``http.server`` + ``urllib``), everything on the
+wire is JSON (:mod:`repro.net.protocol`), and at-least-once delivery
+with lease-based reassignment is safe because work units are pure
+functions of their spec and all merges are order-independent — remote
+execution is bit-identical to ``--grid serial`` by construction.
+"""
+
+from repro.net.client import CoordinatorClient, WorkerGone
+from repro.net.coordinator import (
+    CampaignService,
+    CoordinatorCore,
+    CoordinatorServer,
+    NotFound,
+    UnknownWorker,
+)
+from repro.net.protocol import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_POLL_INTERVAL,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.net.worker import WorkerDaemon, default_worker_name
+
+__all__ = [
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_POLL_INTERVAL",
+    "PROTOCOL_VERSION",
+    "CampaignService",
+    "CoordinatorClient",
+    "CoordinatorCore",
+    "CoordinatorServer",
+    "NotFound",
+    "ProtocolError",
+    "UnknownWorker",
+    "WorkerDaemon",
+    "WorkerGone",
+    "default_worker_name",
+]

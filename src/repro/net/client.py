@@ -1,0 +1,143 @@
+"""HTTP client for the repro.net coordinator (stdlib ``urllib``).
+
+One thin method per protocol endpoint, all returning the decoded JSON
+payload.  Error responses (``{"error": ...}`` with a 4xx/5xx status)
+are raised as exceptions: :class:`WorkerGone` for ``410`` (the
+coordinator reaped this worker's lease — re-register and continue),
+:class:`repro.net.protocol.ProtocolError` for ``400``,
+:class:`repro.errors.NetError` for everything else, including refused
+connections, so callers never see raw ``urllib`` exceptions.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+from repro.errors import NetError
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    check_version,
+    dump_message,
+    load_event_lines,
+    load_message,
+)
+
+#: Per-request timeout: every endpoint answers from in-memory state,
+#: so a slow response means a wedged coordinator, not a slow unit.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+
+class WorkerGone(NetError):
+    """The coordinator reaped this worker id (``410``) — re-register."""
+
+
+class CoordinatorClient:
+    """Talk to one coordinator at ``url`` (e.g. ``http://host:8752``)."""
+
+    def __init__(self, url: str, timeout: float = DEFAULT_REQUEST_TIMEOUT):
+        if not str(url).startswith(("http://", "https://")):
+            raise NetError(
+                f"coordinator URL must start with http:// or https://, "
+                f"got {url!r}"
+            )
+        self.url = str(url).rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> bytes:
+        request = urllib.request.Request(
+            self.url + path,
+            method=method,
+            data=dump_message(payload) if payload is not None else None,
+            headers=(
+                {"Content-Type": "application/json"}
+                if payload is not None else {}
+            ),
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                message = load_message(body).get("error") or str(exc)
+            except ProtocolError:
+                message = str(exc)
+            if exc.code == 410:
+                raise WorkerGone(message) from None
+            if exc.code == 400:
+                raise ProtocolError(message) from None
+            raise NetError(
+                f"coordinator rejected {method} {path}: "
+                f"{exc.code} {message}"
+            ) from None
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            reason = getattr(exc, "reason", None) or exc
+            raise NetError(
+                f"cannot reach coordinator at {self.url}: {reason}"
+            ) from None
+
+    def _call(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        return load_message(self._request(method, path, payload))
+
+    # -- liveness ------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Liveness check; refuses a protocol-version mismatch."""
+        payload = self._call("GET", "/ping")
+        check_version(payload, f"coordinator at {self.url}")
+        return payload
+
+    def status(self) -> dict:
+        return self._call("GET", "/status")
+
+    # -- worker endpoints ----------------------------------------------------
+
+    def register_worker(self, name: str = "") -> dict:
+        payload = self._call("POST", "/workers", {"name": name})
+        check_version(payload, f"coordinator at {self.url}")
+        return payload
+
+    def heartbeat(self, wid: str) -> dict:
+        return self._call("POST", f"/workers/{wid}/heartbeat", {})
+
+    def lease(self, wid: str) -> dict:
+        return self._call("POST", f"/workers/{wid}/lease", {})
+
+    def complete(self, wid: str, payload: dict) -> dict:
+        return self._call("POST", f"/workers/{wid}/complete", payload)
+
+    # -- wave endpoints (the remote scheduler's side) ------------------------
+
+    def submit_wave(self, units: list[dict], config_data: dict) -> dict:
+        return self._call(
+            "POST", "/waves", {"units": units, "config": config_data}
+        )
+
+    def wave_status(self, wid: str, since: int = 0) -> dict:
+        return self._call("GET", f"/waves/{wid}?since={int(since)}")
+
+    def cancel_wave(self, wid: str) -> dict:
+        return self._call("POST", f"/waves/{wid}/cancel", {})
+
+    # -- campaign-service endpoints ------------------------------------------
+
+    def submit_campaign(self, config_data: dict) -> dict:
+        return self._call("POST", "/campaigns", {"config": config_data})
+
+    def campaign_status(self, cid: str) -> dict:
+        return self._call("GET", f"/campaigns/{cid}")
+
+    def campaign_events(self, cid: str, since: int = 0) -> list[dict]:
+        return load_event_lines(
+            self._request("GET", f"/campaigns/{cid}/events?since={int(since)}")
+        )

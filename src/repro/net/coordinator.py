@@ -1,0 +1,758 @@
+"""The coordinator: unit broker, lease tracker, campaign service.
+
+Three layers, separable on purpose:
+
+* :class:`CoordinatorCore` — the pure, lock-protected state machine:
+  worker registry with heartbeat deadlines, the shared unit queue,
+  wave bookkeeping (submission → completion log), campaign-service
+  bookkeeping (event buffers, results), and job-store persistence.
+  It knows nothing about HTTP, so every correctness property —
+  lease expiry and reassignment, at-least-once idempotent
+  completion — is testable with an injected clock and no sockets.
+* :class:`CoordinatorServer` — a stdlib :class:`ThreadingHTTPServer`
+  translating the endpoints of :mod:`repro.net.protocol` into core
+  calls.  One server is both the grid broker (``repro run --grid
+  remote``) and the campaign-as-a-service front door (``repro
+  submit``).
+* :class:`CampaignService` — a daemon thread draining submitted
+  :class:`~repro.campaign.CampaignConfig` payloads one at a time.
+  Each service campaign runs through the ordinary
+  :class:`~repro.campaign.Campaign` pipeline with ``grid="remote"``
+  pointed back at the coordinator's own loopback URL, so the heavy
+  units execute on whatever workers are attached, and every
+  progress hook is recorded as a sequence-numbered envelope
+  (:class:`repro.campaign.events.RecordingEvents`) that polling
+  clients stream as JSON lines, resumable from any ``since``.
+
+Delivery semantics: **at-least-once**.  A unit leased to a worker
+that goes silent past ``lease_timeout`` is reassigned; if the dead
+worker was merely slow and completes late, the duplicate completion
+is accepted and deduplicated — work units are pure functions of
+their spec, so both copies are bit-identical, and the campaign-side
+merges are order-independent unions, so replays can never skew a
+result.  Completed units are persisted into the shared
+:class:`~repro.grid.store.JobStore` (write-then-rename) when the
+coordinator has a ``cache_dir``, which is what makes ``repro run
+--resume`` work unchanged after a coordinator crash.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import queue
+import re
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ConfigError, NetError, ReproError
+from repro.grid.store import JobStore
+from repro.grid.units import WorkUnit
+from repro.net.protocol import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_POLL_INTERVAL,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    dump_event_lines,
+    dump_message,
+    error_payload,
+    load_message,
+    require,
+)
+
+
+class UnknownWorker(NetError):
+    """The worker id is not (or no longer) registered — re-register."""
+
+
+class NotFound(NetError):
+    """No such wave / campaign / endpoint."""
+
+
+# -- core state --------------------------------------------------------------
+
+
+@dataclass
+class _Job:
+    """One enqueued work unit instance."""
+
+    jid: int
+    wave: str
+    index: int                      #: position inside its wave
+    unit: WorkUnit
+    state: str = "pending"          #: pending|leased|done|failed|canceled
+    worker: str | None = None
+    seconds: float = 0.0
+    result: dict | None = None
+    error: str | None = None
+    reassignments: int = 0
+
+
+@dataclass
+class _Wave:
+    """One submitted batch of units sharing a campaign config."""
+
+    wid: str
+    config_data: dict
+    config: object                  #: the validated CampaignConfig
+    jobs: list[int] = field(default_factory=list)
+    #: Completion log in completion order; ``wave_status(since=N)``
+    #: returns ``log[N:]`` so clients poll incrementally.
+    log: list[dict] = field(default_factory=list)
+    canceled: bool = False
+
+
+@dataclass
+class _WorkerState:
+    wid: str
+    name: str
+    expires_at: float
+    jobs: set[int] = field(default_factory=set)
+    leased_total: int = 0
+    completed_total: int = 0
+
+
+@dataclass
+class _ServiceCampaign:
+    """One submitted campaign-as-a-service run."""
+
+    cid: str
+    config_data: dict
+    status: str = "queued"          #: queued|running|done|failed
+    #: Sequence-numbered event envelopes; ``events[n]["seq"] == n``,
+    #: so a client that saw up to seq ``k`` resumes with ``since=k+1``.
+    events: list[dict] = field(default_factory=list)
+    result: dict | None = None
+    error: str | None = None
+
+
+class CoordinatorCore:
+    """Thread-safe coordinator state; every public method is atomic."""
+
+    def __init__(
+        self,
+        cache_dir: str | None = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        clock=time.monotonic,
+        stream=None,
+    ):
+        if lease_timeout <= 0:
+            raise NetError(
+                f"lease timeout must be positive, got {lease_timeout}"
+            )
+        self.cache_dir = cache_dir
+        self.lease_timeout = float(lease_timeout)
+        self.poll_interval = float(poll_interval)
+        self._clock = clock
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.RLock()
+        self._ids = itertools.count(1)
+        self._workers: dict[str, _WorkerState] = {}
+        self._jobs: dict[int, _Job] = {}
+        self._queue: list[int] = []          # FIFO of jids (lazy cleanup)
+        self._waves: dict[str, _Wave] = {}
+        self._campaigns: dict[str, _ServiceCampaign] = {}
+        #: Drained by the CampaignService thread.
+        self.campaign_queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._stores: dict[str, JobStore] = {}
+
+    # -- logging -------------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        print(f"coordinator: {message}", file=self._stream, flush=True)
+
+    # -- reaping -------------------------------------------------------------
+
+    def _reap(self) -> None:
+        """Requeue the units of every worker past its deadline."""
+        now = self._clock()
+        for wid in [
+            w for w, state in self._workers.items()
+            if state.expires_at <= now
+        ]:
+            state = self._workers.pop(wid)
+            requeued = 0
+            for jid in sorted(state.jobs):
+                job = self._jobs[jid]
+                if job.state == "leased":
+                    job.state = "pending"
+                    job.worker = None
+                    job.reassignments += 1
+                    # Front of the queue: a reassigned unit is the
+                    # oldest outstanding work, so it should not wait
+                    # behind the whole backlog again.
+                    self._queue.insert(0, jid)
+                    requeued += 1
+            self._log(
+                f"worker {wid} ({state.name}) missed its heartbeat "
+                f"deadline; reassigned {requeued} unit(s)"
+            )
+
+    # -- workers -------------------------------------------------------------
+
+    def register_worker(self, name: str = "") -> dict:
+        with self._lock:
+            self._reap()
+            wid = f"w{next(self._ids)}"
+            self._workers[wid] = _WorkerState(
+                wid=wid,
+                name=str(name) or wid,
+                expires_at=self._clock() + self.lease_timeout,
+            )
+            self._log(f"worker {wid} ({name or wid}) registered")
+            return {
+                "worker": wid,
+                "lease_timeout": self.lease_timeout,
+                "poll_interval": self.poll_interval,
+                "protocol": PROTOCOL_VERSION,
+            }
+
+    def _worker(self, wid: str) -> _WorkerState:
+        try:
+            return self._workers[wid]
+        except KeyError:
+            raise UnknownWorker(
+                f"unknown worker {wid!r} (lease expired? re-register)"
+            ) from None
+
+    def heartbeat(self, wid: str) -> dict:
+        with self._lock:
+            self._reap()
+            worker = self._worker(wid)
+            worker.expires_at = self._clock() + self.lease_timeout
+            return {"ok": True}
+
+    def lease(self, wid: str) -> dict:
+        """Hand the next pending unit to ``wid`` (or report idle)."""
+        with self._lock:
+            self._reap()
+            worker = self._worker(wid)
+            worker.expires_at = self._clock() + self.lease_timeout
+            while self._queue:
+                jid = self._queue.pop(0)
+                job = self._jobs[jid]
+                if job.state != "pending":
+                    continue            # completed late or canceled
+                job.state = "leased"
+                job.worker = wid
+                worker.jobs.add(jid)
+                worker.leased_total += 1
+                wave = self._waves[job.wave]
+                return {
+                    "job": jid,
+                    "wave": job.wave,
+                    "unit": job.unit.to_dict(),
+                    "config": wave.config_data,
+                }
+            return {"idle": True, "poll": self.poll_interval}
+
+    def complete(self, wid: str, payload: dict) -> dict:
+        """Accept one unit result (idempotent, at-least-once safe).
+
+        Accepted even from a worker that was reaped meanwhile (its
+        result is just as valid — determinism makes every copy
+        bit-identical); a unit that already completed elsewhere is
+        acknowledged with ``duplicate: true`` and changes nothing.
+        """
+        with self._lock:
+            self._reap()
+            jid = require(payload, "job", int)
+            seconds = float(payload.get("seconds") or 0.0)
+            error = payload.get("error")
+            try:
+                job = self._jobs[jid]
+            except KeyError:
+                raise NotFound(f"unknown job {jid}") from None
+            worker = self._workers.get(wid)
+            if worker is not None:
+                worker.expires_at = self._clock() + self.lease_timeout
+                worker.jobs.discard(jid)
+            if job.state in ("done", "failed"):
+                return {"ok": True, "duplicate": True}
+            if job.worker is not None:
+                holder = self._workers.get(job.worker)
+                if holder is not None and holder is not worker:
+                    holder.jobs.discard(jid)
+            job.worker = wid
+            wave = self._waves[job.wave]
+            if error is not None:
+                job.state = "failed"
+                job.error = str(error)
+                wave.log.append({
+                    "index": job.index,
+                    "uid": job.unit.uid,
+                    "worker": wid,
+                    "error": job.error,
+                })
+                self._log(
+                    f"unit {job.unit.uid} failed on worker {wid}: "
+                    f"{job.error}"
+                )
+            else:
+                result = require(payload, "result", dict)
+                job.state = "done"
+                job.result = result
+                job.seconds = seconds
+                if worker is not None:
+                    worker.completed_total += 1
+                wave.log.append({
+                    "index": job.index,
+                    "uid": job.unit.uid,
+                    "worker": wid,
+                    "seconds": seconds,
+                    "result": result,
+                })
+                self._persist(wave, job)
+            return {"ok": True, "duplicate": False}
+
+    # -- persistence ---------------------------------------------------------
+
+    def _persist(self, wave: _Wave, job: _Job) -> None:
+        """Write one finished unit into the shared job store.
+
+        Best-effort: the in-memory completion already reached the wave
+        log, so a full disk must not fail the worker's push — the unit
+        would only be recomputed on a resume that never happens.
+        """
+        if not self.cache_dir:
+            return
+        key = wave.config.fingerprint()
+        try:
+            store = self._stores.get(key)
+            if store is None:
+                store = JobStore(self.cache_dir, wave.config)
+                self._stores[key] = store
+            store.store(job.unit, job.result, job.seconds)
+        except Exception as exc:
+            self._log(
+                f"could not persist unit {job.unit.uid}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+
+    # -- waves ---------------------------------------------------------------
+
+    def submit_wave(self, payload: dict) -> dict:
+        from repro.campaign.config import CampaignConfig
+
+        config_data = require(payload, "config", dict)
+        unit_dicts = require(payload, "units", list)
+        config = CampaignConfig.from_dict(config_data)
+        units = [WorkUnit.from_dict(data) for data in unit_dicts]
+        with self._lock:
+            wid = f"v{next(self._ids)}"
+            wave = _Wave(wid=wid, config_data=config_data, config=config)
+            self._waves[wid] = wave
+            for index, unit in enumerate(units):
+                jid = next(self._ids)
+                self._jobs[jid] = _Job(
+                    jid=jid, wave=wid, index=index, unit=unit
+                )
+                wave.jobs.append(jid)
+                self._queue.append(jid)
+            self._log(f"wave {wid}: {len(units)} unit(s) queued")
+            return {"wave": wid, "units": len(units)}
+
+    def _wave(self, wid: str) -> _Wave:
+        try:
+            return self._waves[wid]
+        except KeyError:
+            raise NotFound(f"unknown wave {wid!r}") from None
+
+    def wave_status(self, wid: str, since: int = 0) -> dict:
+        with self._lock:
+            self._reap()
+            wave = self._wave(wid)
+            since = max(0, int(since))
+            pending = sum(
+                1 for jid in wave.jobs
+                if self._jobs[jid].state in ("pending", "leased")
+            )
+            return {
+                "log": wave.log[since:],
+                "next": len(wave.log),
+                "pending": pending,
+                "total": len(wave.jobs),
+                "canceled": wave.canceled,
+            }
+
+    def cancel_wave(self, wid: str) -> dict:
+        """Drop a wave's pending units (in-flight ones may still land)."""
+        with self._lock:
+            wave = self._wave(wid)
+            wave.canceled = True
+            dropped = 0
+            for jid in wave.jobs:
+                job = self._jobs[jid]
+                if job.state == "pending":
+                    job.state = "canceled"
+                    dropped += 1
+            self._log(f"wave {wid} canceled ({dropped} pending dropped)")
+            return {"ok": True, "dropped": dropped}
+
+    # -- campaign service ----------------------------------------------------
+
+    def submit_campaign(self, payload: dict) -> dict:
+        from repro.campaign.config import CampaignConfig
+
+        config_data = require(payload, "config", dict)
+        # Validate *now* so a bad submission is the client's 400, not a
+        # service-thread failure discovered by polling.
+        CampaignConfig.from_dict(config_data)
+        with self._lock:
+            cid = f"c{next(self._ids)}"
+            campaign = _ServiceCampaign(cid=cid, config_data=config_data)
+            self._campaigns[cid] = campaign
+            self._append_event(campaign, {"event": "service-queued"})
+        self.campaign_queue.put(cid)
+        self._log(f"campaign {cid} submitted")
+        return {"campaign": cid}
+
+    def _campaign(self, cid: str) -> _ServiceCampaign:
+        try:
+            return self._campaigns[cid]
+        except KeyError:
+            raise NotFound(f"unknown campaign {cid!r}") from None
+
+    def _append_event(self, campaign: _ServiceCampaign, envelope: dict):
+        envelope = dict(envelope)
+        envelope["seq"] = len(campaign.events)
+        campaign.events.append(envelope)
+
+    def record_campaign_event(self, cid: str, envelope: dict) -> None:
+        with self._lock:
+            self._append_event(self._campaign(cid), envelope)
+
+    def start_campaign(self, cid: str) -> dict:
+        """The service thread took ``cid``; returns its config data."""
+        with self._lock:
+            campaign = self._campaign(cid)
+            campaign.status = "running"
+            self._append_event(campaign, {"event": "service-running"})
+            return campaign.config_data
+
+    def finish_campaign(self, cid: str, result: dict) -> None:
+        with self._lock:
+            campaign = self._campaign(cid)
+            campaign.status = "done"
+            campaign.result = result
+            self._append_event(campaign, {"event": "service-done"})
+        self._log(f"campaign {cid} done")
+
+    def fail_campaign(self, cid: str, error: str) -> None:
+        with self._lock:
+            campaign = self._campaign(cid)
+            campaign.status = "failed"
+            campaign.error = error
+            self._append_event(
+                campaign, {"event": "service-failed", "error": error}
+            )
+        self._log(f"campaign {cid} failed: {error}")
+
+    def campaign_status(self, cid: str) -> dict:
+        with self._lock:
+            campaign = self._campaign(cid)
+            status = {
+                "campaign": cid,
+                "status": campaign.status,
+                "events": len(campaign.events),
+            }
+            if campaign.error is not None:
+                status["error"] = campaign.error
+            if campaign.result is not None:
+                status["result"] = campaign.result
+            return status
+
+    def campaign_events(self, cid: str, since: int = 0) -> list[dict]:
+        with self._lock:
+            campaign = self._campaign(cid)
+            return list(campaign.events[max(0, int(since)):])
+
+    # -- introspection -------------------------------------------------------
+
+    def status(self) -> dict:
+        with self._lock:
+            self._reap()
+            now = self._clock()
+            states = [job.state for job in self._jobs.values()]
+            return {
+                "protocol": PROTOCOL_VERSION,
+                "lease_timeout": self.lease_timeout,
+                "workers": [
+                    {
+                        "worker": state.wid,
+                        "name": state.name,
+                        "leased": sorted(state.jobs),
+                        "completed": state.completed_total,
+                        "expires_in": round(state.expires_at - now, 3),
+                    }
+                    for state in self._workers.values()
+                ],
+                "units": {
+                    state: states.count(state)
+                    for state in (
+                        "pending", "leased", "done", "failed", "canceled"
+                    )
+                },
+                "waves": len(self._waves),
+                "campaigns": [
+                    {"campaign": c.cid, "status": c.status}
+                    for c in self._campaigns.values()
+                ],
+            }
+
+
+# -- the campaign service thread ---------------------------------------------
+
+
+class CampaignService(threading.Thread):
+    """Drains submitted campaigns, one at a time, onto the grid.
+
+    Each campaign runs in this thread through the ordinary
+    :class:`~repro.campaign.Campaign` pipeline with the grid pointed
+    back at the coordinator's own URL, so its units execute on the
+    attached workers.  With a coordinator ``cache_dir`` the config's
+    cache directory is overridden to the shared one, making the result
+    cache and job store multi-tenant: two tenants submitting the same
+    science hit the same entries.
+    """
+
+    def __init__(self, core: CoordinatorCore, url: str):
+        super().__init__(name="repro-campaign-service", daemon=True)
+        self._core = core
+        self._url = url
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                cid = self._core.campaign_queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            self._run_campaign(cid)
+
+    def _run_campaign(self, cid: str) -> None:
+        from repro.campaign.config import CampaignConfig
+        from repro.campaign.events import RecordingEvents
+        from repro.campaign.runner import Campaign
+
+        try:
+            config_data = self._core.start_campaign(cid)
+            config = CampaignConfig.from_dict(config_data)
+            overrides = {"grid": "remote", "coordinator": self._url}
+            if self._core.cache_dir:
+                overrides["cache_dir"] = self._core.cache_dir
+            config = config.replace(**overrides)
+            events = RecordingEvents(
+                lambda envelope: self._core.record_campaign_event(
+                    cid, envelope
+                )
+            )
+            result = Campaign(config, events).run(
+                resume=bool(config.cache_dir)
+            )
+            self._core.finish_campaign(cid, result.to_dict())
+        except Exception as exc:
+            # The service outlives any one bad campaign.
+            self._core.fail_campaign(
+                cid, f"{type(exc).__name__}: {exc}"
+            )
+
+
+# -- HTTP layer --------------------------------------------------------------
+
+_WORKER_ROUTE = re.compile(r"^/workers/([^/]+)/(heartbeat|lease|complete)$")
+_WAVE_ROUTE = re.compile(r"^/waves/([^/]+)(/cancel)?$")
+_CAMPAIGN_ROUTE = re.compile(r"^/campaigns/([^/]+)(/events)?$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Translates protocol endpoints into :class:`CoordinatorCore` calls."""
+
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def core(self) -> CoordinatorCore:
+        return self.server.core          # type: ignore[attr-defined]
+
+    # The default handler logs every request to stderr; the
+    # coordinator logs meaningful transitions itself instead.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(self, payload: dict, status: int = 200) -> None:
+        body = dump_message(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_events(self, events: list[dict]) -> None:
+        body = dump_event_lines(events)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        return load_message(self.rfile.read(length)) if length else {}
+
+    def _fail(self, exc: Exception) -> None:
+        if isinstance(exc, UnknownWorker):
+            status = 410
+        elif isinstance(exc, NotFound):
+            status = 404
+        elif isinstance(exc, (ProtocolError, ConfigError, ReproError)):
+            status = 400
+        else:
+            status = 500
+        self._send(error_payload(str(exc) or type(exc).__name__), status)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            url = urlparse(self.path)
+            query = parse_qs(url.query)
+            since = int(query.get("since", ["0"])[0])
+            if url.path == "/ping":
+                self._send({
+                    "ok": True,
+                    "protocol": PROTOCOL_VERSION,
+                    "service": getattr(self.server, "service_enabled",
+                                       False),
+                })
+            elif url.path == "/status":
+                self._send(self.core.status())
+            elif match := _WAVE_ROUTE.match(url.path):
+                if match.group(2):
+                    raise NotFound(f"no GET {url.path}")
+                self._send(self.core.wave_status(match.group(1), since))
+            elif match := _CAMPAIGN_ROUTE.match(url.path):
+                cid = match.group(1)
+                if match.group(2):       # /events
+                    self._send_events(self.core.campaign_events(cid, since))
+                else:
+                    self._send(self.core.campaign_status(cid))
+            else:
+                raise NotFound(f"no GET {url.path}")
+        except Exception as exc:
+            self._fail(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            path = urlparse(self.path).path
+            if path == "/workers":
+                body = self._body()
+                self._send(
+                    self.core.register_worker(str(body.get("name") or ""))
+                )
+            elif match := _WORKER_ROUTE.match(path):
+                wid, action = match.group(1), match.group(2)
+                if action == "heartbeat":
+                    self._send(self.core.heartbeat(wid))
+                elif action == "lease":
+                    self._send(self.core.lease(wid))
+                else:
+                    self._send(self.core.complete(wid, self._body()))
+            elif path == "/waves":
+                self._send(self.core.submit_wave(self._body()))
+            elif match := _WAVE_ROUTE.match(path):
+                if not match.group(2):
+                    raise NotFound(f"no POST {path}")
+                self._send(self.core.cancel_wave(match.group(1)))
+            elif path == "/campaigns":
+                if not getattr(self.server, "service_enabled", False):
+                    raise NotFound(
+                        "this coordinator runs without the campaign "
+                        "service (start it with `repro serve`)"
+                    )
+                self._send(self.core.submit_campaign(self._body()))
+            else:
+                raise NotFound(f"no POST {path}")
+        except Exception as exc:
+            self._fail(exc)
+
+
+class CoordinatorServer:
+    """One HTTP server fronting a :class:`CoordinatorCore`.
+
+    ``service=True`` (the ``repro serve`` default) additionally starts
+    the :class:`CampaignService` thread and accepts ``POST
+    /campaigns`` submissions; ``service=False`` is a pure unit broker.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: str | None = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        service: bool = True,
+        verbose: bool = False,
+        stream=None,
+        clock=time.monotonic,
+    ):
+        self.core = CoordinatorCore(
+            cache_dir=cache_dir,
+            lease_timeout=lease_timeout,
+            poll_interval=poll_interval,
+            clock=clock,
+            stream=stream,
+        )
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        except OSError as exc:
+            raise NetError(
+                f"cannot bind coordinator to {host}:{port}: {exc}"
+            ) from exc
+        self._httpd.daemon_threads = True
+        self._httpd.core = self.core                   # type: ignore
+        self._httpd.verbose = verbose                  # type: ignore
+        self._httpd.service_enabled = service          # type: ignore
+        bound_host, bound_port = self._httpd.server_address[:2]
+        self.url = f"http://{bound_host}:{bound_port}"
+        self._service = CampaignService(self.core, self.url) if (
+            service
+        ) else None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "CoordinatorServer":
+        """Serve in a background thread (tests, embedded use)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+        if self._service is not None:
+            self._service.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve in the foreground (the ``repro serve`` CLI path)."""
+        if self._service is not None:
+            self._service.start()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self._service is not None:
+            self._service.stop()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,140 @@
+"""Wire protocol of the repro.net coordinator: JSON over HTTP.
+
+Everything on the wire is a plain JSON object; this module is the
+single place that defines the message shapes, so the coordinator,
+the worker daemon and the client stay in lockstep.  The protocol is
+deliberately boring — stdlib ``http.server`` on one side,
+``urllib.request`` on the other, no streaming sockets, no new
+dependencies — because the correctness story lives elsewhere:
+work-unit merges are order-independent unions (see
+:mod:`repro.grid.units`), so at-least-once delivery with lease-based
+reassignment is safe by construction.
+
+Endpoints (all request/response bodies are JSON objects unless noted):
+
+======  ==============================  =======================================
+method  path                            meaning
+======  ==============================  =======================================
+GET     ``/ping``                       liveness + protocol version
+GET     ``/status``                     coordinator snapshot (queues, workers)
+POST    ``/workers``                    register; -> worker id + timeouts
+POST    ``/workers/<wid>/heartbeat``    refresh the worker's lease deadline
+POST    ``/workers/<wid>/lease``        pull one unit (or ``{"idle": true}``)
+POST    ``/workers/<wid>/complete``     push one unit result (idempotent)
+POST    ``/waves``                      submit a wave of units + their config
+GET     ``/waves/<id>?since=N``         completion log from sequence ``N``
+POST    ``/waves/<id>/cancel``          drop the wave's pending units
+POST    ``/campaigns``                  submit a CampaignConfig (service mode)
+GET     ``/campaigns/<id>``             status + final result when done
+GET     ``/campaigns/<id>/events``      event envelopes from ``?since=N``
+                                        as JSON lines (NDJSON)
+======  ==============================  =======================================
+
+Lease/heartbeat semantics: a worker's single deadline covers all its
+leased units.  ``register``, ``heartbeat``, ``lease`` and ``complete``
+each push the deadline ``lease_timeout`` seconds into the future; a
+worker silent for longer is reaped and every unit it held goes back on
+the queue (units are *reassigned*, never lost).  A reaped worker that
+comes back gets ``410 gone`` and re-registers; a late completion of a
+reassigned unit is accepted and deduplicated (``duplicate: true``) —
+results are deterministic, so both copies are bit-identical.
+
+Error responses carry ``{"error": <message>}`` with a 4xx/5xx status;
+:func:`error_payload` / :class:`ProtocolError` translate both ways.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import NetError
+
+#: Bump on incompatible message-shape changes; ``/ping`` reports it
+#: and both sides refuse to talk across a mismatch.
+PROTOCOL_VERSION = 1
+
+#: Default lease timeout: how long a worker may stay silent before its
+#: units are reassigned.  Generous by default (units can be slow);
+#: tests and the CI smoke shrink it.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+#: Interval hint the coordinator hands to idle workers and polling
+#: clients (seconds between pulls).
+DEFAULT_POLL_INTERVAL = 0.2
+
+
+class ProtocolError(NetError):
+    """A malformed or version-incompatible protocol message."""
+
+
+def dump_message(payload: dict) -> bytes:
+    """Serialize one message body (compact, sorted, UTF-8)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def load_message(raw: bytes) -> dict:
+    """Parse one message body; raises :class:`ProtocolError` on junk."""
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed message body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"message body must be an object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+def error_payload(message: str) -> dict:
+    return {"error": str(message)}
+
+
+def require(payload: dict, key: str, kind=None):
+    """``payload[key]``, type-checked; :class:`ProtocolError` if absent."""
+    try:
+        value = payload[key]
+    except KeyError:
+        raise ProtocolError(f"message is missing {key!r}") from None
+    if kind is not None and not isinstance(value, kind):
+        name = kind[0].__name__ if isinstance(kind, tuple) else kind.__name__
+        raise ProtocolError(
+            f"message field {key!r} must be {name}, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def check_version(payload: dict, side: str) -> None:
+    """Refuse to talk across protocol versions."""
+    version = payload.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"{side} speaks protocol {version!r}, this side speaks "
+            f"{PROTOCOL_VERSION} — upgrade one of them"
+        )
+
+
+def dump_event_lines(events: list[dict]) -> bytes:
+    """Event envelopes as NDJSON (one JSON object per line)."""
+    return b"".join(
+        json.dumps(event, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        ) + b"\n"
+        for event in events
+    )
+
+
+def load_event_lines(raw: bytes) -> list[dict]:
+    """Parse an NDJSON event stream body."""
+    events = []
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        event = json.loads(line.decode("utf-8"))
+        if not isinstance(event, dict):
+            raise ProtocolError("event stream line is not an object")
+        events.append(event)
+    return events

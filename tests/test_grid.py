@@ -356,9 +356,14 @@ def test_resume_survives_worker_count_change(tmp_path, serial_c17):
 
 
 def test_resume_requires_cache_dir():
+    from repro.errors import CampaignError
+
     config = CampaignConfig(**FAST, grid="serial")
-    with pytest.raises(ConfigError):
+    # CampaignError (a ConfigError: the run was *invoked* wrong), and
+    # the message names the missing option.
+    with pytest.raises(CampaignError, match="cache_dir"):
         Campaign(config).run(("c17",), resume=True)
+    assert issubclass(CampaignError, ConfigError)
 
 
 def test_job_store_ignores_corrupt_and_mismatched_entries(tmp_path):
@@ -374,6 +379,51 @@ def test_job_store_ignores_corrupt_and_mismatched_entries(tmp_path):
     store.path(unit).write_text("{ not json")
     assert store.load(unit) is None
     assert store.entries() == []
+
+
+def test_job_store_warns_once_per_corrupt_file(tmp_path, capsys):
+    """A truncated unit file (machine died mid-write) is skipped with
+    one stderr warning, not a crash — and only warned about once."""
+    config = CampaignConfig(**FAST, grid="serial", cache_dir=str(tmp_path))
+    store = JobStore(tmp_path, config)
+    unit = plan_fault_sim("c17", "baseline", 8, [1, 2], 3)[0]
+    store.store(unit, {"detection": [None, 0, 1]}, 0.1)
+    intact = store.path(unit).read_text()
+    store.path(unit).write_text(intact[: len(intact) // 2])  # torn write
+    assert store.load(unit) is None
+    assert store.load(unit) is None
+    err = capsys.readouterr().err
+    assert err.count("skipping corrupt unit file") == 1
+    assert unit.uid in err
+
+
+def test_resume_recomputes_hand_truncated_unit(tmp_path, capsys):
+    """--resume across a damaged ledger: the corrupt unit is warned
+    about, recomputed, and the campaign result is unchanged."""
+    fresh_labs()
+    config = CampaignConfig(
+        **FAST, grid="serial", grid_shard=3, strategies=(),
+        operators=("LOR",), cache_dir=str(tmp_path),
+    )
+    first = Campaign(config).run(("c17",))
+    store = JobStore(tmp_path, config)
+    stored = sorted(store.directory.glob("*.json"))
+    assert stored
+    victim = stored[0]
+    victim.write_text(victim.read_text()[:20])  # truncate mid-write
+    # Drop the whole-circuit cache entry so the resume actually walks
+    # the unit ledger instead of short-circuiting on the circuit hit.
+    for entry in tmp_path.glob("c17-*.json"):
+        entry.unlink()
+    fresh_labs()
+    counter = UnitCounter()
+    resumed = Campaign(config, counter).run(("c17",), resume=True)
+    assert payload(resumed) == payload(first)
+    assert counter.fresh >= 1  # the truncated unit was recomputed
+    assert counter.cached == len(stored) - 1
+    assert "skipping corrupt unit file" in capsys.readouterr().err
+    # The recomputed unit was re-persisted over the torn file.
+    assert json.loads(victim.read_text())["unit"]["circuit"] == "c17"
 
 
 def test_worker_exception_drains_finished_units():
@@ -610,7 +660,8 @@ def test_cli_resume_without_cache_dir_errors(tmp_path, capsys):
         CampaignConfig(**FAST, circuits=("c17",)).to_json()
     )
     assert main(["run", str(config_path), "--resume"]) == 2
-    assert "cache" in capsys.readouterr().err
+    # The error names the exact missing option.
+    assert "cache_dir" in capsys.readouterr().err
 
 
 def test_cli_json_includes_grid_fields(tmp_path, capsys):

@@ -1,0 +1,539 @@
+"""Tests for repro.net: coordinator, workers, remote scheduler, service.
+
+The load-bearing properties, in rough order of importance:
+
+* ``--grid remote`` is bit-identical to serial, with two real workers
+  pulling over HTTP (the whole-campaign determinism contract).
+* At-least-once delivery is idempotent: a unit completed twice (lease
+  reassignment + a late duplicate push) changes nothing, and the job
+  store holds exactly one file for it.
+* Lease expiry reassigns a silent worker's units and the campaign
+  still completes, bit-identical.
+* A coordinator crash mid-run is survivable: a fresh coordinator on
+  the same cache directory plus ``resume=True`` picks up from the
+  units the dead one persisted.
+* The campaign service runs submitted configs on the attached workers
+  and streams sequence-numbered event envelopes, resumable by
+  ``since``.
+
+Everything runs on 127.0.0.1 with ephemeral ports; the pure queue
+logic (reaping, duplicates, cancellation) is additionally pinned on
+:class:`CoordinatorCore` with an injected fake clock, no sockets.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.campaign import Campaign, CampaignConfig
+from repro.campaign.result import CampaignResult
+from repro.errors import GridError, NetError
+from repro.experiments.context import _LABS
+from repro.grid import (
+    JobStore,
+    WorkUnit,
+    build_scheduler,
+    execute_unit,
+    plan_fault_sim,
+    scheduler_names,
+)
+from repro.net import (
+    PROTOCOL_VERSION,
+    CoordinatorClient,
+    CoordinatorCore,
+    CoordinatorServer,
+    ProtocolError,
+    UnknownWorker,
+    WorkerDaemon,
+    WorkerGone,
+)
+from repro.net.protocol import (
+    check_version,
+    dump_event_lines,
+    load_event_lines,
+    load_message,
+    require,
+)
+from tests.test_grid import FAST, AbortAfter, UnitCounter, fresh_labs, payload
+
+WAIT = 120.0  # generous outer deadline for any single campaign
+
+
+@pytest.fixture(scope="module")
+def serial_c17():
+    fresh_labs()
+    return Campaign(CampaignConfig(**FAST)).run(("c17",))
+
+
+def quiet_server(**kwargs) -> CoordinatorServer:
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("stream", io.StringIO())
+    return CoordinatorServer(**kwargs).start()
+
+
+def start_worker(url: str, name: str) -> WorkerDaemon:
+    daemon = WorkerDaemon(url, name=name, stream=io.StringIO())
+    threading.Thread(target=daemon.run, daemon=True).start()
+    return daemon
+
+
+def lease_until_job(client: CoordinatorClient, wid: str) -> dict:
+    deadline = time.monotonic() + WAIT
+    while time.monotonic() < deadline:
+        got = client.lease(wid)
+        if not got.get("idle"):
+            return got
+        time.sleep(0.02)
+    raise AssertionError("no unit became leasable in time")
+
+
+# -- protocol ----------------------------------------------------------------
+
+
+def test_protocol_message_helpers():
+    assert load_message(b'{"a":1}') == {"a": 1}
+    with pytest.raises(ProtocolError):
+        load_message(b"{ not json")
+    with pytest.raises(ProtocolError):
+        load_message(b"[1,2]")
+    assert require({"n": 3}, "n", int) == 3
+    with pytest.raises(ProtocolError):
+        require({}, "n")
+    with pytest.raises(ProtocolError):
+        require({"n": "x"}, "n", int)
+    check_version({"protocol": PROTOCOL_VERSION}, "peer")
+    with pytest.raises(ProtocolError):
+        check_version({"protocol": PROTOCOL_VERSION + 1}, "peer")
+
+
+def test_protocol_event_lines_round_trip():
+    events = [{"seq": 0, "event": "a"}, {"seq": 1, "event": "b"}]
+    assert load_event_lines(dump_event_lines(events)) == events
+    assert load_event_lines(b"\n\n") == []
+    with pytest.raises(ProtocolError):
+        load_event_lines(b"[1]\n")
+
+
+def test_remote_is_a_registered_scheduler():
+    assert "remote" in scheduler_names()
+
+
+def test_remote_scheduler_requires_coordinator():
+    units = plan_fault_sim("c17", "baseline", 8, [1, 2, 3], 8)
+    with pytest.raises(GridError, match="coordinator"):
+        build_scheduler("remote").run(units, CampaignConfig(**FAST))
+
+
+def test_client_rejects_bad_urls_and_dead_coordinators():
+    with pytest.raises(NetError):
+        CoordinatorClient("ftp://somewhere")
+    client = CoordinatorClient("http://127.0.0.1:9", timeout=0.5)
+    with pytest.raises(NetError):
+        client.ping()
+
+
+# -- CoordinatorCore with a fake clock ---------------------------------------
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _wave_payload(shard: int = 4) -> dict:
+    units = plan_fault_sim("c17", "baseline", 8, [1, 2, 3], shard)
+    return {
+        "units": [unit.to_dict() for unit in units],
+        "config": CampaignConfig(**FAST).to_dict(),
+    }
+
+
+def test_core_lease_complete_and_duplicate_ack():
+    clock = FakeClock()
+    core = CoordinatorCore(
+        lease_timeout=10.0, clock=clock, stream=io.StringIO()
+    )
+    wid = core.register_worker("a")["worker"]
+    assert core.lease(wid)["idle"] is True
+
+    wave = core.submit_wave(_wave_payload())
+    assert wave["units"] == 2
+    lease = core.lease(wid)
+    result = {"detection": [None, 0, 1]}
+    ack = core.complete(wid, {
+        "job": lease["job"], "seconds": 0.5, "result": result,
+    })
+    assert ack == {"ok": True, "duplicate": False}
+    # The exact same completion again: acknowledged, changes nothing.
+    ack = core.complete(wid, {
+        "job": lease["job"], "seconds": 0.5, "result": result,
+    })
+    assert ack == {"ok": True, "duplicate": True}
+
+    status = core.wave_status(wave["wave"])
+    assert status["total"] == 2 and status["pending"] == 1
+    assert len(status["log"]) == 1
+    assert status["log"][0]["result"] == result
+    # The since cursor skips what the client already saw.
+    assert core.wave_status(wave["wave"], since=status["next"])["log"] == []
+
+
+def test_core_reaps_silent_worker_and_reassigns(tmp_path):
+    sink = io.StringIO()
+    clock = FakeClock()
+    config = CampaignConfig(**FAST)
+    core = CoordinatorCore(
+        cache_dir=str(tmp_path), lease_timeout=10.0, clock=clock,
+        stream=sink,
+    )
+    w1 = core.register_worker("silent")["worker"]
+    wave = core.submit_wave(_wave_payload())
+    lease1 = core.lease(w1)
+    unit = WorkUnit.from_dict(lease1["unit"])
+
+    clock.advance(10.5)  # w1 misses its deadline
+    w2 = core.register_worker("alive")["worker"]
+    with pytest.raises(UnknownWorker):
+        core.heartbeat(w1)
+    lease2 = core.lease(w2)
+    # The reassigned unit jumps the queue: w2 gets the same unit.
+    assert lease2["unit"] == lease1["unit"]
+    assert "missed its heartbeat" in sink.getvalue()
+
+    result = {"detection": [0, None]}
+    assert core.complete(w2, {
+        "job": lease2["job"], "seconds": 0.1, "result": result,
+    })["duplicate"] is False
+    # w1 was merely slow: its late push is acknowledged, deduplicated,
+    # and the job store still holds exactly one file for the unit.
+    assert core.complete(w1, {
+        "job": lease1["job"], "seconds": 9.9, "result": result,
+    })["duplicate"] is True
+    store = JobStore(tmp_path, config)
+    assert store.load(unit) == result
+    assert len(list(store.directory.glob(f"{unit.uid}*.json"))) == 1
+    assert len(core.wave_status(wave["wave"])["log"]) == 1
+
+
+def test_core_cancel_wave_drops_pending_units():
+    core = CoordinatorCore(
+        lease_timeout=10.0, clock=FakeClock(), stream=io.StringIO()
+    )
+    wid = core.register_worker("a")["worker"]
+    wave = core.submit_wave(_wave_payload())
+    assert core.cancel_wave(wave["wave"])["dropped"] == 2
+    assert core.lease(wid)["idle"] is True
+    assert core.wave_status(wave["wave"])["canceled"] is True
+
+
+def test_core_failed_unit_lands_in_the_log_with_its_error():
+    core = CoordinatorCore(
+        lease_timeout=10.0, clock=FakeClock(), stream=io.StringIO()
+    )
+    wid = core.register_worker("a")["worker"]
+    wave = core.submit_wave(_wave_payload())
+    lease = core.lease(wid)
+    core.complete(wid, {"job": lease["job"], "error": "GridError: boom"})
+    record = core.wave_status(wave["wave"])["log"][0]
+    assert record["error"] == "GridError: boom"
+    assert "result" not in record
+
+
+# -- HTTP end to end ---------------------------------------------------------
+
+
+def test_http_error_statuses_map_to_exceptions():
+    server = quiet_server(service=False)
+    try:
+        client = CoordinatorClient(server.url)
+        ping = client.ping()
+        assert ping["ok"] is True and ping["service"] is False
+        with pytest.raises(WorkerGone):
+            client.heartbeat("w999")
+        with pytest.raises(NetError):
+            client.wave_status("nope")
+        with pytest.raises(NetError, match="without the campaign"):
+            client.submit_campaign(CampaignConfig(**FAST).to_dict())
+        with pytest.raises(ProtocolError):
+            # missing the units field entirely
+            client._call("POST", "/waves", {"config": {}})
+    finally:
+        server.close()
+
+
+def test_remote_campaign_two_workers_bit_identical(tmp_path, serial_c17):
+    server = quiet_server(cache_dir=str(tmp_path))
+    workers = [start_worker(server.url, f"w{i}") for i in range(2)]
+    try:
+        fresh_labs()
+        config = CampaignConfig(
+            **FAST, grid="remote", coordinator=server.url
+        )
+        result = Campaign(config).run(("c17",))
+        assert payload(result) == payload(serial_c17)
+        # Both workers actually participated (work was distributed).
+        status = server.core.status()
+        assert status["units"]["done"] > 0
+        assert sum(w["completed"] for w in status["workers"]) == (
+            status["units"]["done"]
+        )
+        # Filename-as-identity: one file per completed unit, ever.
+        stores = list(tmp_path.glob("grid-*"))
+        assert len(stores) == 1
+        files = list(stores[0].glob("*.json"))
+        assert len(files) == len({f.name for f in files}) == (
+            status["units"]["done"]
+        )
+    finally:
+        for worker in workers:
+            worker.stop()
+        server.close()
+
+
+def test_lease_expiry_reassigns_and_late_push_is_duplicate(
+    tmp_path, serial_c17
+):
+    """A worker that leases a unit and goes silent: the unit is
+    reassigned, the campaign completes bit-identical to serial, and
+    the ghost's eventual late completion is deduplicated."""
+    sink = io.StringIO()
+    server = quiet_server(
+        cache_dir=str(tmp_path), lease_timeout=0.8, stream=sink
+    )
+    client = CoordinatorClient(server.url)
+    ghost = client.register_worker("ghost")["worker"]
+
+    fresh_labs()
+    config = CampaignConfig(**FAST, grid="remote", coordinator=server.url)
+    outcome: dict = {}
+
+    def run_campaign():
+        try:
+            outcome["result"] = Campaign(config).run(("c17",))
+        except BaseException as exc:  # surfaced in the main thread
+            outcome["error"] = exc
+
+    campaign = threading.Thread(target=run_campaign, daemon=True)
+    campaign.start()
+    # The ghost grabs the first available unit, then never heartbeats.
+    lease = lease_until_job(client, ghost)
+    worker = start_worker(server.url, "real")
+    try:
+        campaign.join(timeout=WAIT)
+        assert not campaign.is_alive()
+        assert "error" not in outcome, outcome.get("error")
+        assert payload(outcome["result"]) == payload(serial_c17)
+        assert "missed its heartbeat" in sink.getvalue()
+
+        # The ghost finally finishes its unit and pushes — long after
+        # the reassigned copy completed.  Idempotent by identity.
+        unit = WorkUnit.from_dict(lease["unit"])
+        late = execute_unit(
+            unit, CampaignConfig.from_dict(lease["config"])
+        )
+        ack = client.complete(ghost, {
+            "job": lease["job"], "seconds": 99.0, "result": late,
+        })
+        assert ack["duplicate"] is True
+        store_dir = next(tmp_path.glob("grid-*"))
+        assert len(list(store_dir.glob(f"{unit.uid}*.json"))) == 1
+    finally:
+        worker.stop()
+        server.close()
+
+
+def test_resume_after_coordinator_crash(tmp_path, serial_c17):
+    """Kill coordinator and worker mid-campaign; a fresh coordinator
+    on the same cache directory + ``--resume`` finishes the run from
+    the units the dead one persisted."""
+    shared = tmp_path / "shared-cache"
+    first = quiet_server(cache_dir=str(shared))
+    worker1 = start_worker(first.url, "doomed")
+    fresh_labs()
+    config = CampaignConfig(**FAST, grid="remote", coordinator=first.url)
+    with pytest.raises(KeyboardInterrupt):
+        Campaign(config, AbortAfter(5)).run(("c17",))
+    worker1.stop()
+    first.close()  # the crash
+
+    persisted = len(list(next(shared.glob("grid-*")).glob("*.json")))
+    assert persisted >= 5
+
+    second = quiet_server(cache_dir=str(shared))
+    worker2 = start_worker(second.url, "fresh")
+    try:
+        fresh_labs()
+        counter = UnitCounter()
+        resumed = Campaign(
+            config.replace(coordinator=second.url, cache_dir=str(shared)),
+            counter,
+        ).run(("c17",), resume=True)
+        assert payload(resumed) == payload(serial_c17)
+        assert counter.cached >= 5  # the dead coordinator's units
+    finally:
+        worker2.stop()
+        second.close()
+
+
+def test_remote_scheduler_raises_on_worker_failure():
+    server = quiet_server()
+    units = plan_fault_sim("c17", "baseline", 8, [1, 2, 3], 8)
+    config = CampaignConfig(**FAST, coordinator=server.url)
+    scheduler = build_scheduler("remote")
+    outcome: dict = {}
+
+    def run():
+        try:
+            scheduler.run(units, config)
+        except BaseException as exc:
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    try:
+        client = CoordinatorClient(server.url)
+        wid = client.register_worker("failer")["worker"]
+        lease = lease_until_job(client, wid)
+        client.complete(wid, {"job": lease["job"], "error": "boom"})
+        thread.join(timeout=WAIT)
+        assert not thread.is_alive()
+        assert isinstance(outcome.get("error"), GridError)
+        assert "boom" in str(outcome["error"])
+    finally:
+        server.close()
+
+
+# -- campaign as a service ---------------------------------------------------
+
+
+def test_campaign_service_runs_submitted_config(tmp_path, serial_c17):
+    server = quiet_server(cache_dir=str(tmp_path))
+    worker = start_worker(server.url, "svc")
+    try:
+        client = CoordinatorClient(server.url)
+        assert client.ping()["service"] is True
+        fresh_labs()
+        cid = client.submit_campaign(
+            CampaignConfig(**FAST, circuits=("c17",)).to_dict()
+        )["campaign"]
+
+        deadline = time.monotonic() + WAIT
+        while True:
+            status = client.campaign_status(cid)
+            if status["status"] in ("done", "failed"):
+                break
+            assert time.monotonic() < deadline, "service campaign hung"
+            time.sleep(0.1)
+        assert status["status"] == "done", status.get("error")
+        result = CampaignResult.from_dict(status["result"])
+        assert payload(result) == payload(serial_c17)
+
+        events = client.campaign_events(cid)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "service-queued"
+        assert kinds[-1] == "service-done"
+        assert "campaign-start" in kinds and "campaign-end" in kinds
+        assert "unit-done" in kinds
+        # Envelopes are seq-numbered and the stream resumes anywhere.
+        assert [event["seq"] for event in events] == (
+            list(range(len(events)))
+        )
+        assert client.campaign_events(cid, since=len(events) - 3) == (
+            events[-3:]
+        )
+        with pytest.raises(NetError):
+            client.campaign_status("c404")
+    finally:
+        worker.stop()
+        server.close()
+
+
+def test_service_survives_a_bad_submission():
+    server = quiet_server()
+    try:
+        client = CoordinatorClient(server.url)
+        # Unknown config keys are rejected at submission time (400),
+        # before the service thread ever sees them.
+        with pytest.raises((ProtocolError, NetError)):
+            client.submit_campaign({"not_a_real_option": 1})
+        # A structurally valid config that fails at run time marks the
+        # campaign failed but leaves the service alive.
+        cid = client.submit_campaign(
+            CampaignConfig(**FAST, circuits=("no-such-circuit",)).to_dict()
+        )["campaign"]
+        deadline = time.monotonic() + WAIT
+        while client.campaign_status(cid)["status"] not in (
+            "done", "failed"
+        ):
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        status = client.campaign_status(cid)
+        assert status["status"] == "failed"
+        assert "no-such-circuit" in status["error"]
+        assert client.ping()["ok"] is True  # still serving
+    finally:
+        server.close()
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_worker_and_submit_round_trip(tmp_path, serial_c17, capsys):
+    from repro.cli import main
+
+    server = quiet_server(cache_dir=str(tmp_path / "cache"))
+    config_path = tmp_path / "campaign.json"
+    config_path.write_text(
+        CampaignConfig(**FAST, circuits=("c17",)).to_json()
+    )
+    out_path = tmp_path / "result.json"
+    cli_worker = threading.Thread(
+        target=main,
+        args=(["worker", server.url, "--name", "cliw",
+               "--max-idle", "600"],),
+        daemon=True,
+    )
+    cli_worker.start()
+    try:
+        fresh_labs()
+        rc = main([
+            "submit", server.url, str(config_path),
+            "--poll", "0.05", "--json", str(out_path),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        data = json.loads(out_path.read_text())
+        result = CampaignResult.from_dict(data)
+        assert payload(result) == payload(serial_c17)
+        # The event stream went to stdout as JSON lines.
+        lines = [
+            line for line in captured.out.splitlines()
+            if line.startswith("{")
+        ]
+        kinds = [json.loads(line)["event"] for line in lines]
+        assert "campaign-start" in kinds and "service-done" in kinds
+    finally:
+        server.close()
+
+
+def test_cli_run_grid_remote_needs_coordinator(tmp_path, capsys):
+    from repro.cli import main
+
+    config_path = tmp_path / "campaign.json"
+    config_path.write_text(
+        CampaignConfig(**FAST, circuits=("c17",)).to_json()
+    )
+    rc = main(["run", str(config_path), "--grid", "remote"])
+    assert rc == 2
+    assert "coordinator" in capsys.readouterr().err
