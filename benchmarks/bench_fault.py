@@ -1,0 +1,42 @@
+"""Performance: fault-model simulation throughput, per model.
+
+Parametrized over every registered :mod:`repro.fault.models` model so
+the ``stuck-at`` reference, the two-pattern ``transition`` model and
+the cycle-sampled ``seu`` model are measured side by side on one comb
+and one seq circuit; ``benchmarks/run_benchmarks.py --suite fault``
+turns the results into the ``BENCH_fault.json`` trajectory at the repo
+root.
+"""
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.fault.models import build_fault_model, fault_model_names
+from repro.sim import StimulusEncoder
+from repro.util import rng_stream
+from tests.conftest import netlist_of
+
+
+@pytest.mark.parametrize("model_name", fault_model_names())
+@pytest.mark.parametrize("name", ["c432", "b01"])
+def test_fault_model_throughput(benchmark, name, model_name):
+    netlist = netlist_of(name)
+    model = build_fault_model(model_name)
+    faults = model.collapse(netlist)
+    style = "seq" if netlist.dffs else "comb"
+    if style == "seq":
+        width = StimulusEncoder(load_circuit(name)).width
+        count = 128
+    else:
+        width = len(netlist.input_bits)
+        count = 256
+    rng = rng_stream(1, name, "bench-fault", model_name)
+    stimuli = [rng.getrandbits(width) for _ in range(count)]
+    benchmark.extra_info.update(
+        circuit=name, model=model_name, style=style,
+        patterns=len(stimuli), faults=len(faults),
+    )
+    result = benchmark(
+        model.simulate, netlist, stimuli, faults, 256
+    )
+    assert result.detected > 0

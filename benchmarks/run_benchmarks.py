@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run a perf suite; append one run to its ``BENCH_*.json`` trajectory.
 
-Three suites, selected with ``--suite`` (default ``engine``):
+Four suites, selected with ``--suite`` (default ``engine``):
 
 * ``engine`` — ``bench_faultsim.py``: fault-simulation throughput per
   backend, appended to ``BENCH_engine.json`` with a per-circuit speedup
@@ -15,6 +15,10 @@ Three suites, selected with ``--suite`` (default ``engine``):
   ``BENCH_grid.json`` as a workers-vs-throughput trajectory with a
   per-circuit wall-clock speedup summary against the 1-worker run
   (each row records ``cpus`` — interpret speedups against it).
+* ``fault`` — ``bench_fault.py``: fault-model simulation throughput
+  per registered model (stuck-at, transition, seu), appended to
+  ``BENCH_fault.json`` with a per-circuit cost multiple of every model
+  against the ``stuck-at`` reference.
 
 All suites run under pytest-benchmark, so the numbers come from calibrated,
 warmed-up rounds — compilation cost of the ``compiled`` backend lands
@@ -181,6 +185,61 @@ def search_print(rows: list[dict], summary: dict) -> None:
         print(f"gain {strategy} vs {SEARCH_REFERENCE}: {pairs}")
 
 
+# -- fault-model suite --------------------------------------------------------
+
+FAULT_REFERENCE = "stuck-at"
+
+
+def fault_rows(report: dict) -> list[dict]:
+    rows = []
+    for bench in report["benchmarks"]:
+        info = bench["extra_info"]
+        seconds = bench["stats"]["mean"]
+        rows.append({
+            "circuit": info["circuit"],
+            "model": info["model"],
+            "style": info["style"],
+            "patterns": info["patterns"],
+            "faults": info["faults"],
+            "seconds_per_pass": seconds,
+            "faults_per_sec": info["faults"] / seconds,
+        })
+    rows.sort(key=lambda r: (r["circuit"], r["model"]))
+    return rows
+
+
+def fault_summary(rows: list[dict]) -> dict:
+    """model -> circuit -> wall-clock multiple over stuck-at."""
+    reference = {
+        row["circuit"]: row["seconds_per_pass"]
+        for row in rows if row["model"] == FAULT_REFERENCE
+    }
+    table: dict[str, dict[str, float]] = {}
+    for row in rows:
+        base = reference.get(row["circuit"])
+        if row["model"] == FAULT_REFERENCE or base is None:
+            continue
+        table.setdefault(row["model"], {})[row["circuit"]] = round(
+            row["seconds_per_pass"] / base, 2
+        )
+    return table
+
+
+def fault_print(rows: list[dict], summary: dict) -> None:
+    width = max(len(r["circuit"]) for r in rows)
+    for row in rows:
+        print(
+            f"{row['circuit']:{width}s} {row['model']:10s}"
+            f" {row['seconds_per_pass']:8.3f} s/pass"
+            f" {row['faults_per_sec']:12.1f} faults/s"
+        )
+    for model, per_circuit in sorted(summary.items()):
+        pairs = ", ".join(
+            f"{c}: {s:.2f}x" for c, s in sorted(per_circuit.items())
+        )
+        print(f"cost {model} vs {FAULT_REFERENCE}: {pairs}")
+
+
 # -- grid suite ---------------------------------------------------------------
 
 GRID_REFERENCE_WORKERS = 1
@@ -260,6 +319,15 @@ SUITES = {
         "summary": search_summary,
         "summary_key": f"gain_vs_{SEARCH_REFERENCE}",
         "print": search_print,
+    },
+    "fault": {
+        "bench": "bench_fault.py",
+        "out": REPO_ROOT / "BENCH_fault.json",
+        "title": "fault-model simulation throughput",
+        "rows": fault_rows,
+        "summary": fault_summary,
+        "summary_key": f"cost_vs_{FAULT_REFERENCE}",
+        "print": fault_print,
     },
     "grid": {
         "bench": "bench_grid.py",

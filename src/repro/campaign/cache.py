@@ -21,7 +21,8 @@ from repro.campaign.result import CircuitResult
 from repro.errors import ConfigError
 
 #: Bump when the cached payload's shape or semantics change.
-CACHE_VERSION = 1
+#: v2: strategy rows carry survivor ``triage`` and kill ``witnesses``.
+CACHE_VERSION = 2
 
 
 def _writer_alive(tmp_name: str) -> bool:

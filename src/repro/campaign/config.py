@@ -25,7 +25,12 @@ import json
 from dataclasses import dataclass, fields
 
 from repro.engine import DEFAULT_ENGINE, engine_names
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FaultError
+from repro.fault.models import (
+    DEFAULT_FAULT_MODEL,
+    build_fault_model,
+    fault_model_names,
+)
 from repro.search import DEFAULT_SEARCH, search_strategy_names
 
 #: The four circuits of the paper's evaluation (the canonical
@@ -101,6 +106,19 @@ class CampaignConfig:
     #: provenance, not results.
     engine: str = DEFAULT_ENGINE
 
+    # -- fault model ---------------------------------------------------------
+    #: named :mod:`repro.fault.models` fault model every fault list and
+    #: fault simulation uses (``stuck-at``, ``transition``, ``seu``).
+    #: Fingerprinted — different models compute different numbers — but
+    #: omitted from the fingerprint payload at its default so existing
+    #: stuck-at configs keep their byte-identical fingerprints (and
+    #: their cache / job-store entries).
+    fault_model: str = DEFAULT_FAULT_MODEL
+    #: per-model knobs forwarded to the model constructor (e.g. the
+    #: ``seu`` model's ``cycles``/``stride``); ``None`` = model
+    #: defaults.  Fingerprinted unless ``None``, same reasoning.
+    fault_model_knobs: dict | None = None
+
     # -- test generation knobs -----------------------------------------------
     max_vectors: int = 256
     batch_size: int = 64
@@ -175,6 +193,20 @@ class CampaignConfig:
                 f"engine must be one of {engine_names()}, "
                 f"got {self.engine!r}"
             )
+        if self.fault_model not in fault_model_names():
+            raise ConfigError(
+                f"fault_model must be one of {fault_model_names()}, "
+                f"got {self.fault_model!r}"
+            )
+        if self.fault_model_knobs is not None:
+            self.fault_model_knobs = {
+                str(knob): value
+                for knob, value in self.fault_model_knobs.items()
+            }
+        try:
+            build_fault_model(self.fault_model, self.fault_model_knobs)
+        except FaultError as exc:
+            raise ConfigError(str(exc)) from exc
         if self.search not in search_strategy_names():
             raise ConfigError(
                 f"search must be one of {search_strategy_names()}, "
@@ -267,6 +299,8 @@ class CampaignConfig:
             equivalence_budget=lab_config.equivalence_budget,
             fault_lanes=lab_config.fault_lanes,
             engine=lab_config.engine,
+            fault_model=lab_config.fault_model,
+            fault_model_knobs=lab_config.fault_model_knobs,
             **overrides,
         )
 
@@ -333,5 +367,12 @@ class CampaignConfig:
             for key, value in self.to_dict().items()
             if key not in EXECUTION_FIELDS
         }
+        # The fault-model fields joined the config after the cache and
+        # job-store formats stabilized; dropping them at their defaults
+        # keeps every pre-existing stuck-at fingerprint byte-identical.
+        if payload.get("fault_model") == DEFAULT_FAULT_MODEL:
+            payload.pop("fault_model", None)
+        if payload.get("fault_model_knobs") is None:
+            payload.pop("fault_model_knobs", None)
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -47,6 +47,13 @@ class StrategyRow:
     #: The generated validation vectors (packed stimuli) — the reusable
     #: artifact downstream consumers (e.g. ATPG preload) care about.
     vectors: list[int] = field(default_factory=list)
+    #: Survivor triage: category name -> sorted surviving mutant ids
+    #: (see :data:`repro.mutation.execution.TRIAGE_CATEGORIES`).
+    triage: dict[str, list[int]] = field(default_factory=dict)
+    #: Kill witnesses: mutant id (as a string, for JSON round-trip
+    #: identity) -> ``[cycle, reason]`` — enough for ``repro replay``
+    #: to re-execute and verify the kill.
+    witnesses: dict[str, list] = field(default_factory=dict)
 
 
 def _row_to_dict(row) -> dict:
@@ -156,10 +163,16 @@ class CampaignResult:
     def table2(self):
         """The rows as a :class:`repro.experiments.table2.Table2Result`."""
         from repro.experiments.table2 import Table2Result, Table2Row
+        from repro.mutation.execution import (
+            NEVER_ACTIVATED,
+            POSSIBLY_EQUIVALENT,
+            PROPAGATION_BLOCKED,
+        )
 
         result = Table2Result()
         for circuit in self.circuits:
             for row in circuit.strategies:
+                triage = row.triage or {}
                 result.rows.append(
                     Table2Row(
                         circuit=circuit.circuit,
@@ -171,6 +184,13 @@ class CampaignResult:
                         ms_pct=row.ms_pct,
                         test_length=row.test_length,
                         nlfce=row.nlfce,
+                        never_activated=len(triage.get(NEVER_ACTIVATED, ())),
+                        propagation_blocked=len(
+                            triage.get(PROPAGATION_BLOCKED, ())
+                        ),
+                        possibly_equivalent=len(
+                            triage.get(POSSIBLY_EQUIVALENT, ())
+                        ),
                     )
                 )
         return result

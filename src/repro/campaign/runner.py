@@ -124,6 +124,17 @@ def _build_result(ctx: CircuitContext) -> CircuitResult:
                 ),
                 nlfce=target.report.nlfce if target.report else 0.0,
                 vectors=vectors,
+                triage={
+                    k: sorted(v) for k, v in (target.triage or {}).items()
+                },
+                # String mid keys survive a JSON round-trip unchanged,
+                # so cached and fresh results compare bit-identical.
+                witnesses={
+                    str(mid): [cycle, reason]
+                    for mid, (cycle, reason) in sorted(
+                        (target.witnesses or {}).items()
+                    )
+                },
             )
         )
 

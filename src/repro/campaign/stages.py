@@ -53,6 +53,12 @@ class Target:
     testgen: TestGenResult | None = None
     faultsim: FaultSimResult | None = None
     killed: set[int] | None = None
+    #: mid -> (first differing cycle or None, kill reason) for every
+    #: killed mutant: the replayable kill witness.
+    witnesses: dict[int, tuple[int | None, str]] | None = None
+    #: triage category -> sorted surviving mids (see
+    #: :data:`repro.mutation.execution.TRIAGE_CATEGORIES`).
+    triage: dict[str, list[int]] | None = None
     report: NlfceReport | None = None
 
 
@@ -96,10 +102,25 @@ class CircuitContext:
 
     def killed_mids(self, mutants, vectors: list[int], key: str) -> set[int]:
         """Kill analysis over ``mutants`` (sharded under a grid)."""
+        return self.kill_analysis(mutants, vectors, key)[0]
+
+    def kill_analysis(
+        self, mutants, vectors: list[int], key: str
+    ) -> tuple[set[int], dict[int, tuple[int | None, str]]]:
+        """Kill analysis with per-mutant witnesses (sharded under a grid).
+
+        Returns the killed mids and, for each of them, the replayable
+        witness ``(first differing cycle or None, reason)``.
+        """
         lab = self.require_lab()
         if self.grid is not None:
-            return self.grid.killed_mids(lab, mutants, vectors, key)
-        return lab.engine.killed_mids(mutants, vectors)
+            return self.grid.kill_analysis(lab, mutants, vectors, key)
+        records = lab.engine.run_all(mutants, vectors)
+        killed = {r.mid for r in records if r.killed}
+        witnesses = {
+            r.mid: (r.cycle, r.reason) for r in records if r.killed
+        }
+        return killed, witnesses
 
     def random_baseline(self) -> FaultSimResult:
         """The circuit's random fault-coverage baseline.
@@ -327,12 +348,15 @@ class TestGenStage(SearchStage):
 
 @register_stage
 class FaultValidationStage(Stage):
-    """Stuck-at validation: fault-simulate test sets, score strategies.
+    """Fault validation: fault-simulate test sets, score strategies.
 
     For every target with test data, fault-simulates the vectors on the
-    synthesized netlist.  For strategy targets it additionally runs the
-    whole-population kill analysis the mutation score needs (known
-    equivalents excluded from targets and denominator alike).
+    synthesized netlist under the configured fault model.  For strategy
+    targets it additionally runs the whole-population kill analysis the
+    mutation score needs (known equivalents excluded from targets and
+    denominator alike), keeps each kill's witness for replay, and
+    triages the survivors into ``never-activated`` /
+    ``propagation-blocked`` / ``possibly-equivalent``.
     """
 
     name = "fault-validation"
@@ -350,15 +374,57 @@ class FaultValidationStage(Stage):
             if ctx.equivalence is None:
                 ctx.equivalence = ctx.equivalence_analysis()
             if vectors:
-                survivors = [
+                candidates = [
                     m for m in (ctx.population or [])
                     if m.mid not in ctx.equivalence.equivalent_mids
                 ]
-                target.killed = ctx.killed_mids(
-                    survivors, vectors, target.label
+                target.killed, target.witnesses = ctx.kill_analysis(
+                    candidates, vectors, target.label
                 )
             else:
-                target.killed = set()
+                target.killed, target.witnesses = set(), {}
+            target.triage = self._triage(ctx, target, vectors)
+
+    @staticmethod
+    def _triage(ctx: CircuitContext, target: Target,
+                vectors: list[int]) -> dict[str, list[int]]:
+        """Classify every survivor of one strategy's test set.
+
+        The state-trace sweep is cheap relative to the kill analysis
+        (one lockstep run per survivor, early-exited at the first
+        internal difference) and deterministic, so it runs in-process
+        even under a grid.
+        """
+        from repro.mutation.execution import (
+            NEVER_ACTIVATED,
+            POSSIBLY_EQUIVALENT,
+            PROPAGATION_BLOCKED,
+            TRIAGE_CATEGORIES,
+        )
+
+        lab = ctx.require_lab()
+        killed = target.killed or set()
+        equivalent = ctx.equivalence.equivalent_mids
+        triage: dict[str, list[int]] = {
+            category: [] for category in TRIAGE_CATEGORIES
+        }
+        pending = []
+        for mutant in ctx.population or []:
+            if mutant.mid in killed:
+                continue
+            if mutant.mid in equivalent:
+                triage[POSSIBLY_EQUIVALENT].append(mutant.mid)
+            elif not vectors:
+                triage[NEVER_ACTIVATED].append(mutant.mid)
+            else:
+                pending.append(mutant)
+        for mid, category in lab.engine.triage_survivors(
+            pending, vectors
+        ).items():
+            triage[category].append(mid)
+        for mids in triage.values():
+            mids.sort()
+        return triage
 
 
 @register_stage

@@ -7,8 +7,12 @@ Commands
 * ``synth``      — synthesize a circuit and print its ``.bench`` netlist
 * ``mutants``    — list (a sample of) a circuit's mutants
 * ``engines``    — registered netlist-simulation backends
+* ``fault-models`` — registered fault models (stuck-at, transition, seu)
 * ``strategies`` — registered search and sampling strategies
 * ``grid``       — registered grid schedulers / job-store inspection
+* ``replay``     — re-execute a stored kill witness from a campaign
+  result JSON (``repro replay result.json <mutant-id>``), or explain
+  why a mutant has none (survivor triage)
 * ``testgen``    — generate mutation-adequate validation data
 * ``run``        — execute a full campaign from a JSON config file
   (``--resume`` continues a killed run: finished circuits from the
@@ -29,7 +33,8 @@ Commands
 Every subcommand is a thin consumer of the campaign pipeline: the
 shared ``--seed`` / budget options build one
 :class:`repro.campaign.CampaignConfig` (including ``--engine`` /
-``--fault-lanes`` simulation selection), table-producing commands
+``--fault-model`` / ``--fault-lanes`` simulation selection),
+table-producing commands
 accept ``--jobs`` (process-parallel over whole circuits), ``--grid`` /
 ``--grid-workers`` / ``--grid-shard`` (sharded work-unit execution
 *within* each circuit), ``--cache-dir`` (on-disk result cache, plus
@@ -93,13 +98,24 @@ def _add_search_args(parser: argparse.ArgumentParser) -> None:
                              "(default: uncapped)")
 
 
+def _fault_model_choices() -> tuple[str, ...]:
+    from repro.fault.models import fault_model_names
+
+    return fault_model_names()
+
+
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     from repro.engine import DEFAULT_ENGINE
+    from repro.fault.models import DEFAULT_FAULT_MODEL
 
     parser.add_argument("--engine", default=DEFAULT_ENGINE,
                         choices=_engine_choices(),
                         help="netlist-simulation backend "
                              f"(default: {DEFAULT_ENGINE})")
+    parser.add_argument("--fault-model", default=DEFAULT_FAULT_MODEL,
+                        choices=_fault_model_choices(),
+                        help="fault model for validation and NLFCE "
+                             f"(default: {DEFAULT_FAULT_MODEL})")
     parser.add_argument("--fault-lanes", type=int, default=256,
                         help="fault-parallel chunk width for sequential "
                              "fault simulation (default: 256)")
@@ -158,6 +174,9 @@ def _campaign_config(args, **overrides) -> CampaignConfig:
         ),
         max_vectors=getattr(args, "max_vectors", CampaignConfig.max_vectors),
         engine=getattr(args, "engine", None) or CampaignConfig.engine,
+        fault_model=(
+            getattr(args, "fault_model", None) or CampaignConfig.fault_model
+        ),
         fault_lanes=getattr(
             args, "fault_lanes", CampaignConfig.fault_lanes
         ),
@@ -241,6 +260,8 @@ def _main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("engines", help="list netlist-simulation backends")
 
+    sub.add_parser("fault-models", help="list registered fault models")
+
     sub.add_parser(
         "strategies", help="list search and sampling strategies"
     )
@@ -255,6 +276,19 @@ def _main(argv: list[str] | None = None) -> int:
     grid.add_argument("--config", default=None, metavar="PATH",
                       help="campaign config JSON narrowing --store to "
                            "one fingerprint")
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a stored kill witness from a campaign result",
+    )
+    replay.add_argument("result", help="campaign result JSON "
+                                       "(from --json PATH)")
+    replay.add_argument("mid", type=int, help="mutant id to replay")
+    replay.add_argument("--circuit", default=None,
+                        help="restrict the witness search to one circuit")
+    replay.add_argument("--strategy", default=None,
+                        help="restrict the witness search to one "
+                             "strategy row")
 
     testgen = sub.add_parser(
         "testgen", help="generate mutation-adequate validation data"
@@ -294,6 +328,9 @@ def _main(argv: list[str] | None = None) -> int:
                           "work units come from the job store")
     run.add_argument("--engine", default=None, choices=_engine_choices(),
                      help="override the config's simulation backend")
+    run.add_argument("--fault-model", default=None,
+                     choices=_fault_model_choices(),
+                     help="override the config's fault model")
     run.add_argument("--fault-lanes", type=int, default=None,
                      help="override the config's fault-parallel "
                           "chunk width")
@@ -441,10 +478,14 @@ def _main(argv: list[str] | None = None) -> int:
         return _cmd_mutants(args)
     if command == "engines":
         return _cmd_engines()
+    if command == "fault-models":
+        return _cmd_fault_models()
     if command == "strategies":
         return _cmd_strategies()
     if command == "grid":
         return _cmd_grid(args)
+    if command == "replay":
+        return _cmd_replay(args)
     if command == "testgen":
         return _cmd_testgen(args)
     if command == "run":
@@ -575,6 +616,106 @@ def _cmd_engines() -> int:
         print(f"{marker} {name:10s} {summary}")
     print("(* = default backend)")
     return 0
+
+
+def _cmd_fault_models() -> int:
+    from repro.fault.models import (
+        DEFAULT_FAULT_MODEL,
+        fault_model_names,
+        get_fault_model,
+    )
+
+    for name in fault_model_names():
+        cls = get_fault_model(name)
+        doc = (cls.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        marker = "*" if name == DEFAULT_FAULT_MODEL else " "
+        print(f"{marker} {name:10s} {summary}")
+    print("(* = default fault model)")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    """Re-execute one stored kill witness and verify it still kills."""
+    from pathlib import Path
+
+    from repro.campaign.result import CampaignResult
+    from repro.circuits import load_circuit
+    from repro.errors import ConfigError
+    from repro.mutation import MutationEngine, generate_mutants
+
+    try:
+        text = Path(args.result).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read campaign result: {exc}") from exc
+    result = CampaignResult.from_json(text)
+
+    mid = args.mid
+    key = str(mid)
+    for circuit in result.circuits:
+        if args.circuit is not None and circuit.circuit != args.circuit:
+            continue
+        for row in circuit.strategies:
+            if args.strategy is not None and row.strategy != args.strategy:
+                continue
+            label = f"{circuit.circuit}/{row.strategy}"
+            witness = row.witnesses.get(key)
+            if witness is None:
+                # No witness: explain why from the triage records.
+                category = next(
+                    (
+                        cat for cat, mids in (row.triage or {}).items()
+                        if mid in mids
+                    ),
+                    None,
+                )
+                if category is not None:
+                    print(
+                        f"{label}: mutant {mid} survived — "
+                        f"triaged as {category}"
+                    )
+                    return 1
+                continue
+            cycle, reason = witness[0], witness[1]
+            design = load_circuit(circuit.circuit)
+            mutants = generate_mutants(design)
+            if not 0 <= mid < len(mutants):
+                print(
+                    f"{label}: witness for mutant {mid} found, but the "
+                    f"id is outside the population "
+                    f"(0..{len(mutants) - 1})"
+                )
+                return 2
+            record = MutationEngine(design).run_mutant(
+                mutants[mid], list(row.vectors)
+            )
+            print(
+                f"{label}: mutant {mid} ({mutants[mid]})\n"
+                f"  stored  : killed at cycle {cycle} ({reason})\n"
+                f"  replayed: "
+                + (
+                    f"killed at cycle {record.cycle} ({record.reason})"
+                    if record.killed
+                    else "NOT killed"
+                )
+            )
+            if (
+                record.killed
+                and record.cycle == cycle
+                and record.reason == reason
+            ):
+                print("  verdict : witness verified")
+                return 0
+            print("  verdict : MISMATCH with the stored witness")
+            return 2
+    scope = ""
+    if args.circuit or args.strategy:
+        scope = (
+            f" (searched circuit={args.circuit or 'any'}, "
+            f"strategy={args.strategy or 'any'})"
+        )
+    print(f"no kill witness for mutant {mid} in {args.result}{scope}")
+    return 1
 
 
 def _cmd_strategies() -> int:
@@ -760,6 +901,8 @@ def _cmd_run(args) -> int:
         overrides["coordinator"] = args.coordinator
     if args.engine is not None:
         overrides["engine"] = args.engine
+    if args.fault_model is not None:
+        overrides["fault_model"] = args.fault_model
     if args.fault_lanes is not None:
         overrides["fault_lanes"] = args.fault_lanes
     if args.cache_dir is not None:

@@ -24,6 +24,7 @@ holds it to that.
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
 from typing import Callable
 
 from repro.engine.base import EngineBase, InjectionPlan, register_engine
@@ -92,7 +93,8 @@ class _CompiledProgram:
         self.output_set = frozenset(self.outputs)
         self._full_fn: Callable | None = None
         self._cone_fns: dict[int, Callable] = {}
-        self._injected_fns: dict[tuple, Callable] = {}
+        self._injected_fns: OrderedDict[tuple, Callable] = OrderedDict()
+        self._injected_built = 0
         self._fanout: dict[int, list[tuple[Gate, int]]] | None = None
 
     @property
@@ -196,6 +198,12 @@ class _CompiledProgram:
 
     # -- injected evaluators -------------------------------------------------
 
+    #: Retained injected evaluators per netlist.  Fault simulators use
+    #: one static plan per chunk and revisit chunks in order, so a small
+    #: LRU covers them; a caller feeding per-cycle varying plans must
+    #: not accumulate compiled code without bound.
+    INJECTED_CACHE_MAX = 64
+
     def injected_fn(self, plan: InjectionPlan) -> Callable:
         key = plan.injection_key()
         fn = self._injected_fns.get(key)
@@ -203,9 +211,14 @@ class _CompiledProgram:
             fn = _compile_fn(
                 self._emit_eval(stem=plan.stem, branch=plan.branch),
                 f"<engine.compiled {self.name} "
-                f"chunk:{len(self._injected_fns)}>",
+                f"chunk:{self._injected_built}>",
             )
+            self._injected_built += 1
             self._injected_fns[key] = fn
+            while len(self._injected_fns) > self.INJECTED_CACHE_MAX:
+                self._injected_fns.popitem(last=False)
+        else:
+            self._injected_fns.move_to_end(key)
         return fn
 
 

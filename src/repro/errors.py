@@ -77,6 +77,10 @@ class FaultSimError(ReproError):
     """Fault list construction or fault simulation failed."""
 
 
+class FaultError(ReproError):
+    """A fault model is unknown or misconfigured."""
+
+
 class EngineError(ReproError):
     """A netlist-simulation engine is unknown or misconfigured."""
 

@@ -12,10 +12,8 @@ from dataclasses import dataclass
 
 from repro.circuits import get_circuit, load_circuit
 from repro.engine import DEFAULT_ENGINE
-from repro.fault.collapse import collapse_faults
 from repro.fault.coverage import FaultSimResult
-from repro.fault.model import StuckAtFault
-from repro.fault.runner import simulate_stuck_at
+from repro.fault.models import DEFAULT_FAULT_MODEL, build_fault_model
 from repro.hdl.design import Design
 from repro.mutation.execution import MutationEngine
 from repro.mutation.generator import generate_mutants
@@ -43,6 +41,8 @@ class LabConfig:
     equivalence_budget: int = 256
     fault_lanes: int = 256
     engine: str = DEFAULT_ENGINE
+    fault_model: str = DEFAULT_FAULT_MODEL
+    fault_model_knobs: dict | None = None
 
     def random_budget(self, sequential: bool) -> int:
         return (
@@ -59,6 +59,8 @@ class LabConfig:
             equivalence_budget=config.equivalence_budget,
             fault_lanes=config.fault_lanes,
             engine=config.engine,
+            fault_model=config.fault_model,
+            fault_model_knobs=config.fault_model_knobs,
         )
 
 
@@ -71,7 +73,10 @@ class CircuitLab:
         self.config = config or LabConfig()
         self.design: Design = load_circuit(name)
         self.netlist: Netlist = synthesize(self.design)
-        self.faults: list[StuckAtFault] = collapse_faults(self.netlist)
+        self.fault_model = build_fault_model(
+            self.config.fault_model, self.config.fault_model_knobs
+        )
+        self.faults: list = self.fault_model.collapse(self.netlist)
         self.encoder = StimulusEncoder(self.design)
         self.engine = MutationEngine(self.design)
         self._random_vectors: list[int] | None = None
@@ -101,7 +106,7 @@ class CircuitLab:
         return self._random_baseline
 
     def fault_sim(self, vectors: list[int]) -> FaultSimResult:
-        return simulate_stuck_at(
+        return self.fault_model.simulate(
             self.netlist, vectors, self.faults, self.config.fault_lanes,
             engine=self.config.engine,
         )
@@ -158,10 +163,12 @@ _LABS: dict[tuple, CircuitLab] = {}
 def get_lab(name: str, config: LabConfig | None = None) -> CircuitLab:
     """Memoized :class:`CircuitLab` lookup."""
     config = config or LabConfig()
+    knobs = config.fault_model_knobs
     key = (
         name, config.seed, config.random_budget_comb,
         config.random_budget_seq, config.equivalence_budget,
-        config.fault_lanes, config.engine,
+        config.fault_lanes, config.engine, config.fault_model,
+        None if knobs is None else tuple(sorted(knobs.items())),
     )
     if key not in _LABS:
         _LABS[key] = CircuitLab(name, config)

@@ -39,11 +39,15 @@ def table2_text(result: Table2Result) -> str:
             row.selected,
             round(row.ms_pct, 2),
             round(row.nlfce, 1),
+            row.never_activated,
+            row.propagation_blocked,
+            row.possibly_equivalent,
         ]
         for row in result.rows
     ]
     return render_table(
-        ["Circuit", "Strategy", "Selected", "MS%", "NLFCE"],
+        ["Circuit", "Strategy", "Selected", "MS%", "NLFCE",
+         "NA", "PB", "PE?"],
         rows,
         title="Tab. 2: Test-oriented sampling vs random sampling (10%)",
     )

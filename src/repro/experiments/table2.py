@@ -39,6 +39,10 @@ class Table2Row:
     ms_pct: float
     test_length: int
     nlfce: float
+    #: Survivor triage counts (see repro.mutation.execution).
+    never_activated: int = 0
+    propagation_blocked: int = 0
+    possibly_equivalent: int = 0
 
 
 @dataclass

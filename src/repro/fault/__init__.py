@@ -1,27 +1,56 @@
-"""Single stuck-at fault model and fault simulation.
+"""Fault models and fault simulation.
 
-* :mod:`repro.fault.model` — fault sites (net stems + fanout branches)
+* :mod:`repro.fault.model` — stuck-at fault sites (net stems + fanout
+  branches)
 * :mod:`repro.fault.collapse` — structural equivalence collapsing
 * :mod:`repro.fault.comb_sim` — pattern-parallel single-fault simulation
   (combinational circuits; all patterns ride one big-int word per net)
 * :mod:`repro.fault.seq_sim` — fault-parallel simulation (sequential
   circuits; each bit lane is one faulty machine)
 * :mod:`repro.fault.coverage` — detection records and coverage curves
+* :mod:`repro.fault.models` — the pluggable fault-model registry
+  (``stuck-at``, ``transition``, ``seu``) behind
+  :func:`simulate_faults`, the campaign config and the CLI
 """
 
 from repro.fault.collapse import collapse_faults
 from repro.fault.comb_sim import CombFaultSimulator
 from repro.fault.coverage import FaultSimResult
 from repro.fault.model import StuckAtFault, generate_faults
+from repro.fault.models import (
+    DEFAULT_FAULT_MODEL,
+    FaultModel,
+    SeuFault,
+    SeuModel,
+    StuckAtModel,
+    TransitionFault,
+    TransitionModel,
+    build_fault_model,
+    fault_model_names,
+    get_fault_model,
+    register_fault_model,
+)
 from repro.fault.seq_sim import SeqFaultSimulator
-from repro.fault.runner import simulate_stuck_at
+from repro.fault.runner import simulate_faults, simulate_stuck_at
 
 __all__ = [
     "CombFaultSimulator",
+    "DEFAULT_FAULT_MODEL",
+    "FaultModel",
     "FaultSimResult",
     "SeqFaultSimulator",
+    "SeuFault",
+    "SeuModel",
     "StuckAtFault",
+    "StuckAtModel",
+    "TransitionFault",
+    "TransitionModel",
+    "build_fault_model",
     "collapse_faults",
+    "fault_model_names",
     "generate_faults",
+    "get_fault_model",
+    "register_fault_model",
+    "simulate_faults",
     "simulate_stuck_at",
 ]

@@ -1,0 +1,39 @@
+"""Pluggable fault models: what can break, enumerated and simulated.
+
+* :mod:`repro.fault.models.base` — the :class:`FaultModel` protocol
+  and the named registry (mirrors :mod:`repro.engine`)
+* :mod:`repro.fault.models.stuck_at` — classical single stuck-at
+  (the pinned reference: bit-identical to the pre-registry fault layer)
+* :mod:`repro.fault.models.transition` — slow-to-rise/fall delay
+  faults via launch/capture two-pattern tests
+* :mod:`repro.fault.models.seu` — single-event upsets: transient
+  bit-flips at deterministically sampled cycles
+"""
+
+from repro.fault.models.base import (
+    DEFAULT_FAULT_MODEL,
+    FAULT_MODELS,
+    FaultModel,
+    build_fault_model,
+    fault_model_names,
+    get_fault_model,
+    register_fault_model,
+)
+from repro.fault.models.seu import SeuFault, SeuModel
+from repro.fault.models.stuck_at import StuckAtModel
+from repro.fault.models.transition import TransitionFault, TransitionModel
+
+__all__ = [
+    "DEFAULT_FAULT_MODEL",
+    "FAULT_MODELS",
+    "FaultModel",
+    "SeuFault",
+    "SeuModel",
+    "StuckAtModel",
+    "TransitionFault",
+    "TransitionModel",
+    "build_fault_model",
+    "fault_model_names",
+    "get_fault_model",
+    "register_fault_model",
+]

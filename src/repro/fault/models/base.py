@@ -1,0 +1,154 @@
+"""The ``FaultModel`` protocol and the named fault-model registry.
+
+A *fault model* decides what can break in a netlist: it enumerates the
+fault universe, collapses structurally equivalent faults, and simulates
+a fault list over packed stimuli by lowering each fault to the word
+operations (``fault_diff`` cone diffs, static ``InjectionPlan``
+overrides, plain ``eval_full`` sweeps) the :mod:`repro.engine` backends
+already execute.  Models are pluggable by name — mirroring
+:func:`repro.engine.register_engine` — so the campaign pipeline, the
+grid workers and the CLI select one from configuration without
+importing concrete classes.
+
+A model implements four operations:
+
+* ``generate(netlist)`` — the uncollapsed fault universe, in a
+  deterministic order.
+* ``collapse(netlist, faults=None)`` — representatives of structural
+  equivalence classes (identity for models without collapsing rules).
+* ``describe(fault, netlist)`` — a one-line human description of a
+  fault.
+* ``simulate(netlist, stimuli, faults=None, lanes=256, engine=None)``
+  — first-detection records as a
+  :class:`~repro.fault.coverage.FaultSimResult`.
+
+Determinism contract: the fault universe and collapsed list must be
+pure functions of the netlist and the model's knobs — never of the
+stimuli — so grid planners can shard a fault list before any vectors
+exist; and ``simulate`` must return bit-identical detection records on
+every registered engine and any fault-list sharding.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultError
+
+#: The model used when none is selected explicitly.
+DEFAULT_FAULT_MODEL = "stuck-at"
+
+
+class FaultModel:
+    """Base class for registered fault models.
+
+    Subclasses set a non-empty ``name``, implement the four protocol
+    methods, and validate their knobs (constructor keyword arguments)
+    in ``__init__`` by raising :class:`FaultError`.
+    """
+
+    name: str = ""
+
+    def generate(self, netlist) -> list:
+        """The uncollapsed fault universe of ``netlist``."""
+        raise NotImplementedError
+
+    def collapse(self, netlist, faults: list | None = None) -> list:
+        """Collapse ``faults`` (default: the universe) to representatives."""
+        raise NotImplementedError
+
+    def describe(self, fault, netlist) -> str:
+        """One-line human description of ``fault``."""
+        return str(fault)
+
+    def simulate(self, netlist, stimuli: list[int],
+                 faults: list | None = None, lanes: int = 256,
+                 engine=None):
+        """First-detection records for ``faults`` over packed stimuli."""
+        raise NotImplementedError
+
+
+# -- registry ----------------------------------------------------------------
+
+#: name -> fault-model class.
+FAULT_MODELS: dict[str, type] = {}
+
+
+def register_fault_model(cls: type | None = None, *,
+                         replace: bool = False):
+    """Class decorator adding ``cls`` to the registry under ``cls.name``.
+
+    Mirrors :func:`repro.engine.register_engine`: registering a
+    *different* class under a taken name raises :class:`FaultError`
+    (a silent overwrite would let a plug-in hijack a built-in model by
+    accident); ``replace=True`` overwrites explicitly; re-registering
+    the same class is a no-op so module re-imports stay idempotent.
+    """
+    if cls is None:
+        return lambda target: register_fault_model(target, replace=replace)
+    name = getattr(cls, "name", "")
+    if not name:
+        raise FaultError(
+            f"{cls.__name__} needs a non-empty 'name' to be registered"
+        )
+    current = FAULT_MODELS.get(name)
+    if current is cls:
+        return cls  # re-import: keep the registration
+    if current is not None and not replace:
+        raise FaultError(
+            f"fault-model name {name!r} is already registered to "
+            f"{current.__name__}; pass replace=True to overwrite"
+        )
+    FAULT_MODELS[name] = cls
+    return cls
+
+
+def get_fault_model(name: str) -> type:
+    """Look up a registered fault-model class by name."""
+    try:
+        return FAULT_MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_MODELS))
+        raise FaultError(
+            f"unknown fault model {name!r} (registered: {known})"
+        ) from None
+
+
+def fault_model_names() -> tuple[str, ...]:
+    return tuple(sorted(FAULT_MODELS))
+
+
+def build_fault_model(model=None, knobs: dict | None = None):
+    """Resolve a fault-model selection into a model instance.
+
+    ``None`` means :data:`DEFAULT_FAULT_MODEL`.  A string resolves the
+    registered class and instantiates it with ``knobs`` as keyword
+    arguments (the model validates them).  Anything else is assumed to
+    already be a model instance and passed through — in which case
+    ``knobs`` must be ``None``: an instance carries its own.
+    """
+    if model is None:
+        model = DEFAULT_FAULT_MODEL
+    if isinstance(model, str):
+        cls = get_fault_model(model)
+        try:
+            return cls(**dict(knobs or {}))
+        except TypeError as exc:
+            raise FaultError(
+                f"invalid knobs for fault model {model!r}: {exc}"
+            ) from None
+    if knobs:
+        raise FaultError(
+            "fault-model knobs only apply when selecting a model by "
+            "name; the given instance already carries its own"
+        )
+    return model
+
+
+def first_lane(word: int) -> int | None:
+    """Index of the lowest set bit, or ``None`` for an all-zero word.
+
+    Shared detection-word helper: lane *i* is pattern (or fault
+    machine) *i* everywhere in the fault layer.
+    """
+    if word == 0:
+        return None
+    return (word & -word).bit_length() - 1

@@ -1,13 +1,32 @@
-"""Dispatch fault simulation by circuit style."""
+"""Model-aware fault-simulation dispatch."""
 
 from __future__ import annotations
 
-from repro.fault.collapse import collapse_faults
-from repro.fault.comb_sim import CombFaultSimulator
 from repro.fault.coverage import FaultSimResult
 from repro.fault.model import StuckAtFault
-from repro.fault.seq_sim import SeqFaultSimulator
+from repro.fault.models.base import build_fault_model
 from repro.netlist.netlist import Netlist
+
+
+def simulate_faults(
+    netlist: Netlist,
+    stimuli: list[int],
+    faults: list | None = None,
+    lanes: int = 256,
+    engine=None,
+    model=None,
+) -> FaultSimResult:
+    """Fault-simulate packed stimuli on ``netlist`` under a fault model.
+
+    ``model`` is a registered model name, a model instance, or ``None``
+    for the default (single stuck-at).  ``faults`` defaults to the
+    model's collapsed fault list; ``engine`` selects the
+    :mod:`repro.engine` backend by name (default backend when ``None``).
+    """
+    model = build_fault_model(model)
+    return model.simulate(
+        netlist, stimuli, faults=faults, lanes=lanes, engine=engine
+    )
 
 
 def simulate_stuck_at(
@@ -17,19 +36,14 @@ def simulate_stuck_at(
     lanes: int = 256,
     engine=None,
 ) -> FaultSimResult:
-    """Fault-simulate packed stimuli on ``netlist``.
+    """Stuck-at fault simulation (the historical entry point).
 
     Sequential netlists (any DFF) use the fault-parallel simulator;
-    pure combinational ones the pattern-parallel simulator.  ``faults``
-    defaults to the collapsed fault list; ``engine`` selects the
-    :mod:`repro.engine` backend by name (default backend when ``None``).
+    pure combinational ones the pattern-parallel simulator.  Kept as a
+    thin wrapper over the registered ``stuck-at`` model so callers that
+    predate the model registry keep their exact behavior.
     """
-    if faults is None:
-        faults = collapse_faults(netlist)
-    if netlist.dffs:
-        return SeqFaultSimulator(
-            netlist, faults, lanes, engine=engine
-        ).simulate(stimuli)
-    return CombFaultSimulator(netlist, faults, engine=engine).simulate(
-        stimuli
+    return simulate_faults(
+        netlist, stimuli, faults=faults, lanes=lanes, engine=engine,
+        model="stuck-at",
     )

@@ -65,6 +65,7 @@ from repro.grid.units import (
     merge_detections,
     merge_equivalence,
     merge_killed,
+    merge_witnesses,
 )
 from repro.grid.worker import execute_unit, process_entry
 
@@ -91,6 +92,7 @@ __all__ = [
     "merge_detections",
     "merge_equivalence",
     "merge_killed",
+    "merge_witnesses",
     "plan_equivalence",
     "plan_fault_sim",
     "plan_kill_analysis",

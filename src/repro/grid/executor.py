@@ -26,6 +26,7 @@ from repro.grid.units import (
     merge_detections,
     merge_equivalence,
     merge_killed,
+    merge_witnesses,
 )
 from repro.mutation.score import EquivalenceAnalysis, equivalence_stimuli
 
@@ -59,7 +60,11 @@ class GridExecutor:
     # -- operations ----------------------------------------------------------
 
     def fault_sim(self, lab, vectors: list[int], key: str) -> FaultSimResult:
-        """Sharded stuck-at validation, bit-identical to ``lab.fault_sim``."""
+        """Sharded fault validation, bit-identical to ``lab.fault_sim``.
+
+        The fault list (and its model) lives in the fingerprinted
+        config every worker rebuilds, so units carry only index ranges.
+        """
         units = plan_fault_sim(
             lab.name, key, len(lab.faults), vectors,
             self._config.grid_shard,
@@ -71,11 +76,18 @@ class GridExecutor:
 
     def killed_mids(self, lab, mutants, vectors: list[int], key: str) -> set[int]:
         """Sharded kill analysis over an explicit mutant list."""
+        return self.kill_analysis(lab, mutants, vectors, key)[0]
+
+    def kill_analysis(
+        self, lab, mutants, vectors: list[int], key: str
+    ) -> tuple[set[int], dict[int, tuple[int | None, str]]]:
+        """Sharded kill analysis plus the per-kill replay witnesses."""
         units = plan_kill_analysis(
             lab.name, key, [m.mid for m in mutants], vectors,
             self._config.grid_shard,
         )
-        return merge_killed(self._dispatch(units))
+        results = self._dispatch(units)
+        return merge_killed(results), merge_witnesses(results)
 
     def equivalence(self, lab) -> EquivalenceAnalysis:
         """Sharded budgeted equivalence sweep over the population."""

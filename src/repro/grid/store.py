@@ -28,7 +28,8 @@ from repro.errors import ConfigError
 from repro.grid.units import WorkUnit
 
 #: Bump when the stored payload's shape or semantics change.
-STORE_VERSION = 1
+#: v2: mutant-part results carry per-kill ``witnesses`` records.
+STORE_VERSION = 2
 
 
 class JobStore:

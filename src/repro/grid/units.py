@@ -149,6 +149,23 @@ def merge_killed(results: list[dict]) -> set[int]:
     return killed
 
 
+def merge_witnesses(
+    results: list[dict],
+) -> dict[int, tuple[int | None, str]]:
+    """Union the per-partition kill witnesses.
+
+    JSON object keys arrive as strings and the stored ``[cycle,
+    reason]`` pairs as lists; the merge restores the in-memory shape
+    (``mid -> (cycle, reason)``).  Payloads predating the witness
+    field (store version 1) merge to an empty dict.
+    """
+    witnesses: dict[int, tuple[int | None, str]] = {}
+    for result in results:
+        for mid, record in result.get("witnesses", {}).items():
+            witnesses[int(mid)] = (record[0], record[1])
+    return witnesses
+
+
 def merge_equivalence(results: list[dict]) -> tuple[set[int], dict]:
     """Union per-partition survivors and kill-cycle records."""
     survivors: set[int] = set()

@@ -49,7 +49,6 @@ def _memoized_reference(key: tuple, compute):
 def execute_unit(unit: WorkUnit, config) -> dict:
     """Compute one work unit; returns a JSON-serializable result."""
     from repro.experiments.context import get_lab
-    from repro.fault.runner import simulate_stuck_at
     from repro.mutation.score import equivalence_stimuli
 
     lab = get_lab(unit.circuit, config.lab_config())
@@ -61,8 +60,11 @@ def execute_unit(unit: WorkUnit, config) -> dict:
                 f"unit {unit.uid}: fault list drifted "
                 f"({len(lab.faults)} != {spec['num_faults']})"
             )
+        # The lab's fault model (and list) is rebuilt from the same
+        # fingerprinted config on every worker, so the slice is the
+        # same one the planner sharded — no model tag in the unit spec.
         faults = lab.faults[spec["start"]:spec["stop"]]
-        result = simulate_stuck_at(
+        result = lab.fault_model.simulate(
             lab.netlist,
             spec["vectors"],
             faults,
@@ -86,8 +88,16 @@ def execute_unit(unit: WorkUnit, config) -> dict:
             ("kill", unit.circuit, tuple(vectors)),
             lambda: lab.engine.reference_outputs(vectors),
         )
-        killed = lab.engine.killed_mids(mutants, vectors, reference)
-        return {"killed": sorted(killed)}
+        records = lab.engine.run_all(mutants, vectors, reference)
+        return {
+            "killed": sorted(r.mid for r in records if r.killed),
+            # JSON object keys are strings; the merge converts back.
+            "witnesses": {
+                str(r.mid): [r.cycle, r.reason]
+                for r in records
+                if r.killed
+            },
+        }
 
     if unit.kind == EQUIV_PART:
         wanted = set(unit.spec["mids"])

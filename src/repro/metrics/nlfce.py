@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.fault.coverage import FaultSimResult
 from repro.fault.model import StuckAtFault
-from repro.fault.runner import simulate_stuck_at
+from repro.fault.runner import simulate_faults
 from repro.netlist.netlist import Netlist
 
 
@@ -104,12 +104,19 @@ def compute_nlfce(
     faults: list[StuckAtFault] | None = None,
     lanes: int = 256,
     engine=None,
+    model=None,
 ) -> NlfceReport:
-    """Fault-simulate both test sets on ``netlist`` and report NLFCE."""
-    mutation_result = simulate_stuck_at(
-        netlist, mutation_vectors, faults, lanes, engine=engine
+    """Fault-simulate both test sets on ``netlist`` and report NLFCE.
+
+    ``model`` names (or is an instance of) a registered fault model;
+    ``None`` keeps the paper's stuck-at metric.  Both test sets are
+    always measured under the *same* model, so the efficiency ratio
+    stays meaningful.
+    """
+    mutation_result = simulate_faults(
+        netlist, mutation_vectors, faults, lanes, engine=engine, model=model
     )
-    random_result = simulate_stuck_at(
-        netlist, random_vectors, faults, lanes, engine=engine
+    random_result = simulate_faults(
+        netlist, random_vectors, faults, lanes, engine=engine, model=model
     )
     return nlfce_from_results(mutation_result, random_result)

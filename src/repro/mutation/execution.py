@@ -90,6 +90,19 @@ class KillRecord:
     reason: str                # "output-diff" | "runtime" | "oscillation" | "survived"
 
 
+#: Surviving-mutant triage categories (the fault-classification
+#: scheme): the test data never excited the mutated site at all, or it
+#: did infect internal state but the infection never reached an
+#: observed output, or the equivalence sweep flagged the mutant as a
+#: candidate equivalent (no stimulus may be able to kill it).
+NEVER_ACTIVATED = "never-activated"
+PROPAGATION_BLOCKED = "propagation-blocked"
+POSSIBLY_EQUIVALENT = "possibly-equivalent"
+TRIAGE_CATEGORIES = (
+    NEVER_ACTIVATED, PROPAGATION_BLOCKED, POSSIBLY_EQUIVALENT
+)
+
+
 class MutationEngine:
     """Runs mutants of one design against packed stimulus sequences."""
 
@@ -214,6 +227,89 @@ class MutationEngine:
             record.mid
             for record in self.run_all(mutants, stimuli, reference)
             if record.killed
+        }
+
+    # -- surviving-mutant triage --------------------------------------------
+
+    @staticmethod
+    def _observable_state(state: tuple) -> tuple:
+        """The comparable slice of a ``save_state`` checkpoint.
+
+        Signal values plus process variables; the ``initialized`` flag
+        is bench bookkeeping, identical on both machines by
+        construction.
+        """
+        values, variables, _initialized = state
+        return values, variables
+
+    def reference_state_trace(self, stimuli: list[int]) -> list[tuple]:
+        """Per-cycle internal-state checkpoints of the original design.
+
+        Computed once per stimulus set and shared across every
+        survivor's triage; combinational designs restore the pristine
+        checkpoint before each vector, matching :meth:`run_mutant`.
+        """
+        decoded = self.decode_all(stimuli)
+        bench, pristine = self._fresh_bench(None)
+        sequential = self._design.is_sequential
+        trace: list[tuple] = []
+        for stimulus in decoded:
+            if not sequential:
+                bench.restore_state(pristine)
+            bench.step(stimulus)
+            trace.append(self._observable_state(bench.save_state()))
+        return trace
+
+    def triage_survivor(
+        self,
+        mutant: Mutant,
+        stimuli: list[int],
+        trace: list[tuple] | None = None,
+    ) -> str:
+        """Why ``stimuli`` failed to kill a surviving mutant.
+
+        Steps the mutant in lockstep against the reference state trace
+        and compares the *complete* machine state (every signal and
+        process variable) after each cycle: a mutant whose state never
+        deviates was :data:`NEVER_ACTIVATED` by the test data; one that
+        deviated internally yet survived (its outputs matched) was
+        activated but :data:`PROPAGATION_BLOCKED` on the way to an
+        observed output.  The third category,
+        :data:`POSSIBLY_EQUIVALENT`, is assigned by the caller from the
+        equivalence analysis before ever running this sweep.
+        """
+        if trace is None:
+            trace = self.reference_state_trace(stimuli)
+        decoded = self.decode_all(stimuli)
+        try:
+            bench, pristine = self._fresh_bench(mutant.patch())
+        except (MutantRuntimeError, OscillationError):
+            # Initialization itself misbehaves — internal activation
+            # without an output kill (or this would not be a survivor).
+            return PROPAGATION_BLOCKED
+        sequential = self._design.is_sequential
+        for cycle, stimulus in enumerate(decoded):
+            if not sequential:
+                bench.restore_state(pristine)
+            try:
+                bench.step(stimulus)
+            except (MutantRuntimeError, OscillationError):
+                return PROPAGATION_BLOCKED
+            state = self._observable_state(bench.save_state())
+            if state != trace[cycle]:
+                return PROPAGATION_BLOCKED
+        return NEVER_ACTIVATED
+
+    def triage_survivors(
+        self, mutants: list[Mutant], stimuli: list[int]
+    ) -> dict[int, str]:
+        """Triage categories for a batch of survivors (shared trace)."""
+        if not mutants:
+            return {}
+        trace = self.reference_state_trace(stimuli)
+        return {
+            mutant.mid: self.triage_survivor(mutant, stimuli, trace)
+            for mutant in mutants
         }
 
     def comb_kill_sets(
