@@ -50,3 +50,54 @@ def test_seq_fault_sim_throughput(benchmark, name, engine):
     )
     result = benchmark(simulator.simulate, stimuli)
     assert result.coverage() > 0.3
+
+
+# -- telemetry overhead -------------------------------------------------------
+#
+# The same compiled-engine passes with a live metrics registry, so
+# BENCH_engine.json carries the telemetry cost next to the plain
+# ``compiled`` rows (the disabled-path baseline).  The budget is a few
+# percent: instrumentation is per simulation *pass*, never per fault.
+
+def test_comb_fault_sim_telemetry_overhead(benchmark):
+    from repro.obs import metrics as obs_metrics
+
+    netlist = netlist_of("c432")
+    faults = collapse_faults(netlist)
+    width = len(netlist.input_bits)
+    rng = rng_stream(1, "c432", "bench-fsim")
+    patterns = [rng.getrandbits(width) for _ in range(256)]
+    simulator = CombFaultSimulator(netlist, faults, engine="compiled")
+    benchmark.extra_info.update(
+        circuit="c432", engine="compiled+obs", style="comb",
+        patterns=len(patterns), faults=len(faults),
+    )
+    obs_metrics.enable()
+    try:
+        result = benchmark(simulator.simulate, patterns)
+    finally:
+        obs_metrics.disable()
+    assert result.coverage() > 0.5
+
+
+def test_seq_fault_sim_telemetry_overhead(benchmark):
+    from repro.obs import metrics as obs_metrics
+
+    netlist = netlist_of("b01")
+    design = load_circuit("b01")
+    faults = collapse_faults(netlist)
+    width = StimulusEncoder(design).width
+    rng = rng_stream(1, "b01", "bench-fsim")
+    stimuli = [rng.getrandbits(width) for _ in range(128)]
+    simulator = SeqFaultSimulator(netlist, faults, lanes=256,
+                                  engine="compiled")
+    benchmark.extra_info.update(
+        circuit="b01", engine="compiled+obs", style="seq",
+        patterns=len(stimuli), faults=len(faults),
+    )
+    obs_metrics.enable()
+    try:
+        result = benchmark(simulator.simulate, stimuli)
+    finally:
+        obs_metrics.disable()
+    assert result.coverage() > 0.3

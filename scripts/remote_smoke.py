@@ -106,6 +106,24 @@ def payload(path: Path) -> list:
     return json.loads(path.read_text())["circuits"]
 
 
+def probe_metrics() -> None:
+    """GET /metrics on the live coordinator and sanity-check its shape."""
+    with urllib.request.urlopen(f"{URL}/metrics", timeout=5.0) as response:
+        snapshot = json.loads(response.read())
+    for key in ("queue_depth", "leased_units", "workers", "metrics"):
+        assert key in snapshot, f"/metrics is missing {key!r}"
+    counters = snapshot["metrics"].get("counters", {})
+    assert counters.get("coordinator.leases.granted", 0) > 0, (
+        "coordinator counted no granted leases while units were running"
+    )
+    print(
+        f"OK: /metrics live (queue={snapshot['queue_depth']}, "
+        f"leased={snapshot['leased_units']}, "
+        f"workers={len(snapshot['workers'])})",
+        flush=True,
+    )
+
+
 def run_until_units(args: list[str], units: int) -> subprocess.Popen:
     """Start ``repro run --progress`` and return once ``units`` unit
     completions have been reported (the run keeps going)."""
@@ -150,6 +168,7 @@ def main() -> int:
          "--coordinator", URL, "--json", str(remote_json)],
         units=4,
     )
+    probe_metrics()
     print("killing one worker mid-run", flush=True)
     workers[1].kill()
     workers[1].wait()

@@ -42,6 +42,9 @@ from repro.campaign.events import (
     CampaignEvents,
     GuardedEvents,
     ProgressEvents,
+    RecordingEvents,
+    TeeEvents,
+    TracingEvents,
     guard_events,
 )
 from repro.campaign.result import (
@@ -85,6 +88,7 @@ __all__ = [
     "MutantStage",
     "OperatorRow",
     "ProgressEvents",
+    "RecordingEvents",
     "ResultCache",
     "STAGE_REGISTRY",
     "SamplingStage",
@@ -93,7 +97,9 @@ __all__ = [
     "StrategyRow",
     "SynthStage",
     "Target",
+    "TeeEvents",
     "TestGenStage",
+    "TracingEvents",
     "WEIGHT_SCHEMES",
     "get_stage",
     "guard_events",

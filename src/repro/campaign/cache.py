@@ -19,6 +19,7 @@ from pathlib import Path
 
 from repro.campaign.result import CircuitResult
 from repro.errors import ConfigError
+from repro.obs import metrics as _metrics
 
 #: Bump when the cached payload's shape or semantics change.
 #: v2: strategy rows carry survivor ``triage`` and kill ``witnesses``.
@@ -89,14 +90,22 @@ class ResultCache:
     def load(self, circuit: str) -> CircuitResult | None:
         """The cached result, or ``None`` on any kind of miss."""
         path = self.path(circuit)
+        m = _metrics.active()
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
+            if m.enabled:
+                m.counter("cache.result.miss")
             return None
         try:
             result = CircuitResult.from_dict(json.loads(text))
         except (ValueError, TypeError, KeyError, ConfigError):
+            if m.enabled:
+                m.counter("cache.result.miss")
+                m.counter("cache.result.corrupt")
             return None  # corrupt or stale entry: recompute
+        if m.enabled:
+            m.counter("cache.result.hit")
         # A hit counts as use: refresh mtime so the LRU sweep keeps the
         # entries campaigns actually read.
         try:
@@ -116,6 +125,9 @@ class ResultCache:
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
+        m = _metrics.active()
+        if m.enabled:
+            m.counter("cache.result.store")
         self._sweep()
 
     def _sweep(self) -> None:
@@ -137,8 +149,11 @@ class ResultCache:
             except OSError:
                 continue  # vanished mid-scan
         entries.sort(reverse=True)  # newest first; name breaks mtime ties
+        m = _metrics.active()
         for _, _, path in entries[self._max_entries:]:
             try:
                 path.unlink()
             except OSError:
-                pass
+                continue
+            if m.enabled:
+                m.counter("cache.result.evict")

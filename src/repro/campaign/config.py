@@ -73,7 +73,7 @@ WEIGHT_SCHEMES = ("calibrated", "paper-ranks", "uniform")
 #: provenance, like ``engine``.)
 EXECUTION_FIELDS = frozenset(
     {"circuits", "jobs", "cache_dir", "grid_workers", "cache_max_entries",
-     "coordinator"}
+     "coordinator", "telemetry"}
 )
 
 _TUPLE_FIELDS = ("operators", "strategies", "sample_labels", "stages",
@@ -178,6 +178,11 @@ class CampaignConfig:
     #: LRU bound on on-disk result-cache entries (mtime-ordered sweep);
     #: None = unlimited (the historical behavior).
     cache_max_entries: int | None = None
+    #: collect :mod:`repro.obs` metrics during the run.  Execution-only
+    #: by contract — telemetry observes the computation and never feeds
+    #: it, so it stays out of the fingerprint and cached results are
+    #: shared between instrumented and plain runs.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         for name in _TUPLE_FIELDS:
@@ -280,6 +285,7 @@ class CampaignConfig:
                 f"cache_max_entries must be >= 1, got "
                 f"{self.cache_max_entries}"
             )
+        self.telemetry = bool(self.telemetry)
 
     # -- bridges -------------------------------------------------------------
 

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import sys
 
+from ..obs import metrics as _metrics
+
 
 class CampaignEvents:
     """No-op base class for campaign progress hooks."""
@@ -104,11 +106,18 @@ class GuardedEvents(CampaignEvents):
 
     def _call(self, hook: str, *args, **kwargs) -> None:
         if hook in self._broken:
+            m = _metrics.active()
+            if m.enabled:
+                m.counter("events.suppressed_firings")
             return
         try:
             getattr(self._inner, hook)(*args, **kwargs)
         except Exception as exc:
             self._broken.add(hook)
+            m = _metrics.active()
+            if m.enabled:
+                m.counter("events.hook_errors")
+                m.counter(f"events.hook_errors.{hook}")
             print(
                 f"campaign: events hook {hook} raised "
                 f"{type(exc).__name__}: {exc} — suppressing this hook "
@@ -222,6 +231,113 @@ class RecordingEvents(CampaignEvents):
             "seconds": seconds,
             "cached": bool(cached),
         })
+
+
+class TracingEvents(CampaignEvents):
+    """Projects the hook stream onto a :class:`repro.obs.Tracer`.
+
+    Span layout: the campaign is one duration span on tid
+    ``"campaign"``; each circuit gets its own tid
+    (``"circuit:<name>"``) carrying the circuit span and its nested
+    stage spans, so interleaved circuit completion under ``jobs > 1``
+    cannot break B/E nesting.  Work units become *async* spans keyed
+    by ``unit.uid`` because pooled schedulers overlap them freely.
+    Done-events that never had a start (cache hits, store-resumed
+    units) are recorded as instants instead of unbalanced ends.
+    """
+
+    def __init__(self, tracer=None):
+        from ..obs import trace as _trace
+
+        self._tracer = tracer if tracer is not None else _trace.active()
+        self._open_circuits: set[str] = set()
+        self._open_stages: set[tuple[str, str]] = set()
+        self._open_units: set[str] = set()
+
+    @staticmethod
+    def _circuit_tid(circuit: str) -> str:
+        return f"circuit:{circuit}"
+
+    def on_campaign_start(self, circuits, config) -> None:
+        self._tracer.begin(
+            "campaign", "campaign",
+            {"circuits": list(circuits),
+             "fingerprint": config.fingerprint()},
+        )
+
+    def on_campaign_end(self, result, seconds) -> None:
+        self._tracer.end("campaign", "campaign")
+
+    def on_circuit_start(self, circuit) -> None:
+        self._open_circuits.add(circuit)
+        self._tracer.begin(f"circuit:{circuit}", self._circuit_tid(circuit))
+
+    def on_circuit_done(self, circuit, result, seconds, cached=False) -> None:
+        if circuit in self._open_circuits:
+            self._open_circuits.discard(circuit)
+            self._tracer.end(f"circuit:{circuit}", self._circuit_tid(circuit))
+        else:
+            self._tracer.instant(
+                f"circuit:{circuit} (cached)" if cached
+                else f"circuit:{circuit}",
+                self._circuit_tid(circuit),
+            )
+
+    def on_stage_start(self, circuit, stage) -> None:
+        self._open_stages.add((circuit, stage))
+        self._tracer.begin(f"stage:{stage}", self._circuit_tid(circuit),
+                           {"circuit": circuit})
+
+    def on_stage_end(self, circuit, stage, seconds) -> None:
+        if (circuit, stage) in self._open_stages:
+            self._open_stages.discard((circuit, stage))
+            self._tracer.end(f"stage:{stage}", self._circuit_tid(circuit))
+
+    def on_unit_start(self, unit) -> None:
+        self._open_units.add(unit.uid)
+        self._tracer.async_begin(
+            f"unit:{unit.stage}", unit.uid, args=unit_envelope(unit))
+
+    def on_unit_done(self, unit, seconds, cached=False) -> None:
+        if unit.uid in self._open_units:
+            self._open_units.discard(unit.uid)
+            self._tracer.async_end(f"unit:{unit.stage}", unit.uid)
+        else:
+            self._tracer.instant(
+                f"unit:{unit.stage} (cached)" if cached
+                else f"unit:{unit.stage}",
+                "unit",
+                args=unit_envelope(unit),
+            )
+
+
+class TeeEvents(CampaignEvents):
+    """Fans every hook out to several events objects, in order."""
+
+    def __init__(self, *sinks: CampaignEvents):
+        self._sinks = tuple(sinks)
+
+    @property
+    def sinks(self) -> tuple[CampaignEvents, ...]:
+        return self._sinks
+
+    def _fanout(self, hook: str, *args, **kwargs) -> None:
+        for sink in self._sinks:
+            getattr(sink, hook)(*args, **kwargs)
+
+
+def _tee_hook(hook: str):
+    def method(self, *args, **kwargs):
+        self._fanout(hook, *args, **kwargs)
+
+    method.__name__ = hook
+    method.__doc__ = f"Fan-out delegation of ``{hook}``."
+    return method
+
+
+for _hook in _HOOKS:
+    setattr(TeeEvents, _hook, _tee_hook(_hook))
+del _hook
 
 
 class ProgressEvents(CampaignEvents):

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.config import CampaignConfig
@@ -45,8 +46,30 @@ from repro.campaign.stages import (
     get_stage,
 )
 from repro.mutation.score import MutationScore
+from repro.obs import metrics as _metrics
 
 _NULL_EVENTS = CampaignEvents()
+
+
+@contextmanager
+def _telemetry_scope(config: CampaignConfig):
+    """Install a metrics registry for the run when the config asks.
+
+    Yields the registry collecting this run's metrics, or ``None``
+    when telemetry is off.  If a registry is already active (an
+    enclosing scope — e.g. a worker-side ``collecting()`` — or an
+    explicit ``obs.enable_metrics()``), it is reused rather than
+    shadowed so nested campaigns fold into one set of totals.
+    """
+    if not config.telemetry:
+        yield None
+        return
+    current = _metrics.active()
+    if current.enabled:
+        yield current
+        return
+    with _metrics.collecting() as registry:
+        yield registry
 
 
 def run_circuit(
@@ -62,12 +85,17 @@ def run_circuit(
     """
     events = guard_events(events if events is not None else _NULL_EVENTS)
     ctx = CircuitContext(circuit, config, grid=grid)
+    m = _metrics.active()
     for name in config.stages:
         stage = get_stage(name)
         events.on_stage_start(circuit, name)
         started = time.monotonic()
         stage.run(ctx)
-        events.on_stage_end(circuit, name, time.monotonic() - started)
+        seconds = time.monotonic() - started
+        if m.enabled:
+            m.counter("campaign.stage_runs")
+            m.observe(f"stage.{name}.seconds", seconds)
+        events.on_stage_end(circuit, name, seconds)
     return _build_result(ctx)
 
 
@@ -162,6 +190,16 @@ def _circuit_payload(circuit: str, config_data: dict) -> dict:
     """
     config = CampaignConfig.from_dict(config_data)
     started = time.monotonic()
+    if config.telemetry:
+        with _metrics.collecting() as registry:
+            result = run_circuit(circuit, config)
+        payload = {
+            "seconds": time.monotonic() - started,
+            "result": result.to_dict(),
+        }
+        if not registry.is_empty():
+            payload["metrics"] = registry.snapshot()
+        return payload
     result = run_circuit(circuit, config)
     return {
         "seconds": time.monotonic() - started,
@@ -179,6 +217,10 @@ class Campaign:
     ):
         self.config = config or CampaignConfig()
         self.events = events or _NULL_EVENTS
+        #: the metrics registry of the most recent ``run`` (``None``
+        #: when ``config.telemetry`` is off) — front ends read it to
+        #: print or export the collected totals.
+        self.last_metrics: _metrics.Metrics | None = None
 
     def run(self, circuits=None, resume: bool = False) -> CampaignResult:
         """Run the pipeline over ``circuits`` (default: the config's).
@@ -205,6 +247,18 @@ class Campaign:
                 "the config, or pass --cache-dir on the CLI): finished "
                 "circuits and work units live there"
             )
+        with _telemetry_scope(config) as registry:
+            self.last_metrics = registry
+            return self._execute(names, config, events, resume)
+
+    def _execute(
+        self,
+        names: tuple[str, ...],
+        config: CampaignConfig,
+        events: CampaignEvents,
+        resume: bool,
+    ) -> CampaignResult:
+        m = _metrics.active()
         events.on_campaign_start(names, config)
         started = time.monotonic()
 
@@ -247,9 +301,12 @@ class Campaign:
                     results[name] = run_circuit(
                         name, config, events, grid=grid
                     )
+                    circuit_seconds = time.monotonic() - circuit_started
+                    if m.enabled:
+                        m.counter("campaign.circuits_run")
+                        m.observe("circuit.seconds", circuit_seconds)
                     events.on_circuit_done(
-                        name, results[name],
-                        time.monotonic() - circuit_started,
+                        name, results[name], circuit_seconds,
                     )
                     # Persist per circuit (not all at the end) so an
                     # interrupted multi-circuit run keeps what finished.
@@ -264,7 +321,11 @@ class Campaign:
             circuits=[results[name] for name in dict.fromkeys(names)],
             cache_hits=tuple(hits),
         )
-        events.on_campaign_end(result, time.monotonic() - started)
+        campaign_seconds = time.monotonic() - started
+        if m.enabled:
+            m.gauge("campaign.seconds", campaign_seconds)
+            m.counter("campaign.runs")
+        events.on_campaign_end(result, campaign_seconds)
         return result
 
     def _run_parallel(
@@ -287,6 +348,9 @@ class Campaign:
                 name = futures[future]
                 payload = future.result()
                 results[name] = CircuitResult.from_dict(payload["result"])
+                snapshot = payload.get("metrics")
+                if snapshot:
+                    _metrics.active().merge(snapshot)
                 events.on_circuit_done(
                     name, results[name], payload["seconds"]
                 )

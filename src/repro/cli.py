@@ -24,6 +24,10 @@ Commands
 * ``worker``     — attach a worker daemon to a coordinator
 * ``submit``     — submit a campaign config to a coordinator and
   stream its event envelopes back as JSON lines
+* ``trace``      — top-k self-time summary of a Chrome trace-event
+  JSON written by ``repro run --trace``
+* ``top``        — refreshing live view of a coordinator's
+  ``GET /metrics`` telemetry (queue depth, worker throughput)
 * ``table1``     — regenerate the paper's Table 1
 * ``table2``     — regenerate the paper's Table 2
 * ``atpg-reuse`` — the §1 validation-reuse experiment
@@ -346,6 +350,14 @@ def _main(argv: list[str] | None = None) -> int:
                      help="also write the result as JSON to PATH")
     run.add_argument("--progress", action="store_true",
                      help="report per-stage progress on stderr")
+    run.add_argument("--telemetry", action="store_true",
+                     help="collect execution metrics and print a "
+                          "summary on stderr (never affects results "
+                          "or fingerprints)")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a Chrome trace-event JSON of the run "
+                          "(open in Perfetto / chrome://tracing, or "
+                          "summarize with 'repro trace PATH')")
 
     serve = sub.add_parser(
         "serve",
@@ -407,6 +419,27 @@ def _main(argv: list[str] | None = None) -> int:
                              "the final summary")
     submit.add_argument("--json", default=None, metavar="PATH",
                         help="also write the result as JSON to PATH")
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize a trace file from 'repro run --trace'",
+    )
+    trace.add_argument("trace", help="Chrome trace-event JSON file")
+    trace.add_argument("--top", type=int, default=15,
+                       help="spans to show, ranked by self time "
+                            "(default: 15)")
+
+    top = sub.add_parser(
+        "top",
+        help="live view of a coordinator's /metrics telemetry",
+    )
+    top.add_argument("coordinator",
+                     help="coordinator base URL (http://host:port)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh interval in seconds (default: 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (no screen "
+                          "clearing; scripts and CI)")
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     table1.add_argument("--circuits", nargs="*", default=list(DEFAULT_CIRCUITS))
@@ -496,6 +529,10 @@ def _main(argv: list[str] | None = None) -> int:
         return _cmd_worker(args)
     if command == "submit":
         return _cmd_submit(args)
+    if command == "trace":
+        return _cmd_trace(args)
+    if command == "top":
+        return _cmd_top(args)
     if command == "table1":
         from repro.campaign.runner import Campaign
         from repro.experiments.report import table1_text
@@ -913,14 +950,154 @@ def _cmd_run(args) -> int:
         overrides["search"] = args.search
     if args.search_budget is not None:
         overrides["search_budget"] = args.search_budget
+    if args.telemetry:
+        overrides["telemetry"] = True
     if overrides:
         config = config.replace(**overrides)
+    events = _events(args)
+    tracer = None
+    if args.trace:
+        from repro.campaign.events import TeeEvents, TracingEvents
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        events = TeeEvents(TracingEvents(tracer), events)
     # A resume without a cache directory is rejected by Campaign.run
     # (the single owner of that validation).
-    result = Campaign(config, _events(args)).run(resume=args.resume)
+    campaign = Campaign(config, events)
+    result = campaign.run(resume=args.resume)
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(
+            f"trace: {len(tracer)} event(s) written to {args.trace}",
+            file=sys.stderr,
+        )
+    if args.telemetry and campaign.last_metrics is not None:
+        _print_metrics(campaign.last_metrics.snapshot())
     print(campaign_text(result))
     _archive(args, result.to_json)
     return 0
+
+
+def _print_metrics(snapshot: dict) -> None:
+    """Telemetry summary on stderr (keeps stdout parseable)."""
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    if not (counters or gauges or histograms):
+        return
+    print("telemetry:", file=sys.stderr)
+    for name in sorted(counters):
+        print(f"  {name:44s} {counters[name]}", file=sys.stderr)
+    for name in sorted(gauges):
+        print(f"  {name:44s} {gauges[name]:g}", file=sys.stderr)
+    for name in sorted(histograms):
+        hist = histograms[name]
+        print(
+            f"  {name:44s} count={hist['count']} sum={hist['sum']:.3f}s",
+            file=sys.stderr,
+        )
+
+
+def _cmd_trace(args) -> int:
+    """Top-k self-time summary of a Chrome trace-event JSON."""
+    import json
+    from pathlib import Path
+
+    from repro.errors import ConfigError
+    from repro.obs.trace import summarize
+
+    try:
+        text = Path(args.trace).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read trace file: {exc}") from exc
+    try:
+        trace = json.loads(text)
+    except ValueError as exc:
+        raise ConfigError(f"malformed trace JSON: {exc}") from exc
+    rows = summarize(trace, top=args.top)
+    if not rows:
+        print("no spans in trace")
+        return 1
+    print(f"{'span':44s} {'count':>6s} {'total':>10s} {'self':>10s}")
+    for row in rows:
+        print(
+            f"{row['name'][:44]:44s} {row['count']:6d} "
+            f"{row['total_us'] / 1e6:9.3f}s {row['self_us'] / 1e6:9.3f}s"
+        )
+    return 0
+
+
+def _render_top(snapshot: dict, previous: dict, now: float) -> str:
+    """One frame of ``repro top``.
+
+    ``previous`` maps worker id -> (monotonic time, completed_total)
+    from the last frame; per-worker rates come from the deltas.
+    """
+    lines = [
+        f"queue: {snapshot.get('queue_depth', 0)} pending, "
+        f"{snapshot.get('leased_units', 0)} leased, "
+        f"{snapshot.get('waves', 0)} wave(s)"
+    ]
+    workers = snapshot.get("workers") or []
+    if workers:
+        lines.append("")
+        lines.append(
+            f"  {'worker':26s} {'leased':>6s} {'done':>7s} {'rate/s':>8s}"
+        )
+        for worker in workers:
+            wid = str(worker.get("worker", "?"))
+            name = str(worker.get("name") or wid)
+            done = int(worker.get("completed_total") or 0)
+            last = previous.get(wid)
+            rate = "-"
+            if last is not None and now > last[0]:
+                rate = f"{(done - last[1]) / (now - last[0]):.2f}"
+            previous[wid] = (now, done)
+            lines.append(
+                f"  {name[:26]:26s} {int(worker.get('leased') or 0):6d} "
+                f"{done:7d} {rate:>8s}"
+            )
+    campaigns = snapshot.get("campaigns") or []
+    for campaign in campaigns:
+        lines.append(
+            f"  campaign {campaign.get('campaign')}: "
+            f"{campaign.get('status')} "
+            f"({campaign.get('events', 0)} event(s))"
+        )
+    counters = (snapshot.get("metrics") or {}).get("counters") or {}
+    if counters:
+        lines.append("")
+        ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        for name, value in ranked[:12]:
+            lines.append(f"  {name:44s} {value}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    """Refreshing one-screen view of a coordinator's telemetry."""
+    import time
+
+    from repro.net import CoordinatorClient
+
+    client = CoordinatorClient(args.coordinator)
+    client.ping()
+    previous: dict[str, tuple[float, int]] = {}
+    try:
+        while True:
+            started = time.monotonic()
+            frame = _render_top(client.metrics(), previous, started)
+            if args.once:
+                print(frame)
+                return 0
+            # ANSI clear + home, then the frame — one screen, no scroll.
+            print(f"\x1b[2J\x1b[H{client.url}\n{frame}", flush=True)
+            delay = max(args.interval, 0.2) - (time.monotonic() - started)
+            if delay > 0:
+                time.sleep(delay)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _cmd_serve(args) -> int:
@@ -967,13 +1144,21 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+#: ``repro submit`` never sleeps longer than this between polls, no
+#: matter how long the event stream has been quiet.
+SUBMIT_BACKOFF_CAP = 10.0
+
+
 def _cmd_submit(args) -> int:
     import json
+    import random
     import time
 
     from repro.campaign.result import CampaignResult
     from repro.experiments.report import campaign_text
     from repro.net import CoordinatorClient
+    from repro.obs import metrics as _metrics
+    from repro.obs.metrics import Metrics
 
     config = CampaignConfig.from_file(args.config)
     if args.circuits is not None:
@@ -983,23 +1168,51 @@ def _cmd_submit(args) -> int:
     cid = client.submit_campaign(config.to_dict())["campaign"]
     print(f"submitted campaign {cid} to {client.url}", file=sys.stderr)
 
-    def drain(since: int) -> int:
+    stats = Metrics()
+
+    def drain(since: int) -> tuple[int, bool]:
+        fresh = False
         for event in client.campaign_events(cid, since):
+            fresh = True
+            stats.counter("submit.events")
             since = int(event.get("seq", since)) + 1
             if not args.quiet:
                 print(json.dumps(event, sort_keys=True), flush=True)
-        return since
+        return since, fresh
 
+    # Quiet polls back off exponentially to a cap; any event resets
+    # the delay to the base interval.  The jitter keeps a fleet of
+    # watchers from synchronizing their polls against one coordinator.
+    base = max(args.poll, 0.05)
+    cap = max(base, SUBMIT_BACKOFF_CAP)
+    delay = base
+    jitter = random.Random(cid)
     since = max(0, args.since)
     while True:
-        since = drain(since)
+        since, fresh = drain(since)
         status = client.campaign_status(cid)
+        stats.counter("submit.polls")
         if status["status"] in ("done", "failed"):
             # Events that landed between the drain and the status
             # read are picked up by one final drain.
             drain(since)
             break
-        time.sleep(max(args.poll, 0.05))
+        if fresh:
+            delay = base
+        else:
+            stats.counter("submit.backoffs")
+            delay = min(delay * 2.0, cap)
+        time.sleep(jitter.uniform(base, delay))
+    counters = stats.snapshot()["counters"]
+    print(
+        f"campaign {cid}: {counters.get('submit.events', 0)} event(s) "
+        f"over {counters.get('submit.polls', 0)} poll(s), "
+        f"{counters.get('submit.backoffs', 0)} backoff(s)",
+        file=sys.stderr,
+    )
+    active = _metrics.active()
+    if active.enabled:
+        active.merge(stats.snapshot())
     if status["status"] == "failed":
         print(
             f"repro: campaign {cid} failed: "

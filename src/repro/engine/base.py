@@ -35,6 +35,7 @@ import weakref
 from dataclasses import dataclass, field
 
 from repro.errors import EngineError, FaultSimError
+from repro.obs import metrics as _metrics
 
 # NOTE: this module must not import repro.netlist at module level — the
 # simulators in repro.netlist.simulate import the engine registry, and
@@ -112,7 +113,15 @@ class EngineBase:
         key = id(netlist)
         program = self._programs.get(key)
         if program is None or program.netlist is not netlist:
-            program = self._build(netlist)
+            # Builds are the rare event worth counting on this hot
+            # lookup path (per-call counters live in the fault sims).
+            m = _metrics.active()
+            if m.enabled:
+                with m.time(f"engine.{self.name}.program_build.seconds"):
+                    program = self._build(netlist)
+                m.counter(f"engine.{self.name}.program_builds")
+            else:
+                program = self._build(netlist)
             self._programs[key] = program
             weakref.finalize(netlist, self._programs.pop, key, None)
         return program

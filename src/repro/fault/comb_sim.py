@@ -10,6 +10,8 @@ set bit is the first-detecting pattern.
 
 from __future__ import annotations
 
+import time
+
 from repro.engine import build_engine
 from repro.errors import FaultSimError
 from repro.fault.collapse import collapse_faults
@@ -17,6 +19,7 @@ from repro.fault.coverage import FaultSimResult
 from repro.fault.model import StuckAtFault
 from repro.netlist.netlist import Netlist
 from repro.netlist.simulate import unpack_patterns
+from repro.obs import metrics as _metrics
 
 
 class CombFaultSimulator:
@@ -56,6 +59,8 @@ class CombFaultSimulator:
                                   [None] * len(self._faults), 0)
         mask = (1 << count) - 1
         netlist, engine = self._netlist, self._engine
+        m = _metrics.active()
+        started = time.monotonic() if m.enabled else 0.0
         good = engine.eval_full(
             netlist, unpack_patterns(patterns, netlist.input_bits), mask
         )
@@ -71,6 +76,18 @@ class CombFaultSimulator:
                 engine.fault_diff(netlist, fault, good, mask)
                 for fault in self._faults
             ]
+        if m.enabled:
+            # Per-pass coarse counters: one simulate call is one full
+            # eval plus one batched diff over the collapsed fault list
+            # (the per-fault loop is too hot to touch).
+            name = getattr(engine, "name", "engine")
+            m.counter(f"engine.{name}.comb.passes")
+            m.counter(f"engine.{name}.comb.patterns", count)
+            m.counter(f"engine.{name}.comb.faults", len(self._faults))
+            m.counter(f"engine.{name}.comb.diff_words", len(words))
+            m.observe(
+                f"engine.{name}.comb.seconds", time.monotonic() - started
+            )
         detection = [_first_lane(word) for word in words]
         return FaultSimResult(list(self._faults), detection, count)
 

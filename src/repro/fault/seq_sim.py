@@ -19,6 +19,8 @@ each chunk's injection masks into generated straight-line code.
 
 from __future__ import annotations
 
+import time
+
 from repro.engine import InjectionPlan, build_engine
 from repro.errors import FaultSimError
 from repro.fault.collapse import collapse_faults
@@ -26,6 +28,7 @@ from repro.fault.coverage import FaultSimResult
 from repro.fault.model import StuckAtFault
 from repro.netlist.netlist import Netlist
 from repro.netlist.simulate import unpack_patterns
+from repro.obs import metrics as _metrics
 
 
 class SeqFaultSimulator:
@@ -79,12 +82,27 @@ class SeqFaultSimulator:
     def simulate(self, stimuli: list[int]) -> FaultSimResult:
         """Fault-simulate a packed input sequence (applied after reset)."""
         detection: list[int | None] = [None] * len(self._faults)
+        m = _metrics.active()
+        started = time.monotonic() if m.enabled else 0.0
+        chunks = 0
         for start in range(0, len(self._faults), self._chunk_lanes):
             chunk = self._faults[start : start + self._chunk_lanes]
             plan = self._compile(chunk)
             chunk_detect = self._run_chunk(plan, stimuli)
             for offset, cycle in enumerate(chunk_detect):
                 detection[start + offset] = cycle
+            chunks += 1
+        if m.enabled:
+            # Per-simulate coarse counters; the per-cycle loop inside
+            # _run_chunk is the hot path and stays untouched.
+            name = getattr(self._engine, "name", "engine")
+            m.counter(f"engine.{name}.seq.passes")
+            m.counter(f"engine.{name}.seq.faults", len(self._faults))
+            m.counter(f"engine.{name}.seq.cycles", len(stimuli))
+            m.counter(f"engine.{name}.seq.chunks", chunks)
+            m.observe(
+                f"engine.{name}.seq.seconds", time.monotonic() - started
+            )
         return FaultSimResult(
             list(self._faults), detection, len(stimuli)
         )

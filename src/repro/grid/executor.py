@@ -29,6 +29,7 @@ from repro.grid.units import (
     merge_witnesses,
 )
 from repro.mutation.score import EquivalenceAnalysis, equivalence_stimuli
+from repro.obs import metrics as _metrics
 
 _NULL_EVENTS = CampaignEvents()
 
@@ -114,6 +115,7 @@ class GridExecutor:
     def _dispatch(self, units: list[WorkUnit]) -> list[dict]:
         """Run one wave of units; results come back in plan order."""
         events = self._events
+        m = _metrics.active()
         results: list[dict | None] = [None] * len(units)
         pending: list[int] = []
         for index, unit in enumerate(units):
@@ -124,6 +126,8 @@ class GridExecutor:
             )
             if cached is not None:
                 results[index] = cached
+                if m.enabled:
+                    m.counter("grid.unit.cached")
                 events.on_unit_done(unit, 0.0, cached=True)
             else:
                 pending.append(index)
@@ -139,6 +143,9 @@ class GridExecutor:
                 if self._store is not None:
                     self._store.store(unit, result, seconds)
                 results[position[unit.uid]] = result
+                if m.enabled:
+                    m.counter("grid.unit.done")
+                    m.observe("grid.unit.seconds", seconds)
                 events.on_unit_done(unit, seconds)
 
             self._scheduler.run(

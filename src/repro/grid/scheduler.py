@@ -47,6 +47,7 @@ from concurrent.futures import (
 from repro.errors import GridError
 from repro.grid.units import WorkUnit
 from repro.grid.worker import execute_unit, process_entry
+from repro.obs import metrics as _metrics
 
 DEFAULT_SCHEDULER = "serial"
 
@@ -148,8 +149,16 @@ class _PooledScheduler(Scheduler):
 
     @staticmethod
     def _payload(future: Future) -> tuple[float, dict]:
-        """(seconds, result) from a finished future."""
+        """(seconds, result) from a finished future.
+
+        Worker envelopes may carry a ``metrics`` snapshot (telemetry
+        collected in the worker process); it is folded into the
+        parent's active registry here, at harvest time.
+        """
         payload = future.result()
+        snapshot = payload.get("metrics")
+        if snapshot:
+            _metrics.active().merge(snapshot)
         return payload["seconds"], payload["result"]
 
     def run(self, units, config, on_start=None, on_done=None) -> list[dict]:
@@ -320,6 +329,9 @@ class RemoteScheduler(Scheduler):
                         continue
                     results[index] = record["result"]
                     done += 1
+                    snapshot = record.get("metrics")
+                    if snapshot:
+                        _metrics.active().merge(snapshot)
                     if on_done is not None:
                         on_done(
                             units[index],

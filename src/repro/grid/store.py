@@ -26,6 +26,7 @@ from pathlib import Path
 
 from repro.errors import ConfigError
 from repro.grid.units import WorkUnit
+from repro.obs import metrics as _metrics
 
 #: Bump when the stored payload's shape or semantics change.
 #: v2: mutant-part results carry per-kill ``witnesses`` records.
@@ -62,19 +63,30 @@ class JobStore:
         crash on a damaged ledger.
         """
         path = self.path(unit)
+        m = _metrics.active()
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
+            if m.enabled:
+                m.counter("store.unit.miss")
             return None
         try:
             payload = json.loads(text)
             result = payload["result"]
         except (ValueError, TypeError, KeyError) as exc:
             self._warn_corrupt(path, exc)
+            if m.enabled:
+                m.counter("store.unit.miss")
+                m.counter("store.unit.corrupt")
             return None  # corrupt entry: recompute
         if not isinstance(result, dict):
             self._warn_corrupt(path, "result is not an object")
+            if m.enabled:
+                m.counter("store.unit.miss")
+                m.counter("store.unit.corrupt")
             return None
+        if m.enabled:
+            m.counter("store.unit.hit")
         return result
 
     def _warn_corrupt(self, path: Path, reason) -> None:
@@ -113,6 +125,9 @@ class JobStore:
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
+        m = _metrics.active()
+        if m.enabled:
+            m.counter("store.unit.store")
 
     def entries(self) -> list[dict]:
         """Descriptors of every stored unit (for ``repro grid`` listing)."""

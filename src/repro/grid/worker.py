@@ -132,12 +132,29 @@ def execute_unit(unit: WorkUnit, config) -> dict:
 
 
 def process_entry(unit_data: dict, config_data: dict) -> dict:
-    """Process-pool entry point: plain dicts in, plain dict out."""
+    """Process-pool entry point: plain dicts in, plain dict out.
+
+    When the config enables telemetry the unit runs under its own
+    :mod:`repro.obs` registry and the envelope carries a ``metrics``
+    snapshot for the parent to fold in — counters travel with results,
+    not through a side channel.
+    """
     from repro.campaign.config import CampaignConfig
+    from repro.obs import metrics as _metrics
 
     unit = WorkUnit.from_dict(unit_data)
     config = CampaignConfig.from_dict(config_data)
     started = time.monotonic()
+    if config.telemetry:
+        with _metrics.collecting() as registry:
+            result = execute_unit(unit, config)
+        envelope = {
+            "seconds": time.monotonic() - started,
+            "result": result,
+        }
+        if not registry.is_empty():
+            envelope["metrics"] = registry.snapshot()
+        return envelope
     result = execute_unit(unit, config)
     return {
         "seconds": time.monotonic() - started,

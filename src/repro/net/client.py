@@ -100,6 +100,10 @@ class CoordinatorClient:
     def status(self) -> dict:
         return self._call("GET", "/status")
 
+    def metrics(self) -> dict:
+        """The coordinator's live telemetry snapshot (``GET /metrics``)."""
+        return self._call("GET", "/metrics")
+
     # -- worker endpoints ----------------------------------------------------
 
     def register_worker(self, name: str = "") -> dict:

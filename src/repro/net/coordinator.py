@@ -63,6 +63,7 @@ from repro.net.protocol import (
     load_message,
     require,
 )
+from repro.obs.metrics import Metrics
 
 
 class UnknownWorker(NetError):
@@ -160,6 +161,12 @@ class CoordinatorCore:
         #: Drained by the CampaignService thread.
         self.campaign_queue: queue.SimpleQueue = queue.SimpleQueue()
         self._stores: dict[str, JobStore] = {}
+        #: The coordinator's own always-on registry: broker-level
+        #: counters plus every metrics snapshot workers push with their
+        #: completions.  Private to this core (not the process-global
+        #: active registry) so a coordinator embedded in a test run
+        #: never leaks counts into the host's telemetry.
+        self.metrics = Metrics()
 
     # -- logging -------------------------------------------------------------
 
@@ -188,6 +195,10 @@ class CoordinatorCore:
                     # behind the whole backlog again.
                     self._queue.insert(0, jid)
                     requeued += 1
+            self.metrics.counter("coordinator.leases.expired")
+            self.metrics.counter(
+                "coordinator.units.reassigned", requeued
+            )
             self._log(
                 f"worker {wid} ({state.name}) missed its heartbeat "
                 f"deadline; reassigned {requeued} unit(s)"
@@ -242,6 +253,7 @@ class CoordinatorCore:
                 job.worker = wid
                 worker.jobs.add(jid)
                 worker.leased_total += 1
+                self.metrics.counter("coordinator.leases.granted")
                 wave = self._waves[job.wave]
                 return {
                     "job": jid,
@@ -249,6 +261,7 @@ class CoordinatorCore:
                     "unit": job.unit.to_dict(),
                     "config": wave.config_data,
                 }
+            self.metrics.counter("coordinator.leases.idle")
             return {"idle": True, "poll": self.poll_interval}
 
     def complete(self, wid: str, payload: dict) -> dict:
@@ -273,6 +286,7 @@ class CoordinatorCore:
                 worker.expires_at = self._clock() + self.lease_timeout
                 worker.jobs.discard(jid)
             if job.state in ("done", "failed"):
+                self.metrics.counter("coordinator.completions.duplicate")
                 return {"ok": True, "duplicate": True}
             if job.worker is not None:
                 holder = self._workers.get(job.worker)
@@ -283,6 +297,7 @@ class CoordinatorCore:
             if error is not None:
                 job.state = "failed"
                 job.error = str(error)
+                self.metrics.counter("coordinator.completions.failed")
                 wave.log.append({
                     "index": job.index,
                     "uid": job.unit.uid,
@@ -300,13 +315,23 @@ class CoordinatorCore:
                 job.seconds = seconds
                 if worker is not None:
                     worker.completed_total += 1
-                wave.log.append({
+                self.metrics.counter("coordinator.completions.ok")
+                self.metrics.observe("coordinator.unit.seconds", seconds)
+                record = {
                     "index": job.index,
                     "uid": job.unit.uid,
                     "worker": wid,
                     "seconds": seconds,
                     "result": result,
-                })
+                }
+                # A worker-side telemetry snapshot rides the completion:
+                # fold it into the coordinator's registry and relay it in
+                # the wave log so the submitting parent folds it too.
+                snapshot = payload.get("metrics")
+                if snapshot:
+                    self.metrics.merge(snapshot)
+                    record["metrics"] = snapshot
+                wave.log.append(record)
                 self._persist(wave, job)
             return {"ok": True, "duplicate": False}
 
@@ -505,6 +530,45 @@ class CoordinatorCore:
                 ],
             }
 
+    def metrics_snapshot(self) -> dict:
+        """The ``GET /metrics`` payload: live gauges plus the registry.
+
+        Live numbers (queue depth, leased units, per-worker totals,
+        campaign event-log lengths) are computed from current state;
+        ``metrics`` is the coordinator's own registry — broker
+        counters plus everything workers pushed with completions.
+        """
+        with self._lock:
+            self._reap()
+            now = self._clock()
+            states = [job.state for job in self._jobs.values()]
+            return {
+                "protocol": PROTOCOL_VERSION,
+                "queue_depth": states.count("pending"),
+                "leased_units": states.count("leased"),
+                "waves": len(self._waves),
+                "workers": [
+                    {
+                        "worker": state.wid,
+                        "name": state.name,
+                        "leased": len(state.jobs),
+                        "leased_total": state.leased_total,
+                        "completed_total": state.completed_total,
+                        "expires_in": round(state.expires_at - now, 3),
+                    }
+                    for state in self._workers.values()
+                ],
+                "campaigns": [
+                    {
+                        "campaign": c.cid,
+                        "status": c.status,
+                        "events": len(c.events),
+                    }
+                    for c in self._campaigns.values()
+                ],
+                "metrics": self.metrics.snapshot(),
+            }
+
 
 # -- the campaign service thread ---------------------------------------------
 
@@ -633,6 +697,8 @@ class _Handler(BaseHTTPRequestHandler):
                 })
             elif url.path == "/status":
                 self._send(self.core.status())
+            elif url.path == "/metrics":
+                self._send(self.core.metrics_snapshot())
             elif match := _WAVE_ROUTE.match(url.path):
                 if match.group(2):
                     raise NotFound(f"no GET {url.path}")

@@ -17,6 +17,9 @@ method  path                            meaning
 ======  ==============================  =======================================
 GET     ``/ping``                       liveness + protocol version
 GET     ``/status``                     coordinator snapshot (queues, workers)
+GET     ``/metrics``                    telemetry snapshot (queue depth,
+                                        leased units, per-worker totals,
+                                        merged worker metrics)
 POST    ``/workers``                    register; -> worker id + timeouts
 POST    ``/workers/<wid>/heartbeat``    refresh the worker's lease deadline
 POST    ``/workers/<wid>/lease``        pull one unit (or ``{"idle": true}``)

@@ -168,12 +168,28 @@ class WorkerDaemon:
         beat.start()
         started = time.monotonic()
         try:
-            result = execute_unit(unit, config)
-            completion = {
-                "job": jid,
-                "seconds": time.monotonic() - started,
-                "result": result,
-            }
+            if config.telemetry:
+                from repro.obs import metrics as _metrics
+
+                # Collect per-unit and attach the snapshot to the
+                # completion: the coordinator folds it into its own
+                # registry and relays it to the submitting parent.
+                with _metrics.collecting() as registry:
+                    result = execute_unit(unit, config)
+                completion = {
+                    "job": jid,
+                    "seconds": time.monotonic() - started,
+                    "result": result,
+                }
+                if not registry.is_empty():
+                    completion["metrics"] = registry.snapshot()
+            else:
+                result = execute_unit(unit, config)
+                completion = {
+                    "job": jid,
+                    "seconds": time.monotonic() - started,
+                    "result": result,
+                }
         except Exception as exc:
             # Deterministic units fail deterministically: report, do
             # not retry.  The submitting client raises GridError.

@@ -1,0 +1,52 @@
+"""repro.obs — zero-dependency telemetry: metrics and trace spans.
+
+Off by default.  :mod:`repro.obs.metrics` owns the process-local
+instrument registry (counters / gauges / histograms, mergeable across
+workers); :mod:`repro.obs.trace` owns hierarchical spans exported as
+Chrome trace-event JSON.  Both keep an *active* singleton that starts
+as a null no-op object, so instrumentation sites cost one attribute
+read when telemetry is disabled.  Telemetry never feeds config
+fingerprints or result payloads.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Metrics,
+    NullMetrics,
+    NULL_METRICS,
+    collecting,
+)
+from .metrics import active as active_metrics
+from .metrics import disable as disable_metrics
+from .metrics import enable as enable_metrics
+from .metrics import enabled as metrics_enabled
+from .trace import (
+    NullTracer,
+    NULL_TRACER,
+    Tracer,
+    summarize,
+    tracing,
+)
+from .trace import active as active_tracer
+from .trace import disable as disable_tracer
+from .trace import enable as enable_tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+    "NullTracer",
+    "NULL_TRACER",
+    "Tracer",
+    "active_metrics",
+    "active_tracer",
+    "collecting",
+    "disable_metrics",
+    "disable_tracer",
+    "enable_metrics",
+    "enable_tracer",
+    "metrics_enabled",
+    "summarize",
+    "tracing",
+]

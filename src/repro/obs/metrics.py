@@ -1,0 +1,243 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+One :class:`Metrics` instance is a named bag of three instrument
+kinds, all behind a single lock:
+
+* **counters** — monotonically increasing integers (``counter``);
+* **gauges** — last-write-wins floats (``gauge``);
+* **histograms** — fixed-bucket distributions (``observe`` /
+  ``time``), stored as upper-edge -> count maps so two snapshots
+  taken with different bucket layouts still merge by key union.
+
+``snapshot()`` renders the registry as a plain JSON-native dict and
+``merge(snapshot)`` folds such a dict back in — counters and bucket
+counts sum, gauges overwrite — which is how worker-side registries
+travel home inside grid/net result envelopes.  Both operations are
+associative and order-insensitive for counters and histograms, so
+at-least-once delivery and arbitrary completion order cannot skew
+the totals.
+
+The module also owns the *active* registry every instrumentation
+point reads through :func:`active`.  It defaults to
+:data:`NULL_METRICS`, whose every method is a no-op and whose
+``enabled`` flag lets hot paths skip even argument construction::
+
+    m = active()
+    if m.enabled:
+        m.counter("engine.compiled.passes")
+
+Telemetry is execution-only by design: nothing in this module feeds
+config fingerprints, result payloads, or random streams.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+#: Default histogram upper edges, in seconds — spans engine calls
+#: (sub-millisecond) to whole circuits (minutes).  The overflow bucket
+#: is keyed ``"inf"``.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
+
+_INF = "inf"
+
+
+class Metrics:
+    """A thread-safe named-instrument registry."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        #: name -> {"count": int, "sum": float, "buckets": {edge: int}}
+        self._histograms: dict[str, dict] = {}
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str, value: int = 1) -> None:
+        """Add ``value`` (default 1) to the counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float,
+                buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        """Record ``value`` into the fixed-bucket histogram ``name``."""
+        value = float(value)
+        key = _INF
+        for edge in buckets:
+            if value <= edge:
+                key = _edge_key(edge)
+                break
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = {"count": 0, "sum": 0.0, "buckets": {}}
+                self._histograms[name] = hist
+            hist["count"] += 1
+            hist["sum"] += value
+            hist["buckets"][key] = hist["buckets"].get(key, 0) + 1
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager observing the block's wall time into ``name``."""
+        started = time.monotonic()
+        try:
+            yield
+        finally:
+            self.observe(name, time.monotonic() - started)
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The whole registry as a plain JSON-native dict."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: {
+                        "count": hist["count"],
+                        "sum": hist["sum"],
+                        "buckets": dict(hist["buckets"]),
+                    }
+                    for name, hist in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Counters and histogram buckets sum (key union); gauges
+        overwrite.  Tolerates partial snapshots (missing sections) so
+        hand-built dicts and older envelopes merge cleanly.
+        """
+        if not isinstance(snapshot, dict):
+            return
+        counters = snapshot.get("counters") or {}
+        gauges = snapshot.get("gauges") or {}
+        histograms = snapshot.get("histograms") or {}
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = (
+                    self._counters.get(name, 0) + int(value)
+                )
+            for name, value in gauges.items():
+                self._gauges[name] = float(value)
+            for name, incoming in histograms.items():
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = {"count": 0, "sum": 0.0, "buckets": {}}
+                    self._histograms[name] = hist
+                hist["count"] += int(incoming.get("count") or 0)
+                hist["sum"] += float(incoming.get("sum") or 0.0)
+                for key, count in (incoming.get("buckets") or {}).items():
+                    hist["buckets"][key] = (
+                        hist["buckets"].get(key, 0) + int(count)
+                    )
+
+    def is_empty(self) -> bool:
+        with self._lock:
+            return not (self._counters or self._gauges or self._histograms)
+
+
+def _edge_key(edge: float) -> str:
+    """Stable JSON-key rendering of a bucket's upper edge."""
+    text = repr(float(edge))
+    return text[:-2] if text.endswith(".0") else text
+
+
+class NullMetrics(Metrics):
+    """The disabled registry: every method is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_timer = _NullTimer()
+
+    def counter(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name, value, buckets=DEFAULT_BUCKETS) -> None:
+        pass
+
+    def time(self, name: str):
+        return self._null_timer
+
+    def merge(self, snapshot: dict) -> None:
+        pass
+
+
+class _NullTimer:
+    """A reusable no-op context manager (no per-call allocation)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+#: The shared disabled registry; :func:`active` returns it by default.
+NULL_METRICS = NullMetrics()
+
+_active: Metrics = NULL_METRICS
+_active_lock = threading.Lock()
+
+
+def active() -> Metrics:
+    """The registry instrumentation points write to (never ``None``)."""
+    return _active
+
+
+def enabled() -> bool:
+    """Whether a real (non-null) registry is installed."""
+    return _active.enabled
+
+
+def enable(registry: Metrics | None = None) -> Metrics:
+    """Install ``registry`` (default: a fresh one) as the active one."""
+    global _active
+    with _active_lock:
+        _active = registry if registry is not None else Metrics()
+        return _active
+
+
+def disable() -> Metrics:
+    """Restore the null registry; returns the one that was active."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = NULL_METRICS
+        return previous
+
+
+@contextmanager
+def collecting(registry: Metrics | None = None):
+    """Scope a registry as active; restores the previous one on exit.
+
+    The worker-side shape: ``with collecting() as m: ...;
+    envelope["metrics"] = m.snapshot()``.
+    """
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = registry if registry is not None else Metrics()
+        current = _active
+    try:
+        yield current
+    finally:
+        with _active_lock:
+            _active = previous

@@ -1,0 +1,261 @@
+"""Hierarchical trace spans exported as Chrome trace-event JSON.
+
+A :class:`Tracer` collects timing events in the Chrome trace-event
+format (the ``chrome://tracing`` / Perfetto JSON flavour): each event
+carries ``ph`` (phase), ``ts`` (microseconds since the tracer was
+created), ``pid``, ``tid``, and ``name``.  Three event shapes cover
+the campaign hierarchy:
+
+* **duration spans** (``ph: "B"``/``"E"``) — strictly nested per
+  ``tid``; used for campaign, circuit, and stage scopes, and for
+  engine calls (one ``tid`` per thread).
+* **async spans** (``ph: "b"``/``"e"`` with an ``id``) — may overlap
+  freely; used for work units, whose start/done events interleave
+  arbitrarily under parallel schedulers.
+* **instants** (``ph: "i"``) — zero-duration marks; used for events
+  without a matching begin, e.g. cache-served circuits and units.
+
+Timestamps are stamped when the event is *recorded* from a single
+``time.monotonic()`` origin, so ``ts`` is monotone within any tid by
+construction.  ``export()`` returns the ``{"traceEvents": [...]}``
+container that Perfetto loads directly, and :func:`summarize` folds
+an exported trace back into per-name self-time totals for the
+``repro trace`` command.
+
+Like the metrics registry, the module keeps an *active* tracer that
+defaults to :data:`NULL_TRACER` (all methods no-ops), so the
+disabled path costs one attribute read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+_PID = "repro"
+
+
+class Tracer:
+    """Collects Chrome trace events; thread-safe."""
+
+    enabled = True
+
+    def __init__(self, pid: str = _PID) -> None:
+        self._pid = pid
+        self._t0 = time.monotonic()
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._next_id = 0
+
+    def _now_us(self) -> float:
+        return (time.monotonic() - self._t0) * 1e6
+
+    def _emit(self, event: dict) -> None:
+        event["ts"] = self._now_us()
+        event["pid"] = self._pid
+        with self._lock:
+            self._events.append(event)
+
+    # -- duration spans (strictly nested per tid) ----------------------------
+
+    def begin(self, name: str, tid: str, args: dict | None = None) -> None:
+        event = {"ph": "B", "name": name, "tid": tid}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def end(self, name: str, tid: str, args: dict | None = None) -> None:
+        event = {"ph": "E", "name": name, "tid": tid}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    @contextmanager
+    def span(self, name: str, tid: str, args: dict | None = None):
+        self.begin(name, tid, args)
+        try:
+            yield
+        finally:
+            self.end(name, tid)
+
+    # -- async spans (may overlap) -------------------------------------------
+
+    def async_begin(self, name: str, span_id: str,
+                    cat: str = "unit", args: dict | None = None) -> None:
+        event = {"ph": "b", "name": name, "tid": cat,
+                 "cat": cat, "id": span_id}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def async_end(self, name: str, span_id: str,
+                  cat: str = "unit", args: dict | None = None) -> None:
+        event = {"ph": "e", "name": name, "tid": cat,
+                 "cat": cat, "id": span_id}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    # -- instants -------------------------------------------------------------
+
+    def instant(self, name: str, tid: str, args: dict | None = None) -> None:
+        event = {"ph": "i", "name": name, "tid": tid, "s": "t"}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    # -- export ---------------------------------------------------------------
+
+    def export(self) -> dict:
+        """The Perfetto-loadable ``{"traceEvents": [...]}`` container."""
+        with self._lock:
+            return {
+                "traceEvents": [dict(e) for e in self._events],
+                "displayTimeUnit": "ms",
+            }
+
+    def write(self, path: str) -> None:
+        """Atomically write :meth:`export` as JSON to ``path``."""
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.export(), fh)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every method is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_span = _NullSpan()
+
+    def _emit(self, event: dict) -> None:
+        pass
+
+    def span(self, name, tid, args=None):
+        return self._null_span
+
+
+class _NullSpan:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+NULL_TRACER = NullTracer()
+
+_active: Tracer = NULL_TRACER
+_active_lock = threading.Lock()
+
+
+def active() -> Tracer:
+    """The tracer instrumentation points write to (never ``None``)."""
+    return _active
+
+
+def enable(tracer: Tracer | None = None) -> Tracer:
+    """Install ``tracer`` (default: a fresh one) as the active one."""
+    global _active
+    with _active_lock:
+        _active = tracer if tracer is not None else Tracer()
+        return _active
+
+
+def disable() -> Tracer:
+    """Restore the null tracer; returns the one that was active."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = NULL_TRACER
+        return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None):
+    """Scope a tracer as active; restores the previous one on exit."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = tracer if tracer is not None else Tracer()
+        current = _active
+    try:
+        yield current
+    finally:
+        with _active_lock:
+            _active = previous
+
+
+def summarize(trace: dict, top: int = 15) -> list[dict]:
+    """Per-name self-time totals from an exported trace, descending.
+
+    Duration spans (``B``/``E``) are matched with a per-``(pid, tid)``
+    stack; a span's self time is its duration minus the durations of
+    its direct children.  Async spans (``b``/``e``) are matched by
+    ``(cat, id, name)`` and treated as leaves (their whole duration is
+    self time), since work-unit execution happens in another process.
+    Returns up to ``top`` rows of ``{"name", "count", "total_us",
+    "self_us"}``.
+    """
+    events = trace.get("traceEvents") or []
+    totals: dict[str, dict] = {}
+
+    def row(name: str) -> dict:
+        entry = totals.get(name)
+        if entry is None:
+            entry = {"name": name, "count": 0,
+                     "total_us": 0.0, "self_us": 0.0}
+            totals[name] = entry
+        return entry
+
+    stacks: dict[tuple, list] = {}
+    open_async: dict[tuple, float] = {}
+    for event in events:
+        ph = event.get("ph")
+        ts = float(event.get("ts") or 0.0)
+        name = event.get("name", "?")
+        if ph == "B":
+            key = (event.get("pid"), event.get("tid"))
+            stacks.setdefault(key, []).append(
+                {"name": name, "ts": ts, "children_us": 0.0})
+        elif ph == "E":
+            key = (event.get("pid"), event.get("tid"))
+            stack = stacks.get(key)
+            if not stack:
+                continue
+            frame = stack.pop()
+            duration = max(0.0, ts - frame["ts"])
+            entry = row(frame["name"])
+            entry["count"] += 1
+            entry["total_us"] += duration
+            entry["self_us"] += max(0.0, duration - frame["children_us"])
+            if stack:
+                stack[-1]["children_us"] += duration
+        elif ph == "b":
+            open_async[(event.get("cat"), event.get("id"), name)] = ts
+        elif ph == "e":
+            start = open_async.pop(
+                (event.get("cat"), event.get("id"), name), None)
+            if start is None:
+                continue
+            duration = max(0.0, ts - start)
+            entry = row(name)
+            entry["count"] += 1
+            entry["total_us"] += duration
+            entry["self_us"] += duration
+        elif ph == "i":
+            entry = row(name)
+            entry["count"] += 1
+    rows = sorted(totals.values(),
+                  key=lambda r: (-r["self_us"], -r["total_us"], r["name"]))
+    return rows[: max(0, int(top))]

@@ -119,9 +119,20 @@ class MutationTestGenerator:
         )
 
     def generate(self, mutants: list[Mutant]) -> TestGenResult:
+        from repro.obs import metrics as _metrics
+
         if self._design.is_sequential:
-            return self._generate_sequential(mutants)
-        return self._generate_combinational(mutants)
+            result = self._generate_sequential(mutants)
+        else:
+            result = self._generate_combinational(mutants)
+        m = _metrics.active()
+        if m.enabled:
+            m.counter("search.generations")
+            m.counter("search.candidates", result.candidates_tried)
+            m.counter("search.rounds", result.rounds)
+            m.counter("search.kills", len(result.killed_mids))
+            m.gauge("search.corpus_size", len(result.vectors))
+        return result
 
     # -- combinational ---------------------------------------------------------
 

@@ -1,0 +1,398 @@
+"""Tests for repro.obs: metrics registry, trace spans, live surfaces.
+
+The load-bearing properties:
+
+* Telemetry never changes results: a c432+b01 campaign with metrics
+  and tracing enabled is bit-identical to one with them disabled, on
+  the serial and the process grid schedulers, and ``telemetry`` stays
+  out of the config fingerprint.
+* ``Metrics.merge`` is associative and order-insensitive for counters
+  and histograms, so at-least-once envelope delivery cannot skew
+  totals.
+* The disabled path is a true no-op: ``active()`` defaults to
+  :data:`NULL_METRICS` / :data:`NULL_TRACER` and records nothing.
+* ``Tracer`` output is schema-valid Chrome trace-event JSON (``ph``,
+  ``ts``, ``pid``, ``tid``, ``name``; ``ts`` monotone within a tid).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignEvents,
+    GuardedEvents,
+    TeeEvents,
+    TracingEvents,
+)
+from repro.net import CoordinatorClient
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import DEFAULT_BUCKETS, NULL_METRICS, Metrics
+from repro.obs.trace import NULL_TRACER, Tracer, summarize
+from tests.test_grid import REDUCED, fresh_labs, payload
+from tests.test_net import quiet_server
+
+
+@pytest.fixture(autouse=True)
+def _clean_registries():
+    """No test leaks an active registry/tracer into the next."""
+    obs_metrics.disable()
+    obs_trace.disable()
+    yield
+    obs_metrics.disable()
+    obs_trace.disable()
+
+
+def assert_valid_trace(trace: dict) -> list[dict]:
+    events = trace["traceEvents"]
+    assert events, "trace is empty"
+    last: dict[tuple, float] = {}
+    for event in events:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in event, (key, event)
+        tid = (event["pid"], event["tid"])
+        assert event["ts"] >= last.get(tid, 0.0), event
+        last[tid] = event["ts"]
+    return events
+
+
+# -- metrics registry --------------------------------------------------------
+
+
+def test_counters_gauges_and_snapshot_roundtrip():
+    m = Metrics()
+    m.counter("a")
+    m.counter("a", 4)
+    m.gauge("g", 2)
+    m.gauge("g", 7.5)
+    snap = m.snapshot()
+    assert snap["counters"] == {"a": 5}
+    assert snap["gauges"] == {"g": 7.5}
+    assert snap["histograms"] == {}
+    # The snapshot is JSON-native and survives a round trip intact.
+    assert json.loads(json.dumps(snap)) == snap
+    assert not m.is_empty()
+    assert Metrics().is_empty()
+
+
+def test_histogram_bucket_edges():
+    m = Metrics()
+    # A value exactly on an upper edge lands in that edge's bucket;
+    # anything beyond the last edge lands in the overflow.
+    m.observe("h", 0.001)
+    m.observe("h", 0.02)
+    m.observe("h", 0.021)
+    m.observe("h", 2.0)
+    m.observe("h", 1000.0)
+    hist = m.snapshot()["histograms"]["h"]
+    assert hist["count"] == 5
+    assert hist["sum"] == pytest.approx(1002.042)
+    assert hist["buckets"] == {
+        "0.001": 1, "0.02": 1, "0.1": 1, "2": 1, "inf": 1,
+    }
+    assert DEFAULT_BUCKETS == tuple(sorted(DEFAULT_BUCKETS))
+
+
+def test_time_contextmanager_observes():
+    m = Metrics()
+    with m.time("block.seconds"):
+        pass
+    hist = m.snapshot()["histograms"]["block.seconds"]
+    assert hist["count"] == 1
+    assert hist["sum"] >= 0.0
+
+
+def test_merge_sums_counters_and_buckets():
+    m = Metrics()
+    part = {"counters": {"a": 3},
+            "histograms": {"h": {"count": 2, "sum": 0.5,
+                                 "buckets": {"0.5": 2}}}}
+    m.merge(part)
+    m.merge(part)
+    snap = m.snapshot()
+    assert snap["counters"] == {"a": 6}
+    assert snap["histograms"]["h"] == {
+        "count": 4, "sum": 1.0, "buckets": {"0.5": 4},
+    }
+    # Partial/garbage snapshots are tolerated, not fatal.
+    m.merge({})
+    m.merge({"counters": {}})
+    m.merge(None)
+    assert m.snapshot()["counters"] == {"a": 6}
+
+
+def test_merge_is_order_insensitive():
+    a = {"counters": {"x": 1, "y": 2},
+         "gauges": {},
+         "histograms": {"h": {"count": 1, "sum": 0.1,
+                              "buckets": {"0.1": 1}}}}
+    b = {"counters": {"y": 5, "z": 1},
+         "gauges": {},
+         "histograms": {"h": {"count": 3, "sum": 9.0,
+                              "buckets": {"inf": 3}}}}
+    ab, ba = Metrics(), Metrics()
+    ab.merge(a)
+    ab.merge(b)
+    ba.merge(b)
+    ba.merge(a)
+    assert ab.snapshot() == ba.snapshot()
+    # Associativity: (a+b)+b == a+(b+b), checked through a third bag.
+    twice_b = Metrics()
+    twice_b.merge(b)
+    twice_b.merge(b)
+    left = Metrics()
+    left.merge(ab.snapshot())
+    left.merge(b)
+    right = Metrics()
+    right.merge(a)
+    right.merge(twice_b.snapshot())
+    assert left.snapshot() == right.snapshot()
+
+
+def test_null_metrics_records_nothing():
+    assert obs_metrics.active() is NULL_METRICS
+    assert not obs_metrics.enabled()
+    NULL_METRICS.counter("a")
+    NULL_METRICS.gauge("g", 1.0)
+    NULL_METRICS.observe("h", 0.5)
+    with NULL_METRICS.time("t"):
+        pass
+    NULL_METRICS.merge({"counters": {"a": 9}})
+    assert NULL_METRICS.is_empty()
+    assert NULL_METRICS.enabled is False
+
+
+def test_collecting_scopes_and_restores():
+    assert obs_metrics.active() is NULL_METRICS
+    with obs_metrics.collecting() as registry:
+        assert obs_metrics.active() is registry
+        assert registry.enabled
+        obs_metrics.active().counter("scoped")
+        # Nested scopes restore to the outer registry, not the null.
+        with obs_metrics.collecting() as inner:
+            assert obs_metrics.active() is inner
+        assert obs_metrics.active() is registry
+    assert obs_metrics.active() is NULL_METRICS
+    assert registry.snapshot()["counters"] == {"scoped": 1}
+
+
+def test_enable_disable_roundtrip():
+    registry = obs_metrics.enable()
+    assert obs_metrics.active() is registry
+    assert obs_metrics.disable() is registry
+    assert obs_metrics.active() is NULL_METRICS
+
+
+# -- guarded events ----------------------------------------------------------
+
+
+def test_guarded_events_count_errors_and_suppressions():
+    class Boom(CampaignEvents):
+        def on_circuit_start(self, circuit):
+            raise RuntimeError("boom")
+
+    guarded = GuardedEvents(Boom(), stream=io.StringIO())
+    with obs_metrics.collecting() as registry:
+        guarded.on_circuit_start("c17")  # breaks the hook
+        guarded.on_circuit_start("c17")  # suppressed firing
+        guarded.on_circuit_start("c17")  # suppressed firing
+    counters = registry.snapshot()["counters"]
+    assert counters["events.hook_errors"] == 1
+    assert counters["events.hook_errors.on_circuit_start"] == 1
+    assert counters["events.suppressed_firings"] == 2
+
+
+# -- tracer ------------------------------------------------------------------
+
+
+def test_tracer_schema_and_nesting():
+    tracer = Tracer()
+    with tracer.span("outer", tid="t"):
+        with tracer.span("inner", tid="t"):
+            pass
+    tracer.async_begin("unit:x", "u1")
+    tracer.async_end("unit:x", "u1")
+    tracer.instant("mark", tid="t")
+    events = assert_valid_trace(tracer.export())
+    assert [e["ph"] for e in events] == ["B", "B", "E", "E", "b", "e", "i"]
+    assert len(tracer) == 7
+    container = tracer.export()
+    assert container["displayTimeUnit"] == "ms"
+
+
+def test_tracer_write_is_loadable(tmp_path):
+    tracer = Tracer()
+    with tracer.span("s", tid="t"):
+        pass
+    path = tmp_path / "trace.json"
+    tracer.write(str(path))
+    assert_valid_trace(json.loads(path.read_text(encoding="utf-8")))
+    assert not path.with_suffix(".json.tmp").exists()
+
+
+def test_null_tracer_records_nothing():
+    assert obs_trace.active() is NULL_TRACER
+    NULL_TRACER.begin("a", tid="t")
+    with NULL_TRACER.span("b", tid="t"):
+        pass
+    NULL_TRACER.instant("c", tid="t")
+    assert len(NULL_TRACER) == 0
+    assert NULL_TRACER.export()["traceEvents"] == []
+
+
+def test_summarize_self_time_arithmetic():
+    # Hand-stamped trace: parent 0..100us with a 10..30us child, plus
+    # one async unit span and one instant.
+    trace = {"traceEvents": [
+        {"ph": "B", "ts": 0, "pid": "p", "tid": "t", "name": "parent"},
+        {"ph": "B", "ts": 10, "pid": "p", "tid": "t", "name": "child"},
+        {"ph": "E", "ts": 30, "pid": "p", "tid": "t", "name": "child"},
+        {"ph": "E", "ts": 100, "pid": "p", "tid": "t", "name": "parent"},
+        {"ph": "b", "ts": 5, "pid": "p", "tid": "unit", "cat": "unit",
+         "id": "u1", "name": "unit:fault"},
+        {"ph": "e", "ts": 45, "pid": "p", "tid": "unit", "cat": "unit",
+         "id": "u1", "name": "unit:fault"},
+        {"ph": "i", "ts": 50, "pid": "p", "tid": "t", "name": "mark",
+         "s": "t"},
+    ]}
+    rows = {row["name"]: row for row in summarize(trace)}
+    assert rows["parent"]["total_us"] == 100
+    assert rows["parent"]["self_us"] == 80
+    assert rows["child"]["total_us"] == rows["child"]["self_us"] == 20
+    assert rows["unit:fault"]["self_us"] == 40
+    assert rows["mark"]["count"] == 1
+    # top-k really truncates, ranked by self time.
+    assert [r["name"] for r in summarize(trace, top=1)] == ["parent"]
+
+
+def test_tracing_events_produce_valid_trace():
+    fresh_labs()
+    tracer = Tracer()
+    config = CampaignConfig(**REDUCED)
+    Campaign(config, TracingEvents(tracer)).run(("c17",))
+    events = assert_valid_trace(tracer.export())
+    names = {e["name"] for e in events}
+    assert "campaign" in names
+    assert "circuit:c17" in names
+    assert any(name.startswith("stage:") for name in names)
+    # Duration spans are balanced: every B has its E.
+    for ph in "BE":
+        assert sum(e["ph"] == ph for e in events) > 0
+    assert sum(e["ph"] == "B" for e in events) == (
+        sum(e["ph"] == "E" for e in events)
+    )
+
+
+# -- determinism: telemetry never changes results ----------------------------
+
+
+def test_campaign_bit_identical_with_telemetry():
+    fresh_labs()
+    baseline = Campaign(CampaignConfig(**REDUCED)).run(("c432", "b01"))
+
+    # telemetry stays out of the fingerprint, so caches and job stores
+    # are shared across enabled/disabled runs.
+    plain = CampaignConfig(**REDUCED)
+    enabled = plain.replace(telemetry=True)
+    assert enabled.fingerprint() == plain.fingerprint()
+
+    for grid in (None, "process"):
+        fresh_labs()
+        config = dict(REDUCED, telemetry=True)
+        if grid is not None:
+            config.update(grid=grid, grid_workers=2)
+        tracer = Tracer()
+        campaign = Campaign(
+            CampaignConfig(**config),
+            TeeEvents(TracingEvents(tracer)),
+        )
+        result = campaign.run(("c432", "b01"))
+        assert payload(result) == payload(baseline), grid
+        assert_valid_trace(tracer.export())
+        # The run collected real telemetry without touching results.
+        registry = campaign.last_metrics
+        assert registry is not None and not registry.is_empty()
+        counters = registry.snapshot()["counters"]
+        assert counters["campaign.circuits_run"] == 2
+        # Engine metrics flow: recorded in-process for the serial run,
+        # merged back from worker envelopes for the process grid.
+        assert any(name.startswith("engine.") for name in counters), grid
+    assert obs_metrics.active() is NULL_METRICS
+
+
+def test_campaign_without_telemetry_collects_nothing():
+    fresh_labs()
+    campaign = Campaign(CampaignConfig(**REDUCED))
+    campaign.run(("c17",))
+    assert campaign.last_metrics is None
+    assert obs_metrics.active() is NULL_METRICS
+
+
+# -- live surfaces -----------------------------------------------------------
+
+
+def test_coordinator_metrics_endpoint():
+    server = quiet_server(service=False)
+    try:
+        client = CoordinatorClient(server.url)
+        wid = client.register_worker("obs-test")["worker"]
+        assert client.lease(wid).get("idle")
+        snap = client.metrics()
+        for key in ("protocol", "queue_depth", "leased_units", "waves",
+                    "workers", "campaigns", "metrics"):
+            assert key in snap, key
+        assert snap["queue_depth"] == 0
+        assert snap["leased_units"] == 0
+        workers = {w["name"]: w for w in snap["workers"]}
+        assert workers["obs-test"]["completed_total"] == 0
+        counters = snap["metrics"]["counters"]
+        assert counters["coordinator.leases.idle"] == 1
+        # The coordinator's registry is private to the core: nothing
+        # leaked into this process's active registry.
+        assert obs_metrics.active() is NULL_METRICS
+    finally:
+        server.close()
+
+
+def test_top_renders_rates_from_deltas():
+    from repro.cli import _render_top
+
+    snapshot = {
+        "queue_depth": 3, "leased_units": 2, "waves": 1,
+        "workers": [{"worker": "w1", "name": "alpha", "leased": 2,
+                     "completed_total": 30}],
+        "campaigns": [{"campaign": "c1", "status": "running",
+                       "events": 7}],
+        "metrics": {"counters": {"coordinator.completions.ok": 30}},
+    }
+    previous = {"w1": (0.0, 10)}
+    frame = _render_top(snapshot, previous, now=10.0)
+    assert "3 pending, 2 leased" in frame
+    assert "alpha" in frame and "2.00" in frame  # (30-10)/10 units/s
+    assert "campaign c1: running (7 event(s))" in frame
+    assert "coordinator.completions.ok" in frame
+    assert previous["w1"] == (10.0, 30)
+
+
+def test_cli_trace_summarizes(tmp_path, capsys):
+    from repro.cli import main
+
+    tracer = Tracer()
+    with tracer.span("outer", tid="t"):
+        with tracer.span("inner", tid="t"):
+            pass
+    path = tmp_path / "trace.json"
+    tracer.write(str(path))
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "outer" in out and "inner" in out and "self" in out
+    empty = tmp_path / "empty.json"
+    empty.write_text('{"traceEvents": []}', encoding="utf-8")
+    assert main(["trace", str(empty)]) == 1
+    assert main(["trace", str(tmp_path / "missing.json")]) == 2
