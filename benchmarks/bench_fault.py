@@ -40,3 +40,37 @@ def test_fault_model_throughput(benchmark, name, model_name):
         model.simulate, netlist, stimuli, faults, 256
     )
     assert result.detected > 0
+
+
+# -- pruned vs unpruned -------------------------------------------------------
+#
+# The same stuck-at pass with provably untestable faults statically
+# pruned (repro.analyze.prune), so BENCH_fault.json carries the
+# payoff of ``prune_untestable`` next to the full-universe rows.  On
+# circuits with no dead or constant logic (c432) the rows coincide;
+# on b01 the pruned pass simulates measurably fewer faults.
+
+@pytest.mark.parametrize("name", ["c432", "b01"])
+def test_fault_model_throughput_pruned(benchmark, name):
+    from repro.analyze import split_untestable
+
+    netlist = netlist_of(name)
+    model = build_fault_model("stuck-at")
+    testable, pruned = split_untestable(netlist, model.collapse(netlist))
+    style = "seq" if netlist.dffs else "comb"
+    if style == "seq":
+        width = StimulusEncoder(load_circuit(name)).width
+        count = 128
+    else:
+        width = len(netlist.input_bits)
+        count = 256
+    rng = rng_stream(1, name, "bench-fault", "stuck-at")
+    stimuli = [rng.getrandbits(width) for _ in range(count)]
+    benchmark.extra_info.update(
+        circuit=name, model="stuck-at+prune", style=style,
+        patterns=len(stimuli), faults=len(testable), pruned=len(pruned),
+    )
+    result = benchmark(
+        model.simulate, netlist, stimuli, testable, 256
+    )
+    assert result.detected > 0

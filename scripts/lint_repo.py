@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Run the repo determinism linter over the source tree.
+
+Thin wrapper over ``repro lint`` (:mod:`repro.analyze.lint`) so CI and
+pre-commit hooks have a stable entry point that does not depend on the
+package being installed:
+
+    python scripts/lint_repo.py [paths ...]
+
+Defaults to linting ``src`` (and ``scripts``); exits non-zero when any
+finding survives, printing one ``path:line: [rule] message`` per line.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analyze.lint import lint_paths  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = (argv if argv is not None else sys.argv[1:]) or [
+        str(REPO_ROOT / "src"),
+        str(REPO_ROOT / "scripts"),
+    ]
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Static analysis: netlist testability, fault pruning, repo lint.
+
+Two halves share this package:
+
+* **Domain analyses** over synthesized netlists —
+  :func:`~repro.analyze.scoap.analyze_testability` (SCOAP scores,
+  ternary constants, structural observability),
+  :func:`~repro.analyze.structure.lint_netlist` (structural defects),
+  :func:`~repro.analyze.prune.split_untestable` (provably untestable
+  faults) and :func:`~repro.analyze.prescreen.prescreen_mutants`
+  (mutants in dead behavioural logic).  Exposed on the CLI as
+  ``repro analyze <circuit>`` and consumed by campaigns through
+  ``CampaignConfig.prune_untestable`` / ``static_prescreen`` and the
+  ``testability`` sampling strategy.
+* **Repo lint** — :mod:`repro.analyze.lint`, an AST linter for the
+  library's own determinism invariants (``repro lint src``, kept
+  clean in CI).
+"""
+
+from repro.analyze.lint import (
+    LintFinding,
+    LintRule,
+    RULES,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register_rule,
+    rule_names,
+)
+from repro.analyze.prescreen import (
+    dead_processes,
+    live_signals,
+    prescreen_mutants,
+)
+from repro.analyze.prune import split_untestable, untestable_reason
+from repro.analyze.scoap import (
+    INF,
+    TestabilityAnalysis,
+    analyze_testability,
+    constant_nets,
+    observable_nets,
+)
+from repro.analyze.structure import CHECKS, StructuralFinding, lint_netlist
+
+__all__ = [
+    "CHECKS",
+    "INF",
+    "LintFinding",
+    "LintRule",
+    "RULES",
+    "StructuralFinding",
+    "TestabilityAnalysis",
+    "analyze_testability",
+    "constant_nets",
+    "dead_processes",
+    "lint_file",
+    "lint_netlist",
+    "lint_paths",
+    "lint_source",
+    "live_signals",
+    "observable_nets",
+    "prescreen_mutants",
+    "register_rule",
+    "rule_names",
+    "split_untestable",
+    "untestable_reason",
+]

@@ -1,0 +1,409 @@
+"""AST linter for the repo's own determinism and safety invariants.
+
+The library promises bit-identical results across runs, machines,
+schedulers and shardings.  That promise is carried by conventions the
+type system cannot see: all randomness flows through labelled streams,
+nothing iterates an unordered set into ordered output, the coordinator
+touches shared state only under its lock.  This module checks those
+conventions statically — ``repro lint src`` runs in CI and stays
+clean.
+
+Rules (each a :class:`LintRule` in the registry):
+
+* ``bare-random`` — module-level :mod:`random` functions (global,
+  unseeded state), ``random.Random()`` with no seed, ``time.time()``
+  (wall clock; use ``time.monotonic`` for durations) and
+  ``os.urandom``.  Seeded constructors and
+  :func:`repro.util.rng.rng_stream` are the sanctioned sources.
+* ``mutable-default`` — list/dict/set literals (or constructor calls)
+  as function parameter defaults.
+* ``set-iteration`` — a ``for`` loop or comprehension drawing directly
+  from a set expression: iteration order is hash-dependent, so any
+  ordered output built from it varies with ``PYTHONHASHSEED``.  Wrap
+  the set in ``sorted(...)``.
+* ``lock-discipline`` — in a class whose ``__init__`` creates
+  ``self._lock``, a public method touching private (``self._*``)
+  state must hold the lock (contain a ``with self._lock`` block).
+  Private methods are exempt: they are called under the lock.
+* ``unused-import`` — imported names never referenced (skipped for
+  ``__init__.py``, which imports to re-export).
+
+Suppression: append ``# lint: allow(<rule>)`` to the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import AnalyzeError
+from repro.util.registry import Registry
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path, "line": self.line,
+            "rule": self.rule, "message": self.message,
+        }
+
+
+class LintRule:
+    """One named check over a module AST.
+
+    ``check`` yields ``(line, message)`` pairs; file handling,
+    suppression and ordering live in :func:`lint_file`.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, tree: ast.Module, path: str):
+        raise NotImplementedError
+
+
+#: name -> rule class.
+RULES: dict[str, type[LintRule]] = {}
+
+_REGISTRY = Registry("lint rule", AnalyzeError, entries=RULES)
+
+
+def register_rule(cls: type[LintRule] | None = None, *,
+                  replace: bool = False):
+    """Class decorator adding ``cls`` to the registry under ``cls.name``."""
+    return _REGISTRY.register(cls, replace=replace)
+
+
+def rule_names() -> tuple[str, ...]:
+    return _REGISTRY.names()
+
+
+# -- rules --------------------------------------------------------------------
+
+#: random-module functions that mutate the hidden global generator.
+_GLOBAL_RANDOM = frozenset({
+    "random", "randint", "randrange", "getrandbits", "choice", "choices",
+    "shuffle", "sample", "uniform", "seed", "betavariate", "gauss",
+    "expovariate", "normalvariate", "triangular", "vonmisesvariate",
+})
+
+
+def _is_module_call(node: ast.AST, module: str, names) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == module
+        and node.func.attr in names
+    )
+
+
+@register_rule
+class BareRandomRule(LintRule):
+    name = "bare-random"
+    description = "unseeded/global entropy source"
+
+    def check(self, tree, path):
+        for node in ast.walk(tree):
+            if _is_module_call(node, "random", _GLOBAL_RANDOM):
+                yield node.lineno, (
+                    f"random.{node.func.attr}() uses the global generator; "
+                    "derive a labelled stream via repro.util.rng.rng_stream"
+                )
+            elif (
+                _is_module_call(node, "random", {"Random"})
+                and not node.args and not node.keywords
+            ):
+                yield node.lineno, (
+                    "random.Random() with no seed is entropy from the OS; "
+                    "pass an explicit seed"
+                )
+            elif _is_module_call(node, "time", {"time"}):
+                yield node.lineno, (
+                    "time.time() is wall clock; use time.monotonic() for "
+                    "durations (or carry timestamps in explicitly)"
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "os" and node.attr == "urandom"
+            ):
+                yield node.lineno, (
+                    "os.urandom is non-reproducible entropy; derive bytes "
+                    "from a labelled stream"
+                )
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    name = "mutable-default"
+    description = "mutable function parameter default"
+
+    _LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                 ast.SetComp)
+
+    def _mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, self._LITERALS):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in {"list", "dict", "set", "bytearray"}
+        )
+
+    def check(self, tree, path):
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._mutable(default):
+                    yield default.lineno, (
+                        f"mutable default in {node.name}(): one instance is "
+                        "shared across calls; default to None and build "
+                        "inside"
+                    )
+
+
+@register_rule
+class SetIterationRule(LintRule):
+    name = "set-iteration"
+    description = "iteration over an unordered set"
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in {"set", "frozenset"}
+        ):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # a union/intersection/difference of sets is still a set
+            return self._is_set_expr(node.left) or self._is_set_expr(
+                node.right
+            )
+        return False
+
+    def check(self, tree, path):
+        sources = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                sources.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                sources.extend(gen.iter for gen in node.generators)
+        for source in sources:
+            if self._is_set_expr(source):
+                yield source.lineno, (
+                    "iterating a set: order is hash-dependent and leaks "
+                    "into whatever this loop builds; wrap in sorted(...)"
+                )
+
+
+@register_rule
+class LockDisciplineRule(LintRule):
+    name = "lock-discipline"
+    description = "shared state touched outside the instance lock"
+
+    @staticmethod
+    def _creates_lock(method: ast.FunctionDef) -> bool:
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Store)
+                and node.attr == "_lock"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _holds_lock(method: ast.FunctionDef) -> bool:
+        for node in ast.walk(method):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and expr.attr == "_lock"
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _touches_private(method: ast.FunctionDef) -> bool:
+        # A bare ``self._helper(...)`` call is exempt: the helper owns
+        # its own locking (or is documented to run under the caller's).
+        called = {
+            id(node.func)
+            for node in ast.walk(method)
+            if isinstance(node, ast.Call)
+        }
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr.startswith("_")
+                and not node.attr.startswith("__")
+                and node.attr != "_lock"
+                and id(node) not in called
+            ):
+                return True
+        return False
+
+    def check(self, tree, path):
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = [
+                n for n in cls.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            if not any(
+                m.name == "__init__" and self._creates_lock(m)
+                for m in methods
+            ):
+                continue
+            for method in methods:
+                if method.name.startswith("_"):
+                    continue  # private helpers run under the caller's lock
+                if any(
+                    isinstance(d, ast.Name) and d.id == "staticmethod"
+                    for d in method.decorator_list
+                ):
+                    continue
+                if self._touches_private(method) and not self._holds_lock(
+                    method
+                ):
+                    yield method.lineno, (
+                        f"{cls.name}.{method.name} touches private state "
+                        "without taking self._lock"
+                    )
+
+
+@register_rule
+class UnusedImportRule(LintRule):
+    name = "unused-import"
+    description = "imported name never referenced"
+
+    def check(self, tree, path):
+        if Path(path).name == "__init__.py":
+            return  # package files import to re-export
+        imported: dict[str, tuple[int, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    imported[name] = (node.lineno, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name
+                    imported[name] = (node.lineno, alias.name)
+        used: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                root = node
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    used.add(root.id)
+        for name in sorted(imported):
+            if name in used or name.startswith("_"):
+                continue
+            line, target = imported[name]
+            yield line, (
+                f"{target!r} is imported as {name!r} but never used"
+            )
+
+
+# -- driver -------------------------------------------------------------------
+
+_ALLOW = re.compile(r"#\s*lint:\s*allow\(([a-z0-9_,\s-]+)\)")
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """line number -> rule names allowed on that line."""
+    allowed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW.search(line)
+        if match:
+            rules = {r.strip() for r in match.group(1).split(",")}
+            allowed[lineno] = {r for r in rules if r}
+    return allowed
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: tuple[str, ...] = ()) -> list[LintFinding]:
+    """Findings for one module's source text.
+
+    ``rules`` restricts the run to named rules (default: all).  Raises
+    :class:`AnalyzeError` on unparseable source or an unknown rule name.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalyzeError(f"{path}: cannot parse: {exc.msg}") from None
+    selected = rules or rule_names()
+    allowed = _suppressions(source)
+    findings: list[LintFinding] = []
+    for name in selected:
+        rule = _REGISTRY.build(name)
+        for line, message in rule.check(tree, path):
+            if name in allowed.get(line, ()):
+                continue
+            findings.append(LintFinding(path, line, name, message))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings
+
+
+def lint_file(path: str | Path,
+              rules: tuple[str, ...] = ()) -> list[LintFinding]:
+    path = Path(path)
+    return lint_source(path.read_text(), str(path), rules)
+
+
+def lint_paths(paths, rules: tuple[str, ...] = ()) -> list[LintFinding]:
+    """Findings over files and (recursive) directories of ``.py`` files."""
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        elif entry.exists():
+            files.append(entry)
+        else:
+            raise AnalyzeError(f"lint path does not exist: {entry}")
+    findings: list[LintFinding] = []
+    for file in files:
+        findings.extend(lint_file(file, rules))
+    return findings

@@ -1,0 +1,76 @@
+"""Static mutant pre-screen: mutants in dead behavioural logic.
+
+A mutant that only perturbs signals with no dataflow path to an output
+port cannot change any output value.  :func:`live_signals` computes
+the live set by a backward fixpoint over process read/write sets
+(output ports are live; a process writing a live signal makes every
+signal it reads live), and :func:`prescreen_mutants` tags mutants
+whose host process writes no live signal.
+
+The tag is *possibly-equivalent*, not *equivalent*: a mutant in dead
+logic can still be killed by a run-time error (division by zero, a
+value outside an integer range) or by turning a combinational process
+into an oscillator — both count as kills in the execution layer.  So
+the pre-screen is a triage hint that lets campaigns skip the
+equivalence-sweep budget for these mutants
+(``CampaignConfig.static_prescreen``), never a proof of survival.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.design import Design
+from repro.mutation.mutant import Mutant
+
+#: Same triage vocabulary as :mod:`repro.mutation.execution`.
+POSSIBLY_EQUIVALENT = "possibly-equivalent"
+
+
+def live_signals(design: Design) -> frozenset[str]:
+    """Signals with a dataflow path to an output port.
+
+    Backward fixpoint over process granularity: coarse (a process
+    reading a signal for *any* of its writes keeps it live) and
+    therefore conservative — dead logic can be missed, live logic
+    never is.
+    """
+    live: set[str] = {port.name for port in design.output_ports}
+    changed = True
+    while changed:
+        changed = False
+        for process in design.processes:
+            if not (process.writes & live):
+                continue
+            fresh = process.reads - live
+            if fresh:
+                live.update(fresh)
+                changed = True
+    return frozenset(live)
+
+
+def dead_processes(design: Design) -> frozenset[str]:
+    """Labels of processes whose writes are all non-live."""
+    live = live_signals(design)
+    return frozenset(
+        process.label
+        for process in design.processes
+        if process.writes and not (process.writes & live)
+    )
+
+
+def prescreen_mutants(
+    design: Design, mutants: list[Mutant]
+) -> dict[int, str]:
+    """mid -> triage tag for mutants that cannot change any output.
+
+    Only mutants hosted in a dead process are tagged (see the module
+    docstring for why the tag is ``possibly-equivalent`` and not a
+    survival proof).  Mutants elsewhere are absent from the result.
+    """
+    dead = dead_processes(design)
+    if not dead:
+        return {}
+    return {
+        mutant.mid: POSSIBLY_EQUIVALENT
+        for mutant in mutants
+        if mutant.process_label in dead
+    }

@@ -1,0 +1,130 @@
+"""Sound pruning of provably untestable faults.
+
+Campaigns spend most of their cycles fault-simulating, and on circuits
+with dead or constant logic part of that work is provably wasted: some
+faults can *never* be detected, by any stimulus.  This module finds
+them statically so :class:`~repro.experiments.context.CircuitLab` can
+skip simulating them (``CampaignConfig.prune_untestable``) while still
+reporting them — undetected — in every payload, keeping results
+bit-identical to the unpruned run.
+
+Only two rules are applied, because only two are sound:
+
+* ``propagation-blocked`` — the net where the fault effect enters the
+  circuit has no structural path to any primary output (through gate
+  and DFF edges).  No mechanism exists for the effect to reach an
+  output, in any machine.
+* ``never-activated`` — ternary constant propagation (an induction
+  from the reset state over the *fault-free* machine) proves the
+  faulted net always carries the fault value, so good and faulty
+  machines never diverge.  Polarity matters: a stuck-at-``v`` fault is
+  pruned only when the net is constant-``v``; a transition fault is
+  pruned when the net is constant at *either* polarity (it then either
+  never leaves the initial value or never launches the transition);
+  an SEU is **never** pruned by constancy — flipping a constant net is
+  still a state change — only by unobservability.
+
+Tempting rules that are **not** sound, and deliberately absent:
+proving the *output* of a cone constant does not block a fault inside
+it (``out = n`` with ``n = a AND NOT a``: ``n`` is constant-0 yet
+``n`` stuck-at-1 is observable — constancy proofs describe the
+fault-free machine only); likewise a sibling pin held at a controlling
+constant may itself depend on the faulted net.  Fault types this
+module does not recognize are never pruned.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.scoap import TestabilityAnalysis, analyze_testability
+from repro.fault.model import StuckAtFault
+from repro.fault.models.seu import SeuFault
+from repro.fault.models.transition import TransitionFault
+from repro.netlist.netlist import Netlist
+
+#: Reason strings; shared vocabulary with the survivor triage of
+#: :mod:`repro.mutation.execution`.
+NEVER_ACTIVATED = "never-activated"
+PROPAGATION_BLOCKED = "propagation-blocked"
+
+
+def untestable_reason(
+    fault,
+    netlist: Netlist,
+    analysis: TestabilityAnalysis,
+    sites: tuple[dict[int, int], dict[int, int]] | None = None,
+) -> str | None:
+    """Why ``fault`` is provably untestable, or ``None`` if it may not be.
+
+    Conservative by construction: an unrecognized fault type, or any
+    doubt, returns ``None`` (keep simulating it).  ``sites`` is the
+    memoized :func:`_site_maps` output — pass it when classifying many
+    faults of one netlist.
+    """
+    if isinstance(fault, StuckAtFault):
+        entry = _stuck_at_entry(
+            fault, sites if sites is not None else _site_maps(netlist)
+        )
+        if entry is not None and not analysis.is_observable(entry):
+            return PROPAGATION_BLOCKED
+        if analysis.constants.get(fault.net) == fault.stuck:
+            return NEVER_ACTIVATED
+        return None
+    if isinstance(fault, TransitionFault):
+        if not analysis.is_observable(fault.net):
+            return PROPAGATION_BLOCKED
+        if fault.net in analysis.constants:
+            return NEVER_ACTIVATED
+        return None
+    if isinstance(fault, SeuFault):
+        if not analysis.is_observable(fault.net):
+            return PROPAGATION_BLOCKED
+        return None
+    return None
+
+
+def _site_maps(netlist: Netlist) -> tuple[dict[int, int], dict[int, int]]:
+    """(gate gid -> output net, dff fid -> q net) branch-site lookups."""
+    return (
+        {gate.gid: gate.output for gate in netlist.gates},
+        {dff.fid: dff.q for dff in netlist.dffs},
+    )
+
+
+def _stuck_at_entry(fault: StuckAtFault, sites) -> int | None:
+    """The net where the fault effect enters the fault-free circuit.
+
+    Stem faults corrupt the net itself.  A gate-input branch fault
+    corrupts only that pin, so its effect enters at the gate's output;
+    a DFF data branch enters at the flip-flop's Q.  ``None`` when the
+    site reference is dangling (be conservative, do not prune).
+    """
+    if fault.is_stem:
+        return fault.net
+    gate_outputs, dff_qs = sites
+    if fault.gate is not None:
+        return gate_outputs.get(fault.gate)
+    return dff_qs.get(fault.dff)
+
+
+def split_untestable(
+    netlist: Netlist,
+    faults: list,
+    analysis: TestabilityAnalysis | None = None,
+) -> tuple[list, list[tuple[object, str]]]:
+    """Partition ``faults`` into (testable, [(pruned fault, reason)]).
+
+    Both halves preserve the input order, so re-interleaving them (by
+    identity) reconstructs the original list exactly.
+    """
+    if analysis is None:
+        analysis = analyze_testability(netlist)
+    sites = _site_maps(netlist)
+    testable: list = []
+    pruned: list[tuple[object, str]] = []
+    for fault in faults:
+        reason = untestable_reason(fault, netlist, analysis, sites)
+        if reason is None:
+            testable.append(fault)
+        else:
+            pruned.append((fault, reason))
+    return testable, pruned

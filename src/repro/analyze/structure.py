@@ -1,0 +1,201 @@
+"""Structural netlist linter.
+
+:func:`lint_netlist` checks a netlist for structural defects without
+assuming it is well-formed — unlike :meth:`Netlist.validate`, which
+raises on the first problem, the linter builds its own (tolerant)
+driver and fanout maps and reports *every* finding, so it works on
+hand-built or imported netlists that would not pass validation.
+
+Checks, in report order:
+
+* ``multi-driven-net`` — a net driven by more than one gate/DFF/input.
+* ``undriven-net`` — a net read by a gate, DFF or output port with no
+  driver at all.
+* ``combinational-cycle`` — gates forming a cycle through no flip-flop
+  (a delta-cycle oscillation risk; levelization refuses these).
+* ``dangling-gate`` — a gate whose output drives nothing: no gate pin,
+  no DFF data input, no output port.
+* ``unobservable-logic`` — driven nets with no structural path to any
+  primary output, even through flip-flops (dead logic; see
+  :func:`repro.analyze.scoap.observable_nets`).
+* ``unused-input`` — a primary input bit nothing reads.
+
+Findings are :class:`StructuralFinding` records sorted by (check, net
+name) so output is deterministic under ``PYTHONHASHSEED`` variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analyze.scoap import observable_nets
+from repro.netlist.netlist import Netlist
+
+#: Check names in report order (also the severity ranking: the earlier
+#: entries make simulation results undefined, the later ones are waste).
+CHECKS = (
+    "multi-driven-net",
+    "undriven-net",
+    "combinational-cycle",
+    "dangling-gate",
+    "unobservable-logic",
+    "unused-input",
+)
+
+
+@dataclass(frozen=True)
+class StructuralFinding:
+    """One structural defect: which check fired, where, and why."""
+
+    check: str
+    net: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"check": self.check, "net": self.net, "detail": self.detail}
+
+
+def lint_netlist(netlist: Netlist) -> list[StructuralFinding]:
+    """All structural findings of ``netlist``, deterministically ordered."""
+    findings: list[StructuralFinding] = []
+    findings.extend(_driver_checks(netlist))
+    findings.extend(_cycle_check(netlist))
+    findings.extend(_dangling_gates(netlist))
+    findings.extend(_dead_logic(netlist))
+    findings.extend(_unused_inputs(netlist))
+    order = {check: rank for rank, check in enumerate(CHECKS)}
+    findings.sort(key=lambda f: (order[f.check], f.net, f.detail))
+    return findings
+
+
+def _describe_driver(driver) -> str:
+    if driver == "input":
+        return "primary input"
+    if hasattr(driver, "gate_type"):
+        return f"{driver.gate_type.value} gate {driver.gid}"
+    return f"dff {driver.name!r}"
+
+
+def _driver_checks(netlist: Netlist) -> list[StructuralFinding]:
+    drivers: dict[int, list] = {}
+    for nid in netlist.input_bits:
+        drivers.setdefault(nid, []).append("input")
+    for gate in netlist.gates:
+        drivers.setdefault(gate.output, []).append(gate)
+    for dff in netlist.dffs:
+        drivers.setdefault(dff.q, []).append(dff)
+
+    findings = []
+    for nid, many in drivers.items():
+        if len(many) > 1:
+            who = ", ".join(_describe_driver(d) for d in many)
+            findings.append(StructuralFinding(
+                "multi-driven-net", netlist.net_name(nid),
+                f"driven by {len(many)} sources: {who}",
+            ))
+
+    readers: dict[int, list[str]] = {}
+    for gate in netlist.gates:
+        for pin, nid in enumerate(gate.inputs):
+            readers.setdefault(nid, []).append(
+                f"{gate.gate_type.value} gate {gate.gid} pin {pin}"
+            )
+    for dff in netlist.dffs:
+        readers.setdefault(dff.d, []).append(f"dff {dff.name!r} data input")
+    for port, bits in netlist.output_ports:
+        for nid in bits:
+            readers.setdefault(nid, []).append(f"output port {port!r}")
+    for nid, where in readers.items():
+        if nid not in drivers:
+            findings.append(StructuralFinding(
+                "undriven-net", netlist.net_name(nid),
+                f"read by {where[0]} but has no driver",
+            ))
+    return findings
+
+
+def _cycle_check(netlist: Netlist) -> list[StructuralFinding]:
+    """Kahn's algorithm over gate->gate edges; leftovers are cyclic."""
+    gates_by_output = {gate.output: gate for gate in netlist.gates}
+    indegree = {
+        gate.gid: sum(1 for nid in gate.inputs if nid in gates_by_output)
+        for gate in netlist.gates
+    }
+    ready = [gate.gid for gate in netlist.gates if indegree[gate.gid] == 0]
+    fanout: dict[int, list[int]] = {}
+    for gate in netlist.gates:
+        for nid in gate.inputs:
+            source = gates_by_output.get(nid)
+            if source is not None:
+                fanout.setdefault(source.gid, []).append(gate.gid)
+    seen = 0
+    while ready:
+        gid = ready.pop()
+        seen += 1
+        for succ in fanout.get(gid, ()):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if seen == len(netlist.gates):
+        return []
+    cyclic = sorted(
+        netlist.net_name(gate.output)
+        for gate in netlist.gates
+        if indegree[gate.gid] > 0
+    )
+    shown = ", ".join(cyclic[:5]) + (" ..." if len(cyclic) > 5 else "")
+    return [
+        StructuralFinding(
+            "combinational-cycle", name,
+            f"in a {len(cyclic)}-net combinational cycle through {shown}",
+        )
+        for name in cyclic
+    ]
+
+
+def _dangling_gates(netlist: Netlist) -> list[StructuralFinding]:
+    read: set[int] = set()
+    for gate in netlist.gates:
+        read.update(gate.inputs)
+    read.update(dff.d for dff in netlist.dffs)
+    for _, bits in netlist.output_ports:
+        read.update(bits)
+    return [
+        StructuralFinding(
+            "dangling-gate", netlist.net_name(gate.output),
+            f"{gate.gate_type.value} gate {gate.gid} output drives nothing",
+        )
+        for gate in netlist.gates
+        if gate.output not in read
+    ]
+
+
+def _dead_logic(netlist: Netlist) -> list[StructuralFinding]:
+    observable = observable_nets(netlist)
+    driven = {gate.output for gate in netlist.gates}
+    driven.update(dff.q for dff in netlist.dffs)
+    return [
+        StructuralFinding(
+            "unobservable-logic", netlist.net_name(nid),
+            "no structural path to any primary output",
+        )
+        for nid in sorted(driven)
+        if nid not in observable
+    ]
+
+
+def _unused_inputs(netlist: Netlist) -> list[StructuralFinding]:
+    read: set[int] = set()
+    for gate in netlist.gates:
+        read.update(gate.inputs)
+    read.update(dff.d for dff in netlist.dffs)
+    for _, bits in netlist.output_ports:
+        read.update(bits)
+    return [
+        StructuralFinding(
+            "unused-input", netlist.net_name(nid),
+            "primary input bit is never read",
+        )
+        for nid in netlist.input_bits
+        if nid not in read
+    ]

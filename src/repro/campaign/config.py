@@ -119,6 +119,20 @@ class CampaignConfig:
     #: defaults.  Fingerprinted unless ``None``, same reasoning.
     fault_model_knobs: dict | None = None
 
+    # -- static analysis -----------------------------------------------------
+    #: skip simulating faults :mod:`repro.analyze.prune` proves
+    #: untestable.  Results are bit-identical with the knob off (pruned
+    #: faults are reported undetected, exactly as simulating them
+    #: would), but the knob is fingerprinted anyway — dropped at its
+    #: default so existing fingerprints survive — to record provenance.
+    prune_untestable: bool = False
+    #: tag mutants in provably dead behavioural logic as
+    #: possibly-equivalent statically instead of running their
+    #: equivalence kill sweep (:mod:`repro.analyze.prescreen`).
+    #: Fingerprinted (dropped at default): it reassigns triage
+    #: categories, which are part of the payload.
+    static_prescreen: bool = False
+
     # -- test generation knobs -----------------------------------------------
     max_vectors: int = 256
     batch_size: int = 64
@@ -286,6 +300,8 @@ class CampaignConfig:
                 f"{self.cache_max_entries}"
             )
         self.telemetry = bool(self.telemetry)
+        self.prune_untestable = bool(self.prune_untestable)
+        self.static_prescreen = bool(self.static_prescreen)
 
     # -- bridges -------------------------------------------------------------
 
@@ -307,6 +323,7 @@ class CampaignConfig:
             engine=lab_config.engine,
             fault_model=lab_config.fault_model,
             fault_model_knobs=lab_config.fault_model_knobs,
+            prune_untestable=lab_config.prune_untestable,
             **overrides,
         )
 
@@ -380,5 +397,10 @@ class CampaignConfig:
             payload.pop("fault_model", None)
         if payload.get("fault_model_knobs") is None:
             payload.pop("fault_model_knobs", None)
+        # Same back-compat treatment for the static-analysis knobs.
+        if payload.get("prune_untestable") is False:
+            payload.pop("prune_untestable", None)
+        if payload.get("static_prescreen") is False:
+            payload.pop("static_prescreen", None)
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -398,13 +398,23 @@ class FaultValidationStage(Stage):
         from repro.mutation.execution import (
             NEVER_ACTIVATED,
             POSSIBLY_EQUIVALENT,
-            PROPAGATION_BLOCKED,
             TRIAGE_CATEGORIES,
         )
 
         lab = ctx.require_lab()
         killed = target.killed or set()
         equivalent = ctx.equivalence.equivalent_mids
+        prescreened: dict[int, str] = {}
+        if ctx.config.static_prescreen:
+            # Static pre-screen: survivors hosted in provably dead
+            # behavioural logic are possibly-equivalent without a
+            # lockstep sweep.  Kill status still wins — dead-logic
+            # mutants can die of run-time errors.
+            from repro.analyze.prescreen import prescreen_mutants
+
+            prescreened = prescreen_mutants(
+                lab.design, ctx.population or []
+            )
         triage: dict[str, list[int]] = {
             category: [] for category in TRIAGE_CATEGORIES
         }
@@ -412,7 +422,7 @@ class FaultValidationStage(Stage):
         for mutant in ctx.population or []:
             if mutant.mid in killed:
                 continue
-            if mutant.mid in equivalent:
+            if mutant.mid in equivalent or mutant.mid in prescreened:
                 triage[POSSIBLY_EQUIVALENT].append(mutant.mid)
             elif not vectors:
                 triage[NEVER_ACTIVATED].append(mutant.mid)

@@ -6,6 +6,11 @@ Commands
 * ``show``       — stats of one circuit (mutants, gates, faults)
 * ``synth``      — synthesize a circuit and print its ``.bench`` netlist
 * ``mutants``    — list (a sample of) a circuit's mutants
+* ``analyze``    — static netlist analysis of one circuit: structural
+  lint (cycles, undriven/multi-driven nets, dead logic), SCOAP
+  testability scores and an untestable-fault prune preview per model
+* ``lint``       — AST lint of Python sources against the repo's
+  determinism invariants (``repro lint src`` runs in CI)
 * ``engines``    — registered netlist-simulation backends
 * ``fault-models`` — registered fault models (stuck-at, transition, seu)
 * ``strategies`` — registered search and sampling strategies
@@ -123,6 +128,12 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fault-lanes", type=int, default=256,
                         help="fault-parallel chunk width for sequential "
                              "fault simulation (default: 256)")
+    parser.add_argument("--prune-untestable", action="store_true",
+                        help="skip simulating provably untestable faults "
+                             "(repro.analyze; payloads stay bit-identical)")
+    parser.add_argument("--static-prescreen", action="store_true",
+                        help="tag mutants in provably dead logic as "
+                             "possibly-equivalent before simulation")
 
 
 def _scheduler_choices() -> tuple[str, ...]:
@@ -183,6 +194,12 @@ def _campaign_config(args, **overrides) -> CampaignConfig:
         ),
         fault_lanes=getattr(
             args, "fault_lanes", CampaignConfig.fault_lanes
+        ),
+        prune_untestable=getattr(
+            args, "prune_untestable", CampaignConfig.prune_untestable
+        ),
+        static_prescreen=getattr(
+            args, "static_prescreen", CampaignConfig.static_prescreen
         ),
         search=getattr(args, "search", None) or CampaignConfig.search,
         search_budget=getattr(
@@ -261,6 +278,25 @@ def _main(argv: list[str] | None = None) -> int:
     mutants.add_argument("circuit")
     mutants.add_argument("--operator", default=None)
     mutants.add_argument("--limit", type=int, default=20)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static netlist analysis: structure lint, testability, "
+             "untestable-fault preview",
+    )
+    analyze.add_argument("circuit")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+
+    lint = sub.add_parser(
+        "lint", help="lint Python sources for repo determinism invariants"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule subset (default: all)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as JSON")
 
     sub.add_parser("engines", help="list netlist-simulation backends")
 
@@ -509,6 +545,10 @@ def _main(argv: list[str] | None = None) -> int:
         return 0
     if command == "mutants":
         return _cmd_mutants(args)
+    if command == "analyze":
+        return _cmd_analyze(args)
+    if command == "lint":
+        return _cmd_lint(args)
     if command == "engines":
         return _cmd_engines()
     if command == "fault-models":
@@ -640,6 +680,96 @@ def _cmd_show(args) -> int:
     print(f"  mutants     : {len(mutants)} "
           f"({', '.join(f'{op}:{len(ms)}' for op, ms in sorted(groups.items()))})")
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.analyze import analyze_testability, lint_netlist
+    from repro.analyze.prune import split_untestable
+    from repro.circuits import load_circuit
+    from repro.fault.models import fault_model_names, get_fault_model
+    from repro.synth import synthesize
+
+    netlist = synthesize(load_circuit(args.circuit))
+    analysis = analyze_testability(netlist)
+    findings = lint_netlist(netlist)
+    prune: dict[str, dict] = {}
+    for model_name in fault_model_names():
+        model = get_fault_model(model_name)()
+        faults = model.collapse(netlist)
+        _, pruned = split_untestable(netlist, faults, analysis)
+        reasons: dict[str, int] = {}
+        for _, reason in pruned:
+            reasons[reason] = reasons.get(reason, 0) + 1
+        prune[model_name] = {
+            "faults": len(faults),
+            "pruned": len(pruned),
+            "reasons": dict(sorted(reasons.items())),
+        }
+    report = {
+        "circuit": args.circuit,
+        "stats": netlist.stats(),
+        "testability": analysis.summary(),
+        "findings": [finding.to_dict() for finding in findings],
+        "prune": prune,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    stats = report["stats"]
+    print(f"{args.circuit}: {stats['gates']} gates, {stats['dffs']} dffs, "
+          f"{stats['nets']} nets")
+    t = report["testability"]
+    print(f"  constants     : {len(t['constant_nets'])} nets proven "
+          f"constant")
+    print(f"  unobservable  : {len(t['unobservable_nets'])} nets with no "
+          f"path to an output")
+    print(f"  scoap         : mean difficulty {t['mean_difficulty']}, "
+          f"max {t['max_difficulty']}")
+    for model_name, row in prune.items():
+        why = ", ".join(f"{k}:{v}" for k, v in row["reasons"].items())
+        print(f"  prune[{model_name:10s}]: {row['pruned']}/{row['faults']} "
+              f"provably untestable{f' ({why})' if why else ''}")
+    if findings:
+        print(f"  {len(findings)} structural finding(s):")
+        for finding in findings:
+            print(f"    [{finding.check}] {finding.net}: {finding.detail}")
+    else:
+        print("  structure     : clean")
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analyze.lint import lint_paths, rule_names
+
+    rules: tuple[str, ...] = ()
+    if args.rules:
+        rules = tuple(
+            name.strip() for name in args.rules.split(",") if name.strip()
+        )
+        for name in rules:
+            if name not in rule_names():
+                from repro.errors import AnalyzeError
+
+                raise AnalyzeError(
+                    f"unknown lint rule {name!r} "
+                    f"(registered: {', '.join(rule_names())})"
+                )
+    findings = lint_paths(args.paths, rules)
+    if args.json:
+        print(json.dumps(
+            [finding.to_dict() for finding in findings],
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for finding in findings:
+            print(finding)
+        label = "finding" if len(findings) == 1 else "findings"
+        print(f"repro lint: {len(findings)} {label}")
+    return 1 if findings else 0
 
 
 def _cmd_engines() -> int:

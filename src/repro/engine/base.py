@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import EngineError, FaultSimError
 from repro.obs import metrics as _metrics
+from repro.util.registry import Registry
 
 # NOTE: this module must not import repro.netlist at module level — the
 # simulators in repro.netlist.simulate import the engine registry, and
@@ -207,6 +208,14 @@ ENGINES: dict[str, type] = {}
 _SHARED: dict[str, object] = {}
 
 
+_REGISTRY = Registry(
+    "simulation engine", EngineError, entries=ENGINES,
+    # A replaced backend's shared instance (and its program caches)
+    # must not outlive its registration.
+    on_replace=lambda name: _SHARED.pop(name, None),
+)
+
+
 def register_engine(cls: type | None = None, *, replace: bool = False):
     """Class decorator adding ``cls`` to the registry under ``cls.name``.
 
@@ -215,41 +224,18 @@ def register_engine(cls: type | None = None, *, replace: bool = False):
     hijack a built-in backend by accident.  Pass ``replace=True``
     (``register_engine(cls, replace=True)``) to overwrite explicitly;
     re-registering the same class is always a no-op, so module
-    re-imports stay idempotent.
+    re-imports stay idempotent (and the shared instance survives).
     """
-    if cls is None:
-        return lambda target: register_engine(target, replace=replace)
-    name = getattr(cls, "name", "")
-    if not name:
-        raise EngineError(
-            f"{cls.__name__} needs a non-empty 'name' to be registered"
-        )
-    current = ENGINES.get(name)
-    if current is cls:
-        return cls  # re-import: keep the shared instance and its caches
-    if current is not None and not replace:
-        raise EngineError(
-            f"engine name {name!r} is already registered to "
-            f"{current.__name__}; pass replace=True to overwrite"
-        )
-    ENGINES[name] = cls
-    _SHARED.pop(name, None)
-    return cls
+    return _REGISTRY.register(cls, replace=replace)
 
 
 def get_engine(name: str) -> type:
     """Look up a registered engine class by name."""
-    try:
-        return ENGINES[name]
-    except KeyError:
-        known = ", ".join(sorted(ENGINES))
-        raise EngineError(
-            f"unknown simulation engine {name!r} (registered: {known})"
-        ) from None
+    return _REGISTRY.get(name)
 
 
 def engine_names() -> tuple[str, ...]:
-    return tuple(sorted(ENGINES))
+    return _REGISTRY.names()
 
 
 def build_engine(engine=None):

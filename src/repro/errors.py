@@ -119,6 +119,10 @@ class CampaignError(ConfigError):
     """
 
 
+class AnalyzeError(ReproError):
+    """A static-analysis request (netlist or source lint) is invalid."""
+
+
 class GridError(ReproError):
     """A grid work unit, scheduler or job store is misconfigured."""
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analyze.prune import split_untestable
 from repro.circuits import get_circuit, load_circuit
 from repro.engine import DEFAULT_ENGINE
 from repro.fault.coverage import FaultSimResult
@@ -43,6 +44,10 @@ class LabConfig:
     engine: str = DEFAULT_ENGINE
     fault_model: str = DEFAULT_FAULT_MODEL
     fault_model_knobs: dict | None = None
+    #: Skip simulating provably untestable faults (repro.analyze.prune).
+    #: Payloads stay bit-identical: pruned faults are still reported,
+    #: as undetected, in every result.
+    prune_untestable: bool = False
 
     def random_budget(self, sequential: bool) -> int:
         return (
@@ -61,6 +66,7 @@ class LabConfig:
             engine=config.engine,
             fault_model=config.fault_model,
             fault_model_knobs=config.fault_model_knobs,
+            prune_untestable=config.prune_untestable,
         )
 
 
@@ -77,6 +83,16 @@ class CircuitLab:
             self.config.fault_model, self.config.fault_model_knobs
         )
         self.faults: list = self.fault_model.collapse(self.netlist)
+        #: collapse order, minus provably untestable faults — the list
+        #: actually simulated.  ``faults`` stays the full universe so
+        #: coverage denominators and payloads are unchanged by pruning.
+        self.sim_faults: list = self.faults
+        #: [(pruned fault, reason)] in collapse order.
+        self.pruned_faults: list[tuple[object, str]] = []
+        if self.config.prune_untestable:
+            self.sim_faults, self.pruned_faults = split_untestable(
+                self.netlist, self.faults
+            )
         self.encoder = StimulusEncoder(self.design)
         self.engine = MutationEngine(self.design)
         self._random_vectors: list[int] | None = None
@@ -106,9 +122,30 @@ class CircuitLab:
         return self._random_baseline
 
     def fault_sim(self, vectors: list[int]) -> FaultSimResult:
-        return self.fault_model.simulate(
-            self.netlist, vectors, self.faults, self.config.fault_lanes,
+        result = self.fault_model.simulate(
+            self.netlist, vectors, self.sim_faults, self.config.fault_lanes,
             engine=self.config.engine,
+        )
+        return self.expand_detection(result)
+
+    def expand_detection(self, result: FaultSimResult) -> FaultSimResult:
+        """Re-inflate a simulated-faults result to the full universe.
+
+        Pruned faults re-enter at their collapse-order positions as
+        undetected (``None``) — which is what simulating them would
+        have produced, so payloads are bit-identical with pruning on
+        or off.
+        """
+        if not self.pruned_faults:
+            return result
+        pruned = {id(fault) for fault, _ in self.pruned_faults}
+        simulated = iter(result.detection)
+        detection = [
+            None if id(fault) in pruned else next(simulated)
+            for fault in self.faults
+        ]
+        return FaultSimResult(
+            list(self.faults), detection, result.num_patterns
         )
 
     @property
@@ -169,6 +206,7 @@ def get_lab(name: str, config: LabConfig | None = None) -> CircuitLab:
         config.random_budget_seq, config.equivalence_budget,
         config.fault_lanes, config.engine, config.fault_model,
         None if knobs is None else tuple(sorted(knobs.items())),
+        config.prune_untestable,
     )
     if key not in _LABS:
         _LABS[key] = CircuitLab(name, config)

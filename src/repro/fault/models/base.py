@@ -32,6 +32,7 @@ every registered engine and any fault-list sharding.
 from __future__ import annotations
 
 from repro.errors import FaultError
+from repro.util.registry import Registry
 
 #: The model used when none is selected explicitly.
 DEFAULT_FAULT_MODEL = "stuck-at"
@@ -72,6 +73,9 @@ class FaultModel:
 FAULT_MODELS: dict[str, type] = {}
 
 
+_REGISTRY = Registry("fault model", FaultError, entries=FAULT_MODELS)
+
+
 def register_fault_model(cls: type | None = None, *,
                          replace: bool = False):
     """Class decorator adding ``cls`` to the registry under ``cls.name``.
@@ -82,38 +86,16 @@ def register_fault_model(cls: type | None = None, *,
     accident); ``replace=True`` overwrites explicitly; re-registering
     the same class is a no-op so module re-imports stay idempotent.
     """
-    if cls is None:
-        return lambda target: register_fault_model(target, replace=replace)
-    name = getattr(cls, "name", "")
-    if not name:
-        raise FaultError(
-            f"{cls.__name__} needs a non-empty 'name' to be registered"
-        )
-    current = FAULT_MODELS.get(name)
-    if current is cls:
-        return cls  # re-import: keep the registration
-    if current is not None and not replace:
-        raise FaultError(
-            f"fault-model name {name!r} is already registered to "
-            f"{current.__name__}; pass replace=True to overwrite"
-        )
-    FAULT_MODELS[name] = cls
-    return cls
+    return _REGISTRY.register(cls, replace=replace)
 
 
 def get_fault_model(name: str) -> type:
     """Look up a registered fault-model class by name."""
-    try:
-        return FAULT_MODELS[name]
-    except KeyError:
-        known = ", ".join(sorted(FAULT_MODELS))
-        raise FaultError(
-            f"unknown fault model {name!r} (registered: {known})"
-        ) from None
+    return _REGISTRY.get(name)
 
 
 def fault_model_names() -> tuple[str, ...]:
-    return tuple(sorted(FAULT_MODELS))
+    return _REGISTRY.names()
 
 
 def build_fault_model(model=None, knobs: dict | None = None):

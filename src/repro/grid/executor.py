@@ -65,15 +65,19 @@ class GridExecutor:
 
         The fault list (and its model) lives in the fingerprinted
         config every worker rebuilds, so units carry only index ranges.
+        Planning and sharding run over the post-prune ``sim_faults``
+        list (identical to ``faults`` unless ``prune_untestable`` is
+        on); the merged detections are re-inflated to the full universe
+        by the lab, exactly like the serial path.
         """
         units = plan_fault_sim(
-            lab.name, key, len(lab.faults), vectors,
+            lab.name, key, len(lab.sim_faults), vectors,
             self._config.grid_shard,
         )
         results = self._dispatch(units)
-        return FaultSimResult(
-            list(lab.faults), merge_detections(results), len(vectors)
-        )
+        return lab.expand_detection(FaultSimResult(
+            list(lab.sim_faults), merge_detections(results), len(vectors)
+        ))
 
     def killed_mids(self, lab, mutants, vectors: list[int], key: str) -> set[int]:
         """Sharded kill analysis over an explicit mutant list."""

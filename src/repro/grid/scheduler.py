@@ -48,6 +48,7 @@ from repro.errors import GridError
 from repro.grid.units import WorkUnit
 from repro.grid.worker import execute_unit, process_entry
 from repro.obs import metrics as _metrics
+from repro.util.registry import Registry
 
 DEFAULT_SCHEDULER = "serial"
 
@@ -83,35 +84,22 @@ class Scheduler:
 SCHEDULERS: dict[str, type[Scheduler]] = {}
 
 
-def register_scheduler(cls: type[Scheduler]) -> type[Scheduler]:
+_REGISTRY = Registry("grid scheduler", GridError, entries=SCHEDULERS)
+
+
+def register_scheduler(cls: type[Scheduler] | None = None, *,
+                       replace: bool = False):
     """Class decorator adding ``cls`` to the registry under ``cls.name``."""
-    if not cls.name:
-        raise GridError(
-            f"{cls.__name__} needs a non-empty 'name' to be registered"
-        )
-    current = SCHEDULERS.get(cls.name)
-    if current is not None and current is not cls:
-        raise GridError(
-            f"scheduler name {cls.name!r} is already registered to "
-            f"{current.__name__}"
-        )
-    SCHEDULERS[cls.name] = cls
-    return cls
+    return _REGISTRY.register(cls, replace=replace)
 
 
 def get_scheduler(name: str) -> type[Scheduler]:
     """Look up a registered scheduler class by name."""
-    try:
-        return SCHEDULERS[name]
-    except KeyError:
-        known = ", ".join(sorted(SCHEDULERS))
-        raise GridError(
-            f"unknown grid scheduler {name!r} (registered: {known})"
-        ) from None
+    return _REGISTRY.get(name)
 
 
 def scheduler_names() -> tuple[str, ...]:
-    return tuple(sorted(SCHEDULERS))
+    return _REGISTRY.names()
 
 
 def build_scheduler(name: str, workers: int = 1) -> Scheduler:

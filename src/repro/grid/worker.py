@@ -55,15 +55,16 @@ def execute_unit(unit: WorkUnit, config) -> dict:
 
     if unit.kind == FAULT_CHUNK:
         spec = unit.spec
-        if len(lab.faults) != spec["num_faults"]:
+        if len(lab.sim_faults) != spec["num_faults"]:
             raise GridError(
                 f"unit {unit.uid}: fault list drifted "
-                f"({len(lab.faults)} != {spec['num_faults']})"
+                f"({len(lab.sim_faults)} != {spec['num_faults']})"
             )
-        # The lab's fault model (and list) is rebuilt from the same
-        # fingerprinted config on every worker, so the slice is the
-        # same one the planner sharded — no model tag in the unit spec.
-        faults = lab.faults[spec["start"]:spec["stop"]]
+        # The lab's fault model (and post-prune list) is rebuilt from
+        # the same fingerprinted config on every worker, so the slice
+        # is the same one the planner sharded — no model tag in the
+        # unit spec.
+        faults = lab.sim_faults[spec["start"]:spec["stop"]]
         result = lab.fault_model.simulate(
             lab.netlist,
             spec["vectors"],

@@ -16,7 +16,6 @@ import urllib.request
 
 from repro.errors import NetError
 from repro.net.protocol import (
-    PROTOCOL_VERSION,
     ProtocolError,
     check_version,
     dump_message,

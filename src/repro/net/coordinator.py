@@ -39,7 +39,6 @@ coordinator has a ``cache_dir``, which is what makes ``repro run
 from __future__ import annotations
 
 import itertools
-import json
 import queue
 import re
 import sys

@@ -52,6 +52,10 @@ class Netlist:
     #: ordered (port name, [net ids MSB..LSB]) pairs
     input_ports: list[tuple[str, list[int]]] = field(default_factory=list)
     output_ports: list[tuple[str, list[int]]] = field(default_factory=list)
+    #: behavioural signal name -> [net ids MSB..LSB]; populated by
+    #: synthesis so analyses can report netlist facts in source terms.
+    #: Empty for netlists read directly from ``.bench`` files.
+    signal_map: dict[str, list[int]] = field(default_factory=dict)
 
     @property
     def input_bits(self) -> list[int]:

@@ -19,6 +19,7 @@ from repro.sampling.registry import (
     register_strategy,
     strategy_names,
 )
+from repro.sampling.testability import TestabilitySampling
 from repro.sampling.weighted import (
     PAPER_RANK_WEIGHTS,
     TestOrientedSampling,
@@ -31,6 +32,7 @@ __all__ = [
     "RandomSampling",
     "STRATEGIES",
     "TestOrientedSampling",
+    "TestabilitySampling",
     "build_strategy",
     "get_strategy",
     "largest_remainder",

@@ -16,35 +16,26 @@ from __future__ import annotations
 import inspect
 
 from repro.errors import SamplingError
+from repro.util.registry import Registry
 
 #: name -> strategy class.
 STRATEGIES: dict[str, type] = {}
 
+_REGISTRY = Registry("sampling strategy", SamplingError, entries=STRATEGIES)
 
-def register_strategy(cls: type) -> type:
+
+def register_strategy(cls: type | None = None, *, replace: bool = False):
     """Class decorator adding ``cls`` to the registry under ``cls.name``."""
-    name = getattr(cls, "name", "")
-    if not name:
-        raise SamplingError(
-            f"{cls.__name__} needs a non-empty 'name' to be registered"
-        )
-    STRATEGIES[name] = cls
-    return cls
+    return _REGISTRY.register(cls, replace=replace)
 
 
 def get_strategy(name: str) -> type:
     """Look up a registered strategy class by name."""
-    try:
-        return STRATEGIES[name]
-    except KeyError:
-        known = ", ".join(sorted(STRATEGIES))
-        raise SamplingError(
-            f"unknown sampling strategy {name!r} (registered: {known})"
-        ) from None
+    return _REGISTRY.get(name)
 
 
 def strategy_names() -> tuple[str, ...]:
-    return tuple(sorted(STRATEGIES))
+    return _REGISTRY.names()
 
 
 def build_strategy(name: str, fraction: float = 0.10, weights=None):

@@ -1,0 +1,107 @@
+"""Testability-weighted mutant sampling.
+
+Weights each mutant by the SCOAP difficulty of the logic its host
+process drives (:mod:`repro.analyze.scoap` over the synthesized
+netlist, mapped back to behavioural signals through
+``Netlist.signal_map``), then draws a weighted sample without
+replacement using the Efraimidis–Spirakis key method.
+
+Rationale: mutants in *easy* logic are killed by almost any vector set
+and carry little information per simulation, so the sample leans
+toward hard-to-test sites — the mutants whose kill status actually
+discriminates between test sets.  Provably dead logic is the
+exception: its mutants are near-certain equivalents, so they get a
+floor weight instead of the (infinite) SCOAP cost.
+
+Like every strategy, the draw is deterministic for a fixed
+``(seed, labels)`` and independent of set/dict iteration order.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SamplingError
+from repro.mutation.mutant import Mutant
+from repro.sampling.registry import register_strategy
+from repro.util.rng import rng_stream
+
+#: Weight given to mutants in provably dead (unobservable) logic and
+#: to processes whose written signals left no trace in the netlist.
+_DEAD_WEIGHT = 0.05
+
+
+@register_strategy
+class TestabilitySampling:
+    """SCOAP-difficulty-weighted sampling without replacement."""
+
+    name = "testability"
+
+    def __init__(self, fraction: float = 0.10):
+        if not 0.0 < fraction <= 1.0:
+            raise SamplingError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def sample_size(self, population: int) -> int:
+        return max(1, round(self.fraction * population)) if population else 0
+
+    def _weights(self, mutants: list[Mutant],
+                 circuit: str | None) -> dict[int, float]:
+        """mid -> weight.  Uniform when no circuit context is available
+        (toy mutant lists in unit tests, unnamed designs)."""
+        if circuit is None:
+            return {m.mid: 1.0 for m in mutants}
+        try:
+            # Late imports: the sampling layer stays importable without
+            # pulling in the HDL front end until a circuit is named.
+            from repro.analyze.scoap import INF, analyze_testability
+            from repro.circuits.registry import load_circuit
+            from repro.errors import ConfigError
+            from repro.synth.synthesize import synthesize
+
+            design = load_circuit(circuit)
+        except ConfigError:
+            return {m.mid: 1.0 for m in mutants}
+        netlist = synthesize(design)
+        analysis = analyze_testability(netlist)
+        writes = {p.label: sorted(p.writes) for p in design.processes}
+        weights: dict[int, float] = {}
+        for mutant in mutants:
+            nets = [
+                nid
+                for signal in writes.get(mutant.process_label, ())
+                for nid in netlist.signal_map.get(signal, ())
+            ]
+            costs = [
+                analysis.difficulty(nid)
+                for nid in nets
+                if analysis.difficulty(nid) < INF
+            ]
+            if costs:
+                # Log compression keeps deep-logic mutants favoured
+                # without letting one pathological cone eat the sample.
+                weights[mutant.mid] = 1.0 + math.log2(1 + max(costs))
+            else:
+                weights[mutant.mid] = _DEAD_WEIGHT
+        return weights
+
+    def sample(
+        self, mutants: list[Mutant], seed: int, *labels: str
+    ) -> list[Mutant]:
+        count = self.sample_size(len(mutants))
+        if count >= len(mutants):
+            return sorted(mutants, key=lambda m: m.mid)
+        circuit = labels[0] if labels else None
+        weights = self._weights(mutants, circuit)
+        rng = rng_stream(seed, self.name, *labels)
+        # Efraimidis–Spirakis: per-item key u**(1/w), keep the top-k.
+        # Uniforms are drawn in sorted-mid order so the draw is a pure
+        # function of (seed, labels, mutant ids).
+        keyed = []
+        for mutant in sorted(mutants, key=lambda m: m.mid):
+            u = rng.random()
+            w = weights[mutant.mid]
+            keyed.append((u ** (1.0 / w), mutant.mid, mutant))
+        keyed.sort(key=lambda item: (-item[0], item[1]))
+        chosen = [mutant for _, _, mutant in keyed[:count]]
+        return sorted(chosen, key=lambda m: m.mid)

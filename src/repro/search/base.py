@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 from repro.errors import SearchError
 from repro.search.corpus import Corpus
+from repro.util.registry import Registry
 from repro.util.rng import LabelledRandom, rng_stream, spawn
 
 
@@ -162,29 +163,23 @@ SEARCH_STRATEGIES: dict[str, type[SearchStrategy]] = {}
 DEFAULT_SEARCH = "random"
 
 
-def register_search_strategy(cls: type[SearchStrategy]) -> type[SearchStrategy]:
+_REGISTRY = Registry("search strategy", SearchError,
+                     entries=SEARCH_STRATEGIES)
+
+
+def register_search_strategy(cls: type[SearchStrategy] | None = None, *,
+                             replace: bool = False):
     """Class decorator adding ``cls`` to the registry under ``cls.name``."""
-    if not getattr(cls, "name", ""):
-        raise SearchError(
-            f"{cls.__name__} needs a non-empty 'name' to be registered"
-        )
-    SEARCH_STRATEGIES[cls.name] = cls
-    return cls
+    return _REGISTRY.register(cls, replace=replace)
 
 
 def get_search_strategy(name: str) -> type[SearchStrategy]:
     """Look up a registered search strategy class by name."""
-    try:
-        return SEARCH_STRATEGIES[name]
-    except KeyError:
-        known = ", ".join(sorted(SEARCH_STRATEGIES))
-        raise SearchError(
-            f"unknown search strategy {name!r} (registered: {known})"
-        ) from None
+    return _REGISTRY.get(name)
 
 
 def search_strategy_names() -> tuple[str, ...]:
-    return tuple(sorted(SEARCH_STRATEGIES))
+    return _REGISTRY.names()
 
 
 def build_search_strategy(

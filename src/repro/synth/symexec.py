@@ -160,7 +160,10 @@ class SymExec:
         else_env: dict[str, SymVal],
     ) -> dict[str, SymVal]:
         merged: dict[str, SymVal] = {}
-        for name in set(then_env) | set(else_env):
+        # Sorted: the merge creates mux gates, so iteration order sets
+        # net allocation order — a set walk would make the emitted
+        # netlist depend on PYTHONHASHSEED.
+        for name in sorted(set(then_env) | set(else_env)):
             t = then_env.get(name)
             f = else_env.get(name)
             if t is None or f is None:

@@ -66,7 +66,16 @@ def synthesize(design: Design) -> Netlist:
             )
         builder.set_output_port(port.name, list(reversed(value.bits)))
 
-    return builder.finish()
+    netlist = builder.finish()
+    # Record where each behavioural signal ended up, MSB first, so the
+    # analyze layer can report net facts in source terms.  Bits folded
+    # to constant sentinels are dropped — materializing nets just for
+    # the map would perturb the netlist.
+    netlist.signal_map = {
+        name: [bit for bit in reversed(value.bits) if bit >= 0]
+        for name, value in sorted(env.items())
+    }
+    return netlist
 
 
 def _reg_name(signal: str, lsb_offset: int, width: int) -> str:

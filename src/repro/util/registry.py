@@ -1,0 +1,112 @@
+"""Generic named registry of classes.
+
+Five subsystems register pluggable classes by name — sampling
+strategies, simulation engines, fault models, search strategies and
+grid schedulers — and until this helper existed each carried its own
+hand-rolled copy of the same dict-plus-decorator code.
+:class:`Registry` is the shared implementation; each subsystem keeps
+its public module-level dict and wrapper functions (they are API), but
+the semantics now live in one place:
+
+* registering requires a non-empty ``name`` class attribute;
+* re-registering the *same* class is a no-op, so module re-imports
+  stay idempotent;
+* registering a *different* class under a taken name raises the
+  subsystem's error type — a silent overwrite would let a plug-in
+  hijack a built-in by accident — unless ``replace=True`` is passed
+  explicitly;
+* lookups of unknown names raise the subsystem's error type with the
+  sorted list of registered names, so typos fail helpfully.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+
+
+class Registry:
+    """A name -> class registry with guarded registration.
+
+    ``kind`` is the human phrase used in error messages ("sampling
+    strategy", "simulation engine", ...); ``error`` is the exception
+    type raised on bad registrations and unknown lookups; ``entries``
+    lets a subsystem hand in its public module-level dict so existing
+    importers of that dict keep seeing every registration;
+    ``on_replace`` is called with the name whenever an entry is
+    overwritten (the engine registry uses it to drop the replaced
+    backend's shared instance).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        error: type[Exception] = ReproError,
+        entries: dict[str, type] | None = None,
+        on_replace: Callable[[str], None] | None = None,
+    ):
+        self.kind = kind
+        self.error = error
+        self.entries: dict[str, type] = (
+            entries if entries is not None else {}
+        )
+        self._on_replace = on_replace
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, cls: type | None = None, *, replace: bool = False):
+        """Class decorator adding ``cls`` under ``cls.name``.
+
+        Usable bare (``@registry.register``) or with the flag
+        (``registry.register(cls, replace=True)`` /
+        ``@registry.register(replace=True)``).
+        """
+        if cls is None:
+            return lambda target: self.register(target, replace=replace)
+        name = getattr(cls, "name", "")
+        if not name:
+            raise self.error(
+                f"{cls.__name__} needs a non-empty 'name' to be registered"
+            )
+        current = self.entries.get(name)
+        if current is cls:
+            return cls  # re-import: keep the registration (and any caches)
+        if current is not None and not replace:
+            raise self.error(
+                f"{self.kind} name {name!r} is already registered to "
+                f"{current.__name__}; pass replace=True to overwrite"
+            )
+        self.entries[name] = cls
+        if current is not None and self._on_replace is not None:
+            self._on_replace(name)
+        return cls
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, name: str) -> type:
+        """The registered class called ``name``; loud on typos."""
+        try:
+            return self.entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self.entries))
+            raise self.error(
+                f"unknown {self.kind} {name!r} (registered: {known})"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self.entries))
+
+    def build(self, name: str, *args, **kwargs):
+        """Instantiate the registered class called ``name``."""
+        return self.get(name)(*args, **kwargs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Registry {self.kind}: {', '.join(self.names())}>"

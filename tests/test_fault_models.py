@@ -136,11 +136,12 @@ def test_config_rejects_bad_knobs():
 
 
 def test_stuck_at_fingerprint_is_byte_identical():
-    """The default config hashes exactly as it did before this field.
+    """The default config hashes exactly as it did before these fields.
 
     Reconstructed by hand: the fingerprint payload of a default config
-    must not contain the fault-model keys at all, so every cache and
-    job-store entry written by older versions still hits.
+    must not contain the fault-model keys (nor the later
+    static-analysis knobs) at all, so every cache and job-store entry
+    written by older versions still hits.
     """
     import hashlib
 
@@ -151,7 +152,8 @@ def test_stuck_at_fingerprint_is_byte_identical():
         key: value
         for key, value in config.to_dict().items()
         if key not in EXECUTION_FIELDS
-        and key not in ("fault_model", "fault_model_knobs")
+        and key not in ("fault_model", "fault_model_knobs",
+                        "prune_untestable", "static_prescreen")
     }
     canonical = json.dumps(payload, sort_keys=True)
     expected = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
@@ -159,6 +161,13 @@ def test_stuck_at_fingerprint_is_byte_identical():
     assert (
         config.replace(fault_model="stuck-at").fingerprint()
         == config.fingerprint()
+    )
+    # The new knobs fingerprint only when enabled.
+    assert config.replace(prune_untestable=True).fingerprint() != (
+        config.fingerprint()
+    )
+    assert config.replace(static_prescreen=True).fingerprint() != (
+        config.fingerprint()
     )
 
 

@@ -1,0 +1,263 @@
+"""Tests for the repo determinism linter (repro.analyze.lint)."""
+
+import pytest
+
+from repro.analyze.lint import (
+    LintFinding,
+    LintRule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register_rule,
+    rule_names,
+)
+from repro.cli import main
+from repro.errors import AnalyzeError
+
+
+def rules_of(source, rule=None):
+    findings = lint_source(source, "mod.py", (rule,) if rule else ())
+    return [f.rule for f in findings]
+
+
+# -- bare-random --------------------------------------------------------------
+
+
+def test_bare_random_flags_global_functions():
+    src = "import random\nx = random.randint(0, 7)\n"
+    assert rules_of(src, "bare-random") == ["bare-random"]
+
+
+def test_bare_random_flags_unseeded_constructor_and_clocks():
+    src = (
+        "import os, random, time\n"
+        "r = random.Random()\n"
+        "t = time.time()\n"
+        "b = os.urandom(8)\n"
+    )
+    findings = lint_source(src, "mod.py", ("bare-random",))
+    assert [f.line for f in findings] == [2, 3, 4]
+
+
+def test_bare_random_allows_seeded_sources():
+    src = (
+        "import random, time\n"
+        "r = random.Random(42)\n"
+        "value = r.randint(0, 7)\n"
+        "t = time.monotonic()\n"
+    )
+    assert rules_of(src, "bare-random") == []
+
+
+# -- mutable-default ----------------------------------------------------------
+
+
+def test_mutable_default_flags_literals_and_constructors():
+    src = (
+        "def f(a, b=[], c={}, d=set()):\n"
+        "    return a\n"
+        "def g(*, x=dict()):\n"
+        "    return x\n"
+    )
+    findings = lint_source(src, "mod.py", ("mutable-default",))
+    assert len(findings) == 4
+    assert all(f.rule == "mutable-default" for f in findings)
+
+
+def test_mutable_default_allows_immutable_defaults():
+    src = "def f(a=None, b=(), c=0, d='x', e=frozenset()):\n    return a\n"
+    assert rules_of(src, "mutable-default") == []
+
+
+# -- set-iteration ------------------------------------------------------------
+
+
+def test_set_iteration_flags_loops_and_comprehensions():
+    src = (
+        "s = {1, 2}\n"
+        "for x in {1, 2, 3}:\n"
+        "    print(x)\n"
+        "out = [y for y in set([4, 5])]\n"
+    )
+    findings = lint_source(src, "mod.py", ("set-iteration",))
+    assert [f.line for f in findings] == [2, 4]
+
+
+def test_set_iteration_flags_set_algebra():
+    src = "for x in {1} | {2}:\n    print(x)\n"
+    assert rules_of(src, "set-iteration") == ["set-iteration"]
+
+
+def test_set_iteration_allows_sorted_sets():
+    src = (
+        "for x in sorted({3, 1, 2}):\n"
+        "    print(x)\n"
+        "for y in [1, 2]:\n"
+        "    print(y)\n"
+    )
+    assert rules_of(src, "set-iteration") == []
+
+
+# -- lock-discipline ----------------------------------------------------------
+
+_LOCKED_CLASS = """
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        {body}
+"""
+
+
+def test_lock_discipline_flags_unlocked_public_method():
+    src = _LOCKED_CLASS.format(body="self._items.append(item)")
+    findings = lint_source(src, "mod.py", ("lock-discipline",))
+    assert [f.rule for f in findings] == ["lock-discipline"]
+    assert "Box.add" in findings[0].message
+
+
+def test_lock_discipline_allows_locked_method():
+    src = _LOCKED_CLASS.format(
+        body="with self._lock:\n            self._items.append(item)"
+    )
+    assert rules_of(src, "lock-discipline") == []
+
+
+def test_lock_discipline_allows_private_and_delegating_methods():
+    src = """
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def _append(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def add(self, item):
+        self._append(item)
+"""
+    assert rules_of(src, "lock-discipline") == []
+
+
+def test_lock_discipline_ignores_lockless_classes():
+    src = """
+class Plain:
+    def __init__(self):
+        self._items = []
+
+    def add(self, item):
+        self._items.append(item)
+"""
+    assert rules_of(src, "lock-discipline") == []
+
+
+# -- unused-import ------------------------------------------------------------
+
+
+def test_unused_import_flags_dead_names():
+    src = "import json\nimport os\nprint(os.getcwd())\n"
+    findings = lint_source(src, "mod.py", ("unused-import",))
+    assert [(f.line, f.rule) for f in findings] == [(1, "unused-import")]
+    assert "'json'" in findings[0].message
+
+
+def test_unused_import_counts_attribute_roots_and_aliases():
+    src = (
+        "import os.path\n"
+        "from json import dumps as to_json\n"
+        "print(os.path.sep, to_json({}))\n"
+    )
+    assert rules_of(src, "unused-import") == []
+
+
+def test_unused_import_skips_package_init(tmp_path):
+    pkg = tmp_path / "__init__.py"
+    pkg.write_text("from json import dumps\n")
+    assert lint_file(pkg) == []
+
+
+# -- suppression and driver ---------------------------------------------------
+
+
+def test_suppression_comment_silences_one_line():
+    src = (
+        "import random\n"
+        "a = random.random()  # lint: allow(bare-random)\n"
+        "b = random.random()\n"
+    )
+    findings = lint_source(src, "mod.py", ("bare-random",))
+    assert [f.line for f in findings] == [3]
+
+
+def test_suppression_takes_a_rule_list():
+    src = "import json  # lint: allow(unused-import, bare-random)\n"
+    assert rules_of(src) == []
+
+
+def test_lint_source_rejects_bad_syntax_and_unknown_rule():
+    with pytest.raises(AnalyzeError):
+        lint_source("def broken(:\n", "mod.py")
+    with pytest.raises(AnalyzeError):
+        lint_source("x = 1\n", "mod.py", ("no-such-rule",))
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    (sub / "bad.py").write_text("import json\n")
+    findings = lint_paths([tmp_path])
+    assert [f.rule for f in findings] == ["unused-import"]
+    with pytest.raises(AnalyzeError):
+        lint_paths([tmp_path / "missing.py"])
+
+
+def test_finding_renders_like_a_compiler_diagnostic():
+    finding = LintFinding("a.py", 3, "bare-random", "boom")
+    assert str(finding) == "a.py:3: [bare-random] boom"
+    assert finding.to_dict()["line"] == 3
+
+
+def test_rule_registry_is_extensible():
+    @register_rule
+    class NoTodoRule(LintRule):
+        name = "no-todo"
+        description = "TODO comments are tracked in the roadmap"
+
+        def check(self, tree, path):
+            return
+            yield
+
+    try:
+        assert "no-todo" in rule_names()
+        assert lint_source("x = 1\n", "mod.py", ("no-todo",)) == []
+    finally:
+        from repro.analyze.lint import RULES
+
+        RULES.pop("no-todo")
+
+
+# -- the repo's own promise ---------------------------------------------------
+
+
+def test_src_tree_is_lint_clean():
+    assert lint_paths(["src"]) == []
+
+
+def test_cli_lint_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import json\n")
+    assert main(["lint", str(clean)]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "unused-import" in out

@@ -1,0 +1,118 @@
+"""Tests for the generic class registry (repro.util.registry)."""
+
+import pytest
+
+from repro.errors import ConfigError, ReproError
+from repro.util.registry import Registry
+
+
+def make_registry(**kwargs):
+    return Registry("toy widget", ConfigError, **kwargs)
+
+
+class Alpha:
+    name = "alpha"
+
+    def __init__(self, value=0):
+        self.value = value
+
+
+class AlphaToo:
+    name = "alpha"
+
+
+def test_register_and_lookup():
+    registry = make_registry()
+    assert registry.register(Alpha) is Alpha
+    assert registry.get("alpha") is Alpha
+    assert "alpha" in registry
+    assert len(registry) == 1
+    assert registry.names() == ("alpha",)
+
+
+def test_register_requires_a_name():
+    registry = make_registry()
+
+    class Nameless:
+        pass
+
+    with pytest.raises(ConfigError):
+        registry.register(Nameless)
+
+
+def test_reregistering_same_class_is_a_noop():
+    registry = make_registry()
+    registry.register(Alpha)
+    registry.register(Alpha)  # module re-import: no error, no change
+    assert registry.get("alpha") is Alpha
+
+
+def test_name_collision_raises_subsystem_error():
+    registry = make_registry()
+    registry.register(Alpha)
+    with pytest.raises(ConfigError, match="already registered"):
+        registry.register(AlphaToo)
+    assert registry.get("alpha") is Alpha
+
+
+def test_replace_requires_the_flag_and_fires_callback():
+    replaced = []
+    registry = make_registry(on_replace=replaced.append)
+    registry.register(Alpha)
+    registry.register(AlphaToo, replace=True)
+    assert registry.get("alpha") is AlphaToo
+    assert replaced == ["alpha"]
+    # A first registration is not a replacement.
+    class Beta:
+        name = "beta"
+
+    registry.register(Beta)
+    assert replaced == ["alpha"]
+
+
+def test_register_as_decorator_with_flag():
+    registry = make_registry()
+    registry.register(Alpha)
+
+    @registry.register(replace=True)
+    class AlphaThree:
+        name = "alpha"
+
+    assert registry.get("alpha") is AlphaThree
+
+
+def test_unknown_lookup_lists_known_names():
+    registry = make_registry()
+    registry.register(Alpha)
+    with pytest.raises(ConfigError, match="registered: alpha"):
+        registry.get("omega")
+
+
+def test_build_instantiates():
+    registry = make_registry()
+    registry.register(Alpha)
+    widget = registry.build("alpha", value=7)
+    assert isinstance(widget, Alpha)
+    assert widget.value == 7
+
+
+def test_shared_entries_dict_stays_public():
+    public: dict[str, type] = {}
+    registry = Registry("thing", ReproError, entries=public)
+    registry.register(Alpha)
+    assert public == {"alpha": Alpha}
+
+
+def test_subsystem_registries_use_the_helper():
+    """The five ported registries still expose their public surfaces."""
+    from repro.engine import engine_names
+    from repro.fault.models import fault_model_names
+    from repro.grid import scheduler_names
+    from repro.sampling import strategy_names
+    from repro.search.base import search_strategy_names
+
+    assert "interp" in engine_names()
+    assert "stuck-at" in fault_model_names()
+    assert "process" in scheduler_names()
+    assert "testability" in strategy_names()
+    assert search_strategy_names()

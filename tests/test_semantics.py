@@ -222,3 +222,77 @@ def test_data_input_ports_exclude_clock_reset():
     )
     names = [p.name for p in design.data_input_ports]
     assert names == ["a", "b"]
+
+
+# -- error paths: undeclared names, width mismatches, redeclarations ---------
+
+
+def test_undeclared_name_in_process_statement():
+    with pytest.raises(SemanticError, match="unknown name 'ghost'"):
+        build("", "process (a)\nbegin\ny <= ghost;\nend process;")
+
+
+def test_undeclared_name_in_condition():
+    with pytest.raises(SemanticError, match="unknown name"):
+        build(
+            "",
+            "process (a)\nbegin\n"
+            "if ghost = '1' then y <= a; else y <= b; end if;\n"
+            "end process;",
+        )
+
+
+def test_undeclared_callee_rejected():
+    # The parser reads this as an indexed name, so resolution fails on
+    # the prefix just like any other undeclared identifier.
+    with pytest.raises(SemanticError, match="unknown name 'conjure'"):
+        build("", "y <= conjure(a);")
+
+
+def test_vector_assignment_width_mismatch():
+    with pytest.raises(SemanticError, match="cannot assign"):
+        build(
+            "signal v : bit_vector(3 downto 0);",
+            "process (a)\nbegin\nv <= \"000\";\nend process;",
+        )
+
+
+def test_signal_initializer_width_mismatch():
+    with pytest.raises(SemanticError):
+        build(
+            'signal v : bit_vector(2 downto 0) := "01";',
+            "y <= a;",
+        )
+
+
+def test_bit_to_vector_assignment_rejected():
+    with pytest.raises(SemanticError, match="cannot assign"):
+        build(
+            "signal v : bit_vector(1 downto 0);",
+            "process (a)\nbegin\nv <= a;\nend process;",
+        )
+
+
+def test_duplicate_type_name_rejected():
+    with pytest.raises(SemanticError, match="duplicate type name"):
+        build("type st is (s0, s1);\ntype st is (s2, s3);", "y <= a;")
+
+
+def test_enum_literal_colliding_with_port_rejected():
+    with pytest.raises(SemanticError, match="duplicate declaration"):
+        build("type st is (a, s1);", "y <= b;")
+
+
+def test_process_variable_redeclaring_signal_rejected():
+    with pytest.raises(SemanticError, match="duplicate declaration"):
+        build(
+            "signal n : bit;",
+            "process (a)\nvariable n : bit;\nbegin\ny <= a;\nend process;",
+        )
+
+
+def test_semantic_errors_carry_source_location():
+    with pytest.raises(SemanticError) as excinfo:
+        build("", "y <= ghost;")
+    assert excinfo.value.line > 0
+    assert str(excinfo.value).startswith(f"{excinfo.value.line}:")
