@@ -8,7 +8,10 @@ skeptical human with two terminals) would:
    campaign through ``--grid remote`` must produce a ``--json``
    payload identical to ``--grid serial``.
 2. One worker is SIGKILLed mid-run — lease reassignment must finish
-   the campaign on the survivor, still bit-identical.
+   the campaign on the survivor, still bit-identical.  The same run
+   records a ``--trace``; the stitched Chrome trace must pass
+   ``repro trace --validate`` and contain per-worker span lanes
+   (set ``REPRO_SMOKE_TRACE`` to keep it, e.g. as a CI artifact).
 3. The coordinator itself is SIGKILLed mid-run; a fresh coordinator
    on the same ``--cache-dir`` plus ``repro run --resume`` must
    complete from the persisted units, still bit-identical.
@@ -163,9 +166,13 @@ def main() -> int:
     # -- leg 1+2: remote run, one worker murdered mid-flight -----------------
     coordinator, workers = start_stack(cache_dir=None)
     remote_json = workdir / "remote.json"
+    trace_path = Path(
+        os.environ.get("REPRO_SMOKE_TRACE") or workdir / "remote-trace.json"
+    )
     proc = run_until_units(
         ["run", str(config_path), "--grid", "remote",
-         "--coordinator", URL, "--json", str(remote_json)],
+         "--coordinator", URL, "--json", str(remote_json),
+         "--trace", str(trace_path)],
         units=4,
     )
     probe_metrics()
@@ -178,6 +185,15 @@ def main() -> int:
         "remote payload drifted from serial after a worker loss"
     )
     print("OK: remote == serial with a worker killed mid-run", flush=True)
+    run("trace", str(trace_path), "--validate")
+    lanes = {
+        event.get("pid")
+        for event in json.loads(trace_path.read_text())["traceEvents"]
+    }
+    assert any(str(pid).startswith("worker-smoke-") for pid in lanes), (
+        f"stitched trace has no worker lanes (lanes: {sorted(lanes)})"
+    )
+    print(f"OK: stitched trace valid, lanes {sorted(lanes)}", flush=True)
     reap(workers[0])
     reap(coordinator)
 

@@ -73,7 +73,7 @@ WEIGHT_SCHEMES = ("calibrated", "paper-ranks", "uniform")
 #: provenance, like ``engine``.)
 EXECUTION_FIELDS = frozenset(
     {"circuits", "jobs", "cache_dir", "grid_workers", "cache_max_entries",
-     "coordinator", "telemetry"}
+     "coordinator", "telemetry", "trace"}
 )
 
 _TUPLE_FIELDS = ("operators", "strategies", "sample_labels", "stages",
@@ -197,6 +197,11 @@ class CampaignConfig:
     #: it, so it stays out of the fingerprint and cached results are
     #: shared between instrumented and plain runs.
     telemetry: bool = False
+    #: collect :mod:`repro.obs` trace spans during the run — including
+    #: inside grid/remote workers, whose span buffers ride the result
+    #: envelopes home and are stitched into the parent's trace.  Same
+    #: execution-only contract as ``telemetry``.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         for name in _TUPLE_FIELDS:
@@ -300,6 +305,7 @@ class CampaignConfig:
                 f"{self.cache_max_entries}"
             )
         self.telemetry = bool(self.telemetry)
+        self.trace = bool(self.trace)
         self.prune_untestable = bool(self.prune_untestable)
         self.static_prescreen = bool(self.static_prescreen)
 

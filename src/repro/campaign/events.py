@@ -14,7 +14,10 @@ Hook timing:
 * ``on_stage_start`` / ``on_stage_end`` wrap one pipeline stage;
 * ``on_unit_start`` / ``on_unit_done`` wrap one grid work unit
   (``on_unit_done`` fires with ``cached=True`` for units resumed from
-  the job store).
+  the job store);
+* ``on_unit_result`` hands over each unit's raw result dict just
+  before its ``on_unit_done`` — the hook live progress aggregation
+  (:mod:`repro.obs.progress`) listens on.
 
 Visibility under parallelism: with per-circuit farming (``jobs > 1``
 and no grid) the stages run in worker processes, so only the
@@ -71,6 +74,12 @@ class CampaignEvents:
         """Grid work ``unit`` finished (``cached=True``: resumed from
         the job store without recomputation)."""
 
+    def on_unit_result(self, unit, result: dict) -> None:
+        """Grid work ``unit``'s raw result dict, right before
+        ``on_unit_done`` (cached units included).  Consumers must
+        treat ``result`` as read-only — it is the same object the
+        pipeline folds back in."""
+
 
 #: Hook names :class:`GuardedEvents` protects (everything above).
 _HOOKS = (
@@ -82,6 +91,7 @@ _HOOKS = (
     "on_stage_end",
     "on_unit_start",
     "on_unit_done",
+    "on_unit_result",
 )
 
 
@@ -230,6 +240,17 @@ class RecordingEvents(CampaignEvents):
             "unit": unit_envelope(unit),
             "seconds": seconds,
             "cached": bool(cached),
+        })
+
+    def on_unit_result(self, unit, result) -> None:
+        # Counts only — summarize_result never copies payload data
+        # into the stream, keeping the envelope contract above.
+        from ..obs.progress import summarize_result
+
+        self._emit({
+            "event": "unit-result",
+            "unit": unit_envelope(unit),
+            "summary": summarize_result(unit.kind, result),
         })
 
 

@@ -29,10 +29,15 @@ Commands
 * ``worker``     — attach a worker daemon to a coordinator
 * ``submit``     — submit a campaign config to a coordinator and
   stream its event envelopes back as JSON lines
-* ``trace``      — top-k self-time summary of a Chrome trace-event
-  JSON written by ``repro run --trace``
+* ``trace``      — top-k self-time summary (or ``--validate`` schema
+  check) of a Chrome trace-event JSON written by ``repro run --trace``
 * ``top``        — refreshing live view of a coordinator's
-  ``GET /metrics`` telemetry (queue depth, worker throughput)
+  ``GET /metrics`` telemetry (queue depth, worker throughput,
+  per-campaign progress)
+* ``status``     — one-shot campaign progress from a coordinator URL
+  or an on-disk event journal under a ``serve --cache-dir``
+* ``bench-diff`` — compare benchmark trajectory runs and flag
+  regressions (the CI perf gate)
 * ``table1``     — regenerate the paper's Table 1
 * ``table2``     — regenerate the paper's Table 2
 * ``atpg-reuse`` — the §1 validation-reuse experiment
@@ -418,6 +423,10 @@ def _main(argv: list[str] | None = None) -> int:
                             "submissions")
     serve.add_argument("--verbose", action="store_true",
                        help="also log every HTTP request")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="stitch the span buffers workers attach to "
+                            "their completions into one Chrome trace, "
+                            "written to PATH on shutdown")
 
     worker = sub.add_parser(
         "worker", help="attach a worker daemon to a coordinator"
@@ -464,6 +473,9 @@ def _main(argv: list[str] | None = None) -> int:
     trace.add_argument("--top", type=int, default=15,
                        help="spans to show, ranked by self time "
                             "(default: 15)")
+    trace.add_argument("--validate", action="store_true",
+                       help="check the trace-event schema instead of "
+                            "summarizing (exit 1 on violations)")
 
     top = sub.add_parser(
         "top",
@@ -476,6 +488,33 @@ def _main(argv: list[str] | None = None) -> int:
     top.add_argument("--once", action="store_true",
                      help="print one snapshot and exit (no screen "
                           "clearing; scripts and CI)")
+
+    status = sub.add_parser(
+        "status",
+        help="campaign progress from a coordinator or an event journal",
+    )
+    status.add_argument("target",
+                        help="coordinator base URL (http://host:port), "
+                             "a journal directory, a campaign directory "
+                             "holding one, or a serve --cache-dir root")
+    status.add_argument("--campaign", default=None,
+                        help="restrict to one campaign id")
+    status.add_argument("--json", action="store_true",
+                        help="emit the progress snapshots as JSON")
+
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="compare benchmark trajectory runs and flag regressions",
+    )
+    bench_diff.add_argument("fresh",
+                            help="trajectory JSON holding the candidate "
+                                 "run (benchmarks/BENCH_*.json)")
+    bench_diff.add_argument("baseline", nargs="?", default=None,
+                            help="baseline trajectory JSON (default: "
+                                 "the run before the latest in FRESH)")
+    bench_diff.add_argument("--tolerance", type=float, default=None,
+                            help="allowed fractional degradation before "
+                                 "a metric regresses (default: 0.5)")
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     table1.add_argument("--circuits", nargs="*", default=list(DEFAULT_CIRCUITS))
@@ -573,6 +612,10 @@ def _main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if command == "top":
         return _cmd_top(args)
+    if command == "status":
+        return _cmd_status(args)
+    if command == "bench-diff":
+        return _cmd_bench_diff(args)
     if command == "table1":
         from repro.campaign.runner import Campaign
         from repro.experiments.report import table1_text
@@ -1082,6 +1125,10 @@ def _cmd_run(args) -> int:
         overrides["search_budget"] = args.search_budget
     if args.telemetry:
         overrides["telemetry"] = True
+    if args.trace:
+        # Execution-only, like telemetry: grid and remote workers see
+        # config.trace and ship span buffers home in their envelopes.
+        overrides["trace"] = True
     if overrides:
         config = config.replace(**overrides)
     events = _events(args)
@@ -1095,7 +1142,15 @@ def _cmd_run(args) -> int:
     # A resume without a cache directory is rejected by Campaign.run
     # (the single owner of that validation).
     campaign = Campaign(config, events)
-    result = campaign.run(resume=args.resume)
+    if tracer is not None:
+        from repro.obs.trace import tracing
+
+        # Active for the run, so the schedulers stitch worker span
+        # buffers into this tracer as completions are harvested.
+        with tracing(tracer):
+            result = campaign.run(resume=args.resume)
+    else:
+        result = campaign.run(resume=args.resume)
     if tracer is not None:
         tracer.write(args.trace)
         print(
@@ -1123,8 +1178,15 @@ def _print_metrics(snapshot: dict) -> None:
         print(f"  {name:44s} {gauges[name]:g}", file=sys.stderr)
     for name in sorted(histograms):
         hist = histograms[name]
+        quantiles = hist.get("quantiles") or {}
+        tail = "".join(
+            f" {label}={quantiles[label]:.3f}s"
+            for label in ("p50", "p95", "p99")
+            if label in quantiles
+        )
         print(
-            f"  {name:44s} count={hist['count']} sum={hist['sum']:.3f}s",
+            f"  {name:44s} count={hist['count']} sum={hist['sum']:.3f}s"
+            f"{tail}",
             file=sys.stderr,
         )
 
@@ -1145,6 +1207,16 @@ def _cmd_trace(args) -> int:
         trace = json.loads(text)
     except ValueError as exc:
         raise ConfigError(f"malformed trace JSON: {exc}") from exc
+    if args.validate:
+        from repro.obs.trace import validate_trace
+
+        try:
+            count = validate_trace(trace)
+        except ValueError as exc:
+            print(f"repro trace: invalid: {exc}", file=sys.stderr)
+            return 1
+        print(f"trace OK: {count} event(s)")
+        return 0
     rows = summarize(trace, top=args.top)
     if not rows:
         print("no spans in trace")
@@ -1158,11 +1230,15 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _render_top(snapshot: dict, previous: dict, now: float) -> str:
+def _render_top(snapshot: dict, previous: dict, now: float,
+                progress: dict | None = None) -> str:
     """One frame of ``repro top``.
 
     ``previous`` maps worker id -> (monotonic time, completed_total)
     from the last frame; per-worker rates come from the deltas.
+    ``progress`` optionally maps campaign id -> a
+    :class:`~repro.obs.progress.ProgressTracker` snapshot, rendered
+    as an indented pane under the campaign's line.
     """
     lines = [
         f"queue: {snapshot.get('queue_depth', 0)} pending, "
@@ -1190,18 +1266,69 @@ def _render_top(snapshot: dict, previous: dict, now: float) -> str:
             )
     campaigns = snapshot.get("campaigns") or []
     for campaign in campaigns:
+        cid = str(campaign.get("campaign"))
         lines.append(
-            f"  campaign {campaign.get('campaign')}: "
+            f"  campaign {cid}: "
             f"{campaign.get('status')} "
             f"({campaign.get('events', 0)} event(s))"
         )
-    counters = (snapshot.get("metrics") or {}).get("counters") or {}
+        snap = (progress or {}).get(cid)
+        if snap:
+            from repro.obs.progress import format_status
+
+            # The first format_status line repeats the state shown
+            # right above; the panes below it are the value added.
+            for line in format_status(snap)[1:]:
+                lines.append(f"    {line}")
+    metrics = snapshot.get("metrics") or {}
+    counters = metrics.get("counters") or {}
     if counters:
         lines.append("")
         ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
         for name, value in ranked[:12]:
             lines.append(f"  {name:44s} {value}")
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        lines.append("")
+        for name in sorted(histograms)[:8]:
+            hist = histograms[name]
+            quantiles = hist.get("quantiles") or {}
+            tail = "".join(
+                f" {label}={quantiles[label]:.3f}s"
+                for label in ("p50", "p95", "p99")
+                if label in quantiles
+            )
+            lines.append(
+                f"  {name:44s} count={hist.get('count', 0)}{tail}"
+            )
     return "\n".join(lines)
+
+
+def _top_progress(client, snapshot: dict, trackers: dict) -> dict:
+    """Fold each campaign's event stream into a progress snapshot.
+
+    ``trackers`` maps campaign id -> ``(ProgressTracker, next seq)``
+    and persists across frames, so every frame fetches only the events
+    that landed since the previous one.
+    """
+    from repro.errors import ReproError
+    from repro.obs.progress import ProgressTracker
+
+    progress: dict[str, dict] = {}
+    for entry in snapshot.get("campaigns") or []:
+        cid = str(entry.get("campaign"))
+        tracker, since = trackers.get(cid) or (ProgressTracker(), 0)
+        try:
+            events = client.campaign_events(cid, since)
+        except ReproError:
+            events = []  # raced a restart; retry next frame
+        for event in events:
+            tracker.feed(event)
+            seq = event.get("seq")
+            since = seq + 1 if isinstance(seq, int) else since + 1
+        trackers[cid] = (tracker, since)
+        progress[cid] = tracker.snapshot()
+    return progress
 
 
 def _cmd_top(args) -> int:
@@ -1213,10 +1340,15 @@ def _cmd_top(args) -> int:
     client = CoordinatorClient(args.coordinator)
     client.ping()
     previous: dict[str, tuple[float, int]] = {}
+    trackers: dict[str, tuple] = {}
     try:
         while True:
             started = time.monotonic()
-            frame = _render_top(client.metrics(), previous, started)
+            snapshot = client.metrics()
+            frame = _render_top(
+                snapshot, previous, started,
+                _top_progress(client, snapshot, trackers),
+            )
             if args.once:
                 print(frame)
                 return 0
@@ -1233,6 +1365,11 @@ def _cmd_top(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.net import DEFAULT_LEASE_TIMEOUT, CoordinatorServer
 
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(pid="coordinator")
     server = CoordinatorServer(
         host=args.host,
         port=args.port,
@@ -1243,6 +1380,7 @@ def _cmd_serve(args) -> int:
         ),
         service=not args.no_service,
         verbose=args.verbose,
+        tracer=tracer,
     )
     store = f", job store: {args.cache_dir}" if args.cache_dir else ""
     mode = "broker only" if args.no_service else "broker + service"
@@ -1251,11 +1389,157 @@ def _cmd_serve(args) -> int:
         file=sys.stderr,
         flush=True,
     )
+    # SIGTERM (process managers, the remote smoke's reap) must unwind
+    # like Ctrl-C does, so journals close and the trace gets written.
+    def _terminate(signum, frame):
+        raise SystemExit(0)
+
+    import signal
+
+    signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("coordinator: interrupted, shutting down", file=sys.stderr)
+    finally:
+        server.close()
+        if tracer is not None:
+            tracer.write(args.trace)
+            print(
+                f"trace: {len(tracer)} event(s) written to {args.trace}",
+                file=sys.stderr,
+            )
     return 0
+
+
+def _journal_streams(target: str) -> list[tuple[str, list[dict]]]:
+    """``(campaign id, events)`` pairs from an on-disk journal tree.
+
+    Accepts a journal directory itself, a campaign directory holding a
+    ``journal/`` subdirectory, or a ``serve --cache-dir`` root (all of
+    whose ``service/<cid>/journal`` trees are listed).
+    """
+    import os
+
+    from repro.errors import ConfigError
+    from repro.obs.journal import read_records
+
+    if not os.path.isdir(target):
+        raise ConfigError(
+            f"status target {target!r} is neither a coordinator URL "
+            "nor a directory"
+        )
+
+    def is_journal(directory: str) -> bool:
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return False
+        return any(
+            name == "active.jsonl" or name.startswith("segment-")
+            for name in names
+        )
+
+    normalized = os.path.normpath(target)
+    if is_journal(normalized):
+        cid = os.path.basename(os.path.dirname(normalized)) or normalized
+        return [(cid, read_records(normalized))]
+    nested = os.path.join(normalized, "journal")
+    if os.path.isdir(nested):
+        return [(os.path.basename(normalized), read_records(nested))]
+    service = os.path.join(normalized, "service")
+    root = service if os.path.isdir(service) else normalized
+    streams: list[tuple[str, list[dict]]] = []
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
+        names = []
+    for name in names:
+        candidate = os.path.join(root, name, "journal")
+        if os.path.isdir(candidate):
+            streams.append((name, read_records(candidate)))
+    return streams
+
+
+def _cmd_status(args) -> int:
+    """One-shot campaign progress from a coordinator or a journal."""
+    import json
+
+    from repro.obs.progress import ProgressTracker, format_status
+
+    if args.target.startswith(("http://", "https://")):
+        from repro.net import CoordinatorClient
+
+        client = CoordinatorClient(args.target)
+        client.ping()
+        streams = [
+            (str(entry.get("campaign")),
+             client.campaign_events(str(entry.get("campaign")), 0))
+            for entry in client.metrics().get("campaigns") or []
+        ]
+    else:
+        streams = _journal_streams(args.target)
+    if args.campaign is not None:
+        streams = [
+            (cid, events) for cid, events in streams
+            if cid == args.campaign
+        ]
+    if not streams:
+        print("no campaigns found")
+        return 1
+    reports: dict[str, dict] = {}
+    for cid, events in streams:
+        tracker = ProgressTracker()
+        tracker.feed_all(events)
+        reports[cid] = tracker.snapshot()
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+        return 0
+    for cid in sorted(reports):
+        print(f"campaign {cid}:")
+        for line in format_status(reports[cid]):
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    """Gate: compare benchmark trajectory runs, exit 1 on regressions."""
+    from repro.errors import ConfigError
+    from repro.obs.benchdiff import DEFAULT_TOLERANCE, compare_trajectories
+
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    try:
+        report = compare_trajectories(
+            args.fresh, args.baseline, tolerance=tolerance
+        )
+    except (OSError, ValueError) as exc:
+        raise ConfigError(f"bench-diff: {exc}") from exc
+    note = report.get("note")
+    if note:
+        print(f"bench-diff: {note}")
+        return 0
+    for entry in report["regressions"]:
+        print(
+            f"REGRESSION {entry['metric']}: {entry['baseline']:g} -> "
+            f"{entry['fresh']:g} ({entry['ratio']:.2f}x)  [{entry['row']}]"
+        )
+    for entry in report["improved"]:
+        print(
+            f"improved   {entry['metric']}: {entry['baseline']:g} -> "
+            f"{entry['fresh']:g} ({entry['ratio']:.2f}x)  [{entry['row']}]"
+        )
+    for entry in report["skipped"]:
+        print(f"skipped    {entry['row']}: {entry['reason']}")
+    print(
+        f"bench-diff: {len(report['regressions'])} regression(s), "
+        f"{len(report['improved'])} improved, {report['ok']} ok, "
+        f"{len(report['skipped'])} skipped, "
+        f"{report['unmatched']} unmatched "
+        f"(tolerance {tolerance:.0%})"
+    )
+    return 1 if report["regressions"] else 0
 
 
 def _cmd_worker(args) -> int:

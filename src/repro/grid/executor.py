@@ -132,6 +132,7 @@ class GridExecutor:
                 results[index] = cached
                 if m.enabled:
                     m.counter("grid.unit.cached")
+                events.on_unit_result(unit, cached)
                 events.on_unit_done(unit, 0.0, cached=True)
             else:
                 pending.append(index)
@@ -150,6 +151,7 @@ class GridExecutor:
                 if m.enabled:
                     m.counter("grid.unit.done")
                     m.observe("grid.unit.seconds", seconds)
+                events.on_unit_result(unit, result)
                 events.on_unit_done(unit, seconds)
 
             self._scheduler.run(

@@ -48,6 +48,7 @@ from repro.errors import GridError
 from repro.grid.units import WorkUnit
 from repro.grid.worker import execute_unit, process_entry
 from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.util.registry import Registry
 
 DEFAULT_SCHEDULER = "serial"
@@ -140,13 +141,17 @@ class _PooledScheduler(Scheduler):
         """(seconds, result) from a finished future.
 
         Worker envelopes may carry a ``metrics`` snapshot (telemetry
-        collected in the worker process); it is folded into the
-        parent's active registry here, at harvest time.
+        collected in the worker process) and a ``spans`` trace buffer;
+        both are folded into the parent's active registry/tracer here,
+        at harvest time.
         """
         payload = future.result()
         snapshot = payload.get("metrics")
         if snapshot:
             _metrics.active().merge(snapshot)
+        spans = payload.get("spans")
+        if spans:
+            _trace.active().absorb(spans)
         return payload["seconds"], payload["result"]
 
     def run(self, units, config, on_start=None, on_done=None) -> list[dict]:
@@ -320,6 +325,9 @@ class RemoteScheduler(Scheduler):
                     snapshot = record.get("metrics")
                     if snapshot:
                         _metrics.active().merge(snapshot)
+                    spans = record.get("spans")
+                    if spans:
+                        _trace.active().absorb(spans)
                     if on_done is not None:
                         on_done(
                             units[index],

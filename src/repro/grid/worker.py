@@ -15,9 +15,11 @@ so the parent can stream accurate ``on_unit_done`` events.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
+from contextlib import ExitStack
 
 from repro.errors import GridError
 from repro.grid.units import EQUIV_PART, FAULT_CHUNK, MUTANT_PART, WorkUnit
@@ -132,32 +134,50 @@ def execute_unit(unit: WorkUnit, config) -> dict:
     raise GridError(f"unknown work-unit kind {unit.kind!r}")
 
 
+def worker_pid() -> str:
+    """The trace ``pid`` lane of this worker process."""
+    return f"worker-{os.getpid()}"
+
+
 def process_entry(unit_data: dict, config_data: dict) -> dict:
     """Process-pool entry point: plain dicts in, plain dict out.
 
     When the config enables telemetry the unit runs under its own
     :mod:`repro.obs` registry and the envelope carries a ``metrics``
     snapshot for the parent to fold in — counters travel with results,
-    not through a side channel.
+    not through a side channel.  ``config.trace`` works the same way:
+    the unit runs under a worker-local tracer whose span buffer rides
+    the envelope as ``spans``, and the parent stitches it into the
+    campaign trace under this worker's ``pid`` lane.
     """
     from repro.campaign.config import CampaignConfig
     from repro.obs import metrics as _metrics
+    from repro.obs import trace as _trace
 
     unit = WorkUnit.from_dict(unit_data)
     config = CampaignConfig.from_dict(config_data)
     started = time.monotonic()
-    if config.telemetry:
-        with _metrics.collecting() as registry:
-            result = execute_unit(unit, config)
-        envelope = {
-            "seconds": time.monotonic() - started,
-            "result": result,
-        }
-        if not registry.is_empty():
-            envelope["metrics"] = registry.snapshot()
-        return envelope
-    result = execute_unit(unit, config)
-    return {
+    registry = None
+    tracer = None
+    with ExitStack() as stack:
+        if config.telemetry:
+            registry = stack.enter_context(_metrics.collecting())
+        if config.trace:
+            tracer = stack.enter_context(
+                _trace.tracing(_trace.Tracer(pid=worker_pid()))
+            )
+            stack.enter_context(tracer.span(
+                f"unit:{unit.kind}", "unit",
+                {"uid": unit.uid, "circuit": unit.circuit,
+                 "stage": unit.stage},
+            ))
+        result = execute_unit(unit, config)
+    envelope = {
         "seconds": time.monotonic() - started,
         "result": result,
     }
+    if registry is not None and not registry.is_empty():
+        envelope["metrics"] = registry.snapshot()
+    if tracer is not None and len(tracer):
+        envelope["spans"] = tracer.export_buffer()
+    return envelope

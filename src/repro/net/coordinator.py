@@ -22,7 +22,12 @@ Three layers, separable on purpose:
   units execute on whatever workers are attached, and every
   progress hook is recorded as a sequence-numbered envelope
   (:class:`repro.campaign.events.RecordingEvents`) that polling
-  clients stream as JSON lines, resumable from any ``since``.
+  clients stream as JSON lines, resumable from any ``since``.  With a
+  ``cache_dir`` each campaign's stream is also journaled to disk
+  (:mod:`repro.obs.journal`) together with its submission metadata,
+  so a restarted coordinator recovers every campaign, serves the same
+  ``seq`` numbers with no gaps or duplicates, and re-queues the ones
+  that never finished.
 
 Delivery semantics: **at-least-once**.  A unit leased to a worker
 that goes silent past ``lease_timeout`` is reassigned; if the dead
@@ -39,6 +44,8 @@ coordinator has a ``cache_dir``, which is what makes ``repro run
 from __future__ import annotations
 
 import itertools
+import json
+import os
 import queue
 import re
 import sys
@@ -62,6 +69,7 @@ from repro.net.protocol import (
     load_message,
     require,
 )
+from repro.obs.journal import Journal
 from repro.obs.metrics import Metrics
 
 
@@ -128,6 +136,10 @@ class _ServiceCampaign:
     events: list[dict] = field(default_factory=list)
     result: dict | None = None
     error: str | None = None
+    #: The on-disk :class:`repro.obs.journal.Journal` mirroring
+    #: ``events`` when the coordinator has a ``cache_dir`` — the
+    #: persistent campaign ledger restarts recover from.
+    journal: Journal | None = None
 
 
 class CoordinatorCore:
@@ -140,6 +152,7 @@ class CoordinatorCore:
         poll_interval: float = DEFAULT_POLL_INTERVAL,
         clock=time.monotonic,
         stream=None,
+        tracer=None,
     ):
         if lease_timeout <= 0:
             raise NetError(
@@ -166,6 +179,13 @@ class CoordinatorCore:
         #: active registry) so a coordinator embedded in a test run
         #: never leaks counts into the host's telemetry.
         self.metrics = Metrics()
+        #: Optional :class:`repro.obs.Tracer` the coordinator stitches
+        #: worker span buffers into (``repro serve --trace``); span
+        #: buffers are relayed in the wave log either way so the
+        #: submitting parent can stitch its own trace.
+        self.tracer = tracer
+        if self.cache_dir:
+            self._recover_campaigns()
 
     # -- logging -------------------------------------------------------------
 
@@ -330,6 +350,17 @@ class CoordinatorCore:
                 if snapshot:
                     self.metrics.merge(snapshot)
                     record["metrics"] = snapshot
+                # Same for a worker-side trace buffer: stitched into
+                # the coordinator's tracer (when one is installed) and
+                # relayed so the submitting parent stitches its own.
+                spans = payload.get("spans")
+                if spans:
+                    if self.tracer is not None:
+                        absorbed = self.tracer.absorb(spans)
+                        self.metrics.counter(
+                            "coordinator.trace.spans", absorbed
+                        )
+                    record["spans"] = spans
                 wave.log.append(record)
                 self._persist(wave, job)
             return {"ok": True, "duplicate": False}
@@ -420,6 +451,108 @@ class CoordinatorCore:
 
     # -- campaign service ----------------------------------------------------
 
+    def _campaign_dir(self, cid: str) -> str:
+        return os.path.join(self.cache_dir, "service", cid)
+
+    def _open_journal(self, cid: str) -> Journal | None:
+        """The campaign's persistent event ledger (``cache_dir`` only)."""
+        if not self.cache_dir:
+            return None
+        try:
+            return Journal(os.path.join(self._campaign_dir(cid), "journal"))
+        except OSError as exc:
+            self._log(
+                f"campaign {cid}: cannot open journal "
+                f"({type(exc).__name__}: {exc}); events stay in memory"
+            )
+            return None
+
+    def _persist_campaign(self, campaign: _ServiceCampaign) -> None:
+        """Write the campaign's metadata next to its journal.
+
+        Best-effort (like job-store persistence): the in-memory state
+        is authoritative for this process's lifetime; the file exists
+        so a restarted coordinator can rebuild the campaign table.
+        """
+        if not self.cache_dir:
+            return
+        directory = self._campaign_dir(campaign.cid)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(directory, "campaign.json")
+            tmp = f"{path}.{os.getpid()}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({
+                    "campaign": campaign.cid,
+                    "config": campaign.config_data,
+                    "status": campaign.status,
+                    "result": campaign.result,
+                    "error": campaign.error,
+                }, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError as exc:
+            self._log(
+                f"could not persist campaign {campaign.cid}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+
+    def _recover_campaigns(self) -> None:
+        """Rebuild the campaign table from ``cache_dir`` on startup.
+
+        Called from ``__init__`` (single-threaded).  Every persisted
+        campaign's event journal is reopened so ``?since=N`` streaming
+        resumes exactly where the dead coordinator stopped — same
+        ``seq`` numbers, no gaps, no duplicates.  Campaigns that never
+        finished are re-queued behind a ``service-recovered`` event;
+        their work units resume from the shared job store.
+        """
+        root = os.path.join(self.cache_dir, "service")
+        try:
+            cids = sorted(os.listdir(root))
+        except OSError:
+            return
+        recovered_max = 0
+        for cid in cids:
+            meta_path = os.path.join(root, cid, "campaign.json")
+            try:
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            config_data = meta.get("config")
+            if not isinstance(config_data, dict):
+                continue
+            campaign = _ServiceCampaign(
+                cid=cid,
+                config_data=config_data,
+                status=str(meta.get("status") or "queued"),
+                result=meta.get("result"),
+                error=meta.get("error"),
+                journal=self._open_journal(cid),
+            )
+            if campaign.journal is not None:
+                campaign.events = campaign.journal.read()
+            self._campaigns[cid] = campaign
+            suffix = cid[1:] if cid[:1] == "c" else ""
+            if suffix.isdigit():
+                recovered_max = max(recovered_max, int(suffix))
+            if campaign.status in ("queued", "running"):
+                campaign.status = "queued"
+                self._append_event(campaign, {"event": "service-recovered"})
+                self._persist_campaign(campaign)
+                self.campaign_queue.put(cid)
+                self._log(f"campaign {cid} recovered and re-queued")
+            else:
+                self._log(
+                    f"campaign {cid} recovered ({campaign.status}, "
+                    f"{len(campaign.events)} event(s))"
+                )
+        if recovered_max:
+            # Keep every id family (workers/waves/jobs/campaigns share
+            # the counter) above the recovered campaigns so a reborn
+            # coordinator never reissues a persisted campaign id.
+            self._ids = itertools.count(recovered_max + 1)
+
     def submit_campaign(self, payload: dict) -> dict:
         from repro.campaign.config import CampaignConfig
 
@@ -429,9 +562,14 @@ class CoordinatorCore:
         CampaignConfig.from_dict(config_data)
         with self._lock:
             cid = f"c{next(self._ids)}"
-            campaign = _ServiceCampaign(cid=cid, config_data=config_data)
+            campaign = _ServiceCampaign(
+                cid=cid,
+                config_data=config_data,
+                journal=self._open_journal(cid),
+            )
             self._campaigns[cid] = campaign
             self._append_event(campaign, {"event": "service-queued"})
+            self._persist_campaign(campaign)
         self.campaign_queue.put(cid)
         self._log(f"campaign {cid} submitted")
         return {"campaign": cid}
@@ -443,9 +581,15 @@ class CoordinatorCore:
             raise NotFound(f"unknown campaign {cid!r}") from None
 
     def _append_event(self, campaign: _ServiceCampaign, envelope: dict):
-        envelope = dict(envelope)
-        envelope["seq"] = len(campaign.events)
-        campaign.events.append(envelope)
+        if campaign.journal is not None:
+            # The journal assigns the seq (and makes it durable before
+            # we expose it); on recovery ``events`` is rebuilt from the
+            # journal, so the two stay aligned by construction.
+            stamped = campaign.journal.append(envelope)
+        else:
+            stamped = dict(envelope)
+            stamped["seq"] = len(campaign.events)
+        campaign.events.append(stamped)
 
     def record_campaign_event(self, cid: str, envelope: dict) -> None:
         with self._lock:
@@ -457,6 +601,7 @@ class CoordinatorCore:
             campaign = self._campaign(cid)
             campaign.status = "running"
             self._append_event(campaign, {"event": "service-running"})
+            self._persist_campaign(campaign)
             return campaign.config_data
 
     def finish_campaign(self, cid: str, result: dict) -> None:
@@ -465,6 +610,7 @@ class CoordinatorCore:
             campaign.status = "done"
             campaign.result = result
             self._append_event(campaign, {"event": "service-done"})
+            self._persist_campaign(campaign)
         self._log(f"campaign {cid} done")
 
     def fail_campaign(self, cid: str, error: str) -> None:
@@ -475,7 +621,15 @@ class CoordinatorCore:
             self._append_event(
                 campaign, {"event": "service-failed", "error": error}
             )
+            self._persist_campaign(campaign)
         self._log(f"campaign {cid} failed: {error}")
+
+    def close(self) -> None:
+        """Release per-campaign journal handles (idempotent)."""
+        with self._lock:
+            for campaign in self._campaigns.values():
+                if campaign.journal is not None:
+                    campaign.journal.close()
 
     def campaign_status(self, cid: str) -> dict:
         with self._lock:
@@ -767,6 +921,7 @@ class CoordinatorServer:
         verbose: bool = False,
         stream=None,
         clock=time.monotonic,
+        tracer=None,
     ):
         self.core = CoordinatorCore(
             cache_dir=cache_dir,
@@ -774,6 +929,7 @@ class CoordinatorServer:
             poll_interval=poll_interval,
             clock=clock,
             stream=stream,
+            tracer=tracer,
         )
         try:
             self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -821,3 +977,4 @@ class CoordinatorServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        self.core.close()

@@ -172,21 +172,42 @@ class WorkerDaemon:
         beat.start()
         started = time.monotonic()
         try:
-            if config.telemetry:
-                from repro.obs import metrics as _metrics
+            if config.telemetry or config.trace:
+                from contextlib import ExitStack
 
-                # Collect per-unit and attach the snapshot to the
-                # completion: the coordinator folds it into its own
-                # registry and relays it to the submitting parent.
-                with _metrics.collecting() as registry:
+                from repro.obs import metrics as _metrics
+                from repro.obs import trace as _trace
+
+                # Collect per-unit and attach the snapshot/spans to
+                # the completion: the coordinator folds them into its
+                # own registry/tracer and relays them to the
+                # submitting parent.
+                registry = None
+                tracer = None
+                with ExitStack() as stack:
+                    if config.telemetry:
+                        registry = stack.enter_context(
+                            _metrics.collecting()
+                        )
+                    if config.trace:
+                        tracer = stack.enter_context(_trace.tracing(
+                            _trace.Tracer(pid=f"worker-{self.name}")
+                        ))
+                        stack.enter_context(tracer.span(
+                            f"unit:{unit.kind}", "unit",
+                            {"uid": unit.uid, "circuit": unit.circuit,
+                             "stage": unit.stage},
+                        ))
                     result = execute_unit(unit, config)
                 completion = {
                     "job": jid,
                     "seconds": time.monotonic() - started,
                     "result": result,
                 }
-                if not registry.is_empty():
+                if registry is not None and not registry.is_empty():
                     completion["metrics"] = registry.snapshot()
+                if tracer is not None and len(tracer):
+                    completion["spans"] = tracer.export_buffer()
             else:
                 result = execute_unit(unit, config)
                 completion = {

@@ -1,31 +1,41 @@
-"""repro.obs — zero-dependency telemetry: metrics and trace spans.
+"""repro.obs — zero-dependency telemetry: metrics, traces, journal.
 
 Off by default.  :mod:`repro.obs.metrics` owns the process-local
-instrument registry (counters / gauges / histograms, mergeable across
-workers); :mod:`repro.obs.trace` owns hierarchical spans exported as
-Chrome trace-event JSON.  Both keep an *active* singleton that starts
-as a null no-op object, so instrumentation sites cost one attribute
-read when telemetry is disabled.  Telemetry never feeds config
-fingerprints or result payloads.
+instrument registry (counters / gauges / histograms with quantile
+estimates, mergeable across workers); :mod:`repro.obs.trace` owns
+hierarchical spans exported as Chrome trace-event JSON and stitched
+across processes via serialized span buffers; :mod:`repro.obs.journal`
+persists sequence-numbered event streams as rotating JSONL segments;
+:mod:`repro.obs.progress` folds event envelopes into live campaign
+progress; :mod:`repro.obs.benchdiff` gates benchmark trajectories on
+regressions.  The metrics and trace modules keep an *active* singleton
+that starts as a null no-op object, so instrumentation sites cost one
+attribute read when telemetry is disabled.  Telemetry never feeds
+config fingerprints or result payloads.
 """
 
+from .benchdiff import compare_trajectories, diff_rows
+from .journal import JOURNAL_VERSION, Journal, read_records
 from .metrics import (
     DEFAULT_BUCKETS,
     Metrics,
     NullMetrics,
     NULL_METRICS,
     collecting,
+    estimate_quantiles,
 )
 from .metrics import active as active_metrics
 from .metrics import disable as disable_metrics
 from .metrics import enable as enable_metrics
 from .metrics import enabled as metrics_enabled
+from .progress import ProgressTracker, format_status, summarize_result
 from .trace import (
     NullTracer,
     NULL_TRACER,
     Tracer,
     summarize,
     tracing,
+    validate_trace,
 )
 from .trace import active as active_tracer
 from .trace import disable as disable_tracer
@@ -33,20 +43,30 @@ from .trace import enable as enable_tracer
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "JOURNAL_VERSION",
+    "Journal",
     "Metrics",
     "NullMetrics",
     "NULL_METRICS",
     "NullTracer",
     "NULL_TRACER",
+    "ProgressTracker",
     "Tracer",
     "active_metrics",
     "active_tracer",
     "collecting",
+    "compare_trajectories",
+    "diff_rows",
     "disable_metrics",
     "disable_tracer",
     "enable_metrics",
     "enable_tracer",
+    "estimate_quantiles",
+    "format_status",
     "metrics_enabled",
+    "read_records",
     "summarize",
+    "summarize_result",
     "tracing",
+    "validate_trace",
 ]

@@ -1,0 +1,180 @@
+"""Benchmark regression gating over committed BENCH_*.json trajectories.
+
+``benchmarks/run_benchmarks.py`` appends one run (a list of plain row
+dicts) per invocation to a trajectory file.  This module compares two
+runs row-by-row and reports regressions, for the ``repro bench-diff``
+command and its CI gate:
+
+* **Row identity** is every non-metric field except ``cpus`` —
+  circuit, engine/backend, style, knobs, and deterministic outputs
+  (pattern/fault/candidate counts).  Rows whose identities match in
+  both runs are compared; identities present in only one run are
+  reported as unmatched (a bench matrix change, not a perf verdict).
+* **Metrics** carry a direction: ``seconds_per_*`` regress upward,
+  throughput (``*_per_sec``, ``kills_per_candidate``) regresses
+  downward.  A metric regresses when it is worse than baseline by
+  more than ``tolerance`` (a fraction — 0.5 means "more than 50%
+  worse").  Timing on shared runners is noisy, so the default is
+  deliberately loose; tighten it on quiet hardware.
+* **cpus-aware**: a matched pair measured on different core counts is
+  *skipped*, not judged — the committed trajectories come from a
+  single-core box and CI runs multi-core, and comparing those as if
+  equal would gate on the machine, not the code.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Metric fields where a larger fresh value is a regression.
+LOWER_IS_BETTER = frozenset({"seconds_per_pass", "seconds_per_run"})
+
+#: Metric fields where a smaller fresh value is a regression.
+HIGHER_IS_BETTER = frozenset({
+    "patterns_per_sec",
+    "faults_per_sec",
+    "candidates_per_sec",
+    "kills_per_candidate",
+})
+
+_METRICS = LOWER_IS_BETTER | HIGHER_IS_BETTER
+
+#: Fraction of allowed degradation before a metric counts as regressed.
+DEFAULT_TOLERANCE = 0.5
+
+
+def load_trajectory(path: str) -> dict:
+    """Parse a trajectory file; raises ValueError when malformed."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+        raise ValueError(f"{path}: not a benchmark trajectory")
+    return doc
+
+
+def run_rows(doc: dict, index: int = -1) -> list[dict]:
+    """The row list of one run (default: the latest)."""
+    runs = doc.get("runs") or []
+    if not runs:
+        return []
+    run = runs[index]
+    rows = run.get("rows")
+    return [row for row in rows if isinstance(row, dict)] if rows else []
+
+
+def row_identity(row: dict) -> tuple:
+    """Hashable identity of a row: non-metric fields minus ``cpus``."""
+    return tuple(sorted(
+        (key, value) for key, value in row.items()
+        if key not in _METRICS and key != "cpus"
+    ))
+
+
+def diff_rows(baseline: list[dict], fresh: list[dict],
+              tolerance: float = DEFAULT_TOLERANCE) -> dict:
+    """Compare two row lists; returns the full report dict.
+
+    ``{"regressions": [...], "improved": [...], "ok": int,
+    "skipped": [...], "unmatched": int}`` — each regression entry
+    names the row identity, metric, both values, and the ratio.
+    """
+    base_by_id = {row_identity(row): row for row in baseline}
+    fresh_by_id = {row_identity(row): row for row in fresh}
+    regressions: list[dict] = []
+    improved: list[dict] = []
+    skipped: list[dict] = []
+    ok = 0
+    matched = 0
+    for identity in sorted(base_by_id):
+        if identity not in fresh_by_id:
+            continue
+        matched += 1
+        base_row = base_by_id[identity]
+        fresh_row = fresh_by_id[identity]
+        label = ", ".join(f"{k}={v}" for k, v in identity)
+        if base_row.get("cpus") != fresh_row.get("cpus"):
+            skipped.append({
+                "row": label,
+                "reason": (
+                    f"cpus differ (baseline={base_row.get('cpus')}, "
+                    f"fresh={fresh_row.get('cpus')})"
+                ),
+            })
+            continue
+        for metric in sorted(_METRICS):
+            if metric not in base_row or metric not in fresh_row:
+                continue
+            try:
+                base_value = float(base_row[metric])
+                fresh_value = float(fresh_row[metric])
+            except (TypeError, ValueError):
+                skipped.append({
+                    "row": label,
+                    "reason": f"non-numeric {metric}",
+                })
+                continue
+            if base_value <= 0.0:
+                skipped.append({
+                    "row": label,
+                    "reason": f"zero baseline {metric}",
+                })
+                continue
+            entry = {
+                "row": label,
+                "metric": metric,
+                "baseline": base_value,
+                "fresh": fresh_value,
+                "ratio": fresh_value / base_value,
+            }
+            if metric in LOWER_IS_BETTER:
+                degraded = fresh_value > base_value * (1.0 + tolerance)
+                better = fresh_value < base_value
+            else:
+                degraded = fresh_value < base_value * (1.0 - tolerance)
+                better = fresh_value > base_value
+            if degraded:
+                regressions.append(entry)
+            elif better:
+                improved.append(entry)
+                ok += 1
+            else:
+                ok += 1
+    unmatched = (
+        len(base_by_id) - matched + len(fresh_by_id) - matched
+    )
+    return {
+        "regressions": regressions,
+        "improved": improved,
+        "ok": ok,
+        "skipped": skipped,
+        "unmatched": unmatched,
+    }
+
+
+def compare_trajectories(fresh_path: str, baseline_path: str | None = None,
+                         tolerance: float = DEFAULT_TOLERANCE) -> dict:
+    """Diff two trajectory files, or a file's latest run vs its previous.
+
+    One-path mode is the CI shape: the bench smoke appends a fresh run
+    to the committed trajectory, then the gate compares that appended
+    run against the run before it.  Returns the :func:`diff_rows`
+    report plus a ``"note"`` when there is nothing to compare.
+    """
+    fresh_doc = load_trajectory(fresh_path)
+    if baseline_path is None:
+        runs = fresh_doc.get("runs") or []
+        if len(runs) < 2:
+            return {
+                "regressions": [], "improved": [], "ok": 0,
+                "skipped": [], "unmatched": 0,
+                "note": (
+                    f"{fresh_path}: only {len(runs)} run(s) in the "
+                    "trajectory, nothing to diff against"
+                ),
+            }
+        baseline = run_rows(fresh_doc, -2)
+        fresh = run_rows(fresh_doc, -1)
+    else:
+        baseline = run_rows(load_trajectory(baseline_path), -1)
+        fresh = run_rows(fresh_doc, -1)
+    return diff_rows(baseline, fresh, tolerance)

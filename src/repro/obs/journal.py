@@ -1,0 +1,234 @@
+"""Persistent, append-only run journal: sequence-numbered JSONL.
+
+A :class:`Journal` is a directory of JSONL segments holding one
+campaign's event stream.  Each line is a schema-versioned wrapper
+``{"v": 1, "record": {...}}`` around one event envelope; the journal
+assigns the envelope's ``seq`` (a dense 0-based sequence number) on
+append, so a stream read back from disk is indistinguishable from one
+that never left memory — which is what lets ``repro serve`` answer
+``?since=N`` across coordinator restarts with no gaps or duplicate
+``seq`` numbers.
+
+Durability model:
+
+* **Appends** go to the active segment (``active.jsonl``) and are
+  flushed per record.  A crash mid-write leaves at most one truncated
+  trailing line, which readers (and recovery) drop — the sequence
+  simply continues from the last complete record.
+* **Rotation** seals a full active segment by *renaming* it to
+  ``segment-<first seq, zero-padded>.jsonl`` (``os.replace``, atomic
+  on POSIX) and starting a fresh active segment.  Sealed segments are
+  never rewritten, so a reader concurrent with rotation sees every
+  record exactly once.
+* **Recovery** (``Journal(directory)`` on an existing directory)
+  scans the last sealed segment and the active segment to restore the
+  next sequence number.
+
+:func:`read_records` reads a journal directory without opening it for
+append — the shape ``repro status <journal>`` uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+#: Schema version stamped on every journal line.
+JOURNAL_VERSION = 1
+
+#: Records per segment before the active segment is sealed.
+DEFAULT_SEGMENT_SIZE = 512
+
+_ACTIVE = "active.jsonl"
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"{_SEGMENT_PREFIX}{first_seq:010d}{_SEGMENT_SUFFIX}"
+
+
+def _sealed_segments(directory: str) -> list[str]:
+    """Sealed segment paths in sequence order."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    picked = [
+        name for name in names
+        if name.startswith(_SEGMENT_PREFIX)
+        and name.endswith(_SEGMENT_SUFFIX)
+    ]
+    # Zero-padded first-seq names sort lexicographically in seq order.
+    return [os.path.join(directory, name) for name in sorted(picked)]
+
+
+def _read_lines(path: str) -> list[dict]:
+    """Parse one segment file; drops a truncated/corrupt tail.
+
+    Parsing stops at the first bad line: everything after a torn write
+    is unreachable by construction (appends are sequential), so a bad
+    line can only be the torn tail itself.
+    """
+    records: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    wrapper = json.loads(line)
+                except ValueError:
+                    break
+                if (
+                    not isinstance(wrapper, dict)
+                    or wrapper.get("v") != JOURNAL_VERSION
+                    or not isinstance(wrapper.get("record"), dict)
+                ):
+                    break
+                records.append(wrapper["record"])
+    except OSError:
+        return []
+    return records
+
+
+def read_records(directory: str, since: int = 0) -> list[dict]:
+    """All records with ``seq >= since``, oldest first.
+
+    Read-only: safe on a journal another process is appending to
+    (sealed segments are immutable; the active segment's torn tail,
+    if any, is dropped).
+    """
+    records: list[dict] = []
+    for path in _sealed_segments(directory):
+        records.extend(_read_lines(path))
+    active = os.path.join(directory, _ACTIVE)
+    if os.path.exists(active):
+        records.extend(_read_lines(active))
+    since = max(0, int(since))
+    return [r for r in records if int(r.get("seq", -1)) >= since]
+
+
+class Journal:
+    """An append-only, seq-stamping event journal in one directory."""
+
+    def __init__(self, directory: str,
+                 segment_size: int = DEFAULT_SEGMENT_SIZE) -> None:
+        if segment_size < 1:
+            raise ValueError("segment_size must be >= 1")
+        self._dir = directory
+        self._segment_size = int(segment_size)
+        self._lock = threading.Lock()
+        self._handle = None
+        os.makedirs(directory, exist_ok=True)
+        self._recover()
+
+    # -- write path ----------------------------------------------------------
+
+    def append(self, record: dict) -> dict:
+        """Stamp ``seq`` on a copy of ``record``, persist it, return it.
+
+        The line is flushed before returning, so once a caller holds
+        the stamped record the journal survives a crash with it.
+        """
+        with self._lock:
+            stamped = dict(record)
+            stamped["seq"] = self._next_seq
+            line = json.dumps(
+                {"v": JOURNAL_VERSION, "record": stamped}, sort_keys=True
+            )
+            if self._handle is None:
+                self._open_active()
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self._next_seq += 1
+            self._active_count += 1
+            if self._active_count >= self._segment_size:
+                self._rotate()
+            return stamped
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- read path -----------------------------------------------------------
+
+    def read(self, since: int = 0) -> list[dict]:
+        """All records with ``seq >= since``, oldest first."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+        return read_records(self._dir, since)
+
+    @property
+    def next_seq(self) -> int:
+        with self._lock:
+            return self._next_seq
+
+    def __len__(self) -> int:
+        return self.next_seq
+
+    # -- internals -----------------------------------------------------------
+
+    def _open_active(self) -> None:
+        self._handle = open(
+            os.path.join(self._dir, _ACTIVE), "a", encoding="utf-8"
+        )
+
+    def _rotate(self) -> None:
+        """Seal the active segment under its first-seq name."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        first = self._next_seq - self._active_count
+        os.replace(
+            os.path.join(self._dir, _ACTIVE),
+            os.path.join(self._dir, _segment_name(first)),
+        )
+        self._active_count = 0
+
+    def _recover(self) -> None:
+        """Restore ``next_seq`` and the active count from disk.
+
+        A torn trailing line in the active segment is truncated away
+        here so the re-opened append handle writes after the last
+        *complete* record rather than glueing onto the torn one.
+        """
+        next_seq = 0
+        sealed = _sealed_segments(self._dir)
+        if sealed:
+            last = _read_lines(sealed[-1])
+            if last:
+                next_seq = int(last[-1].get("seq", -1)) + 1
+        active_path = os.path.join(self._dir, _ACTIVE)
+        active = _read_lines(active_path)
+        if active:
+            next_seq = int(active[-1].get("seq", -1)) + 1
+        if os.path.exists(active_path):
+            self._truncate_torn_tail(active_path, len(active))
+        self._active_count = len(active)
+        self._next_seq = next_seq
+
+    def _truncate_torn_tail(self, path: str, keep: int) -> None:
+        """Rewrite the active segment to its first ``keep`` lines.
+
+        Only acts when a torn tail is present.  The rewrite goes
+        through a temp file + ``os.replace`` so recovery itself cannot
+        tear the segment further.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = [ln for ln in handle.read().splitlines() if ln]
+        except OSError:
+            return
+        if len(lines) <= keep:
+            return
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for line in lines[:keep]:
+                handle.write(line + "\n")
+        os.replace(tmp, path)

@@ -43,6 +43,55 @@ DEFAULT_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
 
 _INF = "inf"
 
+#: Quantiles estimated in every histogram snapshot.
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def estimate_quantiles(buckets: dict, qs=QUANTILES) -> dict:
+    """Upper-edge interpolated quantile estimates for a bucket map.
+
+    ``buckets`` is the snapshot shape: ``{edge_key: count}`` with the
+    overflow keyed ``"inf"``.  Each quantile is linearly interpolated
+    inside the bucket its rank falls in, between the previous finite
+    edge (0.0 below the first) and the bucket's upper edge.  Ranks
+    landing in the overflow bucket report the largest finite edge —
+    a deliberate lower bound, since the overflow has no upper edge.
+    Returns ``{}`` for empty or unparseable bucket maps.
+    """
+    edges: list[tuple[float, int]] = []
+    overflow = 0
+    try:
+        for key, count in buckets.items():
+            n = int(count)
+            if n <= 0:
+                continue
+            if key == _INF:
+                overflow += n
+            else:
+                edges.append((float(key), n))
+    except (TypeError, ValueError, AttributeError):
+        return {}
+    edges.sort()
+    total = sum(n for _, n in edges) + overflow
+    if not total:
+        return {}
+    top_edge = edges[-1][0] if edges else 0.0
+    out = {}
+    for label, q in qs:
+        rank = q * total
+        lower = 0.0
+        seen = 0
+        value = top_edge
+        for edge, n in edges:
+            if rank <= seen + n:
+                fraction = (rank - seen) / n
+                value = lower + (edge - lower) * fraction
+                break
+            seen += n
+            lower = edge
+        out[label] = value
+    return out
+
 
 class Metrics:
     """A thread-safe named-instrument registry."""
@@ -98,7 +147,13 @@ class Metrics:
     # -- snapshot / merge ----------------------------------------------------
 
     def snapshot(self) -> dict:
-        """The whole registry as a plain JSON-native dict."""
+        """The whole registry as a plain JSON-native dict.
+
+        Each histogram additionally carries ``"quantiles"`` — p50/p95/
+        p99 estimates interpolated from the bucket edges.  They are
+        derived data: :meth:`merge` ignores them and recomputes from
+        the summed buckets, so quantiles never skew across workers.
+        """
         with self._lock:
             return {
                 "counters": dict(self._counters),
@@ -108,6 +163,7 @@ class Metrics:
                         "count": hist["count"],
                         "sum": hist["sum"],
                         "buckets": dict(hist["buckets"]),
+                        "quantiles": estimate_quantiles(hist["buckets"]),
                     }
                     for name, hist in self._histograms.items()
                 },
@@ -117,32 +173,68 @@ class Metrics:
         """Fold a :meth:`snapshot` dict into this registry.
 
         Counters and histogram buckets sum (key union); gauges
-        overwrite.  Tolerates partial snapshots (missing sections) so
-        hand-built dicts and older envelopes merge cleanly.
+        overwrite; derived ``"quantiles"`` entries are ignored (they
+        are recomputed at the next snapshot).  Tolerates partial
+        snapshots (missing sections) and skips individually corrupt
+        entries — a worker envelope mangled in transit must never
+        take the parent registry down, so every unparseable value is
+        dropped and counted under ``metrics.merge_skipped``.
         """
         if not isinstance(snapshot, dict):
             return
-        counters = snapshot.get("counters") or {}
-        gauges = snapshot.get("gauges") or {}
-        histograms = snapshot.get("histograms") or {}
+        counters = snapshot.get("counters")
+        gauges = snapshot.get("gauges")
+        histograms = snapshot.get("histograms")
+        skipped = 0
         with self._lock:
-            for name, value in counters.items():
-                self._counters[name] = (
-                    self._counters.get(name, 0) + int(value)
-                )
-            for name, value in gauges.items():
-                self._gauges[name] = float(value)
-            for name, incoming in histograms.items():
-                hist = self._histograms.get(name)
-                if hist is None:
-                    hist = {"count": 0, "sum": 0.0, "buckets": {}}
-                    self._histograms[name] = hist
-                hist["count"] += int(incoming.get("count") or 0)
-                hist["sum"] += float(incoming.get("sum") or 0.0)
-                for key, count in (incoming.get("buckets") or {}).items():
-                    hist["buckets"][key] = (
-                        hist["buckets"].get(key, 0) + int(count)
+            for name, value in (
+                counters.items() if isinstance(counters, dict) else ()
+            ):
+                try:
+                    self._counters[name] = (
+                        self._counters.get(name, 0) + int(value)
                     )
+                except (TypeError, ValueError):
+                    skipped += 1
+            for name, value in (
+                gauges.items() if isinstance(gauges, dict) else ()
+            ):
+                try:
+                    self._gauges[name] = float(value)
+                except (TypeError, ValueError):
+                    skipped += 1
+            for name, incoming in (
+                histograms.items() if isinstance(histograms, dict) else ()
+            ):
+                if not isinstance(incoming, dict):
+                    skipped += 1
+                    continue
+                merged = self._histograms.get(name)
+                fresh = merged is None
+                if fresh:
+                    merged = {"count": 0, "sum": 0.0, "buckets": {}}
+                try:
+                    count = int(incoming.get("count") or 0)
+                    total = float(incoming.get("sum") or 0.0)
+                    buckets = incoming.get("buckets") or {}
+                    deltas = {
+                        key: int(n) for key, n in buckets.items()
+                    } if isinstance(buckets, dict) else {}
+                except (TypeError, ValueError):
+                    skipped += 1
+                    continue
+                merged["count"] += count
+                merged["sum"] += total
+                for key, n in deltas.items():
+                    merged["buckets"][key] = (
+                        merged["buckets"].get(key, 0) + n
+                    )
+                if fresh:
+                    self._histograms[name] = merged
+            if skipped:
+                self._counters["metrics.merge_skipped"] = (
+                    self._counters.get("metrics.merge_skipped", 0) + skipped
+                )
 
     def is_empty(self) -> bool:
         with self._lock:

@@ -1,0 +1,261 @@
+"""Live campaign progress folded from recorded event envelopes.
+
+A :class:`ProgressTracker` consumes the envelope stream produced by
+:class:`repro.campaign.events.RecordingEvents` — the same stream
+``repro submit`` tails and the run journal persists — and folds it
+into running aggregates: units done / cached / known-total, the kill
+curve (mutants killed so far), fault-coverage counters, per-circuit
+state, and an ETA extrapolated from the observed completion rate.
+
+Envelopes deliberately carry only identities, timings, and count
+summaries (never result payloads), so the tracker works identically
+on a live coordinator stream, a journal read back from disk, and the
+stderr of a local run.  Unknown event types are counted and ignored,
+which keeps old trackers safe on newer streams.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class ProgressTracker:
+    """Folds event envelopes into a live progress snapshot."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._started: float | None = None
+        self._state = "pending"
+        self._fingerprint: str | None = None
+        self._circuits_total = 0
+        self._circuits_done = 0
+        self._units_done = 0
+        self._units_cached = 0
+        self._unit_seconds = 0.0
+        #: (circuit, stage, key) -> declared unit count for that op.
+        self._unit_totals: dict[tuple, int] = {}
+        self._killed = 0
+        self._survivors = 0
+        self._faults = 0
+        self._detected = 0
+        self._events = 0
+        self._ignored = 0
+        self._last_seq = -1
+
+    # -- folding -------------------------------------------------------------
+
+    def feed(self, envelope: dict) -> None:
+        """Fold one event envelope into the aggregates."""
+        if not isinstance(envelope, dict):
+            self._ignored += 1
+            return
+        self._events += 1
+        seq = envelope.get("seq")
+        if isinstance(seq, int):
+            self._last_seq = max(self._last_seq, seq)
+        event = envelope.get("event")
+        if event == "campaign-start":
+            self._state = "running"
+            self._started = self._clock()
+            self._fingerprint = envelope.get("fingerprint")
+            circuits = envelope.get("circuits")
+            if isinstance(circuits, (list, tuple)):
+                self._circuits_total = len(circuits)
+        elif event == "campaign-end":
+            self._state = "done"
+        elif event == "circuit-done":
+            self._circuits_done += 1
+        elif event in ("unit-start", "unit-done"):
+            self._note_unit(envelope.get("unit"))
+            if event == "unit-done":
+                self._units_done += 1
+                if envelope.get("cached"):
+                    self._units_cached += 1
+                try:
+                    self._unit_seconds += float(
+                        envelope.get("seconds") or 0.0
+                    )
+                except (TypeError, ValueError):
+                    pass
+        elif event == "unit-result":
+            self._note_unit(envelope.get("unit"))
+            self._note_summary(envelope.get("summary"))
+        elif event in (
+            "circuit-start", "stage-start", "stage-end",
+            "service-queued", "service-running", "service-done",
+            "service-failed", "service-recovered",
+        ):
+            pass
+        else:
+            self._ignored += 1
+
+    def feed_all(self, envelopes) -> None:
+        for envelope in envelopes:
+            self.feed(envelope)
+
+    def _note_unit(self, unit) -> None:
+        if not isinstance(unit, dict):
+            return
+        key = (unit.get("circuit"), unit.get("stage"), unit.get("key"))
+        try:
+            total = int(unit.get("total") or 0)
+        except (TypeError, ValueError):
+            return
+        if total > 0:
+            self._unit_totals[key] = max(
+                self._unit_totals.get(key, 0), total
+            )
+
+    def _note_summary(self, summary) -> None:
+        if not isinstance(summary, dict):
+            return
+        for field, attr in (
+            ("killed", "_killed"), ("survivors", "_survivors"),
+            ("faults", "_faults"), ("detected", "_detected"),
+        ):
+            try:
+                value = int(summary.get(field) or 0)
+            except (TypeError, ValueError):
+                continue
+            setattr(self, attr, getattr(self, attr) + value)
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The current aggregates as a plain JSON-native dict."""
+        units_total = sum(self._unit_totals.values())
+        remaining = max(0, units_total - self._units_done)
+        elapsed = (
+            self._clock() - self._started
+            if self._started is not None else 0.0
+        )
+        eta = None
+        fresh_done = self._units_done - self._units_cached
+        if (
+            self._state == "running"
+            and remaining > 0
+            and fresh_done > 0
+            and elapsed > 0.0
+        ):
+            eta = remaining * (elapsed / fresh_done)
+        coverage_pct = (
+            100.0 * self._detected / self._faults if self._faults else None
+        )
+        return {
+            "state": self._state,
+            "fingerprint": self._fingerprint,
+            "events": self._events,
+            "ignored": self._ignored,
+            "last_seq": self._last_seq,
+            "circuits": {
+                "total": self._circuits_total,
+                "done": self._circuits_done,
+            },
+            "units": {
+                "done": self._units_done,
+                "cached": self._units_cached,
+                "total_known": units_total,
+                "remaining": remaining,
+            },
+            "kills": {
+                "killed": self._killed,
+                "survivors": self._survivors,
+            },
+            "coverage": {
+                "faults": self._faults,
+                "detected": self._detected,
+                "pct": coverage_pct,
+            },
+            "seconds": {
+                "elapsed": elapsed,
+                "units": self._unit_seconds,
+            },
+            "eta_seconds": eta,
+        }
+
+
+def summarize_result(unit_kind: str, result: dict) -> dict:
+    """Count-only summary of a work-unit result for event envelopes.
+
+    This is the only place unit results touch the event stream, and it
+    ships *counts*, never payload data — the stream stays safe to
+    persist, relay, and print.
+    """
+    summary = {"kind": unit_kind}
+    if not isinstance(result, dict):
+        return summary
+    detection = result.get("detection")
+    if isinstance(detection, list):
+        summary["faults"] = len(detection)
+        summary["detected"] = sum(
+            1 for entry in detection if entry is not None
+        )
+    killed = result.get("killed")
+    if isinstance(killed, list):
+        summary["killed"] = len(killed)
+    kill_cycle = result.get("kill_cycle")
+    if isinstance(kill_cycle, dict):
+        # Survivors carry a None cycle; only real kills count.
+        summary["killed"] = sum(
+            1 for cycle in kill_cycle.values() if cycle is not None
+        )
+    survivors = result.get("survivors")
+    if isinstance(survivors, list):
+        summary["survivors"] = len(survivors)
+    return summary
+
+
+def format_status(snapshot: dict) -> list[str]:
+    """Render a progress snapshot as human-readable lines.
+
+    Shared by ``repro status`` and the ``repro top`` campaign pane.
+    """
+    lines = []
+    state = snapshot.get("state", "?")
+    fingerprint = snapshot.get("fingerprint")
+    head = f"campaign: {state}"
+    if fingerprint:
+        head += f" (fingerprint {fingerprint})"
+    lines.append(head)
+    circuits = snapshot.get("circuits") or {}
+    units = snapshot.get("units") or {}
+    lines.append(
+        "circuits: {done}/{total} done · units: {udone} done"
+        " ({cached} cached), {known} known, {remaining} remaining".format(
+            done=circuits.get("done", 0),
+            total=circuits.get("total", 0),
+            udone=units.get("done", 0),
+            cached=units.get("cached", 0),
+            known=units.get("total_known", 0),
+            remaining=units.get("remaining", 0),
+        )
+    )
+    kills = snapshot.get("kills") or {}
+    coverage = snapshot.get("coverage") or {}
+    kill_line = (
+        f"kills: {kills.get('killed', 0)} mutants killed, "
+        f"{kills.get('survivors', 0)} survivors"
+    )
+    if coverage.get("faults"):
+        pct = coverage.get("pct")
+        kill_line += (
+            f" · fault coverage: {coverage.get('detected', 0)}"
+            f"/{coverage.get('faults', 0)}"
+        )
+        if pct is not None:
+            kill_line += f" ({pct:.1f}%)"
+    lines.append(kill_line)
+    seconds = snapshot.get("seconds") or {}
+    timing = (
+        f"elapsed: {seconds.get('elapsed', 0.0):.1f}s · "
+        f"unit time: {seconds.get('units', 0.0):.1f}s"
+    )
+    eta = snapshot.get("eta_seconds")
+    if eta is not None:
+        timing += f" · eta: {eta:.1f}s"
+    lines.append(timing)
+    lines.append(
+        f"events: {snapshot.get('events', 0)}"
+        f" (last seq {snapshot.get('last_seq', -1)})"
+    )
+    return lines

@@ -25,6 +25,15 @@ an exported trace back into per-name self-time totals for the
 Like the metrics registry, the module keeps an *active* tracer that
 defaults to :data:`NULL_TRACER` (all methods no-ops), so the
 disabled path costs one attribute read.
+
+Traces stitch across processes and machines: every tracer records a
+wall-clock *epoch* alongside its monotonic origin, workers ship their
+events home as an :meth:`Tracer.export_buffer` dict riding the same
+completion envelopes worker metrics snapshots use, and the parent
+stitches each buffer in with :meth:`Tracer.absorb` — rebasing
+timestamps onto its own origin via the epoch delta and keeping the
+worker's ``pid`` so each worker gets its own lane in the merged
+Chrome trace.
 """
 
 from __future__ import annotations
@@ -37,6 +46,10 @@ from contextlib import contextmanager
 
 _PID = "repro"
 
+#: Schema version stamped on worker span buffers; the parent skips
+#: buffers from a future schema instead of mis-stitching them.
+BUFFER_VERSION = 1
+
 
 class Tracer:
     """Collects Chrome trace events; thread-safe."""
@@ -46,6 +59,10 @@ class Tracer:
     def __init__(self, pid: str = _PID) -> None:
         self._pid = pid
         self._t0 = time.monotonic()
+        # Wall-clock anchor of the monotonic origin: buffers from other
+        # processes/machines rebase onto this tracer's timeline by epoch
+        # delta, the only clock shared across process boundaries.
+        self._epoch = time.time()  # lint: allow(bare-random)
         self._lock = threading.Lock()
         self._events: list[dict] = []
         self._next_id = 0
@@ -110,12 +127,76 @@ class Tracer:
     # -- export ---------------------------------------------------------------
 
     def export(self) -> dict:
-        """The Perfetto-loadable ``{"traceEvents": [...]}`` container."""
+        """The Perfetto-loadable ``{"traceEvents": [...]}`` container.
+
+        Events are sorted by timestamp (stable, so same-``ts`` events
+        keep emission order): absorbed buffers land in completion
+        order, and epoch-rebased timestamps from a reused worker can
+        overlap the previous unit's by the wall-vs-monotonic clock
+        skew, so append order alone is not time order.
+        """
         with self._lock:
+            events = sorted(self._events, key=lambda e: e["ts"])
             return {
-                "traceEvents": [dict(e) for e in self._events],
+                "traceEvents": [dict(e) for e in events],
                 "displayTimeUnit": "ms",
             }
+
+    def export_buffer(self) -> dict:
+        """This tracer's events as a serializable cross-process buffer.
+
+        The worker-side half of trace stitching: the returned dict
+        rides a completion envelope (next to the worker's metrics
+        snapshot) and is folded into the parent's timeline with
+        :meth:`absorb`.
+        """
+        with self._lock:
+            return {
+                "version": BUFFER_VERSION,
+                "pid": self._pid,
+                "epoch": self._epoch,
+                "events": [dict(e) for e in self._events],
+            }
+
+    def absorb(self, buffer: dict) -> int:
+        """Stitch a worker's :meth:`export_buffer` into this tracer.
+
+        Timestamps are rebased onto this tracer's origin using the
+        wall-clock epoch delta (then clamped at zero, so a buffer
+        whose epoch predates this tracer cannot go negative); every
+        event keeps the worker's ``pid``
+        so each worker renders as its own process lane.  Buffers from
+        an unknown schema version or with no events are skipped.
+        Returns the number of events absorbed.
+        """
+        if not isinstance(buffer, dict):
+            return 0
+        if buffer.get("version") != BUFFER_VERSION:
+            return 0
+        events = buffer.get("events")
+        if not isinstance(events, list) or not events:
+            return 0
+        try:
+            offset_us = (float(buffer["epoch"]) - self._epoch) * 1e6
+        except (KeyError, TypeError, ValueError):
+            return 0
+        pid = buffer.get("pid") or _PID
+        absorbed = []
+        for event in events:
+            if not isinstance(event, dict):
+                continue
+            stitched = dict(event)
+            try:
+                stitched["ts"] = max(
+                    0.0, float(event.get("ts") or 0.0) + offset_us
+                )
+            except (TypeError, ValueError):
+                continue
+            stitched["pid"] = pid
+            absorbed.append(stitched)
+        with self._lock:
+            self._events.extend(absorbed)
+        return len(absorbed)
 
     def write(self, path: str) -> None:
         """Atomically write :meth:`export` as JSON to ``path``."""
@@ -143,6 +224,12 @@ class NullTracer(Tracer):
 
     def span(self, name, tid, args=None):
         return self._null_span
+
+    def export_buffer(self) -> dict:
+        return {}
+
+    def absorb(self, buffer: dict) -> int:
+        return 0
 
 
 class _NullSpan:
@@ -194,6 +281,60 @@ def tracing(tracer: Tracer | None = None):
     finally:
         with _active_lock:
             _active = previous
+
+
+#: Chrome trace-event phases this module emits.
+_PHASES = frozenset({"B", "E", "b", "e", "i"})
+
+
+def validate_trace(trace: dict) -> int:
+    """Check an exported trace against the schema this module emits.
+
+    The one validator shared by the test suite and the CI trace
+    smokes (``repro trace --validate``).  Raises :class:`ValueError`
+    naming the first offending event; returns the event count.
+    Checks: the ``traceEvents`` container, required keys per event,
+    known phases, numeric non-negative timestamps monotone within
+    each ``(pid, tid)`` lane, ``cat``/``id`` on async events, and the
+    instant scope field.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError("trace is not a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace has no traceEvents list")
+    if not events:
+        raise ValueError("trace is empty")
+    last: dict[tuple, float] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            if key not in event:
+                raise ValueError(f"event {index} is missing {key!r}")
+        ph = event["ph"]
+        if ph not in _PHASES:
+            raise ValueError(f"event {index} has unknown phase {ph!r}")
+        try:
+            ts = float(event["ts"])
+        except (TypeError, ValueError):
+            raise ValueError(f"event {index} has a non-numeric ts")
+        if ts < 0.0:
+            raise ValueError(f"event {index} has a negative ts")
+        lane = (event["pid"], event["tid"])
+        if ts < last.get(lane, 0.0):
+            raise ValueError(
+                f"event {index} goes back in time within lane {lane}"
+            )
+        last[lane] = ts
+        if ph in ("b", "e"):
+            if "id" not in event or "cat" not in event:
+                raise ValueError(
+                    f"async event {index} is missing id/cat"
+                )
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            raise ValueError(f"instant {index} has a bad scope")
+    return len(events)
 
 
 def summarize(trace: dict, top: int = 15) -> list[dict]:

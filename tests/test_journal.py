@@ -1,0 +1,487 @@
+"""Run journal, coordinator persistence, live progress, bench gating.
+
+Covers the persistence/progress layer of the observability stack:
+
+* :mod:`repro.obs.journal` — append/seq stamping, segment rotation,
+  torn-tail recovery, read-only :func:`read_records`;
+* :class:`repro.net.CoordinatorCore` with a ``cache_dir`` — the
+  acceptance property that a killed-and-restarted coordinator resumes
+  ``?since=N`` event streaming from disk with no gaps or duplicate
+  ``seq`` numbers;
+* :mod:`repro.obs.progress` — envelope folding, count-only result
+  summaries, status rendering;
+* :mod:`repro.obs.benchdiff` — direction-aware regression detection
+  and the trajectory one-path mode;
+* the ``repro status`` and ``repro bench-diff`` commands.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.campaign import Campaign, CampaignConfig
+from repro.campaign.events import CampaignEvents, RecordingEvents
+from repro.cli import main
+from repro.grid.units import WorkUnit
+from repro.net.coordinator import CoordinatorCore
+from repro.obs.benchdiff import (
+    DEFAULT_TOLERANCE,
+    compare_trajectories,
+    diff_rows,
+    row_identity,
+)
+from repro.obs.journal import JOURNAL_VERSION, Journal, read_records
+from repro.obs.progress import ProgressTracker, format_status, summarize_result
+from tests.test_grid import REDUCED, fresh_labs
+
+CONFIG_DATA = CampaignConfig(**REDUCED).to_dict()
+
+
+# -- journal mechanics -------------------------------------------------------
+
+
+def test_journal_appends_stamp_dense_seqs(tmp_path):
+    journal = Journal(str(tmp_path / "j"))
+    stamped = journal.append({"event": "campaign-start"})
+    assert stamped["seq"] == 0
+    assert journal.append({"event": "unit-done"})["seq"] == 1
+    assert len(journal) == 2
+    records = journal.read()
+    assert [r["seq"] for r in records] == [0, 1]
+    assert [r["event"] for r in records] == ["campaign-start", "unit-done"]
+    assert journal.read(since=1) == records[1:]
+    journal.close()
+    journal.close()  # idempotent
+
+
+def test_journal_rejects_bad_segment_size(tmp_path):
+    with pytest.raises(ValueError):
+        Journal(str(tmp_path / "j"), segment_size=0)
+
+
+def test_journal_rotation_seals_segments(tmp_path):
+    directory = tmp_path / "j"
+    journal = Journal(str(directory), segment_size=3)
+    for i in range(8):
+        journal.append({"event": "tick", "i": i})
+    names = sorted(os.listdir(directory))
+    assert names == [
+        "active.jsonl",
+        "segment-0000000000.jsonl",
+        "segment-0000000003.jsonl",
+    ]
+    assert [r["seq"] for r in journal.read()] == list(range(8))
+    # The read-only reader sees sealed and active records alike.
+    assert [r["i"] for r in read_records(str(directory), since=5)] == [5, 6, 7]
+    journal.close()
+    # Reopening across sealed segments restores the sequence.
+    reborn = Journal(str(directory), segment_size=3)
+    assert reborn.append({"event": "tick", "i": 8})["seq"] == 8
+    reborn.close()
+
+
+def test_journal_recovers_from_torn_tail(tmp_path):
+    directory = str(tmp_path / "j")
+    journal = Journal(directory)
+    journal.append({"event": "a"})
+    journal.append({"event": "b"})
+    journal.close()
+    active = os.path.join(directory, "active.jsonl")
+    with open(active, "a", encoding="utf-8") as handle:
+        handle.write('{"v": 1, "record": {"event": "torn", "se')
+    # Readers drop the torn tail...
+    assert [r["event"] for r in read_records(directory)] == ["a", "b"]
+    # ...and reopening truncates it so the sequence continues cleanly.
+    reborn = Journal(directory)
+    assert reborn.append({"event": "c"})["seq"] == 2
+    assert [(r["seq"], r["event"]) for r in reborn.read()] == [
+        (0, "a"), (1, "b"), (2, "c"),
+    ]
+    with open(active, "r", encoding="utf-8") as handle:
+        assert "torn" not in handle.read()
+    reborn.close()
+
+
+def test_journal_reader_stops_at_schema_break(tmp_path):
+    directory = str(tmp_path / "j")
+    journal = Journal(directory)
+    journal.append({"event": "a"})
+    journal.close()
+    active = os.path.join(directory, "active.jsonl")
+    with open(active, "a", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps({"v": JOURNAL_VERSION + 1, "record": {"event": "x"}})
+            + "\n"
+        )
+        handle.write(
+            json.dumps({"v": JOURNAL_VERSION, "record": {"event": "y"}})
+            + "\n"
+        )
+    # Everything after the break is unreachable by construction.
+    assert [r["event"] for r in read_records(directory)] == ["a"]
+
+
+def test_read_records_on_missing_directory_is_empty(tmp_path):
+    assert read_records(str(tmp_path / "nope")) == []
+
+
+# -- coordinator persistence (the acceptance property) -----------------------
+
+
+def test_coordinator_restart_resumes_event_stream(tmp_path):
+    core = CoordinatorCore(cache_dir=str(tmp_path), stream=io.StringIO())
+    cid = core.submit_campaign({"config": CONFIG_DATA})["campaign"]
+    for i in range(5):
+        core.record_campaign_event(cid, {"event": "unit-done", "i": i})
+    before = core.campaign_events(cid, 0)
+    assert [e["seq"] for e in before] == list(range(len(before)))
+    core.close()  # the "kill": drop every handle, lose the process state
+
+    reborn = CoordinatorCore(cache_dir=str(tmp_path), stream=io.StringIO())
+    after = reborn.campaign_events(cid, 0)
+    seqs = [e["seq"] for e in after]
+    assert seqs == list(range(len(seqs))), "no gaps, no duplicates"
+    assert after[: len(before)] == before
+    # The unfinished campaign is re-queued behind a recovery marker.
+    assert after[-1]["event"] == "service-recovered"
+    assert reborn.campaign_status(cid)["status"] == "queued"
+    assert reborn.campaign_queue.get(timeout=1.0) == cid
+    # ``?since=N`` resumes exactly where the dead coordinator stopped.
+    assert reborn.campaign_events(cid, len(before)) == after[len(before):]
+    # Fresh submissions never collide with recovered ids.
+    cid2 = reborn.submit_campaign({"config": CONFIG_DATA})["campaign"]
+    assert cid2 != cid
+    assert int(cid2[1:]) > int(cid[1:])
+    # The recovery marker itself was journaled: a third incarnation
+    # streams the identical sequence without re-queuing twice per seq.
+    reborn.close()
+    third = CoordinatorCore(cache_dir=str(tmp_path), stream=io.StringIO())
+    seqs3 = [e["seq"] for e in third.campaign_events(cid, 0)]
+    assert seqs3 == sorted(set(seqs3))
+    assert seqs3[: len(seqs)] == seqs
+    third.close()
+
+
+def test_coordinator_recovery_keeps_finished_campaigns_parked(tmp_path):
+    core = CoordinatorCore(cache_dir=str(tmp_path), stream=io.StringIO())
+    cid = core.submit_campaign({"config": CONFIG_DATA})["campaign"]
+    core.campaign_queue.get(timeout=1.0)
+    core.start_campaign(cid)
+    core.finish_campaign(cid, {"ok": True})
+    core.close()
+
+    reborn = CoordinatorCore(cache_dir=str(tmp_path), stream=io.StringIO())
+    status = reborn.campaign_status(cid)
+    assert status["status"] == "done"
+    assert status["result"] == {"ok": True}
+    assert reborn.campaign_queue.empty(), "done campaigns are not re-run"
+    events = [e["event"] for e in reborn.campaign_events(cid, 0)]
+    assert events == ["service-queued", "service-running", "service-done"]
+    reborn.close()
+
+
+def test_coordinator_without_cache_dir_still_streams(tmp_path):
+    core = CoordinatorCore(stream=io.StringIO())
+    cid = core.submit_campaign({"config": CONFIG_DATA})["campaign"]
+    core.record_campaign_event(cid, {"event": "unit-done"})
+    assert [e["seq"] for e in core.campaign_events(cid, 0)] == [0, 1]
+    core.close()
+
+
+# -- progress folding --------------------------------------------------------
+
+
+def _unit_envelope(uid="u1", index=0, total=2):
+    return {
+        "uid": uid, "circuit": "c17", "stage": "kill-analysis",
+        "key": "operator:LOR", "index": index, "total": total,
+    }
+
+
+def test_progress_tracker_folds_campaign_stream():
+    now = [0.0]
+    tracker = ProgressTracker(clock=lambda: now[0])
+    unit = _unit_envelope()
+    tracker.feed_all([
+        {"seq": 0, "event": "campaign-start",
+         "circuits": ["c17"], "fingerprint": "f00d"},
+        {"seq": 1, "event": "circuit-start", "circuit": "c17"},
+        {"seq": 2, "event": "unit-start", "unit": unit},
+        {"seq": 3, "event": "unit-result", "unit": unit,
+         "summary": {"kind": "fault-chunk", "faults": 10, "detected": 4}},
+        {"seq": 4, "event": "unit-done", "unit": unit, "seconds": 2.0},
+    ])
+    now[0] = 10.0
+    snap = tracker.snapshot()
+    assert snap["state"] == "running"
+    assert snap["fingerprint"] == "f00d"
+    assert snap["units"] == {
+        "done": 1, "cached": 0, "total_known": 2, "remaining": 1,
+    }
+    assert snap["coverage"] == {"faults": 10, "detected": 4, "pct": 40.0}
+    assert snap["eta_seconds"] == pytest.approx(10.0)
+    assert snap["last_seq"] == 4
+    assert snap["ignored"] == 0
+
+    other = _unit_envelope(uid="u2", index=1)
+    tracker.feed_all([
+        {"seq": 5, "event": "unit-result", "unit": other,
+         "summary": {"kind": "mutant-part", "killed": 3}},
+        {"seq": 6, "event": "unit-done", "unit": other,
+         "seconds": 0.0, "cached": True},
+        {"seq": 7, "event": "circuit-done", "circuit": "c17"},
+        {"seq": 8, "event": "campaign-end", "circuits": 1},
+        {"seq": 9, "event": "from-the-future"},
+        "not-an-envelope",
+    ])
+    snap = tracker.snapshot()
+    assert snap["state"] == "done"
+    assert snap["units"]["done"] == 2
+    assert snap["units"]["cached"] == 1
+    assert snap["kills"] == {"killed": 3, "survivors": 0}
+    assert snap["circuits"] == {"total": 1, "done": 1}
+    assert snap["eta_seconds"] is None, "no ETA once the campaign ended"
+    assert snap["ignored"] == 2
+    assert snap["last_seq"] == 9
+    assert snap["seconds"]["units"] == pytest.approx(2.0)
+
+    lines = format_status(snap)
+    assert lines[0] == "campaign: done (fingerprint f00d)"
+    assert any("2 done (1 cached)" in line for line in lines)
+    assert any("3 mutants killed" in line for line in lines)
+    assert any("fault coverage: 4/10 (40.0%)" in line for line in lines)
+    assert any("last seq 9" in line for line in lines)
+
+
+def test_summarize_result_ships_counts_only():
+    assert summarize_result("fault-chunk", {
+        "detection": [None, [1, 0], None, [0, 1]],
+    }) == {"kind": "fault-chunk", "faults": 4, "detected": 2}
+    assert summarize_result("mutant-part", {
+        "killed": [3, 9], "witnesses": {"3": [0, "x"], "9": [2, "y"]},
+    }) == {"kind": "mutant-part", "killed": 2}
+    # Survivors carry a None kill cycle: swept != killed.
+    assert summarize_result("equiv-part", {
+        "survivors": [7],
+        "kill_cycle": {"1": 0, "2": 4, "7": None},
+    }) == {"kind": "equiv-part", "killed": 2, "survivors": 1}
+    assert summarize_result("fault-chunk", None) == {"kind": "fault-chunk"}
+    summary = summarize_result("mutant-part", {"killed": [1]})
+    assert "witnesses" not in summary and "detection" not in summary
+
+
+def test_recording_events_emit_unit_result_summaries():
+    emitted = []
+    events = RecordingEvents(emitted.append)
+    unit = WorkUnit("c17", "kill-analysis", "operator:LOR", "mutant-part",
+                    0, 2, {"mutants": [3, 9]})
+    events.on_unit_result(unit, {"killed": [3], "witnesses": {"3": [0, "x"]}})
+    [envelope] = emitted
+    assert envelope["event"] == "unit-result"
+    assert envelope["unit"]["uid"] == unit.uid
+    assert envelope["summary"] == {"kind": "mutant-part", "killed": 1}
+    assert "witnesses" not in json.dumps(envelope), "counts only on the wire"
+
+
+def test_grid_dispatch_fires_unit_result_hook(tmp_path):
+    seen: list[tuple[str, bool]] = []
+
+    class Capture(CampaignEvents):
+        def on_unit_result(self, unit, result):
+            seen.append((unit.uid, isinstance(result, dict)))
+
+    config = CampaignConfig(**dict(
+        REDUCED, grid="serial", cache_dir=str(tmp_path),
+    ))
+    fresh_labs()
+    Campaign(config, Capture()).run(("c17",))
+    assert seen and all(ok for _, ok in seen)
+    fresh_uids = sorted(uid for uid, _ in seen)
+
+    # Drop the circuit-level result (keep the unit job store) so the
+    # resume replays every cached unit through the same hook.
+    for name in os.listdir(tmp_path):
+        if name.endswith(".json"):
+            os.unlink(tmp_path / name)
+    seen.clear()
+    fresh_labs()
+    Campaign(config, Capture()).run(("c17",), resume=True)
+    assert sorted(uid for uid, _ in seen) == fresh_uids
+
+
+# -- bench regression gating -------------------------------------------------
+
+
+def _row(**overrides):
+    row = {
+        "circuit": "c432", "engine": "table", "style": "comb", "cpus": 1,
+        "patterns": 64, "seconds_per_pass": 1.0, "patterns_per_sec": 100.0,
+    }
+    row.update(overrides)
+    return row
+
+
+def test_row_identity_excludes_metrics_and_cpus():
+    assert row_identity(_row(cpus=1)) == row_identity(_row(cpus=8))
+    assert row_identity(_row(seconds_per_pass=9.0)) == row_identity(_row())
+    assert row_identity(_row(circuit="b01")) != row_identity(_row())
+
+
+def test_diff_rows_is_direction_aware():
+    baseline = [_row()]
+    # Slower AND lower throughput, both past 50% tolerance.
+    report = diff_rows(
+        baseline, [_row(seconds_per_pass=2.0, patterns_per_sec=40.0)],
+    )
+    assert {r["metric"] for r in report["regressions"]} == {
+        "seconds_per_pass", "patterns_per_sec",
+    }
+    ratios = {r["metric"]: r["ratio"] for r in report["regressions"]}
+    assert ratios["seconds_per_pass"] == pytest.approx(2.0)
+    # Faster in both directions is an improvement, never a regression.
+    report = diff_rows(
+        baseline, [_row(seconds_per_pass=0.5, patterns_per_sec=200.0)],
+    )
+    assert report["regressions"] == []
+    assert {r["metric"] for r in report["improved"]} == {
+        "seconds_per_pass", "patterns_per_sec",
+    }
+
+
+def test_diff_rows_tolerance_boundary():
+    baseline = [_row()]
+    # Exactly at the boundary is not a regression; just past it is.
+    at_edge = diff_rows(baseline, [_row(seconds_per_pass=1.5)])
+    assert at_edge["regressions"] == []
+    past_edge = diff_rows(baseline, [_row(seconds_per_pass=1.51)])
+    assert len(past_edge["regressions"]) == 1
+    # A tighter tolerance flips the verdict.
+    tight = diff_rows(baseline, [_row(seconds_per_pass=1.2)], tolerance=0.1)
+    assert len(tight["regressions"]) == 1
+    assert DEFAULT_TOLERANCE == 0.5
+
+
+def test_diff_rows_skips_cpu_mismatch_and_counts_unmatched():
+    baseline = [_row(), _row(circuit="b01")]
+    fresh = [
+        _row(cpus=8, seconds_per_pass=99.0),  # would regress; skipped
+        _row(circuit="s27"),                  # unmatched on both sides
+    ]
+    report = diff_rows(baseline, fresh)
+    assert report["regressions"] == []
+    assert len(report["skipped"]) == 1
+    assert "cpus differ" in report["skipped"][0]["reason"]
+    assert report["unmatched"] == 2
+    # Corrupt metric values are skipped, not fatal.
+    report = diff_rows([_row()], [_row(seconds_per_pass="fast")])
+    assert any("non-numeric" in s["reason"] for s in report["skipped"])
+
+
+def _write_trajectory(path, runs):
+    path.write_text(json.dumps({
+        "benchmark": "bench_atpg",
+        "runs": [
+            {"sequence": i + 1, "rows": rows}
+            for i, rows in enumerate(runs)
+        ],
+    }), encoding="utf-8")
+
+
+def test_compare_trajectories_one_path_mode(tmp_path):
+    path = tmp_path / "BENCH_atpg.json"
+    _write_trajectory(path, [[_row()]])
+    report = compare_trajectories(str(path))
+    assert report["regressions"] == []
+    assert "only 1 run(s)" in report["note"]
+
+    _write_trajectory(path, [[_row()], [_row(seconds_per_pass=5.0)]])
+    report = compare_trajectories(str(path))
+    assert len(report["regressions"]) == 1
+    assert "note" not in report
+
+
+def test_compare_trajectories_two_paths(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    _write_trajectory(base, [[_row()]])
+    _write_trajectory(fresh, [[_row(patterns_per_sec=10.0)]])
+    report = compare_trajectories(str(fresh), str(base))
+    assert [r["metric"] for r in report["regressions"]] == [
+        "patterns_per_sec",
+    ]
+    with pytest.raises(ValueError):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]", encoding="utf-8")
+        compare_trajectories(str(bad))
+
+
+# -- the status and bench-diff commands --------------------------------------
+
+
+def _seed_cache_journal(root, cid="c1"):
+    journal = Journal(str(root / "service" / cid / "journal"))
+    journal.append({
+        "event": "campaign-start", "circuits": ["c17"],
+        "fingerprint": "cafe",
+    })
+    unit = _unit_envelope(total=1)
+    journal.append({"event": "unit-result", "unit": unit,
+                    "summary": {"kind": "mutant-part", "killed": 2}})
+    journal.append({"event": "unit-done", "unit": unit, "seconds": 1.5})
+    journal.append({"event": "campaign-end", "circuits": 1})
+    journal.close()
+
+
+def test_cli_status_reads_cache_root_and_journal_dir(tmp_path, capsys):
+    _seed_cache_journal(tmp_path)
+    assert main(["status", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign c1:" in out
+    assert "campaign: done (fingerprint cafe)" in out
+    assert "2 mutants killed" in out
+    # Pointing at the journal directory itself works too.
+    journal_dir = tmp_path / "service" / "c1" / "journal"
+    assert main(["status", str(journal_dir), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["c1"]["state"] == "done"
+    assert report["c1"]["kills"]["killed"] == 2
+    assert report["c1"]["last_seq"] == 3
+
+
+def test_cli_status_filters_and_handles_empty(tmp_path, capsys):
+    _seed_cache_journal(tmp_path, cid="c1")
+    _seed_cache_journal(tmp_path, cid="c2")
+    assert main(["status", str(tmp_path), "--campaign", "c2"]) == 0
+    out = capsys.readouterr().out
+    assert "campaign c2:" in out and "campaign c1:" not in out
+    assert main(["status", str(tmp_path), "--campaign", "c9"]) == 1
+    assert "no campaigns found" in capsys.readouterr().out
+
+
+def test_cli_bench_diff_gates_on_regressions(tmp_path, capsys):
+    path = tmp_path / "BENCH_atpg.json"
+    _write_trajectory(path, [[_row()], [_row(seconds_per_pass=5.0)]])
+    assert main(["bench-diff", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION seconds_per_pass: 1 -> 5 (5.00x)" in out
+    assert "bench-diff: 1 regression(s)" in out
+
+    _write_trajectory(path, [[_row()], [_row(seconds_per_pass=0.9)]])
+    assert main(["bench-diff", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "improved" in out
+
+    # Loose tolerance waves the same slowdown through.
+    _write_trajectory(path, [[_row()], [_row(seconds_per_pass=5.0)]])
+    assert main(["bench-diff", str(path), "--tolerance", "9.0"]) == 0
+
+
+def test_cli_bench_diff_single_run_note(tmp_path, capsys):
+    path = tmp_path / "BENCH_atpg.json"
+    _write_trajectory(path, [[_row()]])
+    assert main(["bench-diff", str(path)]) == 0
+    assert "nothing to diff" in capsys.readouterr().out

@@ -33,8 +33,13 @@ from repro.campaign import (
 from repro.net import CoordinatorClient
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
-from repro.obs.metrics import DEFAULT_BUCKETS, NULL_METRICS, Metrics
-from repro.obs.trace import NULL_TRACER, Tracer, summarize
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Metrics,
+    estimate_quantiles,
+)
+from repro.obs.trace import NULL_TRACER, Tracer, summarize, validate_trace
 from tests.test_grid import REDUCED, fresh_labs, payload
 from tests.test_net import quiet_server
 
@@ -50,16 +55,9 @@ def _clean_registries():
 
 
 def assert_valid_trace(trace: dict) -> list[dict]:
-    events = trace["traceEvents"]
-    assert events, "trace is empty"
-    last: dict[tuple, float] = {}
-    for event in events:
-        for key in ("ph", "ts", "pid", "tid", "name"):
-            assert key in event, (key, event)
-        tid = (event["pid"], event["tid"])
-        assert event["ts"] >= last.get(tid, 0.0), event
-        last[tid] = event["ts"]
-    return events
+    """Schema check through the shared validator; returns the events."""
+    assert validate_trace(trace) > 0
+    return trace["traceEvents"]
 
 
 # -- metrics registry --------------------------------------------------------
@@ -117,14 +115,73 @@ def test_merge_sums_counters_and_buckets():
     m.merge(part)
     snap = m.snapshot()
     assert snap["counters"] == {"a": 6}
-    assert snap["histograms"]["h"] == {
-        "count": 4, "sum": 1.0, "buckets": {"0.5": 4},
-    }
+    hist = snap["histograms"]["h"]
+    assert hist["count"] == 4
+    assert hist["sum"] == pytest.approx(1.0)
+    assert hist["buckets"] == {"0.5": 4}
     # Partial/garbage snapshots are tolerated, not fatal.
     m.merge({})
     m.merge({"counters": {}})
     m.merge(None)
     assert m.snapshot()["counters"] == {"a": 6}
+
+
+def test_merge_skips_corrupt_entries_and_counts_them():
+    m = Metrics()
+    m.merge({
+        "counters": {"good": 2, "bad": "nope"},
+        "gauges": {"g": "not-a-number"},
+        "histograms": {
+            "broken": {"count": "x", "sum": 0.1, "buckets": {"0.5": 1}},
+            "ok": {"count": 1, "sum": 0.5, "buckets": {"0.5": 1}},
+            "junk": 7,
+        },
+    })
+    snap = m.snapshot()
+    assert snap["counters"]["good"] == 2
+    assert "bad" not in snap["counters"]
+    assert snap["gauges"] == {}
+    assert "broken" not in snap["histograms"]
+    assert snap["histograms"]["ok"]["count"] == 1
+    # bad counter + bad gauge + broken histogram + non-dict histogram.
+    assert snap["counters"]["metrics.merge_skipped"] == 4
+    # Non-dict sections are ignored wholesale, without erroring.
+    m.merge({"counters": [1, 2], "histograms": "garbage"})
+    assert m.snapshot()["counters"]["good"] == 2
+
+
+def test_histogram_snapshot_includes_quantiles():
+    m = Metrics()
+    for _ in range(4):
+        m.observe("h", 0.4)        # all land in the "0.5" bucket
+    q = m.snapshot()["histograms"]["h"]["quantiles"]
+    # Linear interpolation between the previous edge (0.0) and 0.5.
+    assert q["p50"] == pytest.approx(0.25)
+    assert q["p95"] == pytest.approx(0.475)
+    assert q["p99"] == pytest.approx(0.495)
+
+
+def test_estimate_quantiles_interpolation_and_overflow():
+    q = estimate_quantiles({"1": 1, "2": 1, "inf": 2})
+    assert q["p50"] == pytest.approx(2.0)
+    # Ranks in the overflow bucket report the largest finite edge —
+    # a lower bound, since the overflow has no upper edge.
+    assert q["p95"] == pytest.approx(2.0)
+    assert q["p99"] == pytest.approx(2.0)
+    assert estimate_quantiles({"10": 10})["p50"] == pytest.approx(5.0)
+    assert estimate_quantiles({}) == {}
+    assert estimate_quantiles({"1": 0}) == {}
+    assert estimate_quantiles({"junk": 1}) == {}
+
+
+def test_merge_ignores_quantiles_and_recomputes():
+    m = Metrics()
+    m.merge({"histograms": {"h": {
+        "count": 2, "sum": 1.0, "buckets": {"0.5": 2},
+        "quantiles": {"p50": 999.0},
+    }}})
+    hist = m.snapshot()["histograms"]["h"]
+    assert hist["quantiles"]["p50"] == pytest.approx(0.25)
 
 
 def test_merge_is_order_insensitive():
@@ -271,6 +328,86 @@ def test_summarize_self_time_arithmetic():
     assert [r["name"] for r in summarize(trace, top=1)] == ["parent"]
 
 
+def test_trace_buffer_absorb_rebases_and_keeps_worker_lane():
+    parent = Tracer()
+    worker = Tracer(pid="worker-123")
+    with worker.span("unit:fault-chunk", tid="unit"):
+        pass
+    buffer = worker.export_buffer()
+    assert buffer["version"] == 1
+    assert buffer["pid"] == "worker-123"
+    # Round-trip through JSON, as a real completion envelope would.
+    absorbed = parent.absorb(json.loads(json.dumps(buffer)))
+    assert absorbed == 2
+    with parent.span("parent", tid="t"):
+        pass
+    events = assert_valid_trace(parent.export())
+    assert {e["pid"] for e in events} == {"worker-123", "repro"}
+
+
+def test_trace_absorb_epoch_rebase_math():
+    parent = Tracer()
+    mark = {"ph": "i", "ts": 5.0, "pid": "w", "tid": "t",
+            "name": "m", "s": "t"}
+    late = {"version": 1, "pid": "w", "epoch": parent._epoch + 1.0,
+            "events": [dict(mark)]}
+    assert parent.absorb(late) == 1
+    assert parent.export()["traceEvents"][-1]["ts"] == (
+        pytest.approx(1e6 + 5.0)
+    )
+    # An epoch before the parent's clamps at zero, never negative —
+    # and the ts-sorted export puts that clamped event first.
+    early = {"version": 1, "pid": "w2", "epoch": parent._epoch - 1.0,
+             "events": [dict(mark)]}
+    assert parent.absorb(early) == 1
+    assert parent.export()["traceEvents"][0]["ts"] == 0.0
+
+
+def test_trace_absorb_rejects_bad_buffers():
+    parent = Tracer()
+    event = {"ph": "i", "ts": 1.0, "pid": "w", "tid": "t",
+             "name": "m", "s": "t"}
+    assert parent.absorb({}) == 0
+    assert parent.absorb(None) == 0
+    assert parent.absorb(
+        {"version": 99, "epoch": 0.0, "events": [event]}
+    ) == 0
+    assert parent.absorb({"version": 1, "epoch": 0.0, "events": []}) == 0
+    assert parent.absorb({"version": 1, "events": [event]}) == 0  # no epoch
+    assert len(parent) == 0
+    # The null tracer neither exports nor absorbs.
+    assert NULL_TRACER.export_buffer() == {}
+    assert NULL_TRACER.absorb(
+        {"version": 1, "epoch": 0.0, "events": [event]}
+    ) == 0
+
+
+def test_validate_trace_rejects_schema_violations():
+    def event(**overrides) -> dict:
+        base = {"ph": "i", "ts": 0, "pid": "p", "tid": "t",
+                "name": "x", "s": "t"}
+        base.update(overrides)
+        return base
+
+    assert validate_trace({"traceEvents": [event()]}) == 1
+    cases = [
+        ({}, "traceEvents"),
+        ({"traceEvents": []}, "empty"),
+        ({"traceEvents": [["not", "an", "object"]]}, "not an object"),
+        ({"traceEvents": [{"ph": "B"}]}, "missing"),
+        ({"traceEvents": [event(ph="Q")]}, "phase"),
+        ({"traceEvents": [event(ts="soon")]}, "non-numeric"),
+        ({"traceEvents": [event(ts=-1.0)]}, "negative"),
+        ({"traceEvents": [event(ts=5.0), event(ts=1.0)]},
+         "back in time"),
+        ({"traceEvents": [event(ph="b")]}, "id/cat"),
+        ({"traceEvents": [event(s="bogus")]}, "scope"),
+    ]
+    for trace, needle in cases:
+        with pytest.raises(ValueError, match=needle):
+            validate_trace(trace)
+
+
 def test_tracing_events_produce_valid_trace():
     fresh_labs()
     tracer = Tracer()
@@ -324,6 +461,34 @@ def test_campaign_bit_identical_with_telemetry():
         # merged back from worker envelopes for the process grid.
         assert any(name.startswith("engine.") for name in counters), grid
     assert obs_metrics.active() is NULL_METRICS
+
+
+def test_process_grid_trace_stitches_worker_lanes():
+    """A --grid process run with --trace yields ONE Chrome trace whose
+    events span every worker process (own pid lanes), and tracing
+    changes neither the payload nor the config fingerprint."""
+    plain = CampaignConfig(**REDUCED)
+    assert plain.replace(trace=True).fingerprint() == plain.fingerprint()
+
+    fresh_labs()
+    baseline = Campaign(plain).run(("c17",))
+    fresh_labs()
+    config = CampaignConfig(**dict(
+        REDUCED, trace=True, grid="process", grid_workers=2,
+    ))
+    tracer = Tracer()
+    with obs_trace.tracing(tracer):
+        result = Campaign(config, TracingEvents(tracer)).run(("c17",))
+    assert payload(result) == payload(baseline)
+    events = assert_valid_trace(tracer.export())
+    pids = {str(e["pid"]) for e in events}
+    worker_lanes = {p for p in pids if p.startswith("worker-")}
+    assert worker_lanes, pids            # spans came home from workers
+    assert "repro" in pids               # next to the parent's own
+    worker_names = {
+        e["name"] for e in events if str(e["pid"]).startswith("worker-")
+    }
+    assert any(name.startswith("unit:") for name in worker_names)
 
 
 def test_campaign_without_telemetry_collects_nothing():
@@ -396,3 +561,34 @@ def test_cli_trace_summarizes(tmp_path, capsys):
     empty.write_text('{"traceEvents": []}', encoding="utf-8")
     assert main(["trace", str(empty)]) == 1
     assert main(["trace", str(tmp_path / "missing.json")]) == 2
+
+
+def test_cli_trace_validate(tmp_path, capsys):
+    from repro.cli import main
+
+    tracer = Tracer()
+    with tracer.span("s", tid="t"):
+        pass
+    good = tmp_path / "good.json"
+    tracer.write(str(good))
+    assert main(["trace", str(good), "--validate"]) == 0
+    assert "trace OK: 2 event(s)" in capsys.readouterr().out
+    bad = tmp_path / "bad.json"
+    bad.write_text(
+        json.dumps({"traceEvents": [{"ph": "Z"}]}), encoding="utf-8"
+    )
+    assert main(["trace", str(bad), "--validate"]) == 1
+    assert "invalid" in capsys.readouterr().err
+
+
+def test_cli_top_once_prints_one_frame(capsys):
+    from repro.cli import main
+
+    server = quiet_server(service=False)
+    try:
+        assert main(["top", server.url, "--once"]) == 0
+    finally:
+        server.close()
+    out = capsys.readouterr().out
+    assert "queue: 0 pending" in out
+    assert "\x1b[2J" not in out          # --once never clears the screen
